@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Baselines Dataset Harness Hiperbot Hpcsim List Metrics Param Printf Prng Stats Stdlib String

@@ -1,0 +1,1 @@
+bench/harness.ml: Array Baselines Dataset Graphlib Hiperbot Lazy List Metrics Printf Prng Stats

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Experiments List Micro Printf

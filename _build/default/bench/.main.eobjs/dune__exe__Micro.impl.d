@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Dataset Float Graphlib Harness Hashtbl Hiperbot Hpcsim Instance List Measure Param Printf Prng Simulate Staged Sys Test Time Toolkit

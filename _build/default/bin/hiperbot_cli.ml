@@ -1,0 +1,430 @@
+(* hiperbot command-line interface.
+
+   Subcommands: list, describe, tune, transfer, importance, export.
+   Every built-in dataset of the reproduction is addressable by name;
+   `export` writes a dataset as CSV so external tools (or the
+   `Dataset.Table.of_csv` loader) can round-trip it. *)
+
+open Cmdliner
+
+let find_table name =
+  match Hpcsim.Registry.find name with
+  | entry -> Ok (entry.Hpcsim.Registry.table ())
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown dataset %S (try: %s)" name
+           (String.concat ", " Hpcsim.Registry.names))
+
+let dataset_arg =
+  let doc = "Built-in dataset name (see the `list' subcommand)." in
+  Arg.(required & opt (some string) None & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; runs are fully deterministic given the seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let budget_arg default =
+  let doc = "Evaluation budget (number of objective evaluations)." in
+  Arg.(value & opt int default & info [ "b"; "budget" ] ~docv:"N" ~doc)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-14s %s\n" e.Hpcsim.Registry.name e.Hpcsim.Registry.description)
+      Hpcsim.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in datasets.") Term.(const run $ const ())
+
+(* ---- describe ---- *)
+
+let describe_cmd =
+  let run dataset =
+    match find_table dataset with
+    | Error e -> `Error (false, e)
+    | Ok table ->
+        let space = Dataset.Table.space table in
+        Printf.printf "dataset: %s (%d configurations)\n" (Dataset.Table.name table)
+          (Dataset.Table.size table);
+        Printf.printf "parameters:\n";
+        Array.iter (fun spec -> Format.printf "  %a@." Param.Spec.pp spec) (Param.Space.specs space);
+        let ys = Dataset.Table.objectives table in
+        Array.sort compare ys;
+        let q p = Stats.Quantile.quantile_sorted ys p in
+        Printf.printf "objective: min=%.4g p25=%.4g median=%.4g p75=%.4g max=%.4g\n" ys.(0) (q 0.25)
+          (q 0.5) (q 0.75)
+          ys.(Array.length ys - 1);
+        let config, value = Dataset.Table.best table in
+        Printf.printf "best: %s -> %.4g\n" (Param.Space.to_string space config) value;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Show a dataset's parameters and objective distribution.")
+    Term.(ret (const run $ dataset_arg))
+
+(* ---- tune ---- *)
+
+let method_arg =
+  let doc = "Tuning method: hiperbot, random, geist, gp, or gbt." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("hiperbot", `Hiperbot); ("random", `Random); ("geist", `Geist); ("gp", `Gp); ("gbt", `Gbt) ])
+        `Hiperbot
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let alpha_arg =
+  let doc = "HiPerBOt quantile threshold for the good/bad split." in
+  Arg.(value & opt float 0.2 & info [ "alpha" ] ~docv:"A" ~doc)
+
+let n_init_arg =
+  let doc = "Random initialization samples." in
+  Arg.(value & opt int 20 & info [ "n-init" ] ~docv:"N" ~doc)
+
+let proposal_arg =
+  let doc = "Use the Proposal selection strategy with $(docv) sampled candidates instead of exhaustive Ranking." in
+  Arg.(value & opt (some int) None & info [ "proposal" ] ~docv:"K" ~doc)
+
+let trace_arg =
+  let doc = "Print every evaluation, not just improvements." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let save_arg =
+  let doc = "Write a run log of every evaluation to $(docv) (see Dataset.Runlog)." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"PATH" ~doc)
+
+let tune_cmd =
+  let run dataset seed budget method_ alpha n_init proposal trace save =
+    match find_table dataset with
+    | Error e -> `Error (false, e)
+    | Ok table ->
+        let space = Dataset.Table.space table in
+        let objective = Dataset.Table.objective_fn table in
+        let rng = Prng.Rng.create seed in
+        let recorder =
+          Option.map
+            (fun _ -> Dataset.Runlog.recorder ~name:("tune:" ^ dataset) ~seed ~space)
+            save
+        in
+        let best = ref infinity in
+        let on_evaluation i config y =
+          (match recorder with Some r -> Dataset.Runlog.record_evaluation r i config y | None -> ());
+          if trace || y < !best then begin
+            if y < !best then best := y;
+            Printf.printf "%4d  %10.4g  %s\n" i y (Param.Space.to_string space config)
+          end
+        in
+        let outcome =
+          match method_ with
+          | `Random -> Baselines.Random_search.run ~rng ~space ~objective ~budget ()
+          | `Geist -> Baselines.Geist.run ~rng ~space ~objective ~budget ()
+          | `Gp -> Baselines.Gp_tuner.run ~rng ~space ~objective ~budget ()
+          | `Gbt -> Baselines.Gbt_tuner.run ~rng ~space ~objective ~budget ()
+          | `Hiperbot ->
+              let strategy =
+                match proposal with
+                | Some k -> Hiperbot.Strategy.Proposal { n_candidates = k }
+                | None -> Hiperbot.Strategy.Ranking
+              in
+              let options =
+                {
+                  Hiperbot.Tuner.default_options with
+                  n_init;
+                  strategy;
+                  surrogate = { Hiperbot.Surrogate.default_options with alpha };
+                }
+              in
+              let result =
+                Hiperbot.Tuner.run ~options ~on_evaluation ~rng ~space ~objective ~budget ()
+              in
+              (match result.Hiperbot.Tuner.final_surrogate with
+              | Some s ->
+                  Printf.printf "parameter importance: %s\n"
+                    (Hiperbot.Importance.to_string (Hiperbot.Importance.of_surrogate s))
+              | None -> ());
+              Baselines.Outcome.of_tuner_result result
+        in
+        Printf.printf "best after %d evaluations: %.4g\n"
+          (Array.length outcome.Baselines.Outcome.history)
+          outcome.Baselines.Outcome.best_value;
+        Printf.printf "  %s\n" (Param.Space.to_string space outcome.Baselines.Outcome.best_config);
+        Printf.printf "exhaustive best: %.4g\n" (Dataset.Table.best_value table);
+        (match (recorder, save) with
+        | Some r, Some path ->
+            Dataset.Runlog.save (Dataset.Runlog.finish r) path;
+            Printf.printf "run log written to %s\n" path
+        | _ -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Run a tuner on a dataset and report the best configuration found.")
+    Term.(
+      ret
+        (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
+       $ proposal_arg $ trace_arg $ save_arg))
+
+(* ---- transfer ---- *)
+
+let transfer_cmd =
+  let source_arg =
+    let doc = "Source-domain dataset (all rows become the prior)." in
+    Arg.(required & opt (some string) None & info [ "source" ] ~docv:"NAME" ~doc)
+  in
+  let target_arg =
+    let doc = "Target-domain dataset (tuned with the source as prior)." in
+    Arg.(required & opt (some string) None & info [ "target" ] ~docv:"NAME" ~doc)
+  in
+  let weight_arg =
+    let doc = "Prior weight w (paper eqs. 9-10)." in
+    Arg.(value & opt float 1.0 & info [ "w"; "weight" ] ~docv:"W" ~doc)
+  in
+  let run source target seed budget weight =
+    match (find_table source, find_table target) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok src, Ok trgt ->
+        let space = Dataset.Table.space trgt in
+        if Param.Space.specs (Dataset.Table.space src) <> Param.Space.specs space then
+          `Error (false, "source and target datasets have different parameter spaces")
+        else begin
+          let source_obs =
+            Array.init (Dataset.Table.size src) (fun i ->
+                (Dataset.Table.config src i, Dataset.Table.objective src i))
+          in
+          let rng = Prng.Rng.create seed in
+          let result =
+            Hiperbot.Transfer.run ~weight ~rng ~space ~source:source_obs
+              ~objective:(Dataset.Table.objective_fn trgt) ~budget ()
+          in
+          Printf.printf "best after %d evaluations: %.4g\n"
+            (Array.length result.Hiperbot.Tuner.history)
+            result.Hiperbot.Tuner.best_value;
+          Printf.printf "  %s\n" (Param.Space.to_string space result.Hiperbot.Tuner.best_config);
+          Printf.printf "exhaustive target best: %.4g\n" (Dataset.Table.best_value trgt);
+          let good = Metrics.Recall.tolerance_good_set trgt 0.10 in
+          Printf.printf "recall at 10%% tolerance: %.3f (%d good configurations)\n"
+            (Metrics.Recall.recall good result.Hiperbot.Tuner.history)
+            good.Metrics.Recall.count;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "transfer" ~doc:"Transfer-learn from a source dataset onto a target dataset.")
+    Term.(ret (const run $ source_arg $ target_arg $ seed_arg $ budget_arg 278 $ weight_arg))
+
+(* ---- tune-csv ---- *)
+
+let tune_csv_cmd =
+  let csv_arg =
+    let doc = "CSV file: parameter columns, then one objective column. Parameter types are inferred (numeric columns become ordinal, the rest categorical)." in
+    Arg.(required & opt (some file) None & info [ "csv" ] ~docv:"PATH" ~doc)
+  in
+  let run path seed budget alpha n_init =
+    let text =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Dataset.Infer.table_of_csv ~name:(Filename.basename path) text with
+    | exception Failure msg -> `Error (false, msg)
+    | table ->
+        let space = Dataset.Table.space table in
+        Printf.printf "inferred space (%d measured rows):\n" (Dataset.Table.size table);
+        Array.iter (fun spec -> Format.printf "  %a@." Param.Spec.pp spec) (Param.Space.specs space);
+        let options =
+          {
+            Hiperbot.Tuner.default_options with
+            n_init;
+            surrogate = { Hiperbot.Surrogate.default_options with alpha };
+          }
+        in
+        let result =
+          Hiperbot.Tuner.run ~options
+            ~candidates:(Dataset.Table.configs table)
+            ~rng:(Prng.Rng.create seed) ~space
+            ~objective:(Dataset.Table.objective_fn table)
+            ~budget ()
+        in
+        Printf.printf "best after %d evaluations: %.4g\n"
+          (Array.length result.Hiperbot.Tuner.history)
+          result.Hiperbot.Tuner.best_value;
+        Printf.printf "  %s\n" (Param.Space.to_string space result.Hiperbot.Tuner.best_config);
+        Printf.printf "best row in the file: %.4g\n" (Dataset.Table.best_value table);
+        (match result.Hiperbot.Tuner.final_surrogate with
+        | Some s ->
+            Printf.printf "parameter importance: %s\n"
+              (Hiperbot.Importance.to_string (Hiperbot.Importance.of_surrogate s))
+        | None -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "tune-csv" ~doc:"Tune over the measured rows of a CSV study (space inferred).")
+    Term.(ret (const run $ csv_arg $ seed_arg $ budget_arg 100 $ alpha_arg $ n_init_arg))
+
+(* ---- importance ---- *)
+
+let importance_cmd =
+  let samples_arg =
+    let doc = "Fit the surrogate on a random subset of $(docv) rows (default: all rows)." in
+    Arg.(value & opt (some int) None & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let run dataset seed samples =
+    match find_table dataset with
+    | Error e -> `Error (false, e)
+    | Ok table ->
+        let space = Dataset.Table.space table in
+        let all =
+          Array.init (Dataset.Table.size table) (fun i ->
+              (Dataset.Table.config table i, Dataset.Table.objective table i))
+        in
+        let obs =
+          match samples with
+          | None -> all
+          | Some n ->
+              let n = min n (Array.length all) in
+              let rng = Prng.Rng.create seed in
+              let idx = Prng.Rng.sample_without_replacement rng n (Array.length all) in
+              Array.map (fun i -> all.(i)) idx
+        in
+        let ranking = Hiperbot.Importance.of_observations space obs in
+        Printf.printf "parameter importance (JS divergence, %d observations):\n" (Array.length obs);
+        Array.iter (fun (name, s) -> Printf.printf "  %-12s %.4f\n" name s) ranking;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "importance" ~doc:"Rank a dataset's parameters by Jensen-Shannon importance.")
+    Term.(ret (const run $ dataset_arg $ seed_arg $ samples_arg))
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let output_arg =
+    let doc = "Output CSV path (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  let run dataset output =
+    match find_table dataset with
+    | Error e -> `Error (false, e)
+    | Ok table ->
+        let csv = Dataset.Table.to_csv table in
+        (match output with
+        | None -> print_string csv
+        | Some path ->
+            let oc = open_out path in
+            output_string oc csv;
+            close_out oc;
+            Printf.printf "wrote %d rows to %s\n" (Dataset.Table.size table) path);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a dataset as CSV.")
+    Term.(ret (const run $ dataset_arg $ output_arg))
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let log_arg =
+    let doc = "Run log written by `tune --save'." in
+    Arg.(required & opt (some file) None & info [ "log" ] ~docv:"PATH" ~doc)
+  in
+  let against_arg =
+    let doc = "Score the log's recall against this built-in dataset." in
+    Arg.(value & opt (some string) None & info [ "against" ] ~docv:"NAME" ~doc)
+  in
+  let run path against =
+    match Dataset.Runlog.load path with
+    | exception Failure msg -> `Error (false, msg)
+    | log ->
+        let space = log.Dataset.Runlog.space in
+        let history = Dataset.Runlog.history log in
+        Printf.printf "run %S (seed %d): %d evaluations, %d failures\n" log.Dataset.Runlog.name
+          log.Dataset.Runlog.seed (Array.length history)
+          (Array.length log.Dataset.Runlog.entries - Array.length history);
+        (match Dataset.Runlog.best log with
+        | Some (c, y) -> Printf.printf "best: %.4g at %s\n" y (Param.Space.to_string space c)
+        | None -> Printf.printf "no successful evaluation\n");
+        (match against with
+        | None -> `Ok ()
+        | Some name -> begin
+            match find_table name with
+            | Error e -> `Error (false, e)
+            | Ok table ->
+                if Param.Space.specs (Dataset.Table.space table) <> Param.Space.specs space then
+                  `Error (false, "run log space does not match the dataset")
+                else begin
+                  let good = Metrics.Recall.percentile_good_set table 0.05 in
+                  Printf.printf "top-5%% recall vs %s: %.3f (%d good configs)\n" name
+                    (Metrics.Recall.recall good history)
+                    good.Metrics.Recall.count;
+                  `Ok ()
+                end
+          end)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Inspect a saved run log, optionally scoring it against a dataset.")
+    Term.(ret (const run $ log_arg $ against_arg))
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let reps_arg =
+    let doc = "Seeded repetitions per method." in
+    Arg.(value & opt int 5 & info [ "reps" ] ~docv:"N" ~doc)
+  in
+  let run dataset budget reps =
+    match find_table dataset with
+    | Error e -> `Error (false, e)
+    | Ok table ->
+        let space = Dataset.Table.space table in
+        let objective = Dataset.Table.objective_fn table in
+        let good = Metrics.Recall.percentile_good_set table 0.05 in
+        Printf.printf "dataset %s: %d configs, exhaustive best %.4g, %d good (top 5%%), budget %d, reps %d\n"
+          dataset (Dataset.Table.size table) (Dataset.Table.best_value table)
+          good.Metrics.Recall.count budget reps;
+        Printf.printf "%-10s %16s %16s\n" "method" "best (mean+-std)" "recall (mean+-std)";
+        let methods =
+          [
+            ("random", fun ~rng ~budget -> Baselines.Random_search.run ~rng ~space ~objective ~budget ());
+            ("geist", fun ~rng ~budget -> Baselines.Geist.run ~rng ~space ~objective ~budget ());
+            ("gbt", fun ~rng ~budget -> Baselines.Gbt_tuner.run ~rng ~space ~objective ~budget ());
+            ( "hiperbot",
+              fun ~rng ~budget ->
+                Baselines.Outcome.of_tuner_result
+                  (Hiperbot.Tuner.run ~rng ~space ~objective ~budget ()) );
+          ]
+        in
+        List.iter
+          (fun (label, run) ->
+            let d =
+              Metrics.Runner.sweep_detailed ~reps ~base_seed:100 ~sample_sizes:[| budget |] ~good ~run
+            in
+            let p = d.Metrics.Runner.points.(0) in
+            Printf.printf "%-10s %8.4g+-%-7.3g %8.3f+-%-6.3f\n%!" label p.Metrics.Runner.best_mean
+              p.Metrics.Runner.best_std p.Metrics.Runner.recall_mean p.Metrics.Runner.recall_std)
+          methods;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare tuning methods on a dataset at one budget.")
+    Term.(ret (const run $ dataset_arg $ budget_arg 150 $ reps_arg))
+
+let () =
+  let doc = "HiPerBOt: Bayesian-optimization autotuning for HPC applications" in
+  let info = Cmd.info "hiperbot" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            describe_cmd;
+            tune_cmd;
+            tune_csv_cmd;
+            transfer_cmd;
+            importance_cmd;
+            export_cmd;
+            replay_cmd;
+            compare_cmd;
+          ]))

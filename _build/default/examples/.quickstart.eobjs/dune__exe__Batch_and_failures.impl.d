@@ -1,0 +1,1 @@
+examples/batch_and_failures.ml: Array Hiperbot Param Printf Prng

@@ -1,0 +1,1 @@
+examples/batch_and_failures.mli:

@@ -1,0 +1,1 @@
+examples/custom_application.ml: Array Hiperbot List Param Printf Prng

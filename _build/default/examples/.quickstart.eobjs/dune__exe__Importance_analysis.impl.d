@@ -1,0 +1,1 @@
+examples/importance_analysis.ml: Array Dataset Hiperbot Hpcsim List Printf Prng Stdlib

@@ -1,0 +1,1 @@
+examples/importance_analysis.mli:

@@ -1,0 +1,1 @@
+examples/live_tuning.ml: Hiperbot Kernels Parallel Param Printf Prng

@@ -1,0 +1,1 @@
+examples/live_tuning.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hiperbot Param Printf Prng

@@ -1,0 +1,1 @@
+examples/transfer_hypre.ml: Array Dataset Hiperbot Hpcsim Metrics Printf Prng

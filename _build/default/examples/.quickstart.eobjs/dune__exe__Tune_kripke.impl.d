@@ -1,0 +1,1 @@
+examples/tune_kripke.ml: Baselines Dataset Hiperbot Hpcsim List Metrics Param Printf Prng

@@ -1,0 +1,1 @@
+examples/tune_kripke.mli:

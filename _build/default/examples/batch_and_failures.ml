@@ -1,0 +1,57 @@
+(* Two extensions beyond the paper, together:
+
+   - batch selection: one surrogate refit proposes several
+     configurations, as you would when several cluster allocations can
+     run in parallel;
+   - resilient tuning: some configurations crash (here: thread counts
+     the application rejects), and the failures steer the surrogate
+     away instead of wasting the run.
+
+     dune exec examples/batch_and_failures.exe *)
+
+let space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "layout" [ "aos"; "soa"; "tiled" ];
+      Param.Spec.ordinal_ints "threads" [ 1; 2; 4; 8; 16; 32 ];
+      Param.Spec.ordinal_ints "chunk" [ 64; 256; 1024; 4096 ];
+    ]
+
+(* The pretend application: crashes when oversubscribed (threads = 32)
+   with the tiled layout (say, a known bug), otherwise returns a
+   runtime with a clear optimum at soa / 16 threads / 1024 chunk. *)
+let run_application config =
+  let layout = Param.Value.to_index config.(0) in
+  let threads = Param.Spec.level (Param.Space.spec space 1) (Param.Value.to_index config.(1)) in
+  let chunk = Param.Spec.level (Param.Space.spec space 2) (Param.Value.to_index config.(2)) in
+  if layout = 2 && threads > 16. then None
+  else begin
+    let layout_factor = [| 1.25; 1.0; 1.1 |].(layout) in
+    let parallel = (64. /. (threads ** 0.8)) +. (0.4 *. threads) in
+    let chunk_penalty = 1. +. (0.03 *. abs_float (log (chunk /. 1024.))) in
+    Some (parallel *. layout_factor *. chunk_penalty)
+  end
+
+let () =
+  let options =
+    {
+      Hiperbot.Tuner.default_options with
+      n_init = 10;
+      batch_size = 4; (* four runs per surrogate refit *)
+      early_stop = Some 20; (* stop when 20 evaluations stop improving *)
+    }
+  in
+  let result =
+    Hiperbot.Tuner.run_resilient ~options
+      ~on_failure:(fun i c ->
+        Printf.printf "%3d  CRASH       %s\n" i (Param.Space.to_string space c))
+      ~on_evaluation:(fun i c y ->
+        if i mod 8 = 0 then Printf.printf "%3d  %8.3f    %s\n" i y (Param.Space.to_string space c))
+      ~rng:(Prng.Rng.create 11) ~space ~objective:run_application ~budget:60 ()
+  in
+  Printf.printf "\nbest %.3f at %s\n" result.Hiperbot.Tuner.best_value
+    (Param.Space.to_string space result.Hiperbot.Tuner.best_config);
+  Printf.printf "%d successful runs, %d crashes, early stop: %b\n"
+    (Array.length result.Hiperbot.Tuner.history)
+    (Array.length result.Hiperbot.Tuner.failures)
+    result.Hiperbot.Tuner.stopped_early

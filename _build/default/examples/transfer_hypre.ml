@@ -1,0 +1,36 @@
+(* Transfer learning (the paper's SVII-B case study): use the full
+   16-node HYPRE study as a prior to tune the 64-node problem with a
+   small evaluation budget.
+
+     dune exec examples/transfer_hypre.exe *)
+
+let () =
+  let src = (Hpcsim.Registry.find "hypre_src").Hpcsim.Registry.table () in
+  let trgt = (Hpcsim.Registry.find "hypre_trgt").Hpcsim.Registry.table () in
+  let space = Dataset.Table.space trgt in
+  let objective = Dataset.Table.objective_fn trgt in
+  let source =
+    Array.init (Dataset.Table.size src) (fun i ->
+        (Dataset.Table.config src i, Dataset.Table.objective src i))
+  in
+  (* The paper's protocol: 1% of the target space plus 100 samples. *)
+  let budget = (Dataset.Table.size trgt / 100) + 100 in
+  Printf.printf "source: %d rows at 16 nodes; target: %d rows at 64 nodes; budget %d\n\n"
+    (Dataset.Table.size src) (Dataset.Table.size trgt) budget;
+
+  let with_prior =
+    Hiperbot.Transfer.run ~rng:(Prng.Rng.create 3) ~space ~source ~objective ~budget ()
+  in
+  let without_prior =
+    Hiperbot.Tuner.run ~rng:(Prng.Rng.create 3) ~space ~objective ~budget ()
+  in
+  let good = Metrics.Recall.tolerance_good_set trgt 0.10 in
+  Printf.printf "target exhaustive best: %.4g s\n" (Dataset.Table.best_value trgt);
+  Printf.printf "with source prior:    best %.4g s, 10%%-tolerance recall %.2f\n"
+    with_prior.Hiperbot.Tuner.best_value
+    (Metrics.Recall.recall good with_prior.Hiperbot.Tuner.history);
+  Printf.printf "without prior:        best %.4g s, 10%%-tolerance recall %.2f\n"
+    without_prior.Hiperbot.Tuner.best_value
+    (Metrics.Recall.recall good without_prior.Hiperbot.Tuner.history);
+  Printf.printf "(%d configurations are within 10%% of the target best)\n"
+    good.Metrics.Recall.count

@@ -1,0 +1,1 @@
+lib/baselines/exhaustive.ml: Array Dataset Outcome

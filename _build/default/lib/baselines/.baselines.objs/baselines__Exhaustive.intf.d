@@ -1,0 +1,1 @@
+lib/baselines/exhaustive.mli: Dataset Outcome Param

@@ -1,0 +1,1 @@
+lib/baselines/gbt_tuner.ml: Array Gbt Hashtbl List Option Outcome Param Prng Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/gbt_tuner.mli: Gbt Outcome Param Prng

@@ -1,0 +1,1 @@
+lib/baselines/geist.ml: Array Float Graphlib List Outcome Param Prng Stats

@@ -1,0 +1,1 @@
+lib/baselines/geist.mli: Graphlib Outcome Param Prng

@@ -1,0 +1,1 @@
+lib/baselines/gp_tuner.ml: Array Float Gp Hashtbl List Option Outcome Param Prng Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/gp_tuner.mli: Outcome Param Prng

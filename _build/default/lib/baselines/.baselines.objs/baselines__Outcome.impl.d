@@ -1,0 +1,1 @@
+lib/baselines/outcome.ml: Array Hiperbot Param

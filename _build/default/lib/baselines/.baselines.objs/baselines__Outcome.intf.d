@@ -1,0 +1,1 @@
+lib/baselines/outcome.mli: Hiperbot Param

@@ -1,0 +1,1 @@
+lib/baselines/perfnet.ml: Array Float Hashtbl List Nn Outcome Param Prng Stdlib

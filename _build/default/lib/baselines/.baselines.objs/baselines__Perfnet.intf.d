@@ -1,0 +1,1 @@
+lib/baselines/perfnet.mli: Nn Outcome Param Prng

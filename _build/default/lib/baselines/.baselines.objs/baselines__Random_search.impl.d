@@ -1,0 +1,1 @@
+lib/baselines/random_search.ml: Array Outcome Param Prng

@@ -1,0 +1,1 @@
+lib/baselines/random_search.mli: Outcome Param Prng

@@ -1,0 +1,6 @@
+let best table = Dataset.Table.best table
+
+let run table =
+  let n = Dataset.Table.size table in
+  let history = Array.init n (fun i -> (Dataset.Table.config table i, Dataset.Table.objective table i)) in
+  Outcome.of_history history

@@ -1,0 +1,8 @@
+(** Exhaustive-best reference (paper §V): the true optimum, found by
+    evaluating the whole space. Not a competitor — the horizontal
+    reference line in every best-configuration figure. *)
+
+val best : Dataset.Table.t -> Param.Config.t * float
+
+val run : Dataset.Table.t -> Outcome.t
+(** The full table as a history, in table order. *)

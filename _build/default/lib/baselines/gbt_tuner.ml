@@ -1,0 +1,70 @@
+type options = { n_init : int; refit_every : int; epsilon : float; model : Gbt.Boosted.params }
+
+let default_options =
+  {
+    n_init = 20;
+    refit_every = 5;
+    epsilon = 0.1;
+    model = { Gbt.Boosted.default_params with n_trees = 60 };
+  }
+
+let run ?(options = default_options) ~rng ~space ~objective ~budget () =
+  if budget < 1 then invalid_arg "Gbt_tuner.run: budget must be at least 1";
+  if options.n_init < 1 then invalid_arg "Gbt_tuner.run: n_init must be at least 1";
+  if options.refit_every < 1 then invalid_arg "Gbt_tuner.run: refit_every must be at least 1";
+  if options.epsilon < 0. || options.epsilon > 1. then invalid_arg "Gbt_tuner.run: epsilon outside [0, 1]";
+  let total =
+    match Param.Space.cardinality space with
+    | Some n -> n
+    | None -> invalid_arg "Gbt_tuner.run: space must be finite"
+  in
+  let budget = min budget total in
+  let encode rank = Param.Space.encode space (Param.Space.config_of_rank space rank) in
+  let evaluated = Hashtbl.create budget in
+  let history = ref [] in
+  let xs = ref [] and ys = ref [] in
+  let evaluate rank =
+    let config = Param.Space.config_of_rank space rank in
+    let y = objective config in
+    Hashtbl.replace evaluated rank ();
+    history := (config, y) :: !history;
+    xs := encode rank :: !xs;
+    ys := log (Stdlib.max 1e-12 y) :: !ys
+  in
+  Array.iter evaluate (Prng.Rng.sample_without_replacement rng (min options.n_init budget) total);
+  let model = ref None in
+  let since_fit = ref options.refit_every in
+  let random_unevaluated () =
+    let rec draw () =
+      let rank = Prng.Rng.int rng total in
+      if Hashtbl.mem evaluated rank then draw () else rank
+    in
+    draw ()
+  in
+  while List.length !history < budget do
+    if Prng.Rng.float rng < options.epsilon then evaluate (random_unevaluated ())
+    else begin
+      if !since_fit >= options.refit_every || !model = None then begin
+        model :=
+          Some
+            (Gbt.Boosted.fit ~params:options.model
+               ~inputs:(Array.of_list !xs)
+               ~targets:(Array.of_list !ys)
+               ());
+        since_fit := 0
+      end;
+      let gbt = Option.get !model in
+      let best = ref None in
+      for rank = 0 to total - 1 do
+        if not (Hashtbl.mem evaluated rank) then begin
+          let pred = Gbt.Boosted.predict gbt (encode rank) in
+          match !best with
+          | Some (_, p) when p <= pred -> ()
+          | Some _ | None -> best := Some (rank, pred)
+        end
+      done;
+      (match !best with Some (rank, _) -> evaluate rank | None -> evaluate (random_unevaluated ()));
+      incr since_fit
+    end
+  done;
+  Outcome.of_history (Array.of_list (List.rev !history))

@@ -1,0 +1,30 @@
+(** Boosted-regression-trees surrogate tuner (Bergstra et al., paper
+    ref [2] — the supervised-learning alternative discussed in the
+    related work).
+
+    Loop: random initialization, then repeatedly fit a gradient-
+    boosted-trees regressor on the one-hot encoded observations and
+    evaluate the pool candidate with the lowest predicted objective,
+    with an epsilon-greedy random pick for exploration (a pure greedy
+    surrogate stalls on its own bias — exactly the weakness the paper
+    attributes to non-active supervised methods). *)
+
+type options = {
+  n_init : int;  (** default 20 *)
+  refit_every : int;  (** refit interval (default 5) *)
+  epsilon : float;  (** random-pick probability per iteration (default 0.1) *)
+  model : Gbt.Boosted.params;
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Outcome.t
+(** Requires a finite space. Objectives are log-transformed
+    internally. *)

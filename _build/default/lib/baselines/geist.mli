@@ -1,0 +1,33 @@
+(** GEIST baseline (Thiagarajan et al., ICS 2018 — paper ref [10]).
+
+    Semi-supervised adaptive sampling: the finite parameter space is a
+    lattice graph ({!Graphlib.Lattice}); evaluated configurations are
+    labeled optimal / non-optimal against a quantile threshold of the
+    observed objectives; CAMLP label propagation (ref [16]) spreads
+    beliefs to unevaluated nodes; each round the batch of unevaluated
+    nodes with the highest optimal-belief is evaluated, labels are
+    recomputed, and propagation repeats. *)
+
+type options = {
+  n_init : int;  (** random bootstrap evaluations (default 20) *)
+  batch_size : int;  (** evaluations per propagation round (default 10) *)
+  optimal_quantile : float;  (** label threshold on observed objectives (default 0.2) *)
+  beta : float;  (** CAMLP propagation strength (default 0.1) *)
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  ?graph:Graphlib.Graph.t ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Outcome.t
+(** Requires a finite space. [graph] lets callers share one lattice
+    graph across repetitions (it depends only on the space); when
+    omitted it is built internally. Node ids must equal
+    {!Param.Space.config_rank} order, as {!Graphlib.Lattice.build}
+    produces. *)

@@ -1,0 +1,69 @@
+type options = { n_init : int; noise : float; refit_every : int; max_pool : int }
+
+let default_options = { n_init = 20; noise = 1e-4; refit_every = 1; max_pool = 2000 }
+
+let run ?(options = default_options) ~rng ~space ~objective ~budget () =
+  if budget < 1 then invalid_arg "Gp_tuner.run: budget must be at least 1";
+  if options.n_init < 1 then invalid_arg "Gp_tuner.run: n_init must be at least 1";
+  if options.refit_every < 1 then invalid_arg "Gp_tuner.run: refit_every must be at least 1";
+  if options.max_pool < 1 then invalid_arg "Gp_tuner.run: max_pool must be at least 1";
+  let total =
+    match Param.Space.cardinality space with
+    | Some n -> n
+    | None -> invalid_arg "Gp_tuner.run: space must be finite"
+  in
+  let budget = min budget total in
+  let encode rank = Param.Space.encode space (Param.Space.config_of_rank space rank) in
+  let evaluated = Hashtbl.create budget in
+  let history = ref [] in
+  let xs = ref [] and ys = ref [] in
+  let evaluate rank =
+    let config = Param.Space.config_of_rank space rank in
+    let y = objective config in
+    Hashtbl.replace evaluated rank ();
+    history := (config, y) :: !history;
+    xs := encode rank :: !xs;
+    ys := log (Stdlib.max 1e-12 y) :: !ys
+  in
+  let init = Prng.Rng.sample_without_replacement rng (min options.n_init budget) total in
+  Array.iter evaluate init;
+  let model = ref None in
+  let since_fit = ref options.refit_every in
+  while List.length !history < budget do
+    if !since_fit >= options.refit_every || !model = None then begin
+      model :=
+        Some
+          (Gp.Gpr.fit ~noise:options.noise
+             ~inputs:(Array.of_list !xs)
+             ~targets:(Array.of_list !ys)
+             ());
+      since_fit := 0
+    end;
+    let gp = Option.get !model in
+    let best_log = List.fold_left Float.min infinity !ys in
+    (* Candidate pool: the whole space when small, otherwise a random
+       subsample (fresh each iteration, so coverage accumulates). *)
+    let pool =
+      if total <= options.max_pool then Array.init total (fun i -> i)
+      else Prng.Rng.sample_without_replacement rng options.max_pool total
+    in
+    let best_candidate = ref None in
+    Array.iter
+      (fun rank ->
+        if not (Hashtbl.mem evaluated rank) then begin
+          let ei = Gp.Gpr.expected_improvement gp ~best:best_log (encode rank) in
+          match !best_candidate with
+          | Some (_, s) when s >= ei -> ()
+          | Some _ | None -> best_candidate := Some (rank, ei)
+        end)
+      pool;
+    (match !best_candidate with
+    | Some (rank, _) -> evaluate rank
+    | None ->
+        (* The sampled pool was entirely evaluated; fall back to the
+           first unevaluated rank. *)
+        let rec first r = if Hashtbl.mem evaluated r then first (r + 1) else r in
+        evaluate (first 0));
+    incr since_fit
+  done;
+  Outcome.of_history (Array.of_list (List.rev !history))

@@ -1,0 +1,31 @@
+(** Gaussian-process expected-improvement tuner — the adaptive-
+    sampling prior work the paper cites (Duplyakin et al., ref [17])
+    and the surrogate-model ablation of DESIGN.md (TPE-style density
+    ratio vs GP posterior).
+
+    Standard BO loop: random initialization, then repeatedly fit a GP
+    on the one-hot encoded evaluations and evaluate the pool candidate
+    with the highest expected improvement. Exact GP inference is
+    O(n^3) in the number of evaluations, so the model is refit every
+    [refit_every] evaluations and the candidate pool is subsampled to
+    [max_pool] configurations per iteration. *)
+
+type options = {
+  n_init : int;  (** default 20 *)
+  noise : float;  (** observation-noise variance (default 1e-4) *)
+  refit_every : int;  (** default 1 (refit each iteration) *)
+  max_pool : int;  (** candidate subsample per iteration (default 2000) *)
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Outcome.t
+(** Requires a finite space. Objectives are log-transformed
+    internally (they are positive, heavy-tailed times/energies). *)

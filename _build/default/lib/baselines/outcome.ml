@@ -1,0 +1,27 @@
+type t = {
+  history : (Param.Config.t * float) array;
+  best_config : Param.Config.t;
+  best_value : float;
+  trajectory : float array;
+}
+
+let of_history history =
+  if Array.length history = 0 then invalid_arg "Outcome.of_history: empty history";
+  let best = ref history.(0) in
+  let trajectory =
+    Array.map
+      (fun (c, y) ->
+        if y < snd !best then best := (c, y);
+        snd !best)
+      history
+  in
+  let best_config, best_value = !best in
+  { history; best_config; best_value; trajectory }
+
+let of_tuner_result (r : Hiperbot.Tuner.result) =
+  {
+    history = r.Hiperbot.Tuner.history;
+    best_config = r.Hiperbot.Tuner.best_config;
+    best_value = r.Hiperbot.Tuner.best_value;
+    trajectory = r.Hiperbot.Tuner.trajectory;
+  }

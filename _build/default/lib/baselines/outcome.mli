@@ -1,0 +1,15 @@
+(** Common result shape for every tuner (HiPerBOt and baselines), so
+    the metrics layer can compare them uniformly. *)
+
+type t = {
+  history : (Param.Config.t * float) array;  (** evaluations in order *)
+  best_config : Param.Config.t;
+  best_value : float;
+  trajectory : float array;  (** best-so-far after each evaluation *)
+}
+
+val of_history : (Param.Config.t * float) array -> t
+(** Derive best and trajectory. Raises [Invalid_argument] on an empty
+    history. *)
+
+val of_tuner_result : Hiperbot.Tuner.result -> t

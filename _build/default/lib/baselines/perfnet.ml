@@ -1,0 +1,95 @@
+type options = {
+  hidden : int list;
+  source_training : Nn.Mlp.training;
+  finetune_training : Nn.Mlp.training;
+  finetune_fraction : float;
+  max_source_samples : int;
+}
+
+let default_options =
+  {
+    hidden = [ 64; 32 ];
+    source_training =
+      { Nn.Mlp.epochs = 60; batch_size = 32; learning_rate = 1e-3; weight_decay = 1e-5 };
+    finetune_training =
+      { Nn.Mlp.epochs = 120; batch_size = 16; learning_rate = 5e-4; weight_decay = 1e-5 };
+    finetune_fraction = 0.5;
+    max_source_samples = 2000;
+  }
+
+(* Objectives are positive and heavy-tailed; the network regresses
+   log-time standardized by the source statistics. *)
+let make_transform source_ys =
+  let logs = Array.map (fun y -> log (Stdlib.max 1e-12 y)) source_ys in
+  let mu = Array.fold_left ( +. ) 0. logs /. float_of_int (Array.length logs) in
+  let var =
+    Array.fold_left (fun acc l -> acc +. ((l -. mu) ** 2.)) 0. logs /. float_of_int (Array.length logs)
+  in
+  let sigma = if var > 0. then sqrt var else 1. in
+  fun y -> (log (Stdlib.max 1e-12 y) -. mu) /. sigma
+
+let run ?(options = default_options) ~rng ~space ~source ~objective ~budget () =
+  if budget < 1 then invalid_arg "Perfnet.run: budget must be at least 1";
+  if Array.length source = 0 then invalid_arg "Perfnet.run: empty source data";
+  if options.finetune_fraction < 0. || options.finetune_fraction > 1. then
+    invalid_arg "Perfnet.run: finetune_fraction outside [0, 1]";
+  let total =
+    match Param.Space.cardinality space with
+    | Some n -> n
+    | None -> invalid_arg "Perfnet.run: space must be finite"
+  in
+  let budget = min budget total in
+  let transform = make_transform (Array.map snd source) in
+  (* Train the source model on a bounded subsample. *)
+  let source_pool =
+    if Array.length source <= options.max_source_samples then source
+    else begin
+      let idx = Prng.Rng.sample_without_replacement rng options.max_source_samples (Array.length source) in
+      Array.map (fun i -> source.(i)) idx
+    end
+  in
+  let encode c = Param.Space.encode space c in
+  let inputs = Array.map (fun (c, _) -> encode c) source_pool in
+  let targets = Array.map (fun (_, y) -> transform y) source_pool in
+  let d = Param.Space.encode_width space in
+  let model = Nn.Mlp.create ~rng ~layer_sizes:((d :: options.hidden) @ [ 1 ]) () in
+  let (_ : float) = Nn.Mlp.train model ~rng ~config:options.source_training ~inputs ~targets () in
+  (* Fine-tune on random target evaluations. *)
+  let n_finetune =
+    Stdlib.max 1 (min (budget - 1) (int_of_float (Float.round (options.finetune_fraction *. float_of_int budget))))
+  in
+  let finetune_ranks = Prng.Rng.sample_without_replacement rng n_finetune total in
+  let history = ref [] in
+  let evaluated = Hashtbl.create budget in
+  let evaluate rank =
+    let config = Param.Space.config_of_rank space rank in
+    let y = objective config in
+    Hashtbl.replace evaluated rank ();
+    history := (config, y) :: !history;
+    y
+  in
+  let finetune_pairs = Array.map (fun rank -> (rank, evaluate rank)) finetune_ranks in
+  let ft_inputs = Array.map (fun (rank, _) -> encode (Param.Space.config_of_rank space rank)) finetune_pairs in
+  let ft_targets = Array.map (fun (_, y) -> transform y) finetune_pairs in
+  let (_ : float) =
+    Nn.Mlp.fine_tune model ~rng ~config:options.finetune_training ~inputs:ft_inputs ~targets:ft_targets ()
+  in
+  (* Spend the remaining budget on the best-predicted configurations. *)
+  let remaining = budget - n_finetune in
+  if remaining > 0 then begin
+    let predictions =
+      Array.init total (fun rank -> (rank, Nn.Mlp.predict model (encode (Param.Space.config_of_rank space rank))))
+    in
+    Array.sort (fun (_, a) (_, b) -> compare a b) predictions;
+    let taken = ref 0 in
+    let i = ref 0 in
+    while !taken < remaining && !i < total do
+      let rank, _ = predictions.(!i) in
+      if not (Hashtbl.mem evaluated rank) then begin
+        let (_ : float) = evaluate rank in
+        incr taken
+      end;
+      incr i
+    done
+  end;
+  Outcome.of_history (Array.of_list (List.rev !history))

@@ -1,0 +1,17 @@
+let run ~rng ~space ~objective ~budget () =
+  if budget < 1 then invalid_arg "Random_search.run: budget must be at least 1";
+  let total =
+    match Param.Space.cardinality space with
+    | Some n -> n
+    | None -> invalid_arg "Random_search.run: space must be finite"
+  in
+  let n = min budget total in
+  let ranks = Prng.Rng.sample_without_replacement rng n total in
+  let history =
+    Array.map
+      (fun rank ->
+        let config = Param.Space.config_of_rank space rank in
+        (config, objective config))
+      ranks
+  in
+  Outcome.of_history history

@@ -1,0 +1,12 @@
+(** Random selection baseline (paper §V): configurations drawn
+    uniformly at random from the finite space, without replacement. *)
+
+val run :
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Outcome.t
+(** Requires a finite space and [1 <= budget]; draws
+    [min budget |space|] distinct configurations. *)

@@ -1,0 +1,1 @@
+lib/core/density.ml: Array Float Param Prng Stats Stdlib

@@ -1,0 +1,1 @@
+lib/core/density.mli: Param Prng

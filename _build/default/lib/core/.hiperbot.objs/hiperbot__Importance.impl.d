@@ -1,0 +1,1 @@
+lib/core/importance.ml: Array Param Printf String Surrogate

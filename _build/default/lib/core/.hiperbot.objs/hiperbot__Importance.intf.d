@@ -1,0 +1,1 @@
+lib/core/importance.mli: Param Surrogate

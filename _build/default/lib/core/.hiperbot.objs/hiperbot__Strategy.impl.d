@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array List Param Surrogate

@@ -1,0 +1,1 @@
+lib/core/surrogate.ml: Array Density Option Param Stats

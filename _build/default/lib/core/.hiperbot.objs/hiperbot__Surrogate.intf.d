@@ -1,0 +1,1 @@
+lib/core/surrogate.mli: Density Param Prng

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Array Surrogate Tuner

@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Param Prng Surrogate Tuner

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Param Prng Strategy Surrogate

@@ -1,0 +1,90 @@
+type bandwidth_rule = Fixed_fraction of float | Silverman
+
+type options = { smoothing : float; bandwidth : bandwidth_rule }
+
+let default_options = { smoothing = 1.0; bandwidth = Fixed_fraction 0.1 }
+
+type t =
+  | Discrete of { spec : Param.Spec.t; hist : Stats.Histogram.t }
+  | Continuous of { spec : Param.Spec.t; kde : Stats.Kde.t; lo : float; hi : float }
+  | Uniform of Param.Spec.t
+
+let uniform spec = Uniform spec
+
+let continuous_range spec =
+  match Param.Spec.domain spec with
+  | Param.Spec.Continuous { lo; hi } -> (lo, hi)
+  | Param.Spec.Categorical _ | Param.Spec.Ordinal _ ->
+      invalid_arg "Density: expected a continuous spec"
+
+let fit ?(options = default_options) spec values =
+  Array.iter
+    (fun v -> if not (Param.Spec.validate spec v) then invalid_arg "Density.fit: value does not match spec")
+    values;
+  if Array.length values = 0 then Uniform spec
+  else begin
+    match Param.Spec.n_choices spec with
+    | Some n ->
+        let hist = Stats.Histogram.create ~smoothing:options.smoothing ~n_categories:n () in
+        Array.iter (fun v -> Stats.Histogram.observe hist (Param.Value.to_index v)) values;
+        Discrete { spec; hist }
+    | None ->
+        let lo, hi = continuous_range spec in
+        let xs = Array.map Param.Value.to_float_raw values in
+        let bandwidth =
+          match options.bandwidth with
+          | Fixed_fraction f -> Stdlib.max 1e-9 (f *. (hi -. lo))
+          | Silverman -> Stats.Kde.silverman_bandwidth xs
+        in
+        Continuous { spec; kde = Stats.Kde.create ~bandwidth xs; lo; hi }
+  end
+
+let pdf t v =
+  match t with
+  | Discrete { spec; hist } ->
+      if not (Param.Spec.validate spec v) then invalid_arg "Density.pdf: value does not match spec";
+      Stats.Histogram.prob hist (Param.Value.to_index v)
+  | Continuous { spec; kde; _ } ->
+      if not (Param.Spec.validate spec v) then invalid_arg "Density.pdf: value does not match spec";
+      Stdlib.max 1e-300 (Stats.Kde.pdf kde (Param.Value.to_float_raw v))
+  | Uniform spec -> begin
+      if not (Param.Spec.validate spec v) then invalid_arg "Density.pdf: value does not match spec";
+      match Param.Spec.n_choices spec with
+      | Some n -> 1. /. float_of_int n
+      | None ->
+          let lo, hi = continuous_range spec in
+          1. /. (hi -. lo)
+    end
+
+let sample t rng =
+  match t with
+  | Discrete { spec; hist } ->
+      let idx = Prng.Rng.categorical rng (Stats.Histogram.probs hist) in
+      Param.Spec.value_of_index spec idx
+  | Continuous { kde; lo; hi; _ } ->
+      let x = Stats.Kde.sample kde rng in
+      Param.Value.Continuous (Float.min hi (Float.max lo x))
+  | Uniform spec -> Param.Spec.random_value spec rng
+
+let merge_prior ~prior ~w t =
+  if w < 0. then invalid_arg "Density.merge_prior: negative weight";
+  match (prior, t) with
+  | Uniform _, other -> other
+  | other, Uniform _ -> other
+  | Discrete p, Discrete d ->
+      Discrete { d with hist = Stats.Histogram.merge_weighted ~prior:p.hist ~w d.hist }
+  | Continuous p, Continuous c ->
+      Continuous { c with kde = Stats.Kde.merge_weighted ~prior:p.kde ~w c.kde }
+  | Discrete _, Continuous _ | Continuous _, Discrete _ ->
+      invalid_arg "Density.merge_prior: mismatched density kinds"
+
+let js_divergence spec a b =
+  match Param.Spec.n_choices spec with
+  | Some n ->
+      let probs d = Array.init n (fun i -> pdf d (Param.Spec.value_of_index spec i)) in
+      Stats.Divergence.js (probs a) (probs b)
+  | None ->
+      let lo, hi = continuous_range spec in
+      Stats.Divergence.js_of_pdfs ~lo ~hi ~n:256
+        (fun x -> pdf a (Param.Value.Continuous x))
+        (fun x -> pdf b (Param.Value.Continuous x))

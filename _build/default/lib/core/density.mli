@@ -1,0 +1,49 @@
+(** Per-parameter probability density.
+
+    HiPerBOt's surrogate factorizes the configuration densities
+    pg(x) and pb(x) across parameters (paper eqs. 7-8); this module is
+    one factor. Discrete parameters are estimated with smoothed
+    histograms (paper §III-B1), continuous ones with Gaussian KDE
+    (§III-B2). A [Uniform] variant covers the no-observations case so
+    a surrogate is always well-defined. *)
+
+type bandwidth_rule =
+  | Fixed_fraction of float
+      (** bandwidth = fraction * (hi - lo) of the parameter's range —
+          the paper's fixed-bandwidth choice (default fraction 0.1) *)
+  | Silverman  (** data-driven rule of thumb (ablation) *)
+
+type options = {
+  smoothing : float;  (** Laplace smoothing for discrete histograms *)
+  bandwidth : bandwidth_rule;
+}
+
+val default_options : options
+(** smoothing 1.0, [Fixed_fraction 0.1]. *)
+
+type t
+
+val fit : ?options:options -> Param.Spec.t -> Param.Value.t array -> t
+(** Estimate the density of one parameter from observed values. An
+    empty observation array yields the uniform density. Values must
+    match the spec. *)
+
+val uniform : Param.Spec.t -> t
+
+val pdf : t -> Param.Value.t -> float
+(** Probability (discrete) or density (continuous) of a value. Always
+    strictly positive for in-domain values. *)
+
+val sample : t -> Prng.Rng.t -> Param.Value.t
+(** Draw a value (continuous draws are clamped to the spec's range). *)
+
+val merge_prior : prior:t -> w:float -> t -> t
+(** Weighted prior mix (paper eqs. 9-10): the prior's observations
+    count [w] times. Merging with a [Uniform] on either side returns
+    the other density unchanged (a uniform carries no observations). *)
+
+val js_divergence : Param.Spec.t -> t -> t -> float
+(** Jensen-Shannon divergence between two densities of the same
+    parameter (paper §VI): exact over categories for discrete
+    parameters, grid-approximated over the spec's range for continuous
+    ones. *)

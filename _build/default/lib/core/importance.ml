@@ -1,0 +1,41 @@
+type ranking = (string * float) array
+
+let of_surrogate surrogate =
+  let space = Surrogate.space surrogate in
+  let scores =
+    Array.init (Param.Space.n_params space) (fun i ->
+        (Param.Spec.name (Param.Space.spec space i), Surrogate.param_js_divergence surrogate i))
+  in
+  Array.sort (fun (_, a) (_, b) -> compare b a) scores;
+  scores
+
+let of_observations ?options space observations =
+  of_surrogate (Surrogate.fit ?options space observations)
+
+let spearman a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Importance.spearman: rankings of different sizes";
+  if n = 0 then invalid_arg "Importance.spearman: empty rankings";
+  let rank_of r = Array.mapi (fun i (name, _) -> (name, i)) r in
+  let rb = rank_of b in
+  let position name =
+    match Array.find_opt (fun (n', _) -> n' = name) rb with
+    | Some (_, i) -> i
+    | None -> invalid_arg "Importance.spearman: parameter sets differ"
+  in
+  let d2 = ref 0. in
+  Array.iteri
+    (fun ia (name, _) ->
+      let ib = position name in
+      let d = float_of_int (ia - ib) in
+      d2 := !d2 +. (d *. d))
+    a;
+  if n = 1 then 1.
+  else begin
+    let nf = float_of_int n in
+    1. -. (6. *. !d2 /. (nf *. ((nf *. nf) -. 1.)))
+  end
+
+let to_string ranking =
+  String.concat ","
+    (Array.to_list (Array.map (fun (name, s) -> Printf.sprintf "%s(%.2f)" name s) ranking))

@@ -1,0 +1,29 @@
+(** Parameter-importance analysis (paper §VI, Table I).
+
+    A parameter matters when the configurations that perform well use
+    different values for it than the configurations that perform
+    badly — i.e. when the surrogate's pg,xi and pb,xi diverge. The
+    Jensen-Shannon divergence between them is the importance score. *)
+
+type ranking = (string * float) array
+(** (parameter name, JS divergence), sorted by decreasing score. *)
+
+val of_surrogate : Surrogate.t -> ranking
+
+val of_observations :
+  ?options:Surrogate.options ->
+  Param.Space.t ->
+  (Param.Config.t * float) array ->
+  ranking
+(** Fit a surrogate on the observations and rank. Used both with a
+    tuning run's sampled history (Table I's "10% samples" column) and
+    with an exhaustive dataset (the "all samples" ground truth). *)
+
+val spearman : ranking -> ranking -> float
+(** Spearman rank correlation between two rankings of the same
+    parameter set (how well a sampled ranking recovers the exhaustive
+    one). Raises [Invalid_argument] if the parameter-name sets
+    differ. *)
+
+val to_string : ranking -> string
+(** "name(score),name(score),..." in Table I's style. *)

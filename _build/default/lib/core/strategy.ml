@@ -1,0 +1,78 @@
+type t = Ranking | Proposal of { n_candidates : int }
+
+let default = Ranking
+let max_duplicate_redraws = 20
+
+(* Keep the k best (config, score) pairs seen so far, smallest first
+   in [heap]-free form: a sorted association list is fine for the
+   small k used in batch selection. *)
+module Topk = struct
+  type 'a t = { k : int; mutable entries : ('a * float) list; mutable size : int }
+
+  let create k = { k; entries = []; size = 0 }
+
+  let offer t value score =
+    let worst_kept () = match t.entries with (_, s) :: _ -> s | [] -> neg_infinity in
+    if t.size < t.k || score > worst_kept () then begin
+      let rec insert = function
+        | [] -> [ (value, score) ]
+        | (v, s) :: rest when s >= score -> (value, score) :: (v, s) :: rest
+        | pair :: rest -> pair :: insert rest
+      in
+      t.entries <- insert t.entries;
+      if t.size = t.k then t.entries <- List.tl t.entries else t.size <- t.size + 1
+    end
+
+  let to_list_desc t = List.rev_map fst t.entries
+end
+
+let select_many_ranking ~k ~surrogate ~pool ~evaluated =
+  let top = Topk.create k in
+  Array.iter
+    (fun config ->
+      if not (Param.Config.Table.mem evaluated config) then
+        Topk.offer top config (Surrogate.score surrogate config))
+    pool;
+  Topk.to_list_desc top
+
+let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
+  let chosen = Param.Config.Table.create k in
+  let draw () =
+    let rec fresh attempts =
+      let c = Surrogate.sample_good surrogate rng in
+      if attempts >= max_duplicate_redraws
+         || not (Param.Config.Table.mem evaluated c || Param.Config.Table.mem chosen c)
+      then c
+      else fresh (attempts + 1)
+    in
+    fresh 0
+  in
+  let rec pick acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let top = Topk.create 1 in
+      for _ = 1 to n_candidates do
+        let c = draw () in
+        Topk.offer top c (Surrogate.score surrogate c)
+      done;
+      match Topk.to_list_desc top with
+      | [] -> List.rev acc
+      | best :: _ ->
+          Param.Config.Table.replace chosen best ();
+          pick (best :: acc) (remaining - 1)
+    end
+  in
+  pick [] k
+
+let select_many t ~k ~rng ~surrogate ~pool ~evaluated =
+  if k < 1 then invalid_arg "Strategy.select_many: k must be at least 1";
+  match t with
+  | Ranking -> select_many_ranking ~k ~surrogate ~pool ~evaluated
+  | Proposal { n_candidates } ->
+      if n_candidates <= 0 then invalid_arg "Strategy.select: non-positive candidate count";
+      select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates
+
+let select t ~rng ~surrogate ~pool ~evaluated =
+  match select_many t ~k:1 ~rng ~surrogate ~pool ~evaluated with
+  | [] -> None
+  | best :: _ -> Some best

@@ -1,0 +1,44 @@
+(** Candidate-selection strategies (paper §III-D).
+
+    [Ranking] scores every not-yet-evaluated configuration of a finite
+    space and picks the best — exhaustive, duplicate-free, and the
+    paper's default for the discrete HPC spaces. [Proposal] samples
+    candidates from the good density pg (applicable to continuous or
+    huge spaces) and picks the best-scoring draw; duplicates with the
+    history are re-drawn a bounded number of times and then allowed
+    (a repeated evaluation is harmless, merely uninformative). *)
+
+type t =
+  | Ranking
+  | Proposal of { n_candidates : int }
+
+val default : t
+(** [Ranking]. *)
+
+val select :
+  t ->
+  rng:Prng.Rng.t ->
+  surrogate:Surrogate.t ->
+  pool:Param.Config.t array ->
+  evaluated:unit Param.Config.Table.t ->
+  Param.Config.t option
+(** Pick the next configuration to evaluate, or [None] when the pool
+    is exhausted ([Ranking] on a fully-evaluated space).
+
+    [pool] is the enumerated space for [Ranking] (ignored by
+    [Proposal]); [evaluated] is the already-evaluated set (values are
+    unused; the table is a set). *)
+
+val select_many :
+  t ->
+  k:int ->
+  rng:Prng.Rng.t ->
+  surrogate:Surrogate.t ->
+  pool:Param.Config.t array ->
+  evaluated:unit Param.Config.Table.t ->
+  Param.Config.t list
+(** Up to [k] distinct configurations with the highest expected
+    improvement, best first — one surrogate refit amortized over a
+    batch of evaluations (e.g. to launch [k] application runs in
+    parallel). Fewer than [k] are returned when the pool runs out.
+    Requires [k >= 1]. *)

@@ -1,0 +1,113 @@
+type options = { alpha : float; density : Density.options }
+
+let default_options = { alpha = 0.2; density = Density.default_options }
+
+type t = {
+  space : Param.Space.t;
+  options : options;
+  threshold : float;
+  good : Density.t array;
+  bad : Density.t array;
+  n_good : int;
+  n_bad : int;
+}
+
+let fit ?(options = default_options) ?prior ?(extra_bad = [||]) space observations =
+  if Array.length observations = 0 then invalid_arg "Surrogate.fit: no observations";
+  Array.iter
+    (fun c ->
+      if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration")
+    extra_bad;
+  if options.alpha <= 0. || options.alpha >= 1. then invalid_arg "Surrogate.fit: alpha outside (0, 1)";
+  Array.iter
+    (fun (c, _) ->
+      if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration")
+    observations;
+  (match prior with
+  | Some (p, w) ->
+      if p.space != space && Param.Space.specs p.space <> Param.Space.specs space then
+        invalid_arg "Surrogate.fit: prior fitted on a different space";
+      if w < 0. then invalid_arg "Surrogate.fit: negative prior weight"
+  | None -> ());
+  let ys = Array.map snd observations in
+  let threshold, good_idx, bad_idx = Stats.Quantile.split_at_quantile ys options.alpha in
+  let n_params = Param.Space.n_params space in
+  let values_of idx i = Array.map (fun j -> (fst observations.(j)).(i)) idx in
+  let fit_side values prior_side i =
+    let spec = Param.Space.spec space i in
+    let d = Density.fit ~options:options.density spec values in
+    match prior_side with
+    | None -> d
+    | Some (p, w) -> Density.merge_prior ~prior:(p i) ~w d
+  in
+  let prior_good = Option.map (fun (p, w) -> ((fun i -> p.good.(i)), w)) prior in
+  let prior_bad = Option.map (fun (p, w) -> ((fun i -> p.bad.(i)), w)) prior in
+  let bad_values i =
+    Array.append (values_of bad_idx i) (Array.map (fun c -> c.(i)) extra_bad)
+  in
+  {
+    space;
+    options;
+    threshold;
+    good = Array.init n_params (fun i -> fit_side (values_of good_idx i) prior_good i);
+    bad = Array.init n_params (fun i -> fit_side (bad_values i) prior_bad i);
+    n_good = Array.length good_idx;
+    n_bad = Array.length bad_idx + Array.length extra_bad;
+  }
+
+let space t = t.space
+let alpha t = t.options.alpha
+let threshold t = t.threshold
+let n_good t = t.n_good
+let n_bad t = t.n_bad
+
+let check_param t i =
+  if i < 0 || i >= Array.length t.good then invalid_arg "Surrogate: parameter index out of range"
+
+let good_density t i =
+  check_param t i;
+  t.good.(i)
+
+let bad_density t i =
+  check_param t i;
+  t.bad.(i)
+
+let factorized densities config =
+  let acc = ref 1. in
+  Array.iteri (fun i d -> acc := !acc *. Density.pdf d config.(i)) densities;
+  !acc
+
+let check_config t config =
+  if not (Param.Space.validate t.space config) then invalid_arg "Surrogate: invalid configuration"
+
+let good_pdf t config =
+  check_config t config;
+  factorized t.good config
+
+let bad_pdf t config =
+  check_config t config;
+  factorized t.bad config
+
+(* Computed in log space: with many parameters the factorized
+   densities underflow well before the ratio does. *)
+let log_ratio t config =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i d -> acc := !acc +. log (Density.pdf d config.(i)) -. log (Density.pdf t.bad.(i) config.(i)))
+    t.good;
+  !acc
+
+let score t config =
+  check_config t config;
+  exp (log_ratio t config)
+
+let expected_improvement t config =
+  let ratio = score t config in
+  (* Eq. 5 with pb/pg = 1/ratio. *)
+  1. /. (t.options.alpha +. ((1. -. t.options.alpha) /. ratio))
+
+let sample_good t rng = Array.map (fun d -> Density.sample d rng) t.good
+
+let param_js_divergence t i =
+  check_param t i;
+  Density.js_divergence (Param.Space.spec t.space i) t.good.(i) t.bad.(i)

@@ -1,0 +1,69 @@
+(** The HiPerBOt surrogate model (paper §II, §III).
+
+    Observations are split at the α-quantile of their objective values
+    into "good" (best α fraction) and "bad"; a factorized density is
+    estimated for each side (pg, pb). The expected improvement of a
+    candidate is, up to the monotone transform of eq. 5, the ratio
+    pg(x)/pb(x) — candidates likely under the good density and
+    unlikely under the bad one are worth evaluating next. *)
+
+type options = {
+  alpha : float;  (** quantile threshold for the good/bad split (paper: 0.2) *)
+  density : Density.options;
+}
+
+val default_options : options
+
+type t
+
+val fit :
+  ?options:options ->
+  ?prior:t * float ->
+  ?extra_bad:Param.Config.t array ->
+  Param.Space.t ->
+  (Param.Config.t * float) array ->
+  t
+(** [fit space observations] estimates the surrogate. At least one
+    observation is required. [prior], when given, mixes a surrogate
+    fitted on a source domain into both densities with the given
+    weight (transfer learning, paper eqs. 9-10); the prior must be
+    over the same space.
+
+    [extra_bad] are configurations with no objective value at all —
+    crashed or invalid runs. They join the bad density unconditionally
+    (they are certainly not good) without affecting the quantile
+    threshold, steering selection away from the failing region. *)
+
+val space : t -> Param.Space.t
+val alpha : t -> float
+val threshold : t -> float
+(** The α-quantile objective value separating good from bad. *)
+
+val n_good : t -> int
+val n_bad : t -> int
+
+val good_density : t -> int -> Density.t
+(** Per-parameter good density pg,xi. *)
+
+val bad_density : t -> int -> Density.t
+
+val good_pdf : t -> Param.Config.t -> float
+(** Factorized pg(x) (eq. 7). *)
+
+val bad_pdf : t -> Param.Config.t -> float
+
+val score : t -> Param.Config.t -> float
+(** The density ratio pg(x)/pb(x) — the quantity maximized by the
+    selection strategies. Strictly positive. *)
+
+val expected_improvement : t -> Param.Config.t -> float
+(** Eq. 5 exactly: [1 / (alpha + (pb/pg) (1 - alpha))]. A monotone
+    transform of {!score}, exposed for reporting (Fig. 1b). *)
+
+val sample_good : t -> Prng.Rng.t -> Param.Config.t
+(** Draw a configuration from pg — the Proposal strategy's generator
+    (paper §III-D). *)
+
+val param_js_divergence : t -> int -> float
+(** JS divergence between pg,xi and pb,xi for parameter [i] — the
+    parameter-importance measure of §VI. *)

@@ -1,0 +1,9 @@
+let prior_of_source ?options space source = Surrogate.fit ?options space source
+
+let run ?(options = Tuner.default_options) ?(weight = 1.0) ?on_evaluation ~rng ~space ~source
+    ~objective ~budget () =
+  if weight < 0. then invalid_arg "Transfer.run: negative prior weight";
+  if Array.length source = 0 then invalid_arg "Transfer.run: empty source data";
+  let prior = prior_of_source ~options:options.Tuner.surrogate space source in
+  let options = { options with Tuner.prior = Some (prior, weight) } in
+  Tuner.run ~options ?on_evaluation ~rng ~space ~objective ~budget ()

@@ -1,0 +1,32 @@
+(** Transfer learning (paper §III-E, §VII).
+
+    A surrogate is fitted on all source-domain observations and mixed
+    into the target-domain surrogate as a weighted prior on both the
+    good and bad densities (eqs. 9-10). The tuning loop on the target
+    domain is otherwise unchanged. *)
+
+val prior_of_source :
+  ?options:Surrogate.options ->
+  Param.Space.t ->
+  (Param.Config.t * float) array ->
+  Surrogate.t
+(** Fit the source surrogate that will serve as prior. The space must
+    be the (shared) parameter space of source and target. *)
+
+val run :
+  ?options:Tuner.options ->
+  ?weight:float ->
+  ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  source:(Param.Config.t * float) array ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Tuner.result
+(** [run ~rng ~space ~source ~objective ~budget ()] tunes on the
+    target objective with the source data as prior. [weight] (the
+    paper's [w], default 1.0) scales the prior's influence: each
+    source observation counts as [weight] target observations in the
+    density estimates. The surrogate fit on the source uses the same
+    alpha/density options as the target surrogate ([options.surrogate]). *)

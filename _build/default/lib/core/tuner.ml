@@ -1,0 +1,167 @@
+type options = {
+  n_init : int;
+  surrogate : Surrogate.options;
+  strategy : Strategy.t;
+  prior : (Surrogate.t * float) option;
+  batch_size : int;
+  early_stop : int option;
+}
+
+let default_options =
+  {
+    n_init = 20;
+    surrogate = Surrogate.default_options;
+    strategy = Strategy.default;
+    prior = None;
+    batch_size = 1;
+    early_stop = None;
+  }
+
+type result = {
+  history : (Param.Config.t * float) array;
+  best_config : Param.Config.t;
+  best_value : float;
+  trajectory : float array;
+  final_surrogate : Surrogate.t option;
+  stopped_early : bool;
+  failures : Param.Config.t array;
+}
+
+let max_init_redraws = 50
+
+let run_impl ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_evaluation
+    ?on_failure ~rng ~space ~objective ~budget () =
+  if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
+  if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
+  if options.batch_size < 1 then invalid_arg "Tuner.run: batch_size must be at least 1";
+  (match options.early_stop with
+  | Some k when k < 1 -> invalid_arg "Tuner.run: early_stop must be at least 1"
+  | Some _ | None -> ());
+  (match candidates with
+  | Some c ->
+      if Array.length c = 0 then invalid_arg "Tuner.run: empty candidate set";
+      (match options.strategy with
+      | Strategy.Ranking -> ()
+      | Strategy.Proposal _ ->
+          invalid_arg "Tuner.run: candidates require the Ranking strategy");
+      Array.iter
+        (fun config ->
+          if not (Param.Space.validate space config) then
+            invalid_arg "Tuner.run: invalid candidate configuration")
+        c
+  | None -> ());
+  let pool =
+    match (candidates, options.strategy) with
+    | Some c, _ -> c
+    | None, Strategy.Ranking ->
+        if not (Param.Space.is_finite space) then
+          invalid_arg "Tuner.run: Ranking strategy requires a finite space";
+        Param.Space.enumerate space
+    | None, Strategy.Proposal _ -> [||]
+  in
+  let evaluated = Param.Config.Table.create (budget + Array.length warm_start) in
+  Array.iter
+    (fun (c, _) ->
+      if not (Param.Space.validate space c) then invalid_arg "Tuner.run: invalid warm-start configuration";
+      Param.Config.Table.replace evaluated c ())
+    warm_start;
+  let history = ref [] in
+  let failures = ref [] in
+  let n_evaluated = ref 0 in
+  let best = ref None in
+  let trajectory = ref [] in
+  let since_improvement = ref 0 in
+  let evaluate config =
+    Param.Config.Table.replace evaluated config ();
+    (match objective config with
+    | Some y ->
+        history := (config, y) :: !history;
+        (match !best with
+        | Some (_, by) when by <= y -> incr since_improvement
+        | Some _ | None ->
+            best := Some (config, y);
+            since_improvement := 0);
+        trajectory := snd (Option.get !best) :: !trajectory;
+        (match on_evaluation with Some f -> f !n_evaluated config y | None -> ())
+    | None ->
+        failures := config :: !failures;
+        incr since_improvement;
+        (match on_failure with Some f -> f !n_evaluated config | None -> ()));
+    incr n_evaluated
+  in
+  (* Phase 1: uniform random initialization, avoiding duplicates
+     (with already-warm-started configurations too) when the space
+     permits. *)
+  let random_candidate () =
+    match candidates with
+    | Some c -> c.(Prng.Rng.int rng (Array.length c))
+    | None -> Param.Space.random_config space rng
+  in
+  let draw_fresh () =
+    let rec attempt i =
+      let c = random_candidate () in
+      if (not (Param.Config.Table.mem evaluated c)) || i >= max_init_redraws then c else attempt (i + 1)
+    in
+    attempt 0
+  in
+  let n_init =
+    let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
+    min options.n_init cap
+  in
+  let init_drawn = ref 0 in
+  while !init_drawn < n_init do
+    let c = draw_fresh () in
+    incr init_drawn;
+    if not (Param.Config.Table.mem evaluated c) then evaluate c
+  done;
+  since_improvement := 0;
+  (* Phase 2: surrogate-guided iteration, [batch_size] evaluations per
+     refit, optionally stopping when guided samples go stale. *)
+  let observations () = Array.append warm_start (Array.of_list (List.rev !history)) in
+  let final_surrogate = ref None in
+  let stopped_early = ref false in
+  let stale () =
+    match options.early_stop with Some k -> !since_improvement >= k | None -> false
+  in
+  let continue = ref true in
+  while !continue && !n_evaluated < budget && not (stale ()) do
+    let obs = observations () in
+    if Array.length obs = 0 then continue := false
+    else begin
+      let surrogate =
+        Surrogate.fit ~options:options.surrogate ?prior:options.prior
+          ~extra_bad:(Array.of_list !failures) space obs
+      in
+      final_surrogate := Some surrogate;
+      let k = min options.batch_size (budget - !n_evaluated) in
+      match Strategy.select_many options.strategy ~k ~rng ~surrogate ~pool ~evaluated with
+      | [] -> continue := false
+      | batch ->
+          List.iter
+            (fun c -> if !n_evaluated < budget && not (stale ()) then evaluate c)
+            batch
+    end
+  done;
+  if stale () then stopped_early := true;
+  match !best with
+  | None -> failwith "Tuner: every evaluation failed; no best configuration"
+  | Some (best_config, best_value) ->
+      {
+        history = Array.of_list (List.rev !history);
+        best_config;
+        best_value;
+        trajectory = Array.of_list (List.rev !trajectory);
+        final_surrogate = !final_surrogate;
+        stopped_early = !stopped_early;
+        failures = Array.of_list (List.rev !failures);
+      }
+
+let run ?options ?warm_start ?candidates ?on_evaluation ~rng ~space ~objective ~budget () =
+  run_impl ?options ?warm_start ?candidates ?on_evaluation ~rng ~space
+    ~objective:(fun c -> Some (objective c))
+    ~budget ()
+
+let run_resilient ?options ?warm_start ?candidates ?on_evaluation ?on_failure ~rng ~space
+    ~objective ~budget () =
+  run_impl ?options ?warm_start ?candidates ?on_evaluation ?on_failure ~rng ~space ~objective
+    ~budget ()

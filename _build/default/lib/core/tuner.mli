@@ -1,0 +1,99 @@
+(** The HiPerBOt iterative tuning loop (paper §III-C).
+
+    1. Evaluate [n_init] configurations drawn uniformly at random.
+    2. Fit the surrogate on the observation history.
+    3. Select the candidate(s) maximizing expected improvement.
+    4. Evaluate, append to the history; repeat 2-4 until the
+       evaluation budget is exhausted or the early-stop criterion
+       fires.
+
+    The [prior] option turns the same loop into the transfer-learning
+    variant (§III-E): a surrogate fitted on source-domain data is
+    mixed into every refit with weight [prior_weight]. [batch_size]
+    amortizes one refit over several evaluations (e.g. to run several
+    configurations in parallel on a cluster); [early_stop] implements
+    the paper's sample-quality termination condition. *)
+
+type options = {
+  n_init : int;  (** random initial samples (paper: 20) *)
+  surrogate : Surrogate.options;
+  strategy : Strategy.t;
+  prior : (Surrogate.t * float) option;  (** transfer prior and its weight *)
+  batch_size : int;  (** evaluations per surrogate refit (default 1) *)
+  early_stop : int option;
+      (** stop after this many consecutive guided evaluations without
+          improving the best observed objective (default [None]:
+          run the full budget) *)
+}
+
+val default_options : options
+(** n_init 20, surrogate defaults (alpha 0.2), [Ranking], no prior,
+    batch 1, no early stop. *)
+
+type result = {
+  history : (Param.Config.t * float) array;
+      (** every evaluation performed by this run, in order (initial
+          samples first; warm-start observations are excluded) *)
+  best_config : Param.Config.t;
+  best_value : float;
+  trajectory : float array;
+      (** best-so-far objective after each evaluation;
+          [trajectory.(i)] covers [history.(0..i)] *)
+  final_surrogate : Surrogate.t option;
+      (** the last fitted surrogate (None when the budget was too
+          small to fit one, i.e. no iterative step ran) *)
+  stopped_early : bool;  (** the [early_stop] criterion ended the run *)
+  failures : Param.Config.t array;
+      (** configurations whose evaluation failed (only populated by
+          {!run_resilient}) *)
+}
+
+val run :
+  ?options:options ->
+  ?warm_start:(Param.Config.t * float) array ->
+  ?candidates:Param.Config.t array ->
+  ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  result
+(** [run ~rng ~space ~objective ~budget ()] performs at most [budget]
+    evaluations of [objective] (warm-start observations do not count
+    against the budget; duplicate random initial draws are evaluated
+    once). Requires [budget >= 1]. [on_evaluation i config value] is
+    called after each evaluation with its 0-based index.
+
+    [candidates] restricts both initialization and selection to an
+    explicit configuration set — e.g. the measured rows of a study
+    loaded with {!Dataset.Infer.table_of_csv}, which usually cover
+    only part of the cross-product space. It must be non-empty,
+    duplicate-free, and is only supported with the [Ranking]
+    strategy.
+
+    With the [Ranking] strategy the space must be finite (unless
+    [candidates] is given); if the budget exceeds the candidate count
+    the run stops early when every configuration has been
+    evaluated. *)
+
+val run_resilient :
+  ?options:options ->
+  ?warm_start:(Param.Config.t * float) array ->
+  ?candidates:Param.Config.t array ->
+  ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  ?on_failure:(int -> Param.Config.t -> unit) ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(Param.Config.t -> float option) ->
+  budget:int ->
+  unit ->
+  result
+(** Like {!run} for objectives that can fail — builds that crash,
+    invalid parameter combinations, timed-out runs. A [None] from the
+    objective consumes budget, is never retried, and joins the bad
+    density of every later surrogate fit (it is certainly not a good
+    configuration), steering selection away from the failing region.
+    Failed configurations appear in [failures], not [history].
+    Raises [Failure] if every evaluation failed (there is then no
+    best configuration to report). *)

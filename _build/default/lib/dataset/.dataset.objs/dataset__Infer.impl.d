@@ -1,0 +1,1 @@
+lib/dataset/infer.ml: Array Hashtbl List Option Param Printf String Table

@@ -1,0 +1,1 @@
+lib/dataset/infer.mli: Param Table

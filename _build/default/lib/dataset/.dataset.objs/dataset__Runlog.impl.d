@@ -1,0 +1,1 @@
+lib/dataset/runlog.ml: Array Buffer Float Fun List Param Printf String

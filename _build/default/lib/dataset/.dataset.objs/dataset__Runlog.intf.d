@@ -1,0 +1,1 @@
+lib/dataset/runlog.mli: Param

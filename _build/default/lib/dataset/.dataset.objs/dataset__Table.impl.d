@@ -1,0 +1,1 @@
+lib/dataset/table.ml: Array Buffer Float List Param Printf Stats String

@@ -1,0 +1,1 @@
+lib/dataset/table.mli: Param

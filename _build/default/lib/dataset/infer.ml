@@ -1,0 +1,106 @@
+let parse_rows text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> failwith "Infer: empty input"
+  | header :: rows ->
+      let split line = String.split_on_char ',' line |> List.map String.trim |> Array.of_list in
+      let header = split header in
+      let width = Array.length header in
+      if width < 2 then failwith "Infer: need at least one parameter column and an objective column";
+      let names = Hashtbl.create width in
+      Array.iter
+        (fun name ->
+          if Hashtbl.mem names name then failwith (Printf.sprintf "Infer: duplicate column %S" name);
+          Hashtbl.add names name ())
+        header;
+      let rows =
+        List.map
+          (fun line ->
+            let fields = split line in
+            if Array.length fields <> width then
+              failwith (Printf.sprintf "Infer: row has %d fields, expected %d: %S" (Array.length fields) width line);
+            fields)
+          rows
+      in
+      if rows = [] then failwith "Infer: no data rows";
+      (header, rows)
+
+let column rows i = List.map (fun fields -> fields.(i)) rows
+
+let spec_of_column name values =
+  let numeric = List.map float_of_string_opt values in
+  if List.for_all Option.is_some numeric then begin
+    let distinct =
+      List.sort_uniq compare (List.map Option.get numeric)
+    in
+    Param.Spec.ordinal_floats name distinct
+  end
+  else begin
+    let seen = Hashtbl.create 16 in
+    let labels =
+      List.filter
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            true
+          end)
+        values
+    in
+    Param.Spec.categorical name labels
+  end
+
+let space_of_rows header rows =
+  let n_params = Array.length header - 1 in
+  Param.Space.make (List.init n_params (fun i -> spec_of_column header.(i) (column rows i)))
+
+let space_of_csv text =
+  let header, rows = parse_rows text in
+  space_of_rows header rows
+
+let value_of_field spec field =
+  match Param.Spec.domain spec with
+  | Param.Spec.Categorical labels ->
+      let rec find i =
+        if i = Array.length labels then failwith (Printf.sprintf "Infer: unknown label %S" field)
+        else if labels.(i) = field then Param.Value.Categorical i
+        else find (i + 1)
+      in
+      find 0
+  | Param.Spec.Ordinal levels ->
+      let x =
+        match float_of_string_opt field with
+        | Some x -> x
+        | None -> failwith (Printf.sprintf "Infer: non-numeric value %S in numeric column" field)
+      in
+      let rec find i =
+        if i = Array.length levels then failwith (Printf.sprintf "Infer: unknown level %S" field)
+        else if levels.(i) = x then Param.Value.Ordinal i
+        else find (i + 1)
+      in
+      find 0
+  | Param.Spec.Continuous _ -> assert false (* inference never produces continuous specs *)
+
+let table_of_csv ~name text =
+  let header, rows = parse_rows text in
+  let space = space_of_rows header rows in
+  let specs = Param.Space.specs space in
+  let n_params = Array.length specs in
+  let seen = Param.Config.Table.create (List.length rows) in
+  let parsed =
+    List.filter_map
+      (fun fields ->
+        let config = Array.init n_params (fun i -> value_of_field specs.(i) fields.(i)) in
+        let objective =
+          match float_of_string_opt fields.(n_params) with
+          | Some y -> y
+          | None -> failwith (Printf.sprintf "Infer: non-numeric objective %S" fields.(n_params))
+        in
+        if Param.Config.Table.mem seen config then None
+        else begin
+          Param.Config.Table.replace seen config ();
+          Some (config, objective)
+        end)
+      rows
+  in
+  Table.of_rows ~name ~space (Array.of_list parsed)

@@ -1,0 +1,28 @@
+(** Parameter-space inference from raw CSV measurement data.
+
+    Lets a user bring their own study — a CSV whose columns are
+    parameter settings and whose last column is the measured objective
+    — without declaring a {!Param.Space.t} by hand:
+
+    - a column whose values all parse as numbers becomes an ordinal
+      parameter over its sorted distinct values;
+    - any other column becomes a categorical parameter over its
+      distinct labels (in order of first appearance).
+
+    The resulting table contains exactly the CSV's rows, which is
+    usually a subset of the full cross-product space; tuners then
+    treat missing configurations as unavailable (the table's
+    [objective_fn] raises [Not_found]), so CSV-driven tuning should
+    restrict candidate pools to the table's rows (see
+    {!Table.configs}). *)
+
+val space_of_csv : string -> Param.Space.t
+(** Infer the space from the header and value columns. Raises
+    [Failure] on empty input, duplicate headers, or rows of
+    inconsistent width. *)
+
+val table_of_csv : name:string -> string -> Table.t
+(** Infer the space, then load the rows. The last column is the
+    objective and must be numeric. Duplicate configurations keep the
+    first occurrence and drop the rest (repeat measurements are
+    common in real studies). *)

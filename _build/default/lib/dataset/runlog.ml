@@ -1,0 +1,191 @@
+type status = Ok of float | Failed
+type entry = { index : int; config : Param.Config.t; status : status }
+type t = { name : string; seed : int; space : Param.Space.t; entries : entry array }
+
+let create ~name ~seed ~space entries =
+  let entries = Array.of_list entries in
+  Array.sort (fun a b -> compare a.index b.index) entries;
+  Array.iteri
+    (fun i e ->
+      if not (Param.Space.validate space e.config) then
+        invalid_arg "Runlog.create: invalid configuration";
+      if i > 0 && entries.(i - 1).index = e.index then invalid_arg "Runlog.create: duplicate index")
+    entries;
+  { name; seed; space; entries }
+
+type recorder = { r_name : string; r_seed : int; r_space : Param.Space.t; mutable acc : entry list }
+
+let recorder ~name ~seed ~space = { r_name = name; r_seed = seed; r_space = space; acc = [] }
+
+let record_evaluation r index config value =
+  r.acc <- { index; config; status = Ok value } :: r.acc
+
+let record_failure r index config = r.acc <- { index; config; status = Failed } :: r.acc
+let finish r = create ~name:r.r_name ~seed:r.r_seed ~space:r.r_space r.acc
+
+let history t =
+  Array.of_list
+    (List.filter_map
+       (fun e -> match e.status with Ok y -> Some (e.config, y) | Failed -> None)
+       (Array.to_list t.entries))
+
+let best t =
+  Array.fold_left
+    (fun acc e ->
+      match (e.status, acc) with
+      | Failed, _ -> acc
+      | Ok y, Some (_, by) when by <= y -> acc
+      | Ok y, _ -> Some (e.config, y))
+    None t.entries
+
+(* ---- serialization ---- *)
+
+let spec_header spec =
+  let name = Param.Spec.name spec in
+  if String.contains name '=' || String.contains name ',' || String.contains name ':' then
+    invalid_arg "Runlog: parameter names may not contain '=', ':' or ','";
+  match Param.Spec.domain spec with
+  | Param.Spec.Categorical labels ->
+      Array.iter
+        (fun l ->
+          if String.contains l ',' then invalid_arg "Runlog: labels may not contain ','")
+        labels;
+      Printf.sprintf "#spec %s=cat:%s" name (String.concat "," (Array.to_list labels))
+  | Param.Spec.Ordinal levels ->
+      Printf.sprintf "#spec %s=ord:%s" name
+        (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") levels)))
+  | Param.Spec.Continuous _ -> invalid_arg "Runlog: continuous parameters are not supported"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "#runlog v1\n";
+  Buffer.add_string buf (Printf.sprintf "#name %s\n" t.name);
+  Buffer.add_string buf (Printf.sprintf "#seed %d\n" t.seed);
+  let specs = Param.Space.specs t.space in
+  Array.iter (fun spec -> Buffer.add_string buf (spec_header spec ^ "\n")) specs;
+  Buffer.add_string buf "index";
+  Array.iter (fun spec -> Buffer.add_string buf ("," ^ Param.Spec.name spec)) specs;
+  Buffer.add_string buf ",objective,status\n";
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (string_of_int e.index);
+      Array.iteri
+        (fun i v -> Buffer.add_string buf ("," ^ Param.Spec.value_to_string specs.(i) v))
+        e.config;
+      (match e.status with
+      | Ok y -> Buffer.add_string buf (Printf.sprintf ",%.17g,ok" y)
+      | Failed -> Buffer.add_string buf ",,failed");
+      Buffer.add_char buf '\n')
+    t.entries;
+  Buffer.contents buf
+
+let parse_spec_header line =
+  (* "#spec name=kind:v1,v2,..." *)
+  match String.index_opt line '=' with
+  | None -> failwith "Runlog: malformed #spec line"
+  | Some eq ->
+      let name = String.sub line 6 (eq - 6) in
+      let rest = String.sub line (eq + 1) (String.length line - eq - 1) in
+      let kind, values =
+        match String.index_opt rest ':' with
+        | None -> failwith "Runlog: malformed #spec line"
+        | Some colon ->
+            ( String.sub rest 0 colon,
+              String.split_on_char ',' (String.sub rest (colon + 1) (String.length rest - colon - 1)) )
+      in
+      (match kind with
+      | "cat" -> Param.Spec.categorical name values
+      | "ord" ->
+          Param.Spec.ordinal_floats name
+            (List.map
+               (fun s ->
+                 match float_of_string_opt s with
+                 | Some f -> f
+                 | None -> failwith "Runlog: malformed ordinal level")
+               values)
+      | _ -> failwith (Printf.sprintf "Runlog: unknown spec kind %S" kind))
+
+let value_of_string spec s =
+  match Param.Spec.domain spec with
+  | Param.Spec.Categorical labels ->
+      let rec find i =
+        if i = Array.length labels then failwith (Printf.sprintf "Runlog: unknown label %S" s)
+        else if labels.(i) = s then Param.Value.Categorical i
+        else find (i + 1)
+      in
+      find 0
+  | Param.Spec.Ordinal levels ->
+      let x =
+        match float_of_string_opt s with
+        | Some x -> x
+        | None -> failwith (Printf.sprintf "Runlog: malformed level %S" s)
+      in
+      let rec find i =
+        if i = Array.length levels then failwith (Printf.sprintf "Runlog: unknown level %S" s)
+        else if Float.abs (levels.(i) -. x) <= 1e-9 *. Float.max 1. (Float.abs levels.(i)) then
+          Param.Value.Ordinal i
+        else find (i + 1)
+      in
+      find 0
+  | Param.Spec.Continuous _ -> assert false
+
+let of_string text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | magic :: rest when String.trim magic = "#runlog v1" ->
+      let name = ref "" and seed = ref 0 and specs = ref [] in
+      let rec headers = function
+        | line :: rest when String.length line > 0 && line.[0] = '#' ->
+            (if String.length line > 6 && String.sub line 0 6 = "#name " then
+               name := String.sub line 6 (String.length line - 6)
+             else if String.length line > 6 && String.sub line 0 6 = "#seed " then
+               seed :=
+                 (match int_of_string_opt (String.trim (String.sub line 6 (String.length line - 6))) with
+                 | Some s -> s
+                 | None -> failwith "Runlog: malformed #seed line")
+             else if String.length line > 6 && String.sub line 0 6 = "#spec " then
+               specs := parse_spec_header line :: !specs
+             else failwith (Printf.sprintf "Runlog: unknown header %S" line));
+            headers rest
+        | rest -> rest
+      in
+      let body = headers rest in
+      let space = Param.Space.make (List.rev !specs) in
+      let spec_arr = Param.Space.specs space in
+      let n_params = Array.length spec_arr in
+      let parse_row line =
+        let fields = String.split_on_char ',' line |> Array.of_list in
+        if Array.length fields <> n_params + 3 then
+          failwith (Printf.sprintf "Runlog: row has %d fields, expected %d" (Array.length fields) (n_params + 3));
+        let index =
+          match int_of_string_opt fields.(0) with
+          | Some i -> i
+          | None -> failwith "Runlog: malformed index"
+        in
+        let config = Array.init n_params (fun i -> value_of_string spec_arr.(i) fields.(i + 1)) in
+        let status =
+          match String.trim fields.(n_params + 2) with
+          | "ok" -> begin
+              match float_of_string_opt fields.(n_params + 1) with
+              | Some y -> Ok y
+              | None -> failwith "Runlog: ok row without objective"
+            end
+          | "failed" -> Failed
+          | other -> failwith (Printf.sprintf "Runlog: unknown status %S" other)
+        in
+        { index; config; status }
+      in
+      (match body with
+      | [] -> failwith "Runlog: missing column header"
+      | _header :: rows -> create ~name:!name ~seed:!seed ~space (List.map parse_row rows))
+  | _ -> failwith "Runlog: missing '#runlog v1' magic"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

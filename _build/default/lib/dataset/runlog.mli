@@ -1,0 +1,67 @@
+(** Persistent records of tuning runs.
+
+    A run log captures everything needed to audit or replay a tuning
+    session: the parameter space, the seed, and every evaluation in
+    order (including failed ones). The on-disk format is a small
+    self-describing text file — `#` header lines declaring the space,
+    then CSV rows — so logs are diffable and greppable:
+
+    {v
+    #runlog v1
+    #name lulesh-tune
+    #seed 42
+    #spec level=cat:O0,O1,O2,O3
+    #spec unroll=ord:1,2,4
+    index,level,unroll,objective,status
+    0,O3,2,4.12,ok
+    1,O0,1,,failed
+    v} *)
+
+type status = Ok of float | Failed
+
+type entry = { index : int; config : Param.Config.t; status : status }
+
+type t = {
+  name : string;
+  seed : int;
+  space : Param.Space.t;
+  entries : entry array;  (** in evaluation order *)
+}
+
+val create : name:string -> seed:int -> space:Param.Space.t -> entry list -> t
+(** Entries are sorted by index; indices must be distinct and configs
+    valid for the space ([Invalid_argument] otherwise). *)
+
+type recorder
+
+val recorder : name:string -> seed:int -> space:Param.Space.t -> recorder
+(** A recorder whose callbacks plug into
+    {!Hiperbot.Tuner.run}/[run_resilient]'s [on_evaluation] and
+    [on_failure]. *)
+
+val record_evaluation : recorder -> int -> Param.Config.t -> float -> unit
+val record_failure : recorder -> int -> Param.Config.t -> unit
+
+val finish : recorder -> t
+(** Snapshot the recorded entries (the recorder stays usable). *)
+
+val history : t -> (Param.Config.t * float) array
+(** Successful evaluations in order — the shape the metrics layer and
+    {!Hiperbot.Tuner.run}'s [warm_start] expect. *)
+
+val best : t -> (Param.Config.t * float) option
+(** Best successful evaluation, [None] if all failed. *)
+
+val to_string : t -> string
+(** Serialize to the format above. Continuous parameters are not
+    supported (the reproduction's spaces are finite); raises
+    [Invalid_argument] on a continuous spec. *)
+
+val of_string : string -> t
+(** Parse {!to_string}'s output. Raises [Failure] on malformed
+    input. *)
+
+val save : t -> string -> unit
+(** Write to a file path. *)
+
+val load : string -> t

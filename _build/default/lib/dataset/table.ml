@@ -1,0 +1,144 @@
+type t = {
+  name : string;
+  space : Param.Space.t;
+  configs : Param.Config.t array;
+  objectives : float array;
+  index : int Param.Config.Table.t;
+}
+
+let build name space configs objectives =
+  let index = Param.Config.Table.create (Array.length configs) in
+  Array.iteri
+    (fun i config ->
+      if not (Param.Space.validate space config) then
+        invalid_arg (Printf.sprintf "Table %s: invalid configuration at row %d" name i);
+      if Param.Config.Table.mem index config then
+        invalid_arg (Printf.sprintf "Table %s: duplicate configuration at row %d" name i);
+      Param.Config.Table.add index config i)
+    configs;
+  { name; space; configs; objectives; index }
+
+let create ~name ~space ~objective =
+  let configs = Param.Space.enumerate space in
+  let objectives = Array.map objective configs in
+  build name space configs objectives
+
+let of_rows ~name ~space rows =
+  build name space (Array.map fst rows) (Array.map snd rows)
+
+let name t = t.name
+let space t = t.space
+let size t = Array.length t.configs
+
+let config t i =
+  if i < 0 || i >= Array.length t.configs then invalid_arg "Table.config: row out of range";
+  t.configs.(i)
+
+let objective t i =
+  if i < 0 || i >= Array.length t.objectives then invalid_arg "Table.objective: row out of range";
+  t.objectives.(i)
+
+let objectives t = Array.copy t.objectives
+let configs t = Array.copy t.configs
+let lookup t config = t.objectives.(Param.Config.Table.find t.index config)
+let mem t config = Param.Config.Table.mem t.index config
+let objective_fn t config = lookup t config
+
+let best t =
+  if size t = 0 then invalid_arg "Table.best: empty table";
+  let best = ref 0 in
+  for i = 1 to size t - 1 do
+    if t.objectives.(i) < t.objectives.(!best) then best := i
+  done;
+  (t.configs.(!best), t.objectives.(!best))
+
+let best_value t = snd (best t)
+
+let count_within t threshold =
+  Array.fold_left (fun acc y -> if y <= threshold then acc + 1 else acc) 0 t.objectives
+
+let good_test t threshold =
+  let pred config =
+    match Param.Config.Table.find_opt t.index config with
+    | Some i -> t.objectives.(i) <= threshold
+    | None -> false
+  in
+  (pred, count_within t threshold)
+
+let good_set_percentile t l =
+  if l <= 0. || l > 1. then invalid_arg "Table.good_set_percentile: l outside (0, 1]";
+  good_test t (Stats.Quantile.quantile t.objectives l)
+
+let good_set_tolerance t gamma =
+  if gamma < 0. then invalid_arg "Table.good_set_tolerance: negative tolerance";
+  good_test t ((1. +. gamma) *. best_value t)
+
+let to_csv t =
+  let buf = Buffer.create (size t * 32) in
+  let specs = Param.Space.specs t.space in
+  Array.iteri
+    (fun i spec ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Param.Spec.name spec))
+    specs;
+  Buffer.add_string buf ",objective\n";
+  Array.iteri
+    (fun i config ->
+      Array.iteri
+        (fun j spec ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Param.Spec.value_to_string spec config.(j)))
+        specs;
+      Buffer.add_string buf (Printf.sprintf ",%.17g\n" t.objectives.(i)))
+    t.configs;
+  Buffer.contents buf
+
+let value_of_string spec s =
+  match Param.Spec.domain spec with
+  | Param.Spec.Categorical labels ->
+      let rec find i =
+        if i = Array.length labels then failwith (Printf.sprintf "Table.of_csv: unknown label %S for %s" s (Param.Spec.name spec))
+        else if labels.(i) = s then Param.Value.Categorical i
+        else find (i + 1)
+      in
+      find 0
+  | Param.Spec.Ordinal levels -> begin
+      match float_of_string_opt s with
+      | None -> failwith (Printf.sprintf "Table.of_csv: bad ordinal %S for %s" s (Param.Spec.name spec))
+      | Some f ->
+          let rec find i =
+            if i = Array.length levels then
+              failwith (Printf.sprintf "Table.of_csv: unknown level %S for %s" s (Param.Spec.name spec))
+            else if Float.abs (levels.(i) -. f) <= 1e-9 *. Float.max 1. (Float.abs levels.(i)) then
+              Param.Value.Ordinal i
+            else find (i + 1)
+          in
+          find 0
+    end
+  | Param.Spec.Continuous _ -> begin
+      match float_of_string_opt s with
+      | None -> failwith (Printf.sprintf "Table.of_csv: bad float %S for %s" s (Param.Spec.name spec))
+      | Some f -> Param.Value.Continuous f
+    end
+
+let of_csv ~name ~space text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> failwith "Table.of_csv: empty input"
+  | _header :: rows ->
+      let specs = Param.Space.specs space in
+      let n = Array.length specs in
+      let parse_row line =
+        let fields = String.split_on_char ',' line |> List.map String.trim in
+        if List.length fields <> n + 1 then
+          failwith (Printf.sprintf "Table.of_csv: expected %d fields, got %d in %S" (n + 1) (List.length fields) line);
+        let fields = Array.of_list fields in
+        let config = Array.init n (fun i -> value_of_string specs.(i) fields.(i)) in
+        let objective =
+          match float_of_string_opt fields.(n) with
+          | Some f -> f
+          | None -> failwith (Printf.sprintf "Table.of_csv: bad objective %S" fields.(n))
+        in
+        (config, objective)
+      in
+      of_rows ~name ~space (Array.of_list (List.map parse_row rows))

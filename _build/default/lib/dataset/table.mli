@@ -1,0 +1,60 @@
+(** A fully-evaluated dataset: every configuration of a finite space
+    paired with its measured objective value.
+
+    This mirrors the paper's evaluation protocol — the published
+    Kripke/HYPRE/LULESH/OpenAtom datasets are exhaustive tables, and
+    tuners are benchmarked by how few table lookups they need to find
+    the best rows. Objectives are "smaller is better" throughout
+    (execution time, energy). *)
+
+type t
+
+val create : name:string -> space:Param.Space.t -> objective:(Param.Config.t -> float) -> t
+(** Evaluate [objective] over the whole (finite) space. Raises
+    [Invalid_argument] for continuous spaces. *)
+
+val of_rows : name:string -> space:Param.Space.t -> (Param.Config.t * float) array -> t
+(** Build from explicit rows (e.g. a sampled subset or a CSV load).
+    Rows must be valid for the space and distinct. *)
+
+val name : t -> string
+val space : t -> Param.Space.t
+val size : t -> int
+val config : t -> int -> Param.Config.t
+val objective : t -> int -> float
+val objectives : t -> float array
+(** A copy of the objective column. *)
+
+val configs : t -> Param.Config.t array
+(** A copy of the configuration column. *)
+
+val lookup : t -> Param.Config.t -> float
+(** Objective of a configuration. Raises [Not_found] when absent. *)
+
+val mem : t -> Param.Config.t -> bool
+
+val objective_fn : t -> Param.Config.t -> float
+(** [lookup] packaged for use as a tuner's expensive objective. *)
+
+val best : t -> Param.Config.t * float
+(** Row with the smallest objective. *)
+
+val best_value : t -> float
+
+val count_within : t -> float -> int
+(** Number of rows with objective [<= threshold]. *)
+
+val good_set_percentile : t -> float -> (Param.Config.t -> bool) * int
+(** [good_set_percentile t l] classifies rows in the best [l] fraction
+    (paper eq. 11); returns the membership test and the good count. *)
+
+val good_set_tolerance : t -> float -> (Param.Config.t -> bool) * int
+(** [good_set_tolerance t gamma] classifies rows with objective within
+    [(1 + gamma) * best] (paper eq. 12). *)
+
+val to_csv : t -> string
+(** Header row of parameter names plus "objective", then one line per
+    row using {!Param.Spec.value_to_string} renderings. *)
+
+val of_csv : name:string -> space:Param.Space.t -> string -> t
+(** Parse the {!to_csv} format. Raises [Failure] on malformed input. *)

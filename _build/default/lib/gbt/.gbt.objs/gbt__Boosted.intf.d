@@ -1,0 +1,1 @@
+lib/gbt/boosted.mli: Tree

@@ -1,0 +1,1 @@
+lib/gbt/tree.mli:

@@ -1,0 +1,59 @@
+type t = { base : float; learning_rate : float; trees : Tree.t array }
+type params = { n_trees : int; learning_rate : float; tree : Tree.params }
+
+let default_params = { n_trees = 100; learning_rate = 0.1; tree = Tree.default_params }
+
+let fit ?(params = default_params) ~inputs ~targets () =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Boosted.fit: empty data";
+  if n <> Array.length targets then invalid_arg "Boosted.fit: input/target length mismatch";
+  if params.n_trees < 1 then invalid_arg "Boosted.fit: need at least one tree";
+  if params.learning_rate <= 0. || params.learning_rate > 1. then
+    invalid_arg "Boosted.fit: learning_rate outside (0, 1]";
+  let base = Array.fold_left ( +. ) 0. targets /. float_of_int n in
+  let predictions = Array.make n base in
+  let residuals = Array.make n 0. in
+  let trees =
+    Array.init params.n_trees (fun _ ->
+        for i = 0 to n - 1 do
+          residuals.(i) <- targets.(i) -. predictions.(i)
+        done;
+        let tree = Tree.fit ~params:params.tree ~inputs ~targets:residuals () in
+        for i = 0 to n - 1 do
+          predictions.(i) <- predictions.(i) +. (params.learning_rate *. Tree.predict tree inputs.(i))
+        done;
+        tree)
+  in
+  { base; learning_rate = params.learning_rate; trees }
+
+let predict (t : t) x =
+  Array.fold_left (fun acc tree -> acc +. (t.learning_rate *. Tree.predict tree x)) t.base t.trees
+
+let n_trees (t : t) = Array.length t.trees
+
+let mse_of preds targets =
+  let n = Array.length targets in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let d = preds.(i) -. targets.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int n
+
+let training_mse t ~inputs ~targets =
+  if Array.length inputs <> Array.length targets then
+    invalid_arg "Boosted.training_mse: input/target length mismatch";
+  mse_of (Array.map (predict t) inputs) targets
+
+let staged_mse (t : t) ~inputs ~targets =
+  if Array.length inputs <> Array.length targets then
+    invalid_arg "Boosted.staged_mse: input/target length mismatch";
+  let n = Array.length inputs in
+  let preds = Array.make n t.base in
+  Array.map
+    (fun tree ->
+      for i = 0 to n - 1 do
+        preds.(i) <- preds.(i) +. (t.learning_rate *. Tree.predict tree inputs.(i))
+      done;
+      mse_of preds targets)
+    t.trees

@@ -1,0 +1,31 @@
+(** Gradient-boosted regression trees for squared loss.
+
+    The supervised surrogate of Bergstra et al. (paper ref [2]),
+    implemented as the model behind the boosted-trees baseline tuner.
+    Boosting on squared loss fits each tree to the current residuals
+    and adds it with a shrinkage factor. *)
+
+type t
+
+type params = {
+  n_trees : int;
+  learning_rate : float;  (** shrinkage in (0, 1] *)
+  tree : Tree.params;
+}
+
+val default_params : params
+(** 100 trees, shrinkage 0.1, default tree params. *)
+
+val fit : ?params:params -> inputs:float array array -> targets:float array -> unit -> t
+(** Raises [Invalid_argument] on empty/mismatched data or bad
+    hyperparameters. *)
+
+val predict : t -> float array -> float
+val n_trees : t -> int
+
+val training_mse : t -> inputs:float array array -> targets:float array -> float
+(** Mean squared error of the ensemble on a dataset. *)
+
+val staged_mse : t -> inputs:float array array -> targets:float array -> float array
+(** MSE after each boosting stage — for checking that boosting
+    monotonically fits the training set. *)

@@ -1,0 +1,92 @@
+type node = Leaf of float | Split of { feature : int; threshold : float; left : node; right : node }
+type t = { root : node }
+type params = { max_depth : int; min_samples_leaf : int }
+
+let default_params = { max_depth = 4; min_samples_leaf = 2 }
+
+let mean_of targets indices =
+  let acc = ref 0. in
+  Array.iter (fun i -> acc := !acc +. targets.(i)) indices;
+  !acc /. float_of_int (Array.length indices)
+
+(* Best split of [indices] on [feature]: scan the samples sorted by
+   the feature value and maximize the SSE reduction, which for a
+   left/right partition equals
+     n_l * mean_l^2 + n_r * mean_r^2 - n * mean^2
+   (constant total sum of squares cancels). Returns
+   (threshold, score) or None if no valid split exists. *)
+let best_split_on ~inputs ~targets ~min_samples_leaf indices feature =
+  let n = Array.length indices in
+  let order = Array.copy indices in
+  Array.sort (fun a b -> compare inputs.(a).(feature) inputs.(b).(feature)) order;
+  let total = Array.fold_left (fun acc i -> acc +. targets.(i)) 0. order in
+  let best = ref None in
+  let left_sum = ref 0. in
+  for k = 0 to n - 2 do
+    let i = order.(k) in
+    left_sum := !left_sum +. targets.(i);
+    let x = inputs.(i).(feature) in
+    let x_next = inputs.(order.(k + 1)).(feature) in
+    let n_left = k + 1 and n_right = n - k - 1 in
+    if x_next > x && n_left >= min_samples_leaf && n_right >= min_samples_leaf then begin
+      let right_sum = total -. !left_sum in
+      let score =
+        (!left_sum *. !left_sum /. float_of_int n_left)
+        +. (right_sum *. right_sum /. float_of_int n_right)
+      in
+      match !best with
+      | Some (_, best_score) when best_score >= score -> ()
+      | Some _ | None -> best := Some ((x +. x_next) /. 2., score)
+    end
+  done;
+  !best
+
+let fit ?(params = default_params) ~inputs ~targets () =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Tree.fit: empty data";
+  if n <> Array.length targets then invalid_arg "Tree.fit: input/target length mismatch";
+  if params.max_depth < 0 then invalid_arg "Tree.fit: negative max_depth";
+  if params.min_samples_leaf < 1 then invalid_arg "Tree.fit: min_samples_leaf must be positive";
+  let n_features = Array.length inputs.(0) in
+  let rec build indices depth =
+    let leaf () = Leaf (mean_of targets indices) in
+    if depth >= params.max_depth || Array.length indices < 2 * params.min_samples_leaf then leaf ()
+    else begin
+      let best = ref None in
+      for feature = 0 to n_features - 1 do
+        match best_split_on ~inputs ~targets ~min_samples_leaf:params.min_samples_leaf indices feature with
+        | None -> ()
+        | Some (threshold, score) -> begin
+            match !best with
+            | Some (_, _, best_score) when best_score >= score -> ()
+            | Some _ | None -> best := Some (feature, threshold, score)
+          end
+      done;
+      match !best with
+      | None -> leaf ()
+      | Some (feature, threshold, _) ->
+          let left = Array.of_seq (Seq.filter (fun i -> inputs.(i).(feature) <= threshold) (Array.to_seq indices)) in
+          let right = Array.of_seq (Seq.filter (fun i -> inputs.(i).(feature) > threshold) (Array.to_seq indices)) in
+          Split { feature; threshold; left = build left (depth + 1); right = build right (depth + 1) }
+    end
+  in
+  { root = build (Array.init n (fun i -> i)) 0 }
+
+let predict t x =
+  let rec walk = function
+    | Leaf value -> value
+    | Split { feature; threshold; left; right } ->
+        if x.(feature) <= threshold then walk left else walk right
+  in
+  walk t.root
+
+let n_leaves t =
+  let rec count = function Leaf _ -> 1 | Split { left; right; _ } -> count left + count right in
+  count t.root
+
+let depth t =
+  let rec deep = function
+    | Leaf _ -> 0
+    | Split { left; right; _ } -> 1 + Stdlib.max (deep left) (deep right)
+  in
+  deep t.root

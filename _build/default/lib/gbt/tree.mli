@@ -1,0 +1,23 @@
+(** CART-style regression trees (squared-error splits).
+
+    The weak learner of {!Gbt}. Features are dense float vectors (the
+    one-hot encodings of {!Param.Space.encode} in the autotuning
+    use). *)
+
+type t
+
+type params = {
+  max_depth : int;  (** root has depth 0; a leaf at max_depth never splits *)
+  min_samples_leaf : int;  (** both children of a split must have at least this many samples *)
+}
+
+val default_params : params
+(** depth 4, min leaf 2. *)
+
+val fit : ?params:params -> inputs:float array array -> targets:float array -> unit -> t
+(** Greedy variance-reduction fitting. Raises [Invalid_argument] on
+    empty or mismatched data. *)
+
+val predict : t -> float array -> float
+val n_leaves : t -> int
+val depth : t -> int

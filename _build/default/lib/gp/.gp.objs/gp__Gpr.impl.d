@@ -1,0 +1,1 @@
+lib/gp/gpr.ml: Array Float Kernel Linalg Stdlib

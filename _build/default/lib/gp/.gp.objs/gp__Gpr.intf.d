@@ -1,0 +1,1 @@
+lib/gp/gpr.mli: Kernel

@@ -1,0 +1,1 @@
+lib/gp/kernel.ml: Array Linalg

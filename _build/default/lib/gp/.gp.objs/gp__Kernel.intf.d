@@ -1,0 +1,1 @@
+lib/gp/kernel.mli: Linalg

@@ -1,0 +1,38 @@
+type t =
+  | Rbf of { lengthscale : float; variance : float }
+  | Matern52 of { lengthscale : float; variance : float }
+
+let check_params ~lengthscale ~variance =
+  if lengthscale <= 0. then invalid_arg "Kernel: non-positive lengthscale";
+  if variance <= 0. then invalid_arg "Kernel: non-positive variance"
+
+let rbf ?(lengthscale = 1.0) ?(variance = 1.0) () =
+  check_params ~lengthscale ~variance;
+  Rbf { lengthscale; variance }
+
+let matern52 ?(lengthscale = 1.0) ?(variance = 1.0) () =
+  check_params ~lengthscale ~variance;
+  Matern52 { lengthscale; variance }
+
+let eval t x y =
+  let d2 = Linalg.Vec.sq_dist x y in
+  match t with
+  | Rbf { lengthscale; variance } -> variance *. exp (-.d2 /. (2. *. lengthscale *. lengthscale))
+  | Matern52 { lengthscale; variance } ->
+      let r = sqrt d2 /. lengthscale in
+      let s5r = sqrt 5. *. r in
+      variance *. (1. +. s5r +. (5. *. r *. r /. 3.)) *. exp (-.s5r)
+
+let gram t points =
+  let n = Array.length points in
+  let m = Linalg.Mat.create n n 0. in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let v = eval t points.(i) points.(j) in
+      Linalg.Mat.set m i j v;
+      Linalg.Mat.set m j i v
+    done
+  done;
+  m
+
+let cross t points x = Array.map (fun p -> eval t p x) points

@@ -1,0 +1,20 @@
+(** Covariance kernels for Gaussian-process regression. *)
+
+type t =
+  | Rbf of { lengthscale : float; variance : float }
+      (** Squared-exponential: [v * exp (-|x-y|^2 / (2 l^2))]. *)
+  | Matern52 of { lengthscale : float; variance : float }
+
+val rbf : ?lengthscale:float -> ?variance:float -> unit -> t
+(** Defaults: lengthscale 1.0, variance 1.0. Both must be positive. *)
+
+val matern52 : ?lengthscale:float -> ?variance:float -> unit -> t
+
+val eval : t -> float array -> float array -> float
+(** Kernel value between two (equal-length) points. *)
+
+val gram : t -> float array array -> Linalg.Mat.t
+(** Symmetric Gram matrix of a point set. *)
+
+val cross : t -> float array array -> float array -> float array
+(** Kernel vector between each training point and one test point. *)

@@ -1,0 +1,1 @@
+lib/graphlib/camlp.mli: Graph

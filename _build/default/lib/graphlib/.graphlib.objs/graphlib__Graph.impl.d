@@ -1,0 +1,1 @@
+lib/graphlib/graph.ml: Array Hashtbl List Stack

@@ -1,0 +1,1 @@
+lib/graphlib/knn.ml: Array Graph Hashtbl List Param

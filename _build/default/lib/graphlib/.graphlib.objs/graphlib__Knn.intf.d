@@ -1,0 +1,1 @@
+lib/graphlib/knn.mli: Graph Param

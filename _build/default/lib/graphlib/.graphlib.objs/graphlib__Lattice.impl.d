@@ -1,0 +1,1 @@
+lib/graphlib/lattice.ml: Array Graph Param

@@ -1,0 +1,1 @@
+lib/graphlib/lattice.mli: Graph Param

@@ -1,0 +1,45 @@
+type labels = { optimal : int array; non_optimal : int array }
+
+let propagate ?(beta = 0.1) ?(homophily = 1.0) ?(max_iters = 200) ?(tolerance = 1e-6) graph labels =
+  if beta < 0. then invalid_arg "Camlp.propagate: negative beta";
+  if homophily < -1. || homophily > 1. then invalid_arg "Camlp.propagate: homophily outside [-1, 1]";
+  let n = Graph.n_nodes graph in
+  (* Priors: one-hot for labeled nodes, uninformative elsewhere. *)
+  let prior_opt = Array.make n 0.5 in
+  let mark value nodes other =
+    Array.iter
+      (fun u ->
+        if u < 0 || u >= n then invalid_arg "Camlp.propagate: labeled node out of range";
+        if prior_opt.(u) = other then invalid_arg "Camlp.propagate: node labeled both ways";
+        prior_opt.(u) <- value)
+      nodes
+  in
+  mark 1.0 labels.optimal 0.0;
+  mark 0.0 labels.non_optimal 1.0;
+  (* 2x2 modulation matrix row for the "optimal" belief: h_same f_opt
+     + h_diff f_nonopt, parameterized by the homophily strength. *)
+  let h_same = (1. +. homophily) /. 2. in
+  let h_diff = (1. -. homophily) /. 2. in
+  let f = Array.copy prior_opt in
+  let next = Array.make n 0. in
+  let rec iterate remaining =
+    if remaining = 0 then ()
+    else begin
+      let delta = ref 0. in
+      for u = 0 to n - 1 do
+        let acc =
+          Graph.fold_neighbors graph u ~init:0. ~f:(fun acc v ->
+              acc +. (h_same *. f.(v)) +. (h_diff *. (1. -. f.(v))))
+        in
+        let deg = float_of_int (Graph.degree graph u) in
+        let updated = (prior_opt.(u) +. (beta *. acc)) /. (1. +. (beta *. deg)) in
+        next.(u) <- updated;
+        let d = Float.abs (updated -. f.(u)) in
+        if d > !delta then delta := d
+      done;
+      Array.blit next 0 f 0 n;
+      if !delta > tolerance then iterate (remaining - 1)
+    end
+  in
+  iterate max_iters;
+  f

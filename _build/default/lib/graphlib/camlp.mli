@@ -1,0 +1,36 @@
+(** CAMLP: Confidence-Aware Modulated Label Propagation
+    (Yamaguchi, Faloutsos, Kitagawa, SDM 2016 — paper ref [16]).
+
+    Semi-supervised binary node classification: a few nodes carry
+    observed labels (optimal / non-optimal configurations, in GEIST's
+    use) and beliefs diffuse to the rest of the graph. Each node's
+    belief vector solves
+
+      f_i = (b_i + beta * sum_{j ~ i} H f_j) / (1 + beta * deg_i)
+
+    where [b_i] is the one-hot prior for labeled nodes (uniform for
+    unlabeled), [H] the 2x2 label-compatibility modulation matrix
+    (identity = homophily), and [beta] the propagation strength. The
+    fixed point is computed by Jacobi iteration, which converges for
+    any [beta >= 0] since the update is an average weighted by
+    positive coefficients. *)
+
+type labels = { optimal : int array; non_optimal : int array }
+
+val propagate :
+  ?beta:float ->
+  ?homophily:float ->
+  ?max_iters:int ->
+  ?tolerance:float ->
+  Graph.t ->
+  labels ->
+  float array
+(** [propagate graph labels] returns, per node, the belief that the
+    node is optimal (in [0, 1]).
+
+    [beta] (default 0.1) is the propagation strength; [homophily]
+    (default 1.0) in [-1, 1] scales the off-diagonal modulation (1 =
+    pure homophily); [max_iters] (default 200) and [tolerance]
+    (default 1e-6, max-norm on belief change) bound the Jacobi
+    iteration. Labeled nodes appearing in both label sets raise
+    [Invalid_argument]. *)

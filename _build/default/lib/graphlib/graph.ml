@@ -1,0 +1,80 @@
+type t = { adjacency : int array array; n_edges : int }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative node count";
+  let seen = Hashtbl.create (List.length edges) in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.of_edges: node out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
+      Hashtbl.add seen key ();
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v))
+    edges;
+  let adjacency = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  { adjacency; n_edges = Hashtbl.length seen }
+
+let of_adjacency adjacency =
+  let n = Array.length adjacency in
+  let count = ref 0 in
+  Array.iteri
+    (fun u nbrs ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Graph.of_adjacency: node out of range";
+          if v = u then invalid_arg "Graph.of_adjacency: self-loop";
+          if not (Array.exists (fun w -> w = u) adjacency.(v)) then
+            invalid_arg "Graph.of_adjacency: asymmetric adjacency";
+          incr count)
+        nbrs)
+    adjacency;
+  { adjacency; n_edges = !count / 2 }
+
+let n_nodes t = Array.length t.adjacency
+let n_edges t = t.n_edges
+
+let degree t u =
+  if u < 0 || u >= n_nodes t then invalid_arg "Graph.degree: node out of range";
+  Array.length t.adjacency.(u)
+
+let neighbors t u =
+  if u < 0 || u >= n_nodes t then invalid_arg "Graph.neighbors: node out of range";
+  t.adjacency.(u)
+
+let mem_edge t u v = Array.exists (fun w -> w = v) (neighbors t u)
+
+let fold_neighbors t u ~init ~f =
+  if u < 0 || u >= n_nodes t then invalid_arg "Graph.fold_neighbors: node out of range";
+  Array.fold_left f init t.adjacency.(u)
+
+let connected_components t =
+  let n = n_nodes t in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let stack = Stack.create () in
+  for start = 0 to n - 1 do
+    if comp.(start) = -1 then begin
+      let id = !next in
+      incr next;
+      Stack.push start stack;
+      comp.(start) <- id;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        Array.iter
+          (fun v ->
+            if comp.(v) = -1 then begin
+              comp.(v) <- id;
+              Stack.push v stack
+            end)
+          t.adjacency.(u)
+      done
+    end
+  done;
+  comp
+
+let is_connected t =
+  let comp = connected_components t in
+  Array.for_all (fun c -> c = 0) comp

@@ -1,0 +1,32 @@
+let build space configs ~k =
+  let n = Array.length configs in
+  if k <= 0 || k >= n then invalid_arg "Knn.build: k must be in (0, n)";
+  let neighbor_sets = Array.make n [] in
+  let dist = Array.make n 0. in
+  let order = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      order.(j) <- j;
+      dist.(j) <- if i = j then infinity else Param.Space.distance space configs.(i) configs.(j)
+    done;
+    (* Partial selection of the k smallest distances. *)
+    Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+    for r = 0 to k - 1 do
+      let j = order.(r) in
+      let u = min i j and v = max i j in
+      neighbor_sets.(u) <- v :: neighbor_sets.(u)
+    done
+  done;
+  let seen = Hashtbl.create (n * k) in
+  let edges = ref [] in
+  Array.iteri
+    (fun u vs ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem seen (u, v)) then begin
+            Hashtbl.add seen (u, v) ();
+            edges := (u, v) :: !edges
+          end)
+        vs)
+    neighbor_sets;
+  Graph.of_edges ~n !edges

@@ -1,0 +1,9 @@
+(** Brute-force k-nearest-neighbour graph over configurations, using
+    {!Param.Space.distance}. An alternative propagation graph for the
+    GEIST baseline (ablation; the lattice graph is the default).
+    O(n^2) distance evaluations — build once and share. *)
+
+val build : Param.Space.t -> Param.Config.t array -> k:int -> Graph.t
+(** Node [i] is [configs.(i)]. Each node contributes edges to its [k]
+    nearest peers (ties broken by index); the union is symmetrized.
+    Requires [0 < k < Array.length configs]. *)

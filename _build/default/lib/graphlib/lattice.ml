@@ -1,0 +1,42 @@
+let build space =
+  let counts =
+    Array.map
+      (fun spec ->
+        match Param.Spec.n_choices spec with
+        | Some n -> n
+        | None -> invalid_arg "Lattice.build: continuous parameter")
+      (Param.Space.specs space)
+  in
+  let n_params = Array.length counts in
+  let total = Array.fold_left ( * ) 1 counts in
+  (* Strides of the mixed-radix rank encoding (most-significant
+     parameter first, matching Space.config_rank). *)
+  let strides = Array.make n_params 1 in
+  for i = n_params - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * counts.(i + 1)
+  done;
+  let adjacency = Array.make total [||] in
+  let digits = Array.make n_params 0 in
+  for rank = 0 to total - 1 do
+    let rest = ref rank in
+    for i = n_params - 1 downto 0 do
+      digits.(i) <- !rest mod counts.(i);
+      rest := !rest / counts.(i)
+    done;
+    let nbrs = ref [] in
+    for i = 0 to n_params - 1 do
+      let spec = Param.Space.spec space i in
+      let base = rank - (digits.(i) * strides.(i)) in
+      match Param.Spec.domain spec with
+      | Param.Spec.Ordinal _ ->
+          if digits.(i) > 0 then nbrs := base + ((digits.(i) - 1) * strides.(i)) :: !nbrs;
+          if digits.(i) < counts.(i) - 1 then nbrs := base + ((digits.(i) + 1) * strides.(i)) :: !nbrs
+      | Param.Spec.Categorical _ ->
+          for c = 0 to counts.(i) - 1 do
+            if c <> digits.(i) then nbrs := base + (c * strides.(i)) :: !nbrs
+          done
+      | Param.Spec.Continuous _ -> assert false
+    done;
+    adjacency.(rank) <- Array.of_list !nbrs
+  done;
+  Graph.of_adjacency adjacency

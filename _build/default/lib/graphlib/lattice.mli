@@ -1,0 +1,13 @@
+(** Parameter-space lattice graphs.
+
+    GEIST (paper ref [10]) represents the parameter space as an
+    undirected graph and propagates optimal/non-optimal labels over
+    it. Following that construction, two configurations are adjacent
+    when they differ in exactly one parameter, and in that parameter
+    by one "step": adjacent levels for ordinal parameters, any other
+    label for categorical ones (labels are unordered, so each
+    categorical axis is a clique). Node ids are the configuration's
+    {!Param.Space.config_rank}. *)
+
+val build : Param.Space.t -> Graph.t
+(** Raises [Invalid_argument] for continuous spaces. *)

@@ -1,0 +1,1 @@
+lib/hpcsim/hypre.ml: Array Dataset Float Noise Param Stdlib

@@ -1,0 +1,1 @@
+lib/hpcsim/hypre.mli: Dataset Param

@@ -1,0 +1,1 @@
+lib/hpcsim/kripke.ml: Array Dataset Float Noise Param Power Simulate String

@@ -1,0 +1,1 @@
+lib/hpcsim/kripke.mli: Dataset Param

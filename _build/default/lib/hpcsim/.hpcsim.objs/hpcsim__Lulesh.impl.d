@@ -1,0 +1,1 @@
+lib/hpcsim/lulesh.ml: Array Dataset Noise Param

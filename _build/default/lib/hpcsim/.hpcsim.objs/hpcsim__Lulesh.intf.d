@@ -1,0 +1,1 @@
+lib/hpcsim/lulesh.mli: Dataset Param

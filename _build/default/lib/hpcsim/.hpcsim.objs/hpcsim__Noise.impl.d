@@ -1,0 +1,1 @@
+lib/hpcsim/noise.ml: Param Prng

@@ -1,0 +1,1 @@
+lib/hpcsim/openatom.ml: Array Dataset Float Hashtbl Noise Param Simulate Stdlib

@@ -1,0 +1,1 @@
+lib/hpcsim/openatom.mli: Dataset Param

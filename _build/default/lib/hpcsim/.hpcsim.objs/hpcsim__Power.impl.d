@@ -1,0 +1,1 @@
+lib/hpcsim/power.ml: Array Stdlib

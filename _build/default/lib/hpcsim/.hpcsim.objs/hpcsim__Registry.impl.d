@@ -1,0 +1,1 @@
+lib/hpcsim/registry.ml: Dataset Hypre Kripke List Lulesh Openatom

@@ -1,0 +1,1 @@
+lib/hpcsim/registry.mli: Dataset

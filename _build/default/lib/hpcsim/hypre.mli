@@ -1,0 +1,49 @@
+(** Synthetic HYPRE [new_ij]: an algebraic-multigrid (AMG) solve cost
+    model standing in for the measured HYPRE datasets (paper ref
+    [13]).
+
+    The model prices one BoomerAMG-preconditioned Krylov solve of a
+    fixed 3-D Laplacian problem:
+
+    - [Solver] — Krylov wrapper. Changes both iteration count and
+      per-iteration work; AMG used stand-alone needs many more
+      iterations, making solver choice genuinely important (Table I
+      ranks it third).
+    - [Ranks]/[OMP] — resource utilization. Their product must cover
+      the machine or cores idle; oversubscription thrashes. These two
+      dominate, matching Table I's ranking (Ranks 0.49, OMP 0.32).
+    - [Smoother] — relaxation scheme; small convergence-rate effect.
+    - [MU] — V- vs W-cycle: W-cycles converge slightly faster but do
+      proportionally more work per cycle, so the net effect on time is
+      nearly zero — reproducing the paper's JS importance of 0.00.
+    - [PMX] — interpolation truncation; cheaper operators vs slightly
+      more iterations, also a near-wash.
+
+    The transfer variant extends the space with coarsening scheme and
+    interpolation operator (the §IV parameter list) and evaluates at
+    16-node (source) and 64-node (target) scales.
+
+    Space sizes: selection 4608 (paper: 4589); transfer 55 296 (paper:
+    57 313 source / 50 395 target). *)
+
+val space : Param.Space.t
+(** Solver x Smoother x Ranks x OMP x MU x PMX; 4608 configurations. *)
+
+val transfer_space : Param.Space.t
+(** [space] plus Coarsen and Interp; 55 296 configurations. *)
+
+val solve_time : ?nodes:int -> Param.Config.t -> float
+(** Solve time (s) for a configuration of [space]; [nodes] defaults
+    to 16. *)
+
+val solve_time_extended : ?nodes:int -> Param.Config.t -> float
+(** Solve time for a configuration of [transfer_space]. *)
+
+val table : unit -> Dataset.Table.t
+(** "hypre" dataset at 16 nodes. *)
+
+val transfer_source_table : unit -> Dataset.Table.t
+(** "hypre_src": extended space at 16 nodes. *)
+
+val transfer_target_table : unit -> Dataset.Table.t
+(** "hypre_trgt": extended space at 64 nodes. *)

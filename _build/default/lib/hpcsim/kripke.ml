@@ -1,0 +1,183 @@
+(* Cost model: see the .mli for the physical story. All constants are
+   named here; they were calibrated so that the 16-node exec-time
+   dataset spans roughly the paper's 8.4-18 s range with only a few
+   configurations near the optimum. *)
+
+let total_groups = 32.
+let total_directions = 96.
+let cores_per_node = 16
+let zones_per_node = 65536.
+let work_per_element = 4.7e-7 (* seconds per zone-direction-group on one core *)
+let vector_startup = 6. (* iterations of inner-loop ramp-up cost *)
+let omp_overhead = 0.035 (* per-extra-thread barrier/scheduling cost *)
+let numa_penalty = 1.12 (* teams wider than one NUMA domain (8 cores) *)
+let oversubscription_exponent = 0.3 (* extra scheduling overhead beyond the core cap *)
+let message_latency = 1.6e-3 (* seconds per sweep message wave *)
+let link_bandwidth = 1.2e9 (* bytes/s *)
+let noise_seed = 101
+let noise_sigma = 0.02
+
+let nestings = [| "DGZ"; "DZG"; "GDZ"; "GZD"; "ZDG"; "ZGD" |]
+
+let space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "Nesting" (Array.to_list nestings);
+      Param.Spec.ordinal_ints "Gset" [ 1; 2; 4 ];
+      Param.Spec.ordinal_ints "Dset" [ 8; 16; 32 ];
+      Param.Spec.ordinal_ints "OMP" [ 1; 2; 4; 8; 16 ];
+      Param.Spec.ordinal_ints "Ranks" [ 2; 4; 8; 16; 32; 64 ];
+    ]
+
+let energy_space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "Nesting" (Array.to_list nestings);
+      Param.Spec.ordinal_ints "Gset" [ 1; 2; 4 ];
+      Param.Spec.ordinal_ints "Dset" [ 8; 16; 32 ];
+      Param.Spec.ordinal_ints "OMP" [ 1; 2; 4; 8; 16 ];
+      Param.Spec.ordinal_ints "Ranks" [ 2; 4; 8; 16; 32; 64 ];
+      Param.Spec.ordinal_floats "PKG_LIMIT" (Array.to_list Power.caps_watts);
+    ]
+
+type decoded = {
+  nesting : string;
+  gset : float;
+  dset : float;
+  omp : float;
+  ranks : float;
+  cap : float option;
+}
+
+let decode sp config =
+  let get name =
+    let i = Param.Space.index_of_name sp name in
+    (i, config.(i))
+  in
+  let level name =
+    let i, v = get name in
+    Param.Spec.level (Param.Space.spec sp i) (Param.Value.to_index v)
+  in
+  let nesting =
+    let _, v = get "Nesting" in
+    nestings.(Param.Value.to_index v)
+  in
+  let cap = try Some (level "PKG_LIMIT") with Not_found -> None in
+  { nesting; gset = level "Gset"; dset = level "Dset"; omp = level "OMP"; ranks = level "Ranks"; cap }
+
+(* Raw compute and communication seconds, before power capping. *)
+let components ~nodes d =
+  let nodes_f = float_of_int nodes in
+  let zones = zones_per_node *. nodes_f in
+  let cores_avail = float_of_int (cores_per_node * nodes) in
+  let cores_used = d.ranks *. d.omp in
+  let cores_effective = Float.min cores_used cores_avail in
+  let oversub = Float.max 1. (cores_used /. cores_avail) in
+  let groups_per_set = total_groups /. d.gset in
+  let dirs_per_set = total_directions /. d.dset in
+  let inner_length =
+    match d.nesting.[2] with
+    | 'Z' -> Float.min 256. (zones /. d.ranks)
+    | 'G' -> groups_per_set
+    | 'D' -> dirs_per_set
+    | _ -> assert false
+  in
+  let vector_eff = inner_length /. (inner_length +. vector_startup) in
+  let locality_penalty =
+    (* The outermost dimension governs temporal reuse of the zone-
+       indexed cross sections: re-streaming them per (d,g) chunk when
+       zones are outermost costs the most. *)
+    match d.nesting.[0] with 'D' -> 1.0 | 'G' -> 1.03 | 'Z' -> 1.10 | _ -> assert false
+  in
+  let omp_eff =
+    let base = 1. /. (1. +. (omp_overhead *. (d.omp -. 1.))) in
+    if d.omp > 8. then base /. numa_penalty else base
+  in
+  let zones_per_rank = zones /. d.ranks in
+  let omp_util = Float.min 1. (zones_per_rank /. (d.omp *. 256.)) in
+  let work_units = int_of_float (d.gset *. d.dset) in
+  let work = zones *. total_directions *. total_groups *. work_per_element in
+  (* Serial time of one rank's share of the sweep, then split into
+     the gset x dset pipeline chunks the KBA wavefront schedules. *)
+  let per_rank_serial =
+    work *. locality_penalty /. vector_eff
+    /. (cores_effective *. omp_eff *. omp_util)
+    *. (oversub ** oversubscription_exponent)
+  in
+  let t_chunk = per_rank_serial /. float_of_int work_units in
+  let face_elements = (zones_per_rank ** (2. /. 3.)) *. dirs_per_set *. groups_per_set in
+  let bytes_per_message = 8. *. face_elements in
+  let t_msg = message_latency +. (bytes_per_message /. link_bandwidth) in
+  (* The wavefront simulator yields the end-to-end sweep makespan;
+     everything beyond each rank's serial compute (fill, message
+     waits) is reported as the communication component. *)
+  let px, py = Simulate.Sweep.grid_of_ranks (int_of_float d.ranks) in
+  let makespan = Simulate.Sweep.makespan ~px ~py ~work_units ~t_chunk ~t_msg in
+  let compute = per_rank_serial in
+  let comm = Float.max 0. (makespan -. per_rank_serial) in
+  (compute, comm, cores_used)
+
+(* Sparse pathological slowdowns: a fraction of configurations hit
+   combination-specific effects the smooth model does not capture
+   (message-buffer alignment, NUMA page placement, MPI rendezvous
+   thresholds). They are a deterministic function of the full
+   configuration, so they respect no lattice locality — like the
+   measured datasets, where a configuration's neighbors say little
+   about whether it trips one. *)
+let pathology_fraction = 0.30
+let pathology_max_penalty = 0.45
+
+let pathology_factor ~seed config =
+  let u = Noise.uniform ~seed:((seed * 7) + 13) config in
+  if u < pathology_fraction then
+    1. +. 0.08 +. ((pathology_max_penalty -. 0.08) *. (u /. pathology_fraction))
+  else 1.
+
+let raw_time ~nodes sp config =
+  let d = decode sp config in
+  let compute, comm, _ = components ~nodes d in
+  (compute +. comm)
+  *. pathology_factor ~seed:(noise_seed + nodes) config
+  *. Noise.factor ~seed:(noise_seed + nodes) ~sigma:noise_sigma config
+
+let exec_time ?(nodes = 16) config = raw_time ~nodes space config
+
+let capped_parts ~nodes config =
+  if not (Param.Space.validate energy_space config) then
+    invalid_arg "Kripke: configuration lacks PKG_LIMIT";
+  let d = decode energy_space config in
+  let compute, comm, cores_used = components ~nodes d in
+  let cap =
+    match d.cap with Some c -> c | None -> invalid_arg "Kripke: configuration lacks PKG_LIMIT"
+  in
+  let active_cores =
+    int_of_float (Float.min (float_of_int cores_per_node) (Float.max 1. (cores_used /. float_of_int nodes)))
+  in
+  let compute_fraction = compute /. (compute +. comm) in
+  let slowdown = Power.slowdown Power.default ~active_cores ~cap_watts:cap ~compute_fraction in
+  let base = compute +. comm in
+  let time =
+    base *. slowdown
+    *. pathology_factor ~seed:(noise_seed + nodes) config
+    *. Noise.factor ~seed:(noise_seed + nodes) ~sigma:noise_sigma config
+  in
+  (time, active_cores, cap)
+
+let exec_time_capped ?(nodes = 16) config =
+  let time, _, _ = capped_parts ~nodes config in
+  time
+
+let energy ?(nodes = 16) config =
+  let time, active_cores, cap = capped_parts ~nodes config in
+  time *. Power.power_draw Power.default ~active_cores ~cap_watts:cap
+
+let exec_table () = Dataset.Table.create ~name:"kripke" ~space ~objective:(exec_time ~nodes:16)
+
+let energy_table () =
+  Dataset.Table.create ~name:"kripke_energy" ~space:energy_space ~objective:(energy ~nodes:16)
+
+let transfer_source_table () =
+  Dataset.Table.create ~name:"kripke_src" ~space:energy_space ~objective:(exec_time_capped ~nodes:16)
+
+let transfer_target_table () =
+  Dataset.Table.create ~name:"kripke_trgt" ~space:energy_space ~objective:(exec_time_capped ~nodes:64)

@@ -1,0 +1,55 @@
+(** Synthetic Kripke: a deterministic S_N particle-transport sweep
+    cost model standing in for the measured Kripke datasets of the
+    paper (refs [10], [12]).
+
+    Kripke sweeps a 3-D zone grid over [d] discrete-ordinate
+    directions and [g] energy groups. Its tunables trade inner-loop
+    vector efficiency against sweep-pipeline parallelism:
+
+    - [nesting] — data-layout loop order over Directions, Groups,
+      Zones. The innermost dimension fixes the vectorizable loop; its
+      trip count depends on how many groups/directions each set holds.
+    - [gset]/[dset] — number of energy-group and direction sets. More
+      sets mean shorter inner loops (worse vectorization) but more
+      independent work units to pipeline through the sweep wavefront
+      (better parallel efficiency) and more, smaller messages.
+    - [omp]/[ranks] — threads per rank and MPI ranks. Their product is
+      the used core count; oversubscribing the machine is allowed but
+      penalized, and wide OpenMP teams pay a NUMA penalty.
+
+    The energy variant adds the PKG_LIMIT power cap (see {!Power}).
+
+    Space sizes: exec 1620 configurations (paper: 1609), energy/
+    transfer 17 820 (paper: 17 815 source, 17 385 target). *)
+
+val space : Param.Space.t
+(** nesting x gset x dset x omp x ranks; 1620 configurations. *)
+
+val energy_space : Param.Space.t
+(** [space] plus PKG_LIMIT; 17 820 configurations. *)
+
+val exec_time : ?nodes:int -> Param.Config.t -> float
+(** Execution time (s) of a configuration of [space]. [nodes]
+    defaults to 16 (the paper's small-scale machine); 64 is the
+    transfer-learning target scale. Weak scaling: work grows with
+    node count. *)
+
+val exec_time_capped : ?nodes:int -> Param.Config.t -> float
+(** Execution time of a configuration of [energy_space], including
+    power-cap throttling. Used as the transfer-learning objective. *)
+
+val energy : ?nodes:int -> Param.Config.t -> float
+(** Per-node package energy (J) of a configuration of
+    [energy_space]. *)
+
+val exec_table : unit -> Dataset.Table.t
+(** Fully-evaluated exec-time dataset ("kripke", 16 nodes). *)
+
+val energy_table : unit -> Dataset.Table.t
+(** Fully-evaluated energy dataset ("kripke_energy", 16 nodes). *)
+
+val transfer_source_table : unit -> Dataset.Table.t
+(** Capped exec time at 16 nodes ("kripke_src"). *)
+
+val transfer_target_table : unit -> Dataset.Table.t
+(** Capped exec time at 64 nodes ("kripke_trgt"). *)

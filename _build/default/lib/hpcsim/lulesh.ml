@@ -1,0 +1,60 @@
+let base_time_o3 = 6.0 (* seconds at -O3 with all other flags default *)
+let noise_seed = 303
+let noise_sigma = 0.012
+
+let levels = [| "O0"; "O1"; "O2"; "O3" |]
+let mallocs = [| "system"; "tbbmalloc"; "jemalloc" |]
+let strategies = [| "default"; "size"; "speed"; "aggressive"; "conservative" |]
+
+let space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "level" (Array.to_list levels);
+      Param.Spec.categorical "malloc" (Array.to_list mallocs);
+      Param.Spec.categorical "force" [ "off"; "on" ];
+      Param.Spec.categorical "builtin" [ "off"; "on" ];
+      Param.Spec.ordinal_ints "unroll" [ 1; 2; 4; 8; 16 ];
+      Param.Spec.categorical "noipo" [ "off"; "on" ];
+      Param.Spec.categorical "strategy" (Array.to_list strategies);
+      Param.Spec.categorical "functions" [ "off"; "on" ];
+    ]
+
+(* Multiplicative time factors, baseline 1.0 = flag at its default. *)
+let level_factor = [| 2.1; 1.35; 1.08; 1.0 |]
+let malloc_factor = [| 1.0; 0.72; 0.75 |]
+let unroll_factor = [| 1.0; 0.88; 0.80; 0.84; 0.95 |]
+let strategy_factor = [| 1.0; 1.012; 0.996; 1.004; 1.008 |]
+
+let idx sp config name = Param.Value.to_index config.(Param.Space.index_of_name sp name)
+
+let exec_time config =
+  let i = idx space config in
+  let level = i "level" in
+  let factor = level_factor.(level) *. malloc_factor.(i "malloc") in
+  (* Builtins only pay off when the optimizer can fold them (-O1+). *)
+  let factor = factor *. (if i "builtin" = 1 then if level >= 1 then 0.72 else 0.96 else 1.0) in
+  (* Unrolling needs the vectorizer (-O2+) to matter. *)
+  let factor = factor *. (if level >= 2 then unroll_factor.(i "unroll") else 1.0) in
+  (* force (fast-math style relaxation) is a small win, slightly
+     larger when builtins are lowered. *)
+  let factor = factor *. (if i "force" = 1 then if i "builtin" = 1 then 0.95 else 0.975 else 1.0) in
+  let factor = factor *. (if i "noipo" = 1 then 1.02 else 1.0) in
+  let factor = factor *. strategy_factor.(i "strategy") in
+  let factor = factor *. (if i "functions" = 1 then 1.003 else 1.0) in
+  base_time_o3 *. factor *. Noise.factor ~seed:noise_seed ~sigma:noise_sigma config
+
+let default_o3_config =
+  let v name label =
+    let spec = Param.Space.spec space (Param.Space.index_of_name space name) in
+    match Param.Spec.domain spec with
+    | Param.Spec.Categorical labels ->
+        let rec find i = if labels.(i) = label then Param.Value.Categorical i else find (i + 1) in
+        find 0
+    | Param.Spec.Ordinal _ | Param.Spec.Continuous _ -> assert false
+  in
+  [|
+    v "level" "O3"; v "malloc" "system"; v "force" "off"; v "builtin" "off";
+    Param.Value.Ordinal 0; v "noipo" "off"; v "strategy" "default"; v "functions" "off";
+  |]
+
+let table () = Dataset.Table.create ~name:"lulesh" ~space ~objective:exec_time

@@ -1,0 +1,33 @@
+(** Synthetic LULESH: a compiler-flag tuning cost model standing in
+    for the measured LULESH dataset (paper ref [14]).
+
+    The paper tunes eleven compiler-flag options (Table I names eight
+    that carry signal) over 4800 configurations, and stresses that the
+    plain [-O3] defaults run 6.02 s while the tuned best reaches
+    2.72 s. The model assigns each flag a multiplicative effect on the
+    [-O3]-default 6.0 s baseline, with the interactions that make flag
+    tuning non-separable:
+
+    - [level] — optimization level; [-O0] is catastrophic, [-O1]
+      mediocre, [-O2]/[-O3] close. Gates [unroll] and [builtin].
+    - [builtin] — intrinsic/builtin lowering; the strongest single
+      win, as in Table I (JS 0.21).
+    - [malloc] — allocator choice; threaded allocators beat the
+      system allocator under OpenMP (JS 0.17).
+    - [unroll] — loop-unroll factor; helps up to 4x then hurts the
+      instruction cache, only effective at [-O2]+ (JS 0.13).
+    - [force], [noipo], [strategy], [functions] — small-to-negligible
+      effects, matching their near-zero Table I scores.
+
+    Space size: 4800 configurations (paper: 4800). *)
+
+val space : Param.Space.t
+
+val exec_time : Param.Config.t -> float
+(** Execution time (s); single-node OpenMP run, no scale parameter. *)
+
+val default_o3_config : Param.Config.t
+(** The [-O3]-with-defaults configuration (paper: 6.02 s). *)
+
+val table : unit -> Dataset.Table.t
+(** "lulesh" dataset. *)

@@ -1,0 +1,15 @@
+(* A configuration hash is folded with the seed through SplitMix64 via
+   Prng.Rng.create; the first two outputs drive a Box-Muller step. *)
+
+let rng_of ~seed config =
+  let h = Param.Config.hash config in
+  Prng.Rng.create ((seed * 0x9E3779B1) lxor (h * 0x85EBCA77) lxor 0x27220A95)
+
+let uniform ~seed config = Prng.Rng.float (rng_of ~seed config)
+
+let factor ~seed ~sigma config =
+  if sigma = 0. then 1.
+  else begin
+    let rng = rng_of ~seed config in
+    exp (sigma *. Prng.Rng.normal rng)
+  end

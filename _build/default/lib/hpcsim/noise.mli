@@ -1,0 +1,18 @@
+(** Deterministic measurement noise.
+
+    The published datasets are single measurements of noisy systems;
+    to mirror that, every simulator perturbs its analytic cost with a
+    small multiplicative log-normal factor derived by hashing the
+    configuration. The perturbation is a pure function of
+    (seed, configuration), so a dataset built twice is identical — the
+    determinism the whole experiment harness relies on. *)
+
+val factor : seed:int -> sigma:float -> Param.Config.t -> float
+(** Multiplicative noise factor [exp (sigma * z)] where [z] is a
+    standard-normal deviate derived from the configuration hash.
+    [sigma = 0.] yields exactly 1. *)
+
+val uniform : seed:int -> Param.Config.t -> float
+(** Deterministic uniform [0, 1) deviate for a configuration, for
+    simulators that need auxiliary structured randomness (e.g. which
+    solver/smoother combinations diverge). *)

@@ -1,0 +1,134 @@
+(* Charm++ over-decomposition model. The state/pair phase is simulated
+   with the event-driven task-graph scheduler: state chares compute,
+   send their data to pair-calculator chares (network latency on the
+   edge), and pair chares compute when both inputs arrive. With
+   several chares per PE the runtime hides the latencies behind other
+   chares' work (communication/computation overlap); with too few,
+   PEs starve — so overlap efficiency *emerges* from the simulated
+   schedule rather than being a closed-form assumption. Fine grains
+   pay a per-chare runtime-congestion overhead instead. *)
+
+let pes = 128
+let n_states = 512.
+let state_work_seconds = 70. (* core-seconds of state-phase compute per step *)
+let pair_work_seconds = 30. (* core-seconds of pair-calculator compute per step *)
+let chares_per_state_unit = 16. (* chares created per (n_states / sgrain) unit *)
+let message_latency = 2.0e-3 (* state -> pair data transfer *)
+let congestion_overhead = 1.5e-4 (* runtime-wide cost per live chare per step *)
+let rho_grid = 288. (* density-grid planes *)
+let rho_transpose_seconds = 14.4
+let fixed_seconds = 0.1 (* non-tunable phases *)
+let noise_seed = 404
+let noise_sigma = 0.012
+
+let space =
+  Param.Space.make
+    [
+      Param.Spec.ordinal_ints "sgrain" [ 8; 16; 32; 64; 128 ];
+      Param.Spec.ordinal_ints "rhorx" [ 1; 2; 4; 8 ];
+      Param.Spec.ordinal_ints "rhory" [ 1; 2; 4; 8 ];
+      Param.Spec.ordinal_floats "gratio" [ 0.5; 1.0; 2.0 ];
+      Param.Spec.ordinal_floats "rhoratio" [ 0.5; 1.0; 2.0 ];
+      Param.Spec.ordinal_ints "rhohx" [ 1; 2 ];
+      Param.Spec.ordinal_ints "rhohy" [ 1; 2 ];
+      Param.Spec.categorical "ortho" [ "sym"; "asym"; "auto" ];
+    ]
+
+let level sp config name =
+  Param.Spec.level (Param.Space.spec sp (Param.Space.index_of_name sp name))
+    (Param.Value.to_index config.(Param.Space.index_of_name sp name))
+
+(* Simulated makespan of the state + pair phase for a given
+   decomposition. Memoized on (n_state, n_pair): the task-graph shape
+   only depends on the chare counts. *)
+let phase_makespan =
+  let cache = Hashtbl.create 32 in
+  fun ~n_state ~n_pair ->
+    match Hashtbl.find_opt cache (n_state, n_pair) with
+    | Some t -> t
+    | None ->
+        let d_state = state_work_seconds /. float_of_int n_state in
+        let d_pair = pair_work_seconds /. float_of_int (Stdlib.max 1 n_pair) in
+        (* Chare work is not uniform (different plane-wave counts per
+           state): +-50% deterministic variation. Many chares per PE
+           average it out; one chare per PE exposes the maximum —
+           the load-balancing argument for over-decomposition. *)
+        let wobble k = 0.5 +. (1.0 *. float_of_int ((k * 2654435761) land 0xFFFF) /. 65536.) in
+        let tasks =
+          Array.init (n_state + n_pair) (fun k ->
+              if k < n_state then
+                (* State chare: no dependencies, round-robin on PEs. *)
+                {
+                  Simulate.Taskgraph.duration = d_state *. wobble k;
+                  resource = k mod pes;
+                  deps = [||];
+                }
+              else begin
+                (* Pair chare: needs the data of two distinct state
+                   chares (deterministic partner choice). *)
+                let q = k - n_state in
+                let a = (2 * q) mod n_state in
+                let b = ((2 * q) + 17) mod n_state in
+                let deps =
+                  if a = b then [| (a, message_latency) |]
+                  else [| (a, message_latency); (b, message_latency) |]
+                in
+                {
+                  Simulate.Taskgraph.duration = d_pair *. wobble k;
+                  resource = ((q * 31) + 5) mod pes;
+                  deps;
+                }
+              end)
+        in
+        let result = Simulate.Taskgraph.simulate ~n_resources:pes tasks in
+        Hashtbl.replace cache (n_state, n_pair) result.Simulate.Taskgraph.makespan;
+        result.Simulate.Taskgraph.makespan
+
+let exec_time config =
+  let lv = level space config in
+  let sgrain = lv "sgrain" in
+  let rhorx = lv "rhorx" in
+  let rhory = lv "rhory" in
+  let gratio = lv "gratio" in
+  let rhoratio = lv "rhoratio" in
+  let rhohx = lv "rhohx" in
+  let rhohy = lv "rhohy" in
+  let ortho = Param.Value.to_index config.(Param.Space.index_of_name space "ortho") in
+  let n_state = int_of_float (n_states /. sgrain *. chares_per_state_unit) in
+  let n_pair = int_of_float (float_of_int n_state *. gratio) in
+  let phase = phase_makespan ~n_state ~n_pair in
+  (* Fine decompositions congest the runtime (message injection,
+     scheduler queues) in proportion to the live chare count. *)
+  let congestion = congestion_overhead *. float_of_int (n_state + n_pair) in
+  (* Density transposes: splitting y creates parallelism in the
+     transpose direction; splitting x mostly adds messages. *)
+  let rho_chares = rho_grid /. 4. *. rhorx *. rhory *. rhoratio in
+  let transpose_parallelism = Float.min (float_of_int pes) (rho_grid *. rhory /. 4.) in
+  let rho_compute = rho_transpose_seconds /. transpose_parallelism in
+  let rho_messages = rho_chares *. sqrt rhorx in
+  let rho_overhead = 3.0e-5 *. rho_messages in
+  (* Helper grains: mild cache effects. *)
+  let helper = 1. +. (0.012 *. (rhohx -. 1.)) +. (0.02 *. (rhohy -. 1.)) in
+  (* Ortho decomposition: negligible, the phase is tiny. *)
+  let ortho_factor = match ortho with 0 -> 1.0 | 1 -> 1.004 | 2 -> 1.002 | _ -> assert false in
+  let time =
+    ((phase +. congestion +. rho_compute +. rho_overhead) *. helper *. ortho_factor)
+    +. fixed_seconds
+  in
+  time *. Noise.factor ~seed:noise_seed ~sigma:noise_sigma config
+
+let symmetric_expert_config =
+  (* Symmetric decomposition: equal x/y splits, unit ratios, sym
+     ortho, coarse grain. *)
+  [|
+    Param.Value.Ordinal 3 (* sgrain=64 *);
+    Param.Value.Ordinal 1 (* rhorx=2 *);
+    Param.Value.Ordinal 1 (* rhory=2 *);
+    Param.Value.Ordinal 1 (* gratio=1.0 *);
+    Param.Value.Ordinal 1 (* rhoratio=1.0 *);
+    Param.Value.Ordinal 0 (* rhohx=1 *);
+    Param.Value.Ordinal 0 (* rhohy=1 *);
+    Param.Value.Categorical 0 (* ortho=sym *);
+  |]
+
+let table () = Dataset.Table.create ~name:"openatom" ~space ~objective:exec_time

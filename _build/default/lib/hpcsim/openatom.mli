@@ -1,0 +1,35 @@
+(** Synthetic OpenAtom: a Charm++ over-decomposition cost model
+    standing in for the measured OpenAtom dataset (paper ref [15]).
+
+    OpenAtom over-decomposes its electronic-structure phases into
+    chares so the Charm++ runtime can overlap communication with
+    computation and balance load. The tunables:
+
+    - [sgrain] — states-per-chare grain of the dominant phase. Too
+      coarse leaves too few chares per PE (no overlap, load
+      imbalance); too fine pays per-chare scheduling overhead. The
+      dominant parameter, as in Table I (JS 0.26).
+    - [rhorx]/[rhory] — x/y decomposition of the density (rho) grid;
+      they set message counts/sizes for the transpose phases, with the
+      y split mattering more (the transpose direction).
+    - [gratio] — grain ratio of the pair-calculator phase.
+    - [rhoratio], [rhohx], [rhohy] — density helper-grain options with
+      minor effects.
+    - [ortho] — orthonormalization decomposition; near-zero effect
+      (Table I: 0.00).
+
+    The expert choice is a symmetric decomposition (paper: 1.6 s vs
+    the exhaustive best of 1.24 s).
+
+    Space size: 8640 configurations (paper: 8928). *)
+
+val space : Param.Space.t
+
+val exec_time : Param.Config.t -> float
+(** Per-step execution time (s) on the fixed 128-PE machine. *)
+
+val symmetric_expert_config : Param.Config.t
+(** The symmetric-decomposition expert configuration. *)
+
+val table : unit -> Dataset.Table.t
+(** "openatom" dataset. *)

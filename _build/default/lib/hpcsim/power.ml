@@ -1,0 +1,31 @@
+type t = { static_watts : float; dynamic_watts_per_core : float; nominal_ghz : float }
+
+let default = { static_watts = 40.; dynamic_watts_per_core = 9.0; nominal_ghz = 2.4 }
+let caps_watts = Array.init 11 (fun i -> 50. +. (10. *. float_of_int i))
+let min_frequency_fraction = 0.2
+
+let frequency_under_cap t ~active_cores ~cap_watts =
+  let dynamic_budget = cap_watts -. t.static_watts in
+  let full_dynamic = t.dynamic_watts_per_core *. float_of_int active_cores in
+  if dynamic_budget >= full_dynamic then t.nominal_ghz
+  else if dynamic_budget <= 0. then min_frequency_fraction *. t.nominal_ghz
+  else begin
+    (* Dynamic power scales ~ f^3 (cube law: f * V^2 with V ~ f). *)
+    let fraction = (dynamic_budget /. full_dynamic) ** (1. /. 3.) in
+    Stdlib.max (min_frequency_fraction *. t.nominal_ghz) (fraction *. t.nominal_ghz)
+  end
+
+let slowdown t ~active_cores ~cap_watts ~compute_fraction =
+  let f = frequency_under_cap t ~active_cores ~cap_watts in
+  let ratio = t.nominal_ghz /. f in
+  (compute_fraction *. ratio) +. (1. -. compute_fraction)
+
+let power_draw t ~active_cores ~cap_watts =
+  let f = frequency_under_cap t ~active_cores ~cap_watts in
+  let fraction = f /. t.nominal_ghz in
+  let dynamic = t.dynamic_watts_per_core *. float_of_int active_cores *. (fraction ** 3.) in
+  Stdlib.min cap_watts (t.static_watts +. dynamic)
+
+let energy t ~active_cores ~cap_watts ~compute_fraction ~base_time =
+  let time = base_time *. slowdown t ~active_cores ~cap_watts ~compute_fraction in
+  time *. power_draw t ~active_cores ~cap_watts

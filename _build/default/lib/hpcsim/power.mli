@@ -1,0 +1,38 @@
+(** Package power-capping model.
+
+    Substitutes for the RAPL-style PKG power limit in the paper's
+    Kripke-energy dataset. The model follows the standard cube-law
+    DVFS approximation: the package throttles frequency so that
+    dynamic power (proportional to f^3) plus static power stays under
+    the cap. Lowering the cap slows compute-bound work roughly
+    linearly in frequency while leaving memory/communication-bound
+    work unaffected, so total energy is non-monotone in the cap —
+    exactly the structure that makes the paper's energy-tuning task
+    interesting (expert "2nd/3rd highest power level" is beaten by a
+    mid-range cap). *)
+
+type t = {
+  static_watts : float;  (** per-node static (uncore + leakage) power *)
+  dynamic_watts_per_core : float;  (** per-active-core dynamic power at nominal frequency *)
+  nominal_ghz : float;
+}
+
+val default : t
+
+val caps_watts : float array
+(** The 11 PKG_LIMIT levels exposed as a tunable (50..150 W). *)
+
+val frequency_under_cap : t -> active_cores:int -> cap_watts:float -> float
+(** Effective core frequency (GHz) after throttling to respect the
+    cap. Never exceeds nominal, never drops below 20% of nominal. *)
+
+val slowdown : t -> active_cores:int -> cap_watts:float -> compute_fraction:float -> float
+(** Multiplicative execution-time factor [>= 1]. Only the
+    [compute_fraction] of the runtime scales with frequency. *)
+
+val power_draw : t -> active_cores:int -> cap_watts:float -> float
+(** Average package power (W) while running under the cap. *)
+
+val energy : t -> active_cores:int -> cap_watts:float -> compute_fraction:float -> base_time:float -> float
+(** Total energy (J) for a task of duration [base_time] at nominal
+    frequency: throttled time x power under cap. *)

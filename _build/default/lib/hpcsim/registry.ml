@@ -1,0 +1,35 @@
+type entry = { name : string; description : string; table : unit -> Dataset.Table.t }
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some t -> t
+    | None ->
+        let t = f () in
+        cache := Some t;
+        t
+
+let entry name description f = { name; description; table = memo f }
+
+let all =
+  [
+    entry "kripke" "Kripke execution time, 16 nodes (1620 configs; paper 1609)" Kripke.exec_table;
+    entry "kripke_energy" "Kripke energy under power capping (17820 configs; paper 17815)" Kripke.energy_table;
+    entry "hypre" "HYPRE new_ij solve time, 16 nodes (4608 configs; paper 4589)" Hypre.table;
+    entry "lulesh" "LULESH compiler flags (4800 configs; paper 4800)" Lulesh.table;
+    entry "openatom" "OpenAtom over-decomposition (8640 configs; paper 8928)" Openatom.table;
+    entry "kripke_src" "Kripke transfer source: capped exec time, 16 nodes" Kripke.transfer_source_table;
+    entry "kripke_trgt" "Kripke transfer target: capped exec time, 64 nodes" Kripke.transfer_target_table;
+    entry "hypre_src" "HYPRE transfer source: extended space, 16 nodes" Hypre.transfer_source_table;
+    entry "hypre_trgt" "HYPRE transfer target: extended space, 64 nodes" Hypre.transfer_target_table;
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let selection_datasets = [ "kripke"; "kripke_energy"; "hypre"; "lulesh"; "openatom" ]

@@ -1,0 +1,26 @@
+(** Name-indexed access to every built-in dataset.
+
+    Used by the CLI and the benchmark harness so experiments can refer
+    to datasets by the names used in the paper's figures. Tables are
+    built lazily and memoized — the transfer tables have tens of
+    thousands of rows and are only materialized when an experiment
+    needs them. *)
+
+type entry = {
+  name : string;
+  description : string;
+  table : unit -> Dataset.Table.t;  (** memoized *)
+}
+
+val all : entry list
+(** Every dataset, in the order the paper presents them:
+    kripke, kripke_energy, hypre, lulesh, openatom,
+    kripke_src, kripke_trgt, hypre_src, hypre_trgt. *)
+
+val names : string list
+
+val find : string -> entry
+(** Raises [Not_found] for unknown names. *)
+
+val selection_datasets : string list
+(** The five configuration-selection datasets of §V. *)

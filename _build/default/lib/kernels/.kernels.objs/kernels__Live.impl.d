@@ -1,0 +1,1 @@
+lib/kernels/live.ml: Array List Matmul Parallel Param Printf Prng Spmv Stencil Unix

@@ -1,0 +1,1 @@
+lib/kernels/live.mli: Parallel Param

@@ -1,0 +1,1 @@
+lib/kernels/matmul.ml: Array Parallel Stdlib

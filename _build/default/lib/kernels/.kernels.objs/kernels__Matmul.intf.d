@@ -1,0 +1,1 @@
+lib/kernels/matmul.mli: Parallel

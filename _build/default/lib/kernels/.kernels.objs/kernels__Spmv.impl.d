@@ -1,0 +1,1 @@
+lib/kernels/spmv.ml: Array Hashtbl List Parallel Prng Stdlib

@@ -1,0 +1,1 @@
+lib/kernels/spmv.mli: Parallel Prng

@@ -1,0 +1,1 @@
+lib/kernels/stencil.ml: Array Float Parallel Stdlib

@@ -1,0 +1,91 @@
+type order = Ijk | Ikj | Jik | Kij
+
+let order_label = function Ijk -> "ijk" | Ikj -> "ikj" | Jik -> "jik" | Kij -> "kij"
+let all_orders = [ Ijk; Ikj; Jik; Kij ]
+
+let check_inputs ~a ~b ~n =
+  if n < 1 then invalid_arg "Matmul: n must be positive";
+  if Array.length a <> n * n || Array.length b <> n * n then
+    invalid_arg "Matmul: matrices must be n*n"
+
+let multiply_reference ~a ~b n =
+  check_inputs ~a ~b ~n;
+  let c = Array.make (n * n) 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.((i * n) + k) *. b.((k * n) + j))
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+(* One block-triple: C[i0..i1)[j0..j1) += A[i0..i1)[k0..k1) * B[k0..k1)[j0..j1)
+   with the given loop order inside the block. *)
+let block_kernel order ~a ~b ~c ~n ~i0 ~i1 ~j0 ~j1 ~k0 ~k1 =
+  match order with
+  | Ijk ->
+      for i = i0 to i1 - 1 do
+        for j = j0 to j1 - 1 do
+          let acc = ref c.((i * n) + j) in
+          for k = k0 to k1 - 1 do
+            acc := !acc +. (a.((i * n) + k) *. b.((k * n) + j))
+          done;
+          c.((i * n) + j) <- !acc
+        done
+      done
+  | Ikj ->
+      for i = i0 to i1 - 1 do
+        for k = k0 to k1 - 1 do
+          let aik = a.((i * n) + k) in
+          if aik <> 0. then
+            for j = j0 to j1 - 1 do
+              c.((i * n) + j) <- c.((i * n) + j) +. (aik *. b.((k * n) + j))
+            done
+        done
+      done
+  | Jik ->
+      for j = j0 to j1 - 1 do
+        for i = i0 to i1 - 1 do
+          let acc = ref c.((i * n) + j) in
+          for k = k0 to k1 - 1 do
+            acc := !acc +. (a.((i * n) + k) *. b.((k * n) + j))
+          done;
+          c.((i * n) + j) <- !acc
+        done
+      done
+  | Kij ->
+      for k = k0 to k1 - 1 do
+        for i = i0 to i1 - 1 do
+          let aik = a.((i * n) + k) in
+          if aik <> 0. then
+            for j = j0 to j1 - 1 do
+              c.((i * n) + j) <- c.((i * n) + j) +. (aik *. b.((k * n) + j))
+            done
+        done
+      done
+
+let multiply ~pool ?schedule ?(order = Ikj) ~block_i ~block_j ~block_k ~a ~b n =
+  check_inputs ~a ~b ~n;
+  if block_i < 1 || block_j < 1 || block_k < 1 then invalid_arg "Matmul: block sizes must be positive";
+  let c = Array.make (n * n) 0. in
+  let stripes = (n + block_i - 1) / block_i in
+  (* Each stripe of C rows is owned by exactly one loop iteration, so
+     block updates never race. *)
+  Parallel.Pool.parallel_for pool ?schedule ~lo:0 ~hi:stripes (fun s ->
+      let i0 = s * block_i in
+      let i1 = Stdlib.min n (i0 + block_i) in
+      let j0 = ref 0 in
+      while !j0 < n do
+        let j1 = Stdlib.min n (!j0 + block_j) in
+        let k0 = ref 0 in
+        while !k0 < n do
+          let k1 = Stdlib.min n (!k0 + block_k) in
+          block_kernel order ~a ~b ~c ~n ~i0 ~i1 ~j0:!j0 ~j1 ~k0:!k0 ~k1;
+          k0 := k1
+        done;
+        j0 := j1
+      done);
+  c

@@ -1,0 +1,35 @@
+(** Cache-blocked dense matrix multiply.
+
+    The second executable kernel for live tuning. Tunables: the three
+    block sizes of the classic blocked algorithm, the inner-loop order
+    within a block, and the loop schedule used to distribute row-
+    blocks over the pool. All variants compute exactly [c = a * b]
+    (up to floating-point reassociation in the [Ikj]/[Kij] orders). *)
+
+type order =
+  | Ijk  (** dot-product form: worst stride behaviour on [b] *)
+  | Ikj  (** row-major streaming: unit stride on [b] and [c] *)
+  | Jik
+  | Kij
+
+val order_label : order -> string
+val all_orders : order list
+
+val multiply_reference : a:float array -> b:float array -> int -> float array
+(** Naive triple loop; the test oracle. Matrices are dense row-major
+    [n x n]. *)
+
+val multiply :
+  pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  ?order:order ->
+  block_i:int ->
+  block_j:int ->
+  block_k:int ->
+  a:float array ->
+  b:float array ->
+  int ->
+  float array
+(** Blocked multiply. Requires positive block sizes and
+    [Array.length a = Array.length b = n * n]. Row-block stripes are
+    distributed over the pool. *)

@@ -1,0 +1,89 @@
+type csr = {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let of_rows ~n_cols rows =
+  let n_rows = Array.length rows in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  Array.iteri (fun i row -> row_ptr.(i + 1) <- row_ptr.(i) + List.length row) rows;
+  let total = row_ptr.(n_rows) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  Array.iteri
+    (fun i row ->
+      List.iteri
+        (fun k (c, v) ->
+          col_idx.(row_ptr.(i) + k) <- c;
+          values.(row_ptr.(i) + k) <- v)
+        row)
+    rows;
+  { n_rows; n_cols; row_ptr; col_idx; values }
+
+let random_band ~rng ~n ~band ~fill =
+  if n < 1 then invalid_arg "Spmv.random_band: n must be positive";
+  if band < 0 then invalid_arg "Spmv.random_band: negative band";
+  if fill <= 0. || fill > 1. then invalid_arg "Spmv.random_band: fill outside (0, 1]";
+  let rows =
+    Array.init n (fun i ->
+        let lo = Stdlib.max 0 (i - band) and hi = Stdlib.min (n - 1) (i + band) in
+        let entries = ref [] in
+        for c = hi downto lo do
+          if c = i || Prng.Rng.float rng < fill then
+            entries := (c, Prng.Rng.float rng -. 0.5) :: !entries
+        done;
+        !entries)
+  in
+  of_rows ~n_cols:n rows
+
+let random_skewed ~rng ~n ~avg_nnz ~skew =
+  if n < 1 then invalid_arg "Spmv.random_skewed: n must be positive";
+  if avg_nnz < 1 then invalid_arg "Spmv.random_skewed: avg_nnz must be positive";
+  if skew < 0. then invalid_arg "Spmv.random_skewed: negative skew";
+  (* Row length ~ avg * (u^-skew) normalized crudely; heavy head. *)
+  let rows =
+    Array.init n (fun _ ->
+        let u = Stdlib.max 1e-3 (Prng.Rng.float rng) in
+        let len =
+          Stdlib.max 1
+            (Stdlib.min (4 * avg_nnz * 8) (int_of_float (float_of_int avg_nnz *. (u ** -.skew) /. (1. +. skew))))
+        in
+        let seen = Hashtbl.create len in
+        let entries = ref [] in
+        let attempts = ref 0 in
+        while Hashtbl.length seen < len && !attempts < 8 * len do
+          incr attempts;
+          let c = Prng.Rng.int rng n in
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.add seen c ();
+            entries := (c, Prng.Rng.float rng -. 0.5) :: !entries
+          end
+        done;
+        List.sort (fun (a, _) (b, _) -> compare a b) !entries)
+  in
+  of_rows ~n_cols:n rows
+
+let nnz m = m.row_ptr.(m.n_rows)
+
+let row_dot m x i =
+  let acc = ref 0. in
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+  done;
+  !acc
+
+let check_x m x =
+  if Array.length x <> m.n_cols then invalid_arg "Spmv: vector length must equal n_cols"
+
+let multiply_reference m x =
+  check_x m x;
+  Array.init m.n_rows (row_dot m x)
+
+let multiply ~pool ?schedule m x =
+  check_x m x;
+  let y = Array.make m.n_rows 0. in
+  Parallel.Pool.parallel_for pool ?schedule ~lo:0 ~hi:m.n_rows (fun i -> y.(i) <- row_dot m x i);
+  y

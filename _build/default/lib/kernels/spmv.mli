@@ -1,0 +1,34 @@
+(** Sparse matrix-vector product (CSR) with tunable row scheduling.
+
+    The third executable kernel. SpMV's iteration cost varies per row
+    (row lengths differ), which is exactly the load-imbalance regime
+    where the pool's loop schedule matters: static chunks lose to
+    dynamic/guided ones on skewed matrices. *)
+
+type csr = {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;  (** length n_rows + 1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+val random_band : rng:Prng.Rng.t -> n:int -> band:int -> fill:float -> csr
+(** Random banded matrix: row [i] draws entries uniformly from columns
+    [i - band, i + band] with density [fill] in (0, 1]; every row gets
+    at least its diagonal. *)
+
+val random_skewed : rng:Prng.Rng.t -> n:int -> avg_nnz:int -> skew:float -> csr
+(** Power-law row lengths: a few heavy rows, many light ones. [skew]
+    >= 0 (0 = uniform). Load imbalance grows with [skew]. *)
+
+val nnz : csr -> int
+
+val multiply_reference : csr -> float array -> float array
+(** Sequential oracle. Requires [Array.length x = n_cols]. *)
+
+val multiply :
+  pool:Parallel.Pool.t -> ?schedule:Parallel.Pool.schedule -> csr -> float array -> float array
+(** Rows distributed over the pool with [schedule]. Bit-identical to
+    the reference (per-row dot products are computed in the same
+    order). *)

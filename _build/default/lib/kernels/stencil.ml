@@ -1,0 +1,65 @@
+type grid = { rows : int; cols : int; data : float array }
+
+let create_grid ~rows ~cols f =
+  if rows < 3 || cols < 3 then invalid_arg "Stencil.create_grid: grid must be at least 3x3";
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let get g r c =
+  if r < 0 || r >= g.rows || c < 0 || c >= g.cols then invalid_arg "Stencil.get: out of bounds";
+  g.data.((r * g.cols) + c)
+
+let sweep_reference g =
+  let out = { g with data = Array.copy g.data } in
+  for r = 1 to g.rows - 2 do
+    for c = 1 to g.cols - 2 do
+      let k = (r * g.cols) + c in
+      out.data.(k) <-
+        0.25 *. (g.data.(k - 1) +. g.data.(k + 1) +. g.data.(k - g.cols) +. g.data.(k + g.cols))
+    done
+  done;
+  out
+
+(* One tile of one sweep: rows [r_lo, r_hi), cols [c_lo, c_hi) of the
+   interior, reading [src] and writing [dst]. *)
+let sweep_tile ~src ~dst ~cols ~r_lo ~r_hi ~c_lo ~c_hi =
+  for r = r_lo to r_hi - 1 do
+    let row = r * cols in
+    for c = c_lo to c_hi - 1 do
+      let k = row + c in
+      dst.(k) <- 0.25 *. (src.(k - 1) +. src.(k + 1) +. src.(k - cols) +. src.(k + cols))
+    done
+  done
+
+let run ~pool ?schedule ~tile_rows ~tile_cols ~iters g =
+  if tile_rows < 1 || tile_cols < 1 then invalid_arg "Stencil.run: tile sizes must be positive";
+  if iters < 0 then invalid_arg "Stencil.run: negative iteration count";
+  let interior_rows = g.rows - 2 and interior_cols = g.cols - 2 in
+  let tiles_r = (interior_rows + tile_rows - 1) / tile_rows in
+  let tiles_c = (interior_cols + tile_cols - 1) / tile_cols in
+  let n_tiles = tiles_r * tiles_c in
+  let src = ref (Array.copy g.data) in
+  let dst = ref (Array.copy g.data) in
+  for _ = 1 to iters do
+    let src_now = !src and dst_now = !dst in
+    Parallel.Pool.parallel_for pool ?schedule ~lo:0 ~hi:n_tiles (fun tile ->
+        let tr = tile / tiles_c and tc = tile mod tiles_c in
+        let r_lo = 1 + (tr * tile_rows) in
+        let r_hi = Stdlib.min (g.rows - 1) (r_lo + tile_rows) in
+        let c_lo = 1 + (tc * tile_cols) in
+        let c_hi = Stdlib.min (g.cols - 1) (c_lo + tile_cols) in
+        sweep_tile ~src:src_now ~dst:dst_now ~cols:g.cols ~r_lo ~r_hi ~c_lo ~c_hi);
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  { g with data = !src }
+
+let residual a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Stencil.residual: shape mismatch";
+  let worst = ref 0. in
+  Array.iteri
+    (fun k x ->
+      let d = Float.abs (x -. b.data.(k)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst

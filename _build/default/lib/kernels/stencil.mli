@@ -1,0 +1,41 @@
+(** Tiled 2-D 5-point Jacobi stencil.
+
+    A real, executable kernel whose tunables (tile shape, loop
+    schedule) change measured wall-clock time — used by the live-
+    tuning example to demonstrate HiPerBOt on an objective that is an
+    actual execution rather than a recorded dataset.
+
+    The grid is a dense [rows x cols] float array in row-major order.
+    One sweep computes, for every interior cell, the average of its
+    four neighbours; boundary cells are held fixed (Dirichlet). *)
+
+type grid = { rows : int; cols : int; data : float array }
+
+val create_grid : rows:int -> cols:int -> (int -> int -> float) -> grid
+(** [create_grid ~rows ~cols f] fills cell [(r, c)] with [f r c].
+    Requires [rows >= 3] and [cols >= 3]. *)
+
+val get : grid -> int -> int -> float
+
+val sweep_reference : grid -> grid
+(** One Jacobi sweep, naive sequential implementation (the test
+    oracle). Returns a fresh grid. *)
+
+val run :
+  pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  tile_rows:int ->
+  tile_cols:int ->
+  iters:int ->
+  grid ->
+  grid
+(** [run ~pool ~tile_rows ~tile_cols ~iters g] performs [iters] Jacobi
+    sweeps with the interior partitioned into [tile_rows x tile_cols]
+    tiles; tiles are distributed over the pool with [schedule]
+    (default [Static]). Requires positive tile sizes and
+    [iters >= 0]. Tiling and scheduling change only performance, never
+    the result. *)
+
+val residual : grid -> grid -> float
+(** Max-norm difference between two grids of the same shape (test
+    helper). *)

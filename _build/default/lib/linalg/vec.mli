@@ -1,0 +1,40 @@
+(** Dense float vectors.
+
+    Thin wrappers over [float array] with the arithmetic needed by the
+    [nn] and [gp] substrates. All binary operations require equal
+    lengths and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val copy : t -> t
+val of_list : float list -> t
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Element-wise product. *)
+
+val scale : float -> t -> t
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val sum : t -> float
+val mean : t -> float
+val max : t -> float
+val min : t -> float
+val argmax : t -> int
+val argmin : t -> int
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val sq_dist : t -> t -> float
+(** Squared Euclidean distance. *)
+
+val pp : Format.formatter -> t -> unit

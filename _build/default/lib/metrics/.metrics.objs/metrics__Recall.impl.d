@@ -1,0 +1,1 @@
+lib/metrics/recall.ml: Array Dataset Param

@@ -1,0 +1,1 @@
+lib/metrics/recall.mli: Dataset Param

@@ -1,0 +1,1 @@
+lib/metrics/runner.ml: Array Baselines Prng Recall Stats

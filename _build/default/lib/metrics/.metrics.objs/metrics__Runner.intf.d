@@ -1,0 +1,1 @@
+lib/metrics/runner.mli: Baselines Prng Recall

@@ -1,0 +1,38 @@
+type good_set = { test : Param.Config.t -> bool; count : int }
+
+let percentile_good_set table l =
+  let test, count = Dataset.Table.good_set_percentile table l in
+  { test; count }
+
+let tolerance_good_set table gamma =
+  let test, count = Dataset.Table.good_set_tolerance table gamma in
+  { test; count }
+
+let recall_prefix good history n =
+  if n < 0 || n > Array.length history then invalid_arg "Recall.recall_prefix: prefix out of range";
+  if good.count = 0 then 0.
+  else begin
+    (* Histories may contain repeated configurations (the Proposal
+       strategy re-evaluates after bounded duplicate redraws); each
+       good configuration counts once. *)
+    let seen = Param.Config.Table.create n in
+    let hits = ref 0 in
+    for i = 0 to n - 1 do
+      let c = fst history.(i) in
+      if good.test c && not (Param.Config.Table.mem seen c) then begin
+        Param.Config.Table.replace seen c ();
+        incr hits
+      end
+    done;
+    float_of_int !hits /. float_of_int good.count
+  end
+
+let recall good history = recall_prefix good history (Array.length history)
+
+let best_prefix history n =
+  if n < 1 || n > Array.length history then invalid_arg "Recall.best_prefix: prefix out of range";
+  let best = ref (snd history.(0)) in
+  for i = 1 to n - 1 do
+    if snd history.(i) < !best then best := snd history.(i)
+  done;
+  !best

@@ -1,0 +1,28 @@
+(** The paper's evaluation metrics (§IV-B).
+
+    Recall is the fraction of the dataset's "good" configurations that
+    a tuner's selected (evaluated) set contains. "Good" is either the
+    best-ℓ-percentile set (eq. 11, configuration selection) or the
+    within-γ-of-best set (eq. 12, transfer learning). *)
+
+type good_set = { test : Param.Config.t -> bool; count : int }
+
+val percentile_good_set : Dataset.Table.t -> float -> good_set
+(** [percentile_good_set table l]: rows in the best [l] fraction
+    (eq. 11; the paper's selection experiments). *)
+
+val tolerance_good_set : Dataset.Table.t -> float -> good_set
+(** [tolerance_good_set table gamma]: rows within [(1+gamma) * best]
+    (eq. 12; the transfer experiments). *)
+
+val recall : good_set -> (Param.Config.t * float) array -> float
+(** Fraction of good configurations present in the history; repeated
+    configurations count once, so the result is always in [0, 1].
+    0 when the good set is empty. *)
+
+val recall_prefix : good_set -> (Param.Config.t * float) array -> int -> float
+(** Recall of the first [n] history entries. *)
+
+val best_prefix : (Param.Config.t * float) array -> int -> float
+(** Smallest objective among the first [n] entries. Requires
+    [1 <= n <= length]. *)

@@ -1,0 +1,70 @@
+type point = {
+  sample_size : int;
+  best_mean : float;
+  best_std : float;
+  recall_mean : float;
+  recall_std : float;
+}
+
+type detailed = { points : point array; final_bests : float array; final_recalls : float array }
+
+let sweep_detailed ~reps ~base_seed ~sample_sizes ~good ~run =
+  if reps < 1 then invalid_arg "Runner.sweep: reps must be at least 1";
+  if Array.length sample_sizes = 0 then invalid_arg "Runner.sweep: no sample sizes";
+  Array.iteri
+    (fun i s ->
+      if s < 1 then invalid_arg "Runner.sweep: non-positive sample size";
+      if i > 0 && s <= sample_sizes.(i - 1) then
+        invalid_arg "Runner.sweep: sample sizes must be sorted increasing")
+    sample_sizes;
+  let n_points = Array.length sample_sizes in
+  let budget = sample_sizes.(n_points - 1) in
+  let best_acc = Array.init n_points (fun _ -> Stats.Running.create ()) in
+  let recall_acc = Array.init n_points (fun _ -> Stats.Running.create ()) in
+  let final_bests = Array.make reps 0. in
+  let final_recalls = Array.make reps 0. in
+  for r = 0 to reps - 1 do
+    let rng = Prng.Rng.create (base_seed + r) in
+    let outcome = run ~rng ~budget in
+    let history = outcome.Baselines.Outcome.history in
+    let n_history = Array.length history in
+    Array.iteri
+      (fun i s ->
+        let n = min s n_history in
+        let best = Recall.best_prefix history n in
+        let recall = Recall.recall_prefix good history n in
+        Stats.Running.add best_acc.(i) best;
+        Stats.Running.add recall_acc.(i) recall;
+        if i = n_points - 1 then begin
+          final_bests.(r) <- best;
+          final_recalls.(r) <- recall
+        end)
+      sample_sizes
+  done;
+  let points =
+    Array.mapi
+      (fun i s ->
+        {
+          sample_size = s;
+          best_mean = Stats.Running.mean best_acc.(i);
+          best_std = Stats.Running.stddev best_acc.(i);
+          recall_mean = Stats.Running.mean recall_acc.(i);
+          recall_std = Stats.Running.stddev recall_acc.(i);
+        })
+      sample_sizes
+  in
+  { points; final_bests; final_recalls }
+
+let sweep ~reps ~base_seed ~sample_sizes ~good ~run =
+  (sweep_detailed ~reps ~base_seed ~sample_sizes ~good ~run).points
+
+type summary = { mean : float; std : float }
+
+let replicate ~reps ~base_seed f =
+  if reps < 1 then invalid_arg "Runner.replicate: reps must be at least 1";
+  let acc = Stats.Running.create () in
+  for r = 0 to reps - 1 do
+    let rng = Prng.Rng.create (base_seed + r) in
+    Stats.Running.add acc (f ~rng)
+  done;
+  { mean = Stats.Running.mean acc; std = Stats.Running.stddev acc }

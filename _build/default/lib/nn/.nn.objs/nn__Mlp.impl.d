@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Activation Array Linalg Prng

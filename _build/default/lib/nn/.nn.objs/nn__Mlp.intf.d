@@ -1,0 +1,1 @@
+lib/nn/mlp.mli: Activation Prng

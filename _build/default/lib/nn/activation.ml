@@ -1,0 +1,14 @@
+type t = Relu | Tanh | Identity
+
+let apply t x =
+  match t with Relu -> if x > 0. then x else 0. | Tanh -> tanh x | Identity -> x
+
+let derivative t x =
+  match t with
+  | Relu -> if x > 0. then 1. else 0.
+  | Tanh ->
+      let th = tanh x in
+      1. -. (th *. th)
+  | Identity -> 1.
+
+let name = function Relu -> "relu" | Tanh -> "tanh" | Identity -> "identity"

@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Array Atomic Condition Domain Mutex Queue Stdlib

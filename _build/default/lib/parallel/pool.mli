@@ -1,0 +1,65 @@
+(** A persistent domain pool with OpenMP-style parallel loops.
+
+    This is the runtime substrate behind the executable kernels in
+    [lib/kernels]: their tunable "schedule" and "threads" parameters
+    map directly onto {!schedule} and the pool size, so the tuner can
+    optimize real multicore execution rather than a cost model.
+
+    A pool owns [num_domains] worker domains plus the calling domain,
+    which always participates in loops. Creating domains is expensive
+    (~ms); create one pool and reuse it. All loop bodies must be
+    thread-safe for the index ranges they receive. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ()] spawns [Domain.recommended_domain_count - 1] workers
+    (possibly zero — the pool then degrades to sequential execution).
+    [num_domains] overrides the worker count; it must be
+    non-negative. *)
+
+val size : t -> int
+(** Number of participants in a loop: workers + the caller. *)
+
+val shutdown : t -> unit
+(** Join all workers. The pool must not be used afterwards; calling
+    [shutdown] twice is safe. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down (also on exceptions). *)
+
+(** Loop scheduling policies, mirroring OpenMP's:
+    - [Static]: iterations are split into [size ()] contiguous blocks
+      up front — lowest overhead, best for uniform iterations.
+    - [Dynamic chunk]: workers grab [chunk] iterations at a time from
+      a shared counter — balances irregular work, more traffic.
+    - [Guided]: like [Dynamic] but the grab size starts large and
+      shrinks with the remaining work. *)
+type schedule = Static | Dynamic of int | Guided
+
+val parallel_for : t -> ?schedule:schedule -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi],
+    each index exactly once, partitioned by [schedule] (default
+    [Static]). Returns when every iteration has finished. Exceptions
+    raised by [f] on the calling domain propagate; exceptions on
+    worker domains are re-raised on the caller after the loop
+    completes. Nested [parallel_for] on the same pool is not
+    supported. *)
+
+val parallel_for_reduce :
+  t ->
+  ?schedule:schedule ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  'a
+(** Fold the body over the range: each participant folds its share
+    with [combine] starting from [init], and the per-participant
+    results are combined (in participant order) with [init] again.
+    [combine] must be associative and [init] its identity for the
+    result to be schedule-independent. *)
+
+val map_array : t -> ?schedule:schedule -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)

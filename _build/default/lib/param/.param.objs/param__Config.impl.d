@@ -1,0 +1,1 @@
+lib/param/config.ml: Array Format Hashtbl Int Value

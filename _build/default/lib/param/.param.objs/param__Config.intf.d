@@ -1,0 +1,1 @@
+lib/param/config.mli: Format Hashtbl Value

@@ -1,0 +1,1 @@
+lib/param/space.ml: Array Float Format Printf Spec String Value

@@ -1,0 +1,1 @@
+lib/param/space.mli: Config Format Prng Spec

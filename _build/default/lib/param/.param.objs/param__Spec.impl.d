@@ -1,0 +1,1 @@
+lib/param/spec.ml: Array Float Format List Printf Prng String Value

@@ -1,0 +1,1 @@
+lib/param/spec.mli: Format Prng Value

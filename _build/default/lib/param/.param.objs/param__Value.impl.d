@@ -1,0 +1,1 @@
+lib/param/value.ml: Float Format Hashtbl Int

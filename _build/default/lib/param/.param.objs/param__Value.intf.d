@@ -1,0 +1,1 @@
+lib/param/value.mli: Format

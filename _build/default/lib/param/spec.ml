@@ -1,0 +1,100 @@
+type domain =
+  | Categorical of string array
+  | Ordinal of float array
+  | Continuous of { lo : float; hi : float }
+
+type t = { name : string; domain : domain }
+
+let make ~name domain =
+  (match domain with
+  | Categorical labels -> if Array.length labels = 0 then invalid_arg "Spec.make: empty label table"
+  | Ordinal levels ->
+      if Array.length levels = 0 then invalid_arg "Spec.make: empty level table";
+      for i = 1 to Array.length levels - 1 do
+        if levels.(i) <= levels.(i - 1) then invalid_arg "Spec.make: levels must be strictly increasing"
+      done
+  | Continuous { lo; hi } -> if not (lo < hi) then invalid_arg "Spec.make: empty range");
+  { name; domain }
+
+let categorical name labels = make ~name (Categorical (Array.of_list labels))
+let ordinal_ints name levels = make ~name (Ordinal (Array.of_list (List.map float_of_int levels)))
+let ordinal_floats name levels = make ~name (Ordinal (Array.of_list levels))
+let continuous name ~lo ~hi = make ~name (Continuous { lo; hi })
+let name t = t.name
+let domain t = t.domain
+
+let is_discrete t =
+  match t.domain with Categorical _ | Ordinal _ -> true | Continuous _ -> false
+
+let n_choices t =
+  match t.domain with
+  | Categorical labels -> Some (Array.length labels)
+  | Ordinal levels -> Some (Array.length levels)
+  | Continuous _ -> None
+
+let validate t v =
+  match (t.domain, v) with
+  | Categorical labels, Value.Categorical i -> i >= 0 && i < Array.length labels
+  | Ordinal levels, Value.Ordinal i -> i >= 0 && i < Array.length levels
+  | Continuous { lo; hi }, Value.Continuous f -> f >= lo && f <= hi
+  | Categorical _, (Value.Ordinal _ | Value.Continuous _)
+  | Ordinal _, (Value.Categorical _ | Value.Continuous _)
+  | Continuous _, (Value.Categorical _ | Value.Ordinal _) ->
+      false
+
+let value_to_string t v =
+  match (t.domain, v) with
+  | Categorical labels, Value.Categorical i when i >= 0 && i < Array.length labels -> labels.(i)
+  | Ordinal levels, Value.Ordinal i when i >= 0 && i < Array.length levels ->
+      let l = levels.(i) in
+      if Float.is_integer l then string_of_int (int_of_float l) else Printf.sprintf "%g" l
+  | Continuous _, Value.Continuous f -> Printf.sprintf "%g" f
+  | (Categorical _ | Ordinal _ | Continuous _), _ -> invalid_arg "Spec.value_to_string: value does not match spec"
+
+let value_of_index t i =
+  match t.domain with
+  | Categorical labels ->
+      if i < 0 || i >= Array.length labels then invalid_arg "Spec.value_of_index: index out of range";
+      Value.Categorical i
+  | Ordinal levels ->
+      if i < 0 || i >= Array.length levels then invalid_arg "Spec.value_of_index: index out of range";
+      Value.Ordinal i
+  | Continuous _ -> invalid_arg "Spec.value_of_index: continuous spec"
+
+let level t i =
+  match t.domain with
+  | Ordinal levels ->
+      if i < 0 || i >= Array.length levels then invalid_arg "Spec.level: index out of range";
+      levels.(i)
+  | Categorical _ | Continuous _ -> invalid_arg "Spec.level: not an ordinal spec"
+
+let numeric_encoding t v =
+  match (t.domain, v) with
+  | Categorical labels, Value.Categorical i ->
+      let n = Array.length labels in
+      if n = 1 then 0. else float_of_int i /. float_of_int (n - 1)
+  | Ordinal levels, Value.Ordinal i ->
+      let n = Array.length levels in
+      if n = 1 then 0. else float_of_int i /. float_of_int (n - 1)
+  | Continuous { lo; hi }, Value.Continuous f -> (f -. lo) /. (hi -. lo)
+  | (Categorical _ | Ordinal _ | Continuous _), _ ->
+      invalid_arg "Spec.numeric_encoding: value does not match spec"
+
+let one_hot_width t =
+  match t.domain with
+  | Categorical labels -> Array.length labels
+  | Ordinal _ | Continuous _ -> 1
+
+let random_value t rng =
+  match t.domain with
+  | Categorical labels -> Value.Categorical (Prng.Rng.int rng (Array.length labels))
+  | Ordinal levels -> Value.Ordinal (Prng.Rng.int rng (Array.length levels))
+  | Continuous { lo; hi } -> Value.Continuous (Prng.Rng.float_range rng lo hi)
+
+let pp fmt t =
+  match t.domain with
+  | Categorical labels -> Format.fprintf fmt "%s : cat{%s}" t.name (String.concat "," (Array.to_list labels))
+  | Ordinal levels ->
+      Format.fprintf fmt "%s : ord{%s}" t.name
+        (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%g") levels)))
+  | Continuous { lo; hi } -> Format.fprintf fmt "%s : [%g, %g]" t.name lo hi

@@ -1,0 +1,63 @@
+(** Declaration of one tunable parameter.
+
+    A parameter is categorical (unordered labels, e.g. a solver name),
+    ordinal (ordered numeric levels, e.g. OpenMP thread counts), or
+    continuous (a float range). The distinction matters in three
+    places: density estimation (histogram vs KDE), parameter-space
+    distance (graph construction for GEIST), and numeric encoding
+    (one-hot vs scalar, for the PerfNet/GP baselines). *)
+
+type domain =
+  | Categorical of string array  (** unordered labels; at least one *)
+  | Ordinal of float array  (** ordered numeric levels; at least one, strictly increasing *)
+  | Continuous of { lo : float; hi : float }  (** requires [lo < hi] *)
+
+type t
+
+val make : name:string -> domain -> t
+(** Validates the domain; raises [Invalid_argument] on empty label or
+    level tables, non-increasing levels, or an empty range. *)
+
+val categorical : string -> string list -> t
+(** [categorical name labels] convenience constructor. *)
+
+val ordinal_ints : string -> int list -> t
+val ordinal_floats : string -> float list -> t
+val continuous : string -> lo:float -> hi:float -> t
+
+val name : t -> string
+val domain : t -> domain
+val is_discrete : t -> bool
+
+val n_choices : t -> int option
+(** Number of discrete choices, [None] for continuous. *)
+
+val validate : t -> Value.t -> bool
+(** Whether the value is well-formed for this spec (right constructor,
+    index in range, float within bounds). *)
+
+val value_to_string : t -> Value.t -> string
+(** Human-readable rendering, e.g. the label of a categorical value or
+    the numeric level of an ordinal one. *)
+
+val value_of_index : t -> int -> Value.t
+(** Discrete value from a choice index. Raises [Invalid_argument] for
+    continuous specs or out-of-range indices. *)
+
+val level : t -> int -> float
+(** Numeric level of an ordinal spec at an index. *)
+
+val numeric_encoding : t -> Value.t -> float
+(** Scalar embedding in [0, 1]: normalized level position for ordinal,
+    normalized position in range for continuous, and normalized index
+    for categorical (only meaningful where a scalar is forced, e.g.
+    plotting; prefer {!one_hot_width} encodings for models). *)
+
+val one_hot_width : t -> int
+(** Width of this parameter's one-hot/numeric block: [n] for
+    categorical with [n] labels, 1 for ordinal and continuous. *)
+
+val random_value : t -> Prng.Rng.t -> Value.t
+(** Uniform draw from the domain. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = Categorical of int | Ordinal of int | Continuous of float
+
+let equal a b =
+  match (a, b) with
+  | Categorical x, Categorical y -> x = y
+  | Ordinal x, Ordinal y -> x = y
+  | Continuous x, Continuous y -> Float.equal x y
+  | (Categorical _ | Ordinal _ | Continuous _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Categorical x, Categorical y -> Int.compare x y
+  | Ordinal x, Ordinal y -> Int.compare x y
+  | Continuous x, Continuous y -> Float.compare x y
+  | Categorical _, (Ordinal _ | Continuous _) -> -1
+  | Ordinal _, Categorical _ -> 1
+  | Ordinal _, Continuous _ -> -1
+  | Continuous _, (Categorical _ | Ordinal _) -> 1
+
+let hash = function
+  | Categorical i -> Hashtbl.hash (0, i)
+  | Ordinal i -> Hashtbl.hash (1, i)
+  | Continuous f -> Hashtbl.hash (2, f)
+
+let pp fmt = function
+  | Categorical i -> Format.fprintf fmt "cat:%d" i
+  | Ordinal i -> Format.fprintf fmt "ord:%d" i
+  | Continuous f -> Format.fprintf fmt "%g" f
+
+let to_index = function
+  | Categorical i | Ordinal i -> i
+  | Continuous _ -> invalid_arg "Value.to_index: continuous value"
+
+let to_float_raw = function
+  | Continuous f -> f
+  | Categorical _ | Ordinal _ -> invalid_arg "Value.to_float_raw: discrete value"

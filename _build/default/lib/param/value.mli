@@ -1,0 +1,23 @@
+(** Runtime value of a single tunable parameter.
+
+    Discrete values are stored as indices into their declaring
+    [Spec.t]'s category/level table; continuous values are raw floats.
+    Values only make sense relative to a spec — see {!Spec.validate}. *)
+
+type t =
+  | Categorical of int  (** index into the spec's label table *)
+  | Ordinal of int  (** index into the spec's level table *)
+  | Continuous of float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_index : t -> int
+(** Index of a discrete value. Raises [Invalid_argument] for
+    [Continuous]. *)
+
+val to_float_raw : t -> float
+(** The float of a [Continuous] value. Raises [Invalid_argument] for
+    discrete values. *)

@@ -1,0 +1,1 @@
+lib/simulate/engine.mli:

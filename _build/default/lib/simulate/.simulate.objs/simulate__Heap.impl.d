@@ -1,0 +1,1 @@
+lib/simulate/heap.ml: Array Stdlib

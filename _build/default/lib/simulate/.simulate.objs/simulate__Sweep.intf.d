@@ -1,0 +1,1 @@
+lib/simulate/sweep.mli: Taskgraph

@@ -1,0 +1,1 @@
+lib/simulate/taskgraph.ml: Array Engine Float Heap List

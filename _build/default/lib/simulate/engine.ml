@@ -1,0 +1,33 @@
+type t = {
+  queue : (t -> unit) Heap.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.; processed = 0 }
+let now t = t.clock
+
+let schedule t ~at handler =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  Heap.push t.queue at handler
+
+let schedule_after t ~delay handler =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) handler
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, handler) ->
+      t.clock <- at;
+      t.processed <- t.processed + 1;
+      handler t;
+      true
+
+let run t =
+  while step t do
+    ()
+  done;
+  t.clock
+
+let events_processed t = t.processed

@@ -1,0 +1,16 @@
+(** Binary min-heap keyed by float priority — the event queue of the
+    discrete-event {!Engine}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry. Entries with equal keys
+    pop in unspecified relative order. *)
+
+val peek : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,56 @@
+let grid_of_ranks ranks =
+  if ranks < 1 then invalid_arg "Sweep.grid_of_ranks: positive rank count required";
+  let rec search p = if ranks mod p = 0 then (p, ranks / p) else search (p - 1) in
+  search (int_of_float (sqrt (float_of_int ranks)))
+
+let check_args ~px ~py ~work_units ~t_chunk ~t_msg =
+  if px < 1 || py < 1 then invalid_arg "Sweep: grid dimensions must be positive";
+  if work_units < 1 then invalid_arg "Sweep: work_units must be positive";
+  if t_chunk < 0. || t_msg < 0. then invalid_arg "Sweep: negative times"
+
+let makespan ~px ~py ~work_units ~t_chunk ~t_msg =
+  check_args ~px ~py ~work_units ~t_chunk ~t_msg;
+  (* Recurrence: C(i,j,u) = t_chunk + max of
+       C(i-1,j,u) + t_msg   (west upwind, cross-rank)
+       C(i,j-1,u) + t_msg   (south upwind, cross-rank)
+       C(i,j,u-1)           (same rank, pipeline order).
+     Since each rank's chunks form a chain, the dependency DAG's
+     longest path equals the list-schedule makespan, so the DP is
+     exact. Scanning i, then j, then u ascending lets one plane
+     [py x work_units] hold exactly the values each max needs: at the
+     moment (i,j,u) is computed, cell (j,u) still holds row i-1's
+     value (west), cell (j-1,u) already holds row i's value (south),
+     and cell (j,u-1) holds this rank's previous chunk. *)
+  let completion = Array.make_matrix py work_units 0. in
+  for i = 0 to px - 1 do
+    for j = 0 to py - 1 do
+      for u = 0 to work_units - 1 do
+        let from_west = if i = 0 then 0. else completion.(j).(u) +. t_msg in
+        let from_south = if j = 0 then 0. else completion.(j - 1).(u) +. t_msg in
+        let from_self = if u = 0 then 0. else completion.(j).(u - 1) in
+        let ready = Float.max from_west (Float.max from_south from_self) in
+        completion.(j).(u) <- ready +. t_chunk
+      done
+    done
+  done;
+  completion.(py - 1).(work_units - 1)
+
+let makespan_taskgraph ~px ~py ~work_units ~t_chunk ~t_msg =
+  check_args ~px ~py ~work_units ~t_chunk ~t_msg;
+  let id i j u = (((i * py) + j) * work_units) + u in
+  let tasks =
+    Array.init (px * py * work_units) (fun k ->
+        let u = k mod work_units in
+        let j = k / work_units mod py in
+        let i = k / (work_units * py) in
+        let deps = ref [] in
+        if i > 0 then deps := (id (i - 1) j u, t_msg) :: !deps;
+        if j > 0 then deps := (id i (j - 1) u, t_msg) :: !deps;
+        if u > 0 then deps := (id i j (u - 1), 0.) :: !deps;
+        { Taskgraph.duration = t_chunk; resource = (i * py) + j; deps = Array.of_list !deps })
+  in
+  Taskgraph.simulate ~n_resources:(px * py) tasks
+
+let pipeline_efficiency ~px ~py ~work_units ~t_chunk ~t_msg =
+  let total = makespan ~px ~py ~work_units ~t_chunk ~t_msg in
+  if total <= 0. then 1. else float_of_int work_units *. t_chunk /. total

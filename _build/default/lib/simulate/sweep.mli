@@ -1,0 +1,32 @@
+(** KBA transport-sweep wavefront simulator.
+
+    Kripke-style S_N transport sweeps a spatial domain decomposed over
+    a 2-D [px x py] rank grid (the Koch–Baker–Alcouffe scheme). Each
+    rank processes [work_units] pipeline chunks (group-set x
+    direction-set blocks); chunk [(i, j, u)] can start only when the
+    upwind chunks [(i-1, j, u)] and [(i, j-1, u)] have arrived (one
+    message latency each) and the rank has finished its previous chunk
+    [(i, j, u-1)]. The makespan of this dependence graph is what the
+    closed-form "pipeline efficiency" formulas approximate; here it is
+    computed exactly by dynamic programming over the wavefront order
+    (and, for validation, by the generic {!Taskgraph} simulator). *)
+
+val grid_of_ranks : int -> int * int
+(** Near-square 2-D factorization [px x py = ranks], [px <= py].
+    Requires a positive rank count. *)
+
+val makespan : px:int -> py:int -> work_units:int -> t_chunk:float -> t_msg:float -> float
+(** Exact makespan of one full sweep by dynamic programming.
+    Requires positive dimensions and unit count and non-negative
+    times. O(px * py * work_units) time, O(py * work_units) space. *)
+
+val makespan_taskgraph :
+  px:int -> py:int -> work_units:int -> t_chunk:float -> t_msg:float -> Taskgraph.result
+(** The same instance run through the event-driven {!Taskgraph}
+    scheduler (each rank is a serial resource). Used to cross-validate
+    the DP; the two makespans must agree. *)
+
+val pipeline_efficiency : px:int -> py:int -> work_units:int -> t_chunk:float -> t_msg:float -> float
+(** Useful-work fraction: [work_units * t_chunk / makespan]. In
+    (0, 1]; approaches 1 as [work_units] grows (deep pipelining) and
+    degrades with grid diameter (wavefront fill) and message cost. *)

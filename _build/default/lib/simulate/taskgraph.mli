@@ -1,0 +1,31 @@
+(** Event-driven list scheduling of task DAGs over serial resources.
+
+    A task has a duration, a set of predecessor tasks, and a resource
+    (e.g. an MPI rank); a resource executes one task at a time in
+    ready order. Edges may carry a communication latency that is paid
+    only when the two endpoints live on different resources. The
+    simulator computes each task's completion time and the overall
+    makespan — the substrate behind the {!Sweep} wavefront model, and
+    a general tool for modelling pipelined HPC phases. *)
+
+type task = {
+  duration : float;  (** execution time on its resource; >= 0 *)
+  resource : int;  (** serial resource id, [0 <= resource < n_resources] *)
+  deps : (int * float) array;
+      (** (predecessor task id, message latency); latency is charged
+          only when the predecessor ran on a different resource *)
+}
+
+type result = {
+  makespan : float;
+  completion : float array;  (** per-task completion time *)
+  events : int;  (** engine events processed *)
+}
+
+val simulate : n_resources:int -> task array -> result
+(** Task ids are array indices; dependencies must point to earlier
+    indices (the DAG must be topologically ordered), otherwise
+    [Invalid_argument] is raised. Ready tasks on the same resource
+    execute in ready-time order; the order among tasks that become
+    ready at exactly the same instant is deterministic but
+    unspecified. *)

@@ -1,0 +1,1 @@
+lib/stats/bootstrap.mli: Prng

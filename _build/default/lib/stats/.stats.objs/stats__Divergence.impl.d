@@ -1,0 +1,1 @@
+lib/stats/divergence.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/stats/kde.ml: Array Descriptive Prng Quantile Stdlib

@@ -1,0 +1,1 @@
+lib/stats/quantile.ml: Array Descriptive Float Stdlib

@@ -1,0 +1,29 @@
+type interval = { lo : float; hi : float; point : float }
+
+let mean xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let mean_ci ?(resamples = 2000) ?(confidence = 0.95) ~rng xs =
+  if Array.length xs = 0 then invalid_arg "Bootstrap.mean_ci: empty data";
+  if resamples < 1 then invalid_arg "Bootstrap.mean_ci: resamples must be positive";
+  if confidence <= 0. || confidence >= 1. then invalid_arg "Bootstrap.mean_ci: confidence outside (0, 1)";
+  let n = Array.length xs in
+  let means =
+    Array.init resamples (fun _ ->
+        let acc = ref 0. in
+        for _ = 1 to n do
+          acc := !acc +. xs.(Prng.Rng.int rng n)
+        done;
+        !acc /. float_of_int n)
+  in
+  let tail = (1. -. confidence) /. 2. in
+  {
+    lo = Quantile.quantile means tail;
+    hi = Quantile.quantile means (1. -. tail);
+    point = mean xs;
+  }
+
+let paired_diff_ci ?resamples ?confidence ~rng a b =
+  if Array.length a <> Array.length b then invalid_arg "Bootstrap.paired_diff_ci: length mismatch";
+  mean_ci ?resamples ?confidence ~rng (Array.map2 ( -. ) a b)
+
+let significant { lo; hi; _ } = lo > 0. || hi < 0.

@@ -1,0 +1,22 @@
+(** Bootstrap confidence intervals.
+
+    The experiment harness reports method comparisons as mean +- std
+    over 50 seeded repetitions; the bootstrap turns the paired
+    per-repetition differences into a confidence interval so "A beats
+    B" claims carry uncertainty (percentile bootstrap). *)
+
+type interval = { lo : float; hi : float; point : float }
+
+val mean_ci : ?resamples:int -> ?confidence:float -> rng:Prng.Rng.t -> float array -> interval
+(** Percentile-bootstrap CI for the mean. [resamples] defaults to
+    2000, [confidence] to 0.95 (must lie in (0, 1)). Raises
+    [Invalid_argument] on empty data. *)
+
+val paired_diff_ci :
+  ?resamples:int -> ?confidence:float -> rng:Prng.Rng.t -> float array -> float array -> interval
+(** CI for [mean (a - b)] over paired samples (equal lengths). An
+    interval excluding 0 indicates a significant difference at the
+    chosen confidence. *)
+
+val significant : interval -> bool
+(** Whether the interval excludes zero. *)

@@ -1,0 +1,42 @@
+let check name xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg ("Correlation." ^ name ^ ": length mismatch");
+  if Array.length xs < 2 then invalid_arg ("Correlation." ^ name ^ ": need at least two points")
+
+let pearson xs ys =
+  check "pearson" xs ys;
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0. a /. n in
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* Extend over the run of ties and assign the average rank. *)
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      out.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman xs ys =
+  check "spearman" xs ys;
+  pearson (ranks xs) (ranks ys)

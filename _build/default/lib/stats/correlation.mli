@@ -1,0 +1,17 @@
+(** Correlation coefficients.
+
+    Used to quantify how well a sampled importance ranking recovers
+    the exhaustive one, and how correlated the transfer source and
+    target domains are. *)
+
+val pearson : float array -> float array -> float
+(** Linear correlation in [-1, 1]. Raises [Invalid_argument] on
+    mismatched lengths or fewer than two points; returns 0 when either
+    input has zero variance. *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation: Pearson on fractional ranks (ties get the
+    average rank of their run). *)
+
+val ranks : float array -> float array
+(** Fractional ranks (1-based; ties averaged) — exposed for tests. *)

@@ -1,0 +1,40 @@
+(** Gaussian kernel density estimation.
+
+    HiPerBOt estimates the densities of continuous parameters with
+    Gaussian KDE using a fixed bandwidth (paper §III-B2). A
+    Silverman's-rule bandwidth is also provided for the ablation bench
+    in DESIGN.md. Sample weights support the transfer-learning prior
+    mix (paper eqs. 9–10). *)
+
+type t
+
+val create : ?bandwidth:float -> float array -> t
+(** [create xs] builds a KDE over the samples. The default bandwidth
+    is a fixed fraction (10%) of the sample range, clamped away from
+    zero — the paper's "gaussian kernels with a fixed bandwidth".
+    Raises [Invalid_argument] on empty input. *)
+
+val create_weighted : ?bandwidth:float -> (float * float) array -> t
+(** [(sample, weight)] pairs; weights must be non-negative with a
+    positive sum. *)
+
+val silverman_bandwidth : float array -> float
+(** Silverman's rule of thumb: [0.9 * min(sigma, IQR/1.34) * n^(-1/5)],
+    clamped to a small positive floor for degenerate data. *)
+
+val bandwidth : t -> float
+val n_samples : t -> int
+
+val pdf : t -> float -> float
+(** Density at a point; integrates to 1 over the real line. *)
+
+val log_pdf : t -> float -> float
+val sample : t -> Prng.Rng.t -> float
+(** Draw from the estimated density (pick a kernel center by weight,
+    then add Gaussian noise) — the Proposal selection strategy of
+    paper §III-D. *)
+
+val merge_weighted : prior:t -> w:float -> t -> t
+(** Weighted-prior mix: the result's sample set is the union, with the
+    prior's weights scaled by [w] (paper eqs. 9–10). Bandwidth is
+    taken from the target estimate. *)

@@ -1,0 +1,26 @@
+(** Single-pass running mean/variance (Welford's algorithm).
+
+    Used by the experiment runner to accumulate statistics over the
+    50 seeded repetitions of each experiment without retaining every
+    sample. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when no samples have been added. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel update). *)

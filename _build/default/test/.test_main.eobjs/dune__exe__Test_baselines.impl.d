@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Dataset Float Graphlib Param Prng

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset List Param String

@@ -1,0 +1,1 @@
+test/test_gbt.ml: Alcotest Array Baselines Gbt Param Prng

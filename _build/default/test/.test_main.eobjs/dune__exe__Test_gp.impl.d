@@ -1,0 +1,1 @@
+test/test_gp.ml: Alcotest Array Float Gp Linalg

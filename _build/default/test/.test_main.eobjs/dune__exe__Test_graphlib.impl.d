@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Graphlib List Param

@@ -1,0 +1,1 @@
+test/test_hiperbot.ml: Alcotest Array Float Hiperbot List Option Param Prng QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hpcsim.ml: Alcotest Array Dataset Float Hashtbl Hpcsim List Param Simulate

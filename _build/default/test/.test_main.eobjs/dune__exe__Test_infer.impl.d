@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Array Dataset Hiperbot List Param Prng

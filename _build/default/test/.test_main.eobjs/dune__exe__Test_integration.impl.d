@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Dataset Hiperbot Hpcsim Kernels Metrics Parallel Param Prng

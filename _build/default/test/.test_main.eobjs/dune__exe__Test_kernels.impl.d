@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float Kernels List Parallel Param Prng

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Baselines Dataset Float Metrics Param Prng

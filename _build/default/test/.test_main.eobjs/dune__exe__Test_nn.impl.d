@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Nn Prng

@@ -1,0 +1,1 @@
+test/test_param.ml: Alcotest Array Param Prng QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Hashtbl Int64 Prng QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runlog.ml: Alcotest Array Dataset Filename Fun Hiperbot Param Prng Sys

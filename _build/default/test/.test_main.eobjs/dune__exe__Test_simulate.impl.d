@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array List Printf Prng Simulate

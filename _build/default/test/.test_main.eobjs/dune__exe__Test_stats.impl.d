@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Prng QCheck2 QCheck_alcotest Stats

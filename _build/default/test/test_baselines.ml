@@ -1,0 +1,153 @@
+(* Tests for the baseline tuners. *)
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let space =
+  Param.Space.make
+    [ Param.Spec.categorical "c" [ "a"; "b"; "x" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ] ]
+
+let objective config =
+  let c = Param.Value.to_index config.(0) in
+  let o = Param.Value.to_index config.(1) in
+  1. +. float_of_int (((c * 4) + o + 5) mod 12)
+
+(* ---- Outcome ---- *)
+
+let test_outcome_of_history () =
+  let mk i = [| Param.Value.Categorical (i mod 3); Param.Value.Ordinal (i mod 4) |] in
+  let history = [| (mk 0, 5.); (mk 1, 3.); (mk 2, 4.) |] in
+  let o = Baselines.Outcome.of_history history in
+  check feq "best value" 3. o.Baselines.Outcome.best_value;
+  check (Alcotest.array feq) "trajectory" [| 5.; 3.; 3. |] o.Baselines.Outcome.trajectory;
+  check Alcotest.bool "best config" true (Param.Config.equal o.Baselines.Outcome.best_config (mk 1))
+
+let test_outcome_empty () =
+  Alcotest.check_raises "empty history" (Invalid_argument "Outcome.of_history: empty history")
+    (fun () -> ignore (Baselines.Outcome.of_history [||]))
+
+(* ---- Random search ---- *)
+
+let test_random_distinct () =
+  let o = Baselines.Random_search.run ~rng:(Prng.Rng.create 1) ~space ~objective ~budget:10 () in
+  check Alcotest.int "exactly budget evaluations" 10 (Array.length o.Baselines.Outcome.history);
+  let seen = Param.Config.Table.create 10 in
+  Array.iter
+    (fun (c, _) ->
+      if Param.Config.Table.mem seen c then Alcotest.fail "duplicate draw";
+      Param.Config.Table.replace seen c ())
+    o.Baselines.Outcome.history
+
+let test_random_covers_space () =
+  let o = Baselines.Random_search.run ~rng:(Prng.Rng.create 2) ~space ~objective ~budget:999 () in
+  check Alcotest.int "capped at space size" 12 (Array.length o.Baselines.Outcome.history);
+  check feq "finds the optimum when exhausting" 1. o.Baselines.Outcome.best_value
+
+(* ---- Exhaustive ---- *)
+
+let test_exhaustive () =
+  let table = Dataset.Table.create ~name:"toy" ~space ~objective in
+  let config, value = Baselines.Exhaustive.best table in
+  check feq "best value" 1. value;
+  check feq "objective agrees" 1. (objective config);
+  let o = Baselines.Exhaustive.run table in
+  check Alcotest.int "full history" 12 (Array.length o.Baselines.Outcome.history);
+  check feq "outcome best" 1. o.Baselines.Outcome.best_value
+
+(* ---- GEIST ---- *)
+
+let test_geist_budget_and_validity () =
+  let o = Baselines.Geist.run ~rng:(Prng.Rng.create 3) ~space ~objective ~budget:10 () in
+  check Alcotest.int "budget respected" 10 (Array.length o.Baselines.Outcome.history);
+  Array.iter
+    (fun (c, _) -> check Alcotest.bool "valid config" true (Param.Space.validate space c))
+    o.Baselines.Outcome.history
+
+let test_geist_no_duplicates () =
+  let o = Baselines.Geist.run ~rng:(Prng.Rng.create 4) ~space ~objective ~budget:12 () in
+  let seen = Param.Config.Table.create 12 in
+  Array.iter
+    (fun (c, _) ->
+      if Param.Config.Table.mem seen c then Alcotest.fail "duplicate evaluation";
+      Param.Config.Table.replace seen c ())
+    o.Baselines.Outcome.history;
+  check feq "exhausting finds optimum" 1. o.Baselines.Outcome.best_value
+
+let test_geist_shared_graph () =
+  let graph = Graphlib.Lattice.build space in
+  let a = Baselines.Geist.run ~graph ~rng:(Prng.Rng.create 5) ~space ~objective ~budget:8 () in
+  let b = Baselines.Geist.run ~graph ~rng:(Prng.Rng.create 5) ~space ~objective ~budget:8 () in
+  check feq "shared graph deterministic" a.Baselines.Outcome.best_value b.Baselines.Outcome.best_value
+
+let test_geist_rejects_wrong_graph () =
+  let other = Param.Space.make [ Param.Spec.ordinal_ints "z" [ 1; 2 ] ] in
+  let graph = Graphlib.Lattice.build other in
+  Alcotest.check_raises "graph size mismatch"
+    (Invalid_argument "Geist.run: graph node count does not match the space") (fun () ->
+      ignore (Baselines.Geist.run ~graph ~rng:(Prng.Rng.create 1) ~space ~objective ~budget:5 ()))
+
+(* ---- PerfNet ---- *)
+
+let bigger_space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "c" [ "a"; "b"; "x" ];
+      Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ];
+      Param.Spec.ordinal_ints "p" [ 0; 1; 2; 3; 4 ];
+    ]
+
+let bigger_objective config =
+  let c = Param.Value.to_index config.(0) in
+  let o = Param.Value.to_index config.(1) in
+  let p = Param.Value.to_index config.(2) in
+  1. +. float_of_int c +. Float.abs (float_of_int o -. 2.) +. (0.5 *. Float.abs (float_of_int p -. 1.))
+
+let test_perfnet_runs_and_learns () =
+  let source =
+    Array.map (fun c -> (c, bigger_objective c)) (Param.Space.enumerate bigger_space)
+  in
+  let o =
+    Baselines.Perfnet.run ~rng:(Prng.Rng.create 6) ~space:bigger_space ~source
+      ~objective:bigger_objective ~budget:20 ()
+  in
+  check Alcotest.int "budget respected" 20 (Array.length o.Baselines.Outcome.history);
+  (* With a perfect source model, PerfNet should find a near-optimal
+     config (best value 1.0). *)
+  check Alcotest.bool "near-optimal found" true (o.Baselines.Outcome.best_value <= 1.5)
+
+let test_perfnet_validation () =
+  Alcotest.check_raises "empty source" (Invalid_argument "Perfnet.run: empty source data")
+    (fun () ->
+      ignore
+        (Baselines.Perfnet.run ~rng:(Prng.Rng.create 1) ~space ~source:[||] ~objective ~budget:5 ()))
+
+(* ---- GP tuner ---- *)
+
+let test_gp_tuner_runs () =
+  let o = Baselines.Gp_tuner.run ~rng:(Prng.Rng.create 7) ~space:bigger_space ~objective:bigger_objective ~budget:30 () in
+  check Alcotest.int "budget respected" 30 (Array.length o.Baselines.Outcome.history);
+  let seen = Param.Config.Table.create 30 in
+  Array.iter
+    (fun (c, _) ->
+      if Param.Config.Table.mem seen c then Alcotest.fail "duplicate evaluation";
+      Param.Config.Table.replace seen c ())
+    o.Baselines.Outcome.history;
+  check Alcotest.bool "beats the worst" true (o.Baselines.Outcome.best_value <= 1.5)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "baselines",
+    [
+      tc "outcome of_history" `Quick test_outcome_of_history;
+      tc "outcome empty" `Quick test_outcome_empty;
+      tc "random: distinct draws" `Quick test_random_distinct;
+      tc "random: covers space" `Quick test_random_covers_space;
+      tc "exhaustive" `Quick test_exhaustive;
+      tc "geist: budget and validity" `Quick test_geist_budget_and_validity;
+      tc "geist: no duplicates" `Quick test_geist_no_duplicates;
+      tc "geist: shared graph" `Quick test_geist_shared_graph;
+      tc "geist: rejects wrong graph" `Quick test_geist_rejects_wrong_graph;
+      tc "perfnet: runs and learns" `Quick test_perfnet_runs_and_learns;
+      tc "perfnet: validation" `Quick test_perfnet_validation;
+      tc "gp tuner: runs" `Quick test_gp_tuner_runs;
+    ] )

@@ -1,0 +1,101 @@
+(* Unit tests for the dataset library. *)
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let space =
+  Param.Space.make
+    [ Param.Spec.categorical "a" [ "x"; "y" ]; Param.Spec.ordinal_ints "b" [ 1; 2; 3 ] ]
+
+(* Objective: index-based so every row value is distinct and known. *)
+let objective config =
+  let a = Param.Value.to_index config.(0) in
+  let b = Param.Value.to_index config.(1) in
+  float_of_int ((a * 3) + b + 1)
+
+let table = Dataset.Table.create ~name:"toy" ~space ~objective
+
+let test_size_and_lookup () =
+  check Alcotest.int "size" 6 (Dataset.Table.size table);
+  check Alcotest.string "name" "toy" (Dataset.Table.name table);
+  let c = [| Param.Value.Categorical 1; Param.Value.Ordinal 2 |] in
+  check feq "lookup" 6. (Dataset.Table.lookup table c);
+  check Alcotest.bool "mem" true (Dataset.Table.mem table c);
+  check feq "objective_fn" 6. (Dataset.Table.objective_fn table c)
+
+let test_lookup_missing () =
+  let other = Param.Space.make [ Param.Spec.ordinal_ints "z" [ 0 ] ] in
+  let c = Param.Space.config_of_rank other 0 in
+  Alcotest.check_raises "missing config" Not_found (fun () ->
+      ignore (Dataset.Table.lookup table c))
+
+let test_best () =
+  let config, value = Dataset.Table.best table in
+  check feq "best value" 1. value;
+  check Alcotest.bool "best config" true
+    (Param.Config.equal config [| Param.Value.Categorical 0; Param.Value.Ordinal 0 |]);
+  check feq "best_value" 1. (Dataset.Table.best_value table)
+
+let test_good_sets () =
+  (* values are 1..6 *)
+  let test_pct, n_pct = Dataset.Table.good_set_percentile table 0.34 in
+  check Alcotest.bool "percentile includes best" true
+    (test_pct [| Param.Value.Categorical 0; Param.Value.Ordinal 0 |]);
+  check Alcotest.bool "count plausible" true (n_pct >= 2 && n_pct <= 3);
+  let test_tol, n_tol = Dataset.Table.good_set_tolerance table 1.0 in
+  (* within 2x of best=1: values 1 and 2 *)
+  check Alcotest.int "tolerance count" 2 n_tol;
+  check Alcotest.bool "tolerance membership" true
+    (test_tol [| Param.Value.Categorical 0; Param.Value.Ordinal 1 |]);
+  check Alcotest.bool "tolerance non-membership" false
+    (test_tol [| Param.Value.Categorical 1; Param.Value.Ordinal 2 |])
+
+let test_count_within () =
+  check Alcotest.int "count within 3.5" 3 (Dataset.Table.count_within table 3.5)
+
+let test_csv_roundtrip () =
+  let csv = Dataset.Table.to_csv table in
+  let parsed = Dataset.Table.of_csv ~name:"copy" ~space csv in
+  check Alcotest.int "roundtrip size" (Dataset.Table.size table) (Dataset.Table.size parsed);
+  for i = 0 to Dataset.Table.size table - 1 do
+    let c = Dataset.Table.config table i in
+    check feq "roundtrip objective" (Dataset.Table.lookup table c) (Dataset.Table.lookup parsed c)
+  done
+
+let test_csv_header () =
+  let csv = Dataset.Table.to_csv table in
+  let first_line = List.hd (String.split_on_char '\n' csv) in
+  check Alcotest.string "header" "a,b,objective" first_line
+
+let test_of_rows_rejects_duplicates () =
+  let c = [| Param.Value.Categorical 0; Param.Value.Ordinal 0 |] in
+  Alcotest.check_raises "duplicate rows"
+    (Invalid_argument "Table dup: duplicate configuration at row 1") (fun () ->
+      ignore (Dataset.Table.of_rows ~name:"dup" ~space [| (c, 1.); (Array.copy c, 2.) |]))
+
+let test_of_rows_rejects_invalid () =
+  let c = [| Param.Value.Categorical 5; Param.Value.Ordinal 0 |] in
+  Alcotest.check_raises "invalid row"
+    (Invalid_argument "Table bad: invalid configuration at row 0") (fun () ->
+      ignore (Dataset.Table.of_rows ~name:"bad" ~space [| (c, 1.) |]))
+
+let test_objectives_copy () =
+  let ys = Dataset.Table.objectives table in
+  ys.(0) <- 999.;
+  check feq "objectives returns a copy" 1. (Dataset.Table.objective table 0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "dataset",
+    [
+      tc "size and lookup" `Quick test_size_and_lookup;
+      tc "lookup missing" `Quick test_lookup_missing;
+      tc "best" `Quick test_best;
+      tc "good sets" `Quick test_good_sets;
+      tc "count within" `Quick test_count_within;
+      tc "csv roundtrip" `Quick test_csv_roundtrip;
+      tc "csv header" `Quick test_csv_header;
+      tc "of_rows rejects duplicates" `Quick test_of_rows_rejects_duplicates;
+      tc "of_rows rejects invalid" `Quick test_of_rows_rejects_invalid;
+      tc "objectives returns a copy" `Quick test_objectives_copy;
+    ] )

@@ -1,0 +1,134 @@
+(* Tests for regression trees and gradient boosting. *)
+
+let check = Alcotest.check
+
+let xor_data () =
+  (* A function a depth-1 tree cannot represent but depth-2 can. *)
+  let inputs = [| [| 0.; 0. |]; [| 0.; 1. |]; [| 1.; 0. |]; [| 1.; 1. |] |] in
+  let targets = [| 0.; 1.; 1.; 0. |] in
+  (inputs, targets)
+
+let test_tree_constant_data () =
+  let t = Gbt.Tree.fit ~inputs:[| [| 0. |]; [| 1. |] |] ~targets:[| 5.; 5. |] () in
+  check (Alcotest.float 1e-12) "predicts the constant" 5. (Gbt.Tree.predict t [| 0.5 |]);
+  check Alcotest.int "single leaf" 1 (Gbt.Tree.n_leaves t)
+
+let test_tree_simple_split () =
+  let inputs = [| [| 0. |]; [| 1. |]; [| 2. |]; [| 10. |]; [| 11. |]; [| 12. |] |] in
+  let targets = [| 1.; 1.; 1.; 9.; 9.; 9. |] in
+  let t = Gbt.Tree.fit ~params:{ Gbt.Tree.max_depth = 1; min_samples_leaf = 1 } ~inputs ~targets () in
+  check (Alcotest.float 1e-12) "left leaf" 1. (Gbt.Tree.predict t [| -5. |]);
+  check (Alcotest.float 1e-12) "right leaf" 9. (Gbt.Tree.predict t [| 50. |]);
+  check Alcotest.int "two leaves" 2 (Gbt.Tree.n_leaves t);
+  check Alcotest.int "depth 1" 1 (Gbt.Tree.depth t)
+
+let test_tree_xor_needs_depth () =
+  let inputs, targets = xor_data () in
+  let shallow = Gbt.Tree.fit ~params:{ Gbt.Tree.max_depth = 1; min_samples_leaf = 1 } ~inputs ~targets () in
+  let deep = Gbt.Tree.fit ~params:{ Gbt.Tree.max_depth = 2; min_samples_leaf = 1 } ~inputs ~targets () in
+  let mse t =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Gbt.Tree.predict t x -. targets.(i) in
+        acc := !acc +. (d *. d))
+      inputs;
+    !acc /. 4.
+  in
+  check Alcotest.bool "depth-2 fits xor exactly" true (mse deep < 1e-12);
+  check Alcotest.bool "depth-1 cannot" true (mse shallow > 0.1)
+
+let test_tree_min_samples_leaf () =
+  let inputs = [| [| 0. |]; [| 1. |]; [| 2. |] |] in
+  let targets = [| 0.; 1.; 2. |] in
+  let t = Gbt.Tree.fit ~params:{ Gbt.Tree.max_depth = 5; min_samples_leaf = 2 } ~inputs ~targets () in
+  (* Only 3 samples and min leaf 2: at most one split is impossible
+     (2+2 > 3), so the tree must stay a single leaf. *)
+  check Alcotest.int "no split possible" 1 (Gbt.Tree.n_leaves t)
+
+let test_tree_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Tree.fit: empty data") (fun () ->
+      ignore (Gbt.Tree.fit ~inputs:[||] ~targets:[||] ()));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Tree.fit: input/target length mismatch")
+    (fun () -> ignore (Gbt.Tree.fit ~inputs:[| [| 0. |] |] ~targets:[| 1.; 2. |] ()))
+
+let smooth_data () =
+  let rng = Prng.Rng.create 11 in
+  let inputs = Array.init 200 (fun _ -> [| Prng.Rng.float rng; Prng.Rng.float rng |]) in
+  let f x = (3. *. x.(0)) +. sin (6. *. x.(1)) in
+  (inputs, Array.map f inputs)
+
+let test_boosted_fits_smooth_function () =
+  let inputs, targets = smooth_data () in
+  let model = Gbt.Boosted.fit ~inputs ~targets () in
+  check Alcotest.int "n_trees" 100 (Gbt.Boosted.n_trees model);
+  check Alcotest.bool "training mse small" true (Gbt.Boosted.training_mse model ~inputs ~targets < 0.01)
+
+let test_boosted_staged_monotone () =
+  let inputs, targets = smooth_data () in
+  let model = Gbt.Boosted.fit ~inputs ~targets () in
+  let staged = Gbt.Boosted.staged_mse model ~inputs ~targets in
+  check Alcotest.bool "more trees never hurt training mse (squared loss)" true
+    (staged.(Array.length staged - 1) <= staged.(0));
+  check (Alcotest.float 1e-9) "final stage equals training_mse"
+    (Gbt.Boosted.training_mse model ~inputs ~targets)
+    staged.(Array.length staged - 1)
+
+let test_boosted_beats_single_tree () =
+  let inputs, targets = smooth_data () in
+  let tree = Gbt.Tree.fit ~inputs ~targets () in
+  let tree_mse =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Gbt.Tree.predict tree x -. targets.(i) in
+        acc := !acc +. (d *. d))
+      inputs;
+    !acc /. float_of_int (Array.length inputs)
+  in
+  let model = Gbt.Boosted.fit ~inputs ~targets () in
+  check Alcotest.bool "ensemble beats one tree" true
+    (Gbt.Boosted.training_mse model ~inputs ~targets < tree_mse)
+
+let test_boosted_validation () =
+  Alcotest.check_raises "bad lr" (Invalid_argument "Boosted.fit: learning_rate outside (0, 1]")
+    (fun () ->
+      ignore
+        (Gbt.Boosted.fit
+           ~params:{ Gbt.Boosted.default_params with learning_rate = 0. }
+           ~inputs:[| [| 0. |] |] ~targets:[| 1. |] ()))
+
+let test_gbt_tuner_runs () =
+  let space =
+    Param.Space.make
+      [ Param.Spec.ordinal_ints "a" [ 0; 1; 2; 3; 4 ]; Param.Spec.ordinal_ints "b" [ 0; 1; 2; 3; 4 ] ]
+  in
+  let objective c =
+    let v i = float_of_int (Param.Value.to_index c.(i)) in
+    1. +. ((v 0 -. 2.) ** 2.) +. ((v 1 -. 3.) ** 2.)
+  in
+  let o = Baselines.Gbt_tuner.run ~rng:(Prng.Rng.create 5) ~space ~objective ~budget:24 () in
+  check Alcotest.int "budget respected" 24 (Array.length o.Baselines.Outcome.history);
+  let seen = Param.Config.Table.create 24 in
+  Array.iter
+    (fun (c, _) ->
+      if Param.Config.Table.mem seen c then Alcotest.fail "duplicate evaluation";
+      Param.Config.Table.replace seen c ())
+    o.Baselines.Outcome.history;
+  check Alcotest.bool "near optimum" true (o.Baselines.Outcome.best_value <= 2.)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "gbt",
+    [
+      tc "tree: constant data" `Quick test_tree_constant_data;
+      tc "tree: simple split" `Quick test_tree_simple_split;
+      tc "tree: xor needs depth" `Quick test_tree_xor_needs_depth;
+      tc "tree: min samples leaf" `Quick test_tree_min_samples_leaf;
+      tc "tree: validation" `Quick test_tree_validation;
+      tc "boosted: fits smooth function" `Quick test_boosted_fits_smooth_function;
+      tc "boosted: staged mse" `Quick test_boosted_staged_monotone;
+      tc "boosted: beats a single tree" `Quick test_boosted_beats_single_tree;
+      tc "boosted: validation" `Quick test_boosted_validation;
+      tc "gbt tuner runs" `Quick test_gbt_tuner_runs;
+    ] )

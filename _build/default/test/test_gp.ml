@@ -1,0 +1,92 @@
+(* Tests for the Gaussian-process regression substrate. *)
+
+let check = Alcotest.check
+
+let test_kernel_values () =
+  let k = Gp.Kernel.rbf ~lengthscale:1. ~variance:2. () in
+  check (Alcotest.float 1e-9) "k(x,x) = variance" 2. (Gp.Kernel.eval k [| 1.; 2. |] [| 1.; 2. |]);
+  check Alcotest.bool "decays with distance" true
+    (Gp.Kernel.eval k [| 0. |] [| 1. |] > Gp.Kernel.eval k [| 0. |] [| 3. |]);
+  let m = Gp.Kernel.matern52 () in
+  check (Alcotest.float 1e-9) "matern self" 1. (Gp.Kernel.eval m [| 0. |] [| 0. |])
+
+let test_kernel_validation () =
+  Alcotest.check_raises "bad lengthscale" (Invalid_argument "Kernel: non-positive lengthscale")
+    (fun () -> ignore (Gp.Kernel.rbf ~lengthscale:0. ()));
+  Alcotest.check_raises "bad variance" (Invalid_argument "Kernel: non-positive variance") (fun () ->
+      ignore (Gp.Kernel.rbf ~variance:(-1.) ()))
+
+let test_gram_symmetric_psd_diag () =
+  let k = Gp.Kernel.rbf () in
+  let pts = [| [| 0. |]; [| 1. |]; [| 2.5 |] |] in
+  let g = Gp.Kernel.gram k pts in
+  for i = 0 to 2 do
+    check (Alcotest.float 1e-12) "unit diagonal" 1. (Linalg.Mat.get g i i);
+    for j = 0 to 2 do
+      check (Alcotest.float 1e-12) "symmetric" (Linalg.Mat.get g i j) (Linalg.Mat.get g j i)
+    done
+  done
+
+let train_1d () =
+  let inputs = [| [| 0. |]; [| 1. |]; [| 2. |]; [| 3. |]; [| 4. |] |] in
+  let targets = Array.map (fun x -> sin x.(0)) inputs in
+  Gp.Gpr.fit ~kernel:(Gp.Kernel.rbf ~lengthscale:1. ()) ~noise:1e-6 ~inputs ~targets ()
+
+let test_gp_interpolates () =
+  let gp = train_1d () in
+  check Alcotest.int "n_train" 5 (Gp.Gpr.n_train gp);
+  for i = 0 to 4 do
+    let x = [| float_of_int i |] in
+    let mean, variance = Gp.Gpr.predict gp x in
+    check (Alcotest.float 1e-2) "mean interpolates" (sin (float_of_int i)) mean;
+    check Alcotest.bool "variance tiny at training points" true (variance < 1e-3)
+  done
+
+let test_gp_uncertainty_grows () =
+  let gp = train_1d () in
+  let _, v_near = Gp.Gpr.predict gp [| 2. |] in
+  let _, v_far = Gp.Gpr.predict gp [| 10. |] in
+  check Alcotest.bool "variance grows away from data" true (v_far > v_near);
+  check Alcotest.bool "variance non-negative" true (v_near >= 0.)
+
+let test_gp_ei () =
+  let gp = train_1d () in
+  (* EI against an incumbent equal to the global minimum of the data:
+     non-negative everywhere, larger in unexplored regions. *)
+  let best = -1. in
+  let ei_far = Gp.Gpr.expected_improvement gp ~best [| 10. |] in
+  let ei_at_known = Gp.Gpr.expected_improvement gp ~best [| 0. |] in
+  check Alcotest.bool "ei non-negative" true (ei_far >= 0. && ei_at_known >= 0.);
+  check Alcotest.bool "ei larger in unexplored region" true (ei_far > ei_at_known)
+
+let test_gp_log_marginal_finite () =
+  let gp = train_1d () in
+  check Alcotest.bool "finite log marginal" true (Float.is_finite (Gp.Gpr.log_marginal_likelihood gp))
+
+let test_gp_validation () =
+  Alcotest.check_raises "empty data" (Invalid_argument "Gpr.fit: empty data") (fun () ->
+      ignore (Gp.Gpr.fit ~inputs:[||] ~targets:[||] ()));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Gpr.fit: input/target length mismatch")
+    (fun () -> ignore (Gp.Gpr.fit ~inputs:[| [| 0. |] |] ~targets:[| 1.; 2. |] ()))
+
+let test_gp_constant_targets () =
+  (* Degenerate data (zero variance) must not crash. *)
+  let inputs = [| [| 0. |]; [| 1. |] |] in
+  let gp = Gp.Gpr.fit ~inputs ~targets:[| 3.; 3. |] () in
+  let mean, _ = Gp.Gpr.predict gp [| 0.5 |] in
+  check (Alcotest.float 0.2) "predicts the constant" 3. mean
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "gp",
+    [
+      tc "kernel values" `Quick test_kernel_values;
+      tc "kernel validation" `Quick test_kernel_validation;
+      tc "gram symmetric" `Quick test_gram_symmetric_psd_diag;
+      tc "gp interpolates" `Quick test_gp_interpolates;
+      tc "gp uncertainty grows" `Quick test_gp_uncertainty_grows;
+      tc "gp expected improvement" `Quick test_gp_ei;
+      tc "gp log marginal finite" `Quick test_gp_log_marginal_finite;
+      tc "gp validation" `Quick test_gp_validation;
+      tc "gp constant targets" `Quick test_gp_constant_targets;
+    ] )

@@ -1,0 +1,149 @@
+(* Tests for graphs, lattice/k-NN construction, and CAMLP label
+   propagation. *)
+
+let check = Alcotest.check
+
+(* ---- Graph ---- *)
+
+let path4 = Graphlib.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ]
+
+let test_graph_basics () =
+  check Alcotest.int "nodes" 4 (Graphlib.Graph.n_nodes path4);
+  check Alcotest.int "edges" 3 (Graphlib.Graph.n_edges path4);
+  check Alcotest.int "degree endpoint" 1 (Graphlib.Graph.degree path4 0);
+  check Alcotest.int "degree middle" 2 (Graphlib.Graph.degree path4 1);
+  check Alcotest.bool "mem_edge" true (Graphlib.Graph.mem_edge path4 1 2);
+  check Alcotest.bool "mem_edge symmetric" true (Graphlib.Graph.mem_edge path4 2 1);
+  check Alcotest.bool "no edge" false (Graphlib.Graph.mem_edge path4 0 3)
+
+let test_graph_rejects_bad_edges () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore (Graphlib.Graph.of_edges ~n:2 [ (0, 0) ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.of_edges: duplicate edge") (fun () ->
+      ignore (Graphlib.Graph.of_edges ~n:2 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.of_edges: node out of range")
+    (fun () -> ignore (Graphlib.Graph.of_edges ~n:2 [ (0, 5) ]))
+
+let test_connected_components () =
+  let g = Graphlib.Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  let comp = Graphlib.Graph.connected_components g in
+  check Alcotest.bool "0 and 1 together" true (comp.(0) = comp.(1));
+  check Alcotest.bool "2 and 3 together" true (comp.(2) = comp.(3));
+  check Alcotest.bool "0 and 2 apart" false (comp.(0) = comp.(2));
+  check Alcotest.bool "not connected" false (Graphlib.Graph.is_connected g);
+  check Alcotest.bool "path connected" true (Graphlib.Graph.is_connected path4)
+
+let test_fold_neighbors () =
+  let sum = Graphlib.Graph.fold_neighbors path4 1 ~init:0 ~f:( + ) in
+  check Alcotest.int "neighbor sum" 2 sum
+
+(* ---- Lattice ---- *)
+
+let lattice_space =
+  Param.Space.make
+    [ Param.Spec.categorical "c" [ "a"; "b"; "x" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ] ]
+
+let test_lattice_structure () =
+  let g = Graphlib.Lattice.build lattice_space in
+  check Alcotest.int "node count" 12 (Graphlib.Graph.n_nodes g);
+  check Alcotest.bool "connected" true (Graphlib.Graph.is_connected g);
+  (* Node (c=0, o=0): categorical clique gives 2 neighbors, ordinal
+     end gives 1. *)
+  let rank0 = Param.Space.config_rank lattice_space [| Param.Value.Categorical 0; Param.Value.Ordinal 0 |] in
+  check Alcotest.int "corner degree" 3 (Graphlib.Graph.degree g rank0);
+  (* Node (c=1, o=1): 2 + 2. *)
+  let mid = Param.Space.config_rank lattice_space [| Param.Value.Categorical 1; Param.Value.Ordinal 1 |] in
+  check Alcotest.int "middle degree" 4 (Graphlib.Graph.degree g mid)
+
+let test_lattice_adjacency_semantics () =
+  let g = Graphlib.Lattice.build lattice_space in
+  let rank c o = Param.Space.config_rank lattice_space [| Param.Value.Categorical c; Param.Value.Ordinal o |] in
+  check Alcotest.bool "categorical clique edge" true (Graphlib.Graph.mem_edge g (rank 0 0) (rank 2 0));
+  check Alcotest.bool "ordinal step edge" true (Graphlib.Graph.mem_edge g (rank 0 0) (rank 0 1));
+  check Alcotest.bool "no ordinal jump edge" false (Graphlib.Graph.mem_edge g (rank 0 0) (rank 0 2));
+  check Alcotest.bool "no diagonal edge" false (Graphlib.Graph.mem_edge g (rank 0 0) (rank 1 1))
+
+let test_lattice_rejects_continuous () =
+  let s = Param.Space.make [ Param.Spec.continuous "x" ~lo:0. ~hi:1. ] in
+  Alcotest.check_raises "continuous rejected" (Invalid_argument "Lattice.build: continuous parameter")
+    (fun () -> ignore (Graphlib.Lattice.build s))
+
+(* ---- kNN ---- *)
+
+let test_knn () =
+  let configs = Param.Space.enumerate lattice_space in
+  let g = Graphlib.Knn.build lattice_space configs ~k:3 in
+  check Alcotest.int "knn node count" 12 (Graphlib.Graph.n_nodes g);
+  (* Every node has degree >= k (symmetrization can only add). *)
+  for u = 0 to 11 do
+    if Graphlib.Graph.degree g u < 3 then Alcotest.failf "node %d degree < k" u
+  done
+
+let test_knn_rejects_bad_k () =
+  let configs = Param.Space.enumerate lattice_space in
+  Alcotest.check_raises "k too large" (Invalid_argument "Knn.build: k must be in (0, n)") (fun () ->
+      ignore (Graphlib.Knn.build lattice_space configs ~k:12))
+
+(* ---- CAMLP ---- *)
+
+let test_camlp_beliefs_bounded () =
+  let g = Graphlib.Lattice.build lattice_space in
+  let labels = { Graphlib.Camlp.optimal = [| 0 |]; non_optimal = [| 11 |] } in
+  let beliefs = Graphlib.Camlp.propagate g labels in
+  Array.iter
+    (fun b -> if b < 0. || b > 1. then Alcotest.failf "belief out of [0,1]: %f" b)
+    beliefs
+
+let test_camlp_locality () =
+  (* Nodes near the optimal-labeled seed believe more strongly than
+     nodes near the non-optimal seed. *)
+  let n = 10 in
+  let g = Graphlib.Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let labels = { Graphlib.Camlp.optimal = [| 0 |]; non_optimal = [| 9 |] } in
+  let beliefs = Graphlib.Camlp.propagate ~beta:0.5 g labels in
+  check Alcotest.bool "monotone along the path" true (beliefs.(1) > beliefs.(8));
+  check Alcotest.bool "optimal end higher" true (beliefs.(0) > 0.5 && beliefs.(9) < 0.5)
+
+let test_camlp_unlabeled_neutral () =
+  (* With no labels at all, every belief stays at the 0.5 prior. *)
+  let g = path4 in
+  let labels = { Graphlib.Camlp.optimal = [||]; non_optimal = [||] } in
+  let beliefs = Graphlib.Camlp.propagate g labels in
+  Array.iter (fun b -> check (Alcotest.float 1e-6) "neutral belief" 0.5 b) beliefs
+
+let test_camlp_rejects_conflicting_labels () =
+  Alcotest.check_raises "conflicting labels"
+    (Invalid_argument "Camlp.propagate: node labeled both ways") (fun () ->
+      ignore
+        (Graphlib.Camlp.propagate path4 { Graphlib.Camlp.optimal = [| 1 |]; non_optimal = [| 1 |] }))
+
+let test_camlp_homophily_flip () =
+  (* With negative homophily (heterophily), a neighbor of an optimal
+     node should believe *less* than the far end. *)
+  let n = 3 in
+  let g = Graphlib.Graph.of_edges ~n [ (0, 1); (1, 2) ] in
+  let labels = { Graphlib.Camlp.optimal = [| 0 |]; non_optimal = [||] } in
+  let homo = Graphlib.Camlp.propagate ~beta:0.5 ~homophily:1.0 g labels in
+  let hetero = Graphlib.Camlp.propagate ~beta:0.5 ~homophily:(-1.0) g labels in
+  check Alcotest.bool "homophily raises neighbor belief" true (homo.(1) > 0.5);
+  check Alcotest.bool "heterophily lowers neighbor belief" true (hetero.(1) < 0.5)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "graphlib",
+    [
+      tc "graph basics" `Quick test_graph_basics;
+      tc "graph rejects bad edges" `Quick test_graph_rejects_bad_edges;
+      tc "connected components" `Quick test_connected_components;
+      tc "fold neighbors" `Quick test_fold_neighbors;
+      tc "lattice structure" `Quick test_lattice_structure;
+      tc "lattice adjacency semantics" `Quick test_lattice_adjacency_semantics;
+      tc "lattice rejects continuous" `Quick test_lattice_rejects_continuous;
+      tc "knn" `Quick test_knn;
+      tc "knn rejects bad k" `Quick test_knn_rejects_bad_k;
+      tc "camlp beliefs bounded" `Quick test_camlp_beliefs_bounded;
+      tc "camlp locality" `Quick test_camlp_locality;
+      tc "camlp unlabeled neutral" `Quick test_camlp_unlabeled_neutral;
+      tc "camlp rejects conflicts" `Quick test_camlp_rejects_conflicting_labels;
+      tc "camlp homophily flip" `Quick test_camlp_homophily_flip;
+    ] )

@@ -1,0 +1,334 @@
+(* Tests for the application simulators: determinism, paper-matching
+   space sizes, distribution shape, and the physical behaviours each
+   model is supposed to exhibit. *)
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let table name = (Hpcsim.Registry.find name).Hpcsim.Registry.table ()
+
+let test_registry () =
+  check Alcotest.int "nine datasets" 9 (List.length Hpcsim.Registry.all);
+  check Alcotest.bool "find known" true (Hpcsim.Registry.(find "kripke").name = "kripke");
+  Alcotest.check_raises "find unknown" Not_found (fun () -> ignore (Hpcsim.Registry.find "nope"));
+  check Alcotest.int "five selection datasets" 5 (List.length Hpcsim.Registry.selection_datasets)
+
+let test_registry_memoizes () =
+  let a = table "kripke" and b = table "kripke" in
+  check Alcotest.bool "same table object" true (a == b)
+
+let test_space_sizes () =
+  let expect = [ ("kripke", 1620); ("kripke_energy", 17820); ("hypre", 4608); ("lulesh", 4800); ("openatom", 8640) ] in
+  List.iter (fun (name, size) -> check Alcotest.int name size (Dataset.Table.size (table name))) expect
+
+let test_all_objectives_positive_finite () =
+  List.iter
+    (fun name ->
+      let t = table name in
+      let ys = Dataset.Table.objectives t in
+      Array.iter
+        (fun y ->
+          if not (Float.is_finite y) || y <= 0. then
+            Alcotest.failf "%s: non-positive or non-finite objective %f" name y)
+        ys)
+    Hpcsim.Registry.selection_datasets
+
+let test_determinism () =
+  (* Rebuild the Kripke table from scratch and compare to the memoized
+     one: the simulators must be pure functions of the config. *)
+  let a = table "kripke" in
+  let b = Hpcsim.Kripke.exec_table () in
+  for i = 0 to Dataset.Table.size a - 1 do
+    if Dataset.Table.objective a i <> Dataset.Table.objective b i then
+      Alcotest.failf "non-deterministic objective at row %d" i
+  done
+
+let test_heavy_tail () =
+  (* The paper stresses that only a few configurations sit near the
+     optimum. Check that <3% of each dataset is within 10% of best. *)
+  List.iter
+    (fun name ->
+      let t = table name in
+      let best = Dataset.Table.best_value t in
+      let close = Dataset.Table.count_within t (1.1 *. best) in
+      let fraction = float_of_int close /. float_of_int (Dataset.Table.size t) in
+      if fraction > 0.15 then Alcotest.failf "%s: %.1f%% of configs within 10%% of best" name (100. *. fraction))
+    Hpcsim.Registry.selection_datasets
+
+(* ---- Power model ---- *)
+
+let test_power_frequency_monotone () =
+  let p = Hpcsim.Power.default in
+  let prev = ref 0. in
+  Array.iter
+    (fun cap ->
+      let f = Hpcsim.Power.frequency_under_cap p ~active_cores:16 ~cap_watts:cap in
+      check Alcotest.bool "frequency nondecreasing in cap" true (f >= !prev);
+      check Alcotest.bool "frequency bounded by nominal" true (f <= p.Hpcsim.Power.nominal_ghz);
+      prev := f)
+    Hpcsim.Power.caps_watts
+
+let test_power_slowdown () =
+  let p = Hpcsim.Power.default in
+  let s = Hpcsim.Power.slowdown p ~active_cores:16 ~cap_watts:50. ~compute_fraction:0.9 in
+  check Alcotest.bool "slowdown at low cap > 1" true (s > 1.);
+  let s_full = Hpcsim.Power.slowdown p ~active_cores:1 ~cap_watts:150. ~compute_fraction:0.9 in
+  check feq "no throttle, no slowdown" 1. s_full
+
+let test_power_draw_capped () =
+  let p = Hpcsim.Power.default in
+  Array.iter
+    (fun cap ->
+      let w = Hpcsim.Power.power_draw p ~active_cores:16 ~cap_watts:cap in
+      check Alcotest.bool "power under cap" true (w <= cap +. 1e-9))
+    Hpcsim.Power.caps_watts
+
+let test_energy_non_monotone_in_cap () =
+  (* For a compute-heavy full-node task, energy must have an interior
+     minimum over the cap range: too low wastes static power, too high
+     wastes dynamic power. *)
+  let p = Hpcsim.Power.default in
+  let energy cap = Hpcsim.Power.energy p ~active_cores:16 ~cap_watts:cap ~compute_fraction:0.9 ~base_time:10. in
+  let caps = Hpcsim.Power.caps_watts in
+  let energies = Array.map energy caps in
+  let best = ref 0 in
+  Array.iteri (fun i e -> if e < energies.(!best) then best := i) energies;
+  check Alcotest.bool "interior optimum" true (!best > 0 && !best < Array.length caps - 1)
+
+(* ---- Kripke ---- *)
+
+let test_kripke_best_uses_full_machine () =
+  let t = table "kripke" in
+  let space = Dataset.Table.space t in
+  let config, _ = Dataset.Table.best t in
+  let level name =
+    Param.Spec.level
+      (Param.Space.spec space (Param.Space.index_of_name space name))
+      (Param.Value.to_index config.(Param.Space.index_of_name space name))
+  in
+  (* 16 nodes x 16 cores: the best configuration should use all 256
+     cores without oversubscription. *)
+  check feq "ranks*omp = 256" 256. (level "Ranks" *. level "OMP")
+
+let test_kripke_weak_scaling () =
+  (* The same configuration takes longer at 64 nodes than at 16 (more
+     work and more communication per the weak-scaling setup). *)
+  let space = Hpcsim.Kripke.space in
+  let config = Param.Space.config_of_rank space 100 in
+  check Alcotest.bool "64 nodes slower than 16" true
+    (Hpcsim.Kripke.exec_time ~nodes:64 config > Hpcsim.Kripke.exec_time ~nodes:16 config)
+
+let test_kripke_transfer_correlated () =
+  (* Transfer learning is meaningful only if source and target rank
+     configurations similarly; check Spearman-ish correlation on a
+     sample via rank agreement of the top decile. *)
+  let src = table "kripke_src" and trgt = table "kripke_trgt" in
+  let n = Dataset.Table.size src in
+  let top t =
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (Dataset.Table.objective t a) (Dataset.Table.objective t b)) idx;
+    Array.sub idx 0 (n / 10)
+  in
+  let top_src = top src and top_trgt = top trgt in
+  let set = Hashtbl.create (n / 10) in
+  Array.iter (fun i -> Hashtbl.replace set i ()) top_src;
+  let overlap = Array.fold_left (fun acc i -> if Hashtbl.mem set i then acc + 1 else acc) 0 top_trgt in
+  let jaccard = float_of_int overlap /. float_of_int (n / 10) in
+  check Alcotest.bool "top-decile overlap > 40%" true (jaccard > 0.4)
+
+let test_kripke_energy_requires_cap () =
+  let c = Param.Space.config_of_rank Hpcsim.Kripke.space 0 in
+  Alcotest.check_raises "exec-space config lacks PKG_LIMIT"
+    (Invalid_argument "Kripke: configuration lacks PKG_LIMIT") (fun () ->
+      ignore (Hpcsim.Kripke.energy c))
+
+(* ---- LULESH ---- *)
+
+let test_lulesh_o3_default () =
+  let t = Hpcsim.Lulesh.exec_time Hpcsim.Lulesh.default_o3_config in
+  check Alcotest.bool "O3 default near 6s" true (Float.abs (t -. 6.0) < 0.5);
+  let best = Dataset.Table.best_value (table "lulesh") in
+  check Alcotest.bool "tuned best well below O3 default" true (best < 0.6 *. t)
+
+let test_lulesh_o0_catastrophic () =
+  let space = Hpcsim.Lulesh.space in
+  let o0 = Array.copy Hpcsim.Lulesh.default_o3_config in
+  o0.(Param.Space.index_of_name space "level") <- Param.Value.Categorical 0;
+  check Alcotest.bool "O0 much slower than O3" true
+    (Hpcsim.Lulesh.exec_time o0 > 1.8 *. Hpcsim.Lulesh.exec_time Hpcsim.Lulesh.default_o3_config)
+
+let test_lulesh_unroll_gated_by_level () =
+  (* Unrolling changes nothing at -O0. *)
+  let space = Hpcsim.Lulesh.space in
+  let base = Array.copy Hpcsim.Lulesh.default_o3_config in
+  base.(Param.Space.index_of_name space "level") <- Param.Value.Categorical 0;
+  let unrolled = Array.copy base in
+  unrolled.(Param.Space.index_of_name space "unroll") <- Param.Value.Ordinal 2;
+  let ratio = Hpcsim.Lulesh.exec_time unrolled /. Hpcsim.Lulesh.exec_time base in
+  check Alcotest.bool "unroll no effect at O0 (up to noise)" true (Float.abs (ratio -. 1.) < 0.1)
+
+(* ---- OpenAtom ---- *)
+
+let test_openatom_expert_suboptimal () =
+  let t = table "openatom" in
+  let expert = Hpcsim.Openatom.exec_time Hpcsim.Openatom.symmetric_expert_config in
+  let best = Dataset.Table.best_value t in
+  check Alcotest.bool "expert above best" true (expert > best);
+  check Alcotest.bool "expert within 2x of best" true (expert < 2. *. best)
+
+let test_openatom_grain_interior_optimum () =
+  (* Time as a function of sgrain with everything else fixed should
+     dip in the middle: too fine pays overhead, too coarse starves. *)
+  let space = Hpcsim.Openatom.space in
+  let base = Array.copy Hpcsim.Openatom.symmetric_expert_config in
+  let i = Param.Space.index_of_name space "sgrain" in
+  let times =
+    Array.init 5 (fun k ->
+        let c = Array.copy base in
+        c.(i) <- Param.Value.Ordinal k;
+        Hpcsim.Openatom.exec_time c)
+  in
+  let best = ref 0 in
+  Array.iteri (fun k t -> if t < times.(!best) then best := k) times;
+  check Alcotest.bool "interior grain optimum" true (!best > 0 && !best < 4)
+
+(* ---- HYPRE ---- *)
+
+let test_hypre_mu_near_wash () =
+  (* V- vs W-cycle should barely move the objective (Table I: 0.00). *)
+  let t = table "hypre" in
+  let space = Dataset.Table.space t in
+  let i = Param.Space.index_of_name space "MU" in
+  let c1 = Dataset.Table.config t 0 in
+  let c2 = Array.copy c1 in
+  c2.(i) <- Param.Value.Ordinal (1 - Param.Value.to_index c1.(i)) ;
+  let r = Dataset.Table.lookup t c2 /. Dataset.Table.lookup t c1 in
+  check Alcotest.bool "mu changes time by <25%" true (r > 0.75 && r < 1.34)
+
+let test_hypre_scale_slower () =
+  let c = Param.Space.config_of_rank Hpcsim.Hypre.transfer_space 12345 in
+  check Alcotest.bool "64-node problem slower" true
+    (Hpcsim.Hypre.solve_time_extended ~nodes:64 c > Hpcsim.Hypre.solve_time_extended ~nodes:16 c)
+
+(* ---- Noise ---- *)
+
+let test_noise_deterministic () =
+  let c = Param.Space.config_of_rank Hpcsim.Kripke.space 7 in
+  check feq "same seed, same factor"
+    (Hpcsim.Noise.factor ~seed:1 ~sigma:0.1 c)
+    (Hpcsim.Noise.factor ~seed:1 ~sigma:0.1 c);
+  check Alcotest.bool "different seeds differ" true
+    (Hpcsim.Noise.factor ~seed:1 ~sigma:0.1 c <> Hpcsim.Noise.factor ~seed:2 ~sigma:0.1 c)
+
+let test_noise_zero_sigma () =
+  let c = Param.Space.config_of_rank Hpcsim.Kripke.space 7 in
+  check feq "sigma 0 is exactly 1" 1. (Hpcsim.Noise.factor ~seed:1 ~sigma:0. c)
+
+let test_noise_uniform_range () =
+  for rank = 0 to 99 do
+    let c = Param.Space.config_of_rank Hpcsim.Kripke.space rank in
+    let u = Hpcsim.Noise.uniform ~seed:5 c in
+    if u < 0. || u >= 1. then Alcotest.failf "uniform out of range: %f" u
+  done
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "hpcsim",
+    [
+      tc "registry" `Quick test_registry;
+      tc "registry memoizes" `Quick test_registry_memoizes;
+      tc "space sizes match the paper" `Quick test_space_sizes;
+      tc "objectives positive and finite" `Quick test_all_objectives_positive_finite;
+      tc "deterministic tables" `Quick test_determinism;
+      tc "heavy-tailed distributions" `Quick test_heavy_tail;
+      tc "power: frequency monotone in cap" `Quick test_power_frequency_monotone;
+      tc "power: slowdown" `Quick test_power_slowdown;
+      tc "power: draw capped" `Quick test_power_draw_capped;
+      tc "power: energy non-monotone" `Quick test_energy_non_monotone_in_cap;
+      tc "kripke: best uses full machine" `Quick test_kripke_best_uses_full_machine;
+      tc "kripke: weak scaling" `Quick test_kripke_weak_scaling;
+      tc "kripke: transfer domains correlated" `Quick test_kripke_transfer_correlated;
+      tc "kripke: energy requires cap" `Quick test_kripke_energy_requires_cap;
+      tc "lulesh: O3 default" `Quick test_lulesh_o3_default;
+      tc "lulesh: O0 catastrophic" `Quick test_lulesh_o0_catastrophic;
+      tc "lulesh: unroll gated by level" `Quick test_lulesh_unroll_gated_by_level;
+      tc "openatom: expert suboptimal" `Quick test_openatom_expert_suboptimal;
+      tc "openatom: interior grain optimum" `Quick test_openatom_grain_interior_optimum;
+      tc "hypre: mu near-wash" `Quick test_hypre_mu_near_wash;
+      tc "hypre: scale slower" `Quick test_hypre_scale_slower;
+      tc "noise deterministic" `Quick test_noise_deterministic;
+      tc "noise zero sigma" `Quick test_noise_zero_sigma;
+      tc "noise uniform range" `Quick test_noise_uniform_range;
+    ] )
+
+(* ---- Late additions: transfer correlation for HYPRE, and the
+   sweep-simulator integration in Kripke ---- *)
+
+let test_hypre_transfer_correlated () =
+  (* Same protocol as the Kripke check: top-decile overlap between the
+     16- and 64-node HYPRE tables must be substantial for transfer
+     learning to be meaningful. *)
+  let src = table "hypre_src" and trgt = table "hypre_trgt" in
+  let n = Dataset.Table.size src in
+  let top t =
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (Dataset.Table.objective t a) (Dataset.Table.objective t b)) idx;
+    Array.sub idx 0 (n / 10)
+  in
+  let set = Hashtbl.create (n / 10) in
+  Array.iter (fun i -> Hashtbl.replace set i ()) (top src);
+  let overlap = Array.fold_left (fun acc i -> if Hashtbl.mem set i then acc + 1 else acc) 0 (top trgt) in
+  check Alcotest.bool "top-decile overlap > 30%" true
+    (float_of_int overlap /. float_of_int (n / 10) > 0.3)
+
+let test_kripke_pipeline_depth_tradeoff () =
+  (* With the wavefront simulator in place, deepening the pipeline
+     (more gset x dset work units) at high rank counts must improve
+     the sweep's pipeline efficiency. *)
+  let eff work_units =
+    Simulate.Sweep.pipeline_efficiency ~px:8 ~py:8 ~work_units ~t_chunk:1e-3 ~t_msg:1e-4
+  in
+  check Alcotest.bool "gset*dset=128 pipelines better than 8" true (eff 128 > eff 8);
+  (* And the Kripke model exposes that: at Ranks=64/OMP=4/DGZ, more
+     sets must not be catastrophically worse (the fill amortizes). *)
+  let space = Hpcsim.Kripke.space in
+  let mk gset dset =
+    [|
+      Param.Value.Categorical 0 (* DGZ *);
+      Param.Value.Ordinal gset;
+      Param.Value.Ordinal dset;
+      Param.Value.Ordinal 2 (* OMP=4 *);
+      Param.Value.Ordinal 5 (* Ranks=64 *);
+    |]
+  in
+  ignore space;
+  let shallow = Hpcsim.Kripke.exec_time (mk 0 0) in
+  let deep = Hpcsim.Kripke.exec_time (mk 2 2) in
+  check Alcotest.bool "deep pipelining competitive at 64 ranks" true (deep < shallow)
+
+let test_kripke_energy_cap_nonmonotone_in_dataset () =
+  (* Directly on the dataset: for the best configuration's row family,
+     the minimum-energy cap is interior (neither 50 W nor 150 W). *)
+  let t = table "kripke_energy" in
+  let sp = Dataset.Table.space t in
+  let best, _ = Dataset.Table.best t in
+  let cap_idx = Param.Space.index_of_name sp "PKG_LIMIT" in
+  let energies =
+    Array.init 11 (fun i ->
+        let c = Array.copy best in
+        c.(cap_idx) <- Param.Value.Ordinal i;
+        Dataset.Table.lookup t c)
+  in
+  let best_cap = ref 0 in
+  Array.iteri (fun i e -> if e < energies.(!best_cap) then best_cap := i) energies;
+  check Alcotest.bool "interior optimal cap" true (!best_cap > 0 && !best_cap < 10)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "hypre: transfer domains correlated" `Quick test_hypre_transfer_correlated;
+        Alcotest.test_case "kripke: pipeline depth tradeoff" `Quick test_kripke_pipeline_depth_tradeoff;
+        Alcotest.test_case "kripke: dataset cap non-monotone" `Quick test_kripke_energy_cap_nonmonotone_in_dataset;
+      ] )

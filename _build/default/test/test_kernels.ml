@@ -1,0 +1,252 @@
+(* Tests for the executable kernels: every tiling/blocking/schedule
+   variant must compute the same result as the naive reference. *)
+
+let check = Alcotest.check
+
+(* ---- Stencil ---- *)
+
+let grid () =
+  Kernels.Stencil.create_grid ~rows:17 ~cols:23 (fun r c ->
+      sin (float_of_int ((r * 23) + c)) +. (0.1 *. float_of_int (r - c)))
+
+let reference_iters g iters =
+  let rec go g n = if n = 0 then g else go (Kernels.Stencil.sweep_reference g) (n - 1) in
+  go g iters
+
+let test_stencil_matches_reference () =
+  Parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let g = grid () in
+      let expected = reference_iters g 5 in
+      List.iter
+        (fun (tile_rows, tile_cols, schedule) ->
+          let got = Kernels.Stencil.run ~pool ~schedule ~tile_rows ~tile_cols ~iters:5 g in
+          let err = Kernels.Stencil.residual expected got in
+          if err > 1e-12 then
+            Alcotest.failf "tiles %dx%d: residual %g" tile_rows tile_cols err)
+        [
+          (1, 1, Parallel.Pool.Static);
+          (4, 4, Parallel.Pool.Dynamic 2);
+          (7, 5, Parallel.Pool.Guided);
+          (100, 100, Parallel.Pool.Static);
+          (15, 21, Parallel.Pool.Dynamic 1);
+        ])
+
+let test_stencil_zero_iters_identity () =
+  Parallel.Pool.with_pool ~num_domains:1 (fun pool ->
+      let g = grid () in
+      let out = Kernels.Stencil.run ~pool ~tile_rows:8 ~tile_cols:8 ~iters:0 g in
+      check (Alcotest.float 0.) "zero iterations leave the grid unchanged" 0.
+        (Kernels.Stencil.residual g out))
+
+let test_stencil_boundary_fixed () =
+  Parallel.Pool.with_pool ~num_domains:1 (fun pool ->
+      let g = grid () in
+      let out = Kernels.Stencil.run ~pool ~tile_rows:4 ~tile_cols:4 ~iters:3 g in
+      for c = 0 to 22 do
+        check (Alcotest.float 0.) "top boundary fixed" (Kernels.Stencil.get g 0 c)
+          (Kernels.Stencil.get out 0 c);
+        check (Alcotest.float 0.) "bottom boundary fixed" (Kernels.Stencil.get g 16 c)
+          (Kernels.Stencil.get out 16 c)
+      done)
+
+let test_stencil_converges () =
+  (* With fixed boundaries, Jacobi must damp toward the harmonic
+     solution: the residual between successive iterates shrinks. *)
+  Parallel.Pool.with_pool ~num_domains:1 (fun pool ->
+      let g = grid () in
+      let a = Kernels.Stencil.run ~pool ~tile_rows:8 ~tile_cols:8 ~iters:10 g in
+      let b = Kernels.Stencil.run ~pool ~tile_rows:8 ~tile_cols:8 ~iters:11 g in
+      let c = Kernels.Stencil.run ~pool ~tile_rows:8 ~tile_cols:8 ~iters:50 g in
+      let d = Kernels.Stencil.run ~pool ~tile_rows:8 ~tile_cols:8 ~iters:51 g in
+      check Alcotest.bool "successive change shrinks" true
+        (Kernels.Stencil.residual c d < Kernels.Stencil.residual a b))
+
+let test_stencil_validation () =
+  Alcotest.check_raises "tiny grid" (Invalid_argument "Stencil.create_grid: grid must be at least 3x3")
+    (fun () -> ignore (Kernels.Stencil.create_grid ~rows:2 ~cols:5 (fun _ _ -> 0.)));
+  Parallel.Pool.with_pool ~num_domains:0 (fun pool ->
+      Alcotest.check_raises "bad tiles" (Invalid_argument "Stencil.run: tile sizes must be positive")
+        (fun () ->
+          ignore (Kernels.Stencil.run ~pool ~tile_rows:0 ~tile_cols:4 ~iters:1 (grid ()))))
+
+(* ---- Matmul ---- *)
+
+let matrices n seed =
+  let rng = Prng.Rng.create seed in
+  let a = Array.init (n * n) (fun _ -> Prng.Rng.float rng -. 0.5) in
+  let b = Array.init (n * n) (fun _ -> Prng.Rng.float rng -. 0.5) in
+  (a, b)
+
+let max_abs_diff a b =
+  let worst = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let d = Float.abs (x -. b.(i)) in
+      if d > !worst then worst := d)
+    a;
+  !worst
+
+let test_matmul_matches_reference () =
+  Parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let n = 33 in
+      let a, b = matrices n 3 in
+      let expected = Kernels.Matmul.multiply_reference ~a ~b n in
+      List.iter
+        (fun order ->
+          List.iter
+            (fun (bi, bj, bk) ->
+              let got =
+                Kernels.Matmul.multiply ~pool ~order ~block_i:bi ~block_j:bj ~block_k:bk ~a ~b n
+              in
+              let err = max_abs_diff expected got in
+              if err > 1e-9 then
+                Alcotest.failf "order %s blocks %d/%d/%d: error %g"
+                  (Kernels.Matmul.order_label order) bi bj bk err)
+            [ (8, 8, 8); (5, 7, 11); (64, 64, 64); (1, 33, 4) ])
+        Kernels.Matmul.all_orders)
+
+let test_matmul_identity () =
+  Parallel.Pool.with_pool ~num_domains:1 (fun pool ->
+      let n = 16 in
+      let a, _ = matrices n 5 in
+      let id = Array.init (n * n) (fun k -> if k / n = k mod n then 1. else 0.) in
+      let got = Kernels.Matmul.multiply ~pool ~block_i:4 ~block_j:4 ~block_k:4 ~a ~b:id n in
+      check (Alcotest.float 1e-12) "A * I = A" 0. (max_abs_diff a got))
+
+let test_matmul_schedules_agree () =
+  Parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let n = 24 in
+      let a, b = matrices n 7 in
+      let base =
+        Kernels.Matmul.multiply ~pool ~schedule:Parallel.Pool.Static ~block_i:8 ~block_j:8
+          ~block_k:8 ~a ~b n
+      in
+      List.iter
+        (fun schedule ->
+          let got = Kernels.Matmul.multiply ~pool ~schedule ~block_i:8 ~block_j:8 ~block_k:8 ~a ~b n in
+          check (Alcotest.float 1e-12) "schedule-independent result" 0. (max_abs_diff base got))
+        [ Parallel.Pool.Dynamic 1; Parallel.Pool.Guided ])
+
+let test_matmul_validation () =
+  Parallel.Pool.with_pool ~num_domains:0 (fun pool ->
+      let a, b = matrices 4 9 in
+      Alcotest.check_raises "bad blocks" (Invalid_argument "Matmul: block sizes must be positive")
+        (fun () ->
+          ignore (Kernels.Matmul.multiply ~pool ~block_i:0 ~block_j:4 ~block_k:4 ~a ~b 4));
+      Alcotest.check_raises "shape mismatch" (Invalid_argument "Matmul: matrices must be n*n")
+        (fun () -> ignore (Kernels.Matmul.multiply_reference ~a ~b 5)))
+
+(* ---- SpMV ---- *)
+
+let test_spmv_matches_reference () =
+  Parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let rng = Prng.Rng.create 13 in
+      let m = Kernels.Spmv.random_band ~rng ~n:200 ~band:5 ~fill:0.6 in
+      let x = Array.init 200 (fun i -> sin (float_of_int i)) in
+      let expected = Kernels.Spmv.multiply_reference m x in
+      List.iter
+        (fun schedule ->
+          let got = Kernels.Spmv.multiply ~pool ~schedule m x in
+          check (Alcotest.float 0.) "bit-identical to reference" 0. (max_abs_diff expected got))
+        [ Parallel.Pool.Static; Parallel.Pool.Dynamic 7; Parallel.Pool.Guided ])
+
+let test_spmv_band_structure () =
+  let rng = Prng.Rng.create 14 in
+  let m = Kernels.Spmv.random_band ~rng ~n:50 ~band:2 ~fill:0.5 in
+  check Alcotest.int "square" 50 m.Kernels.Spmv.n_cols;
+  (* Every row has its diagonal and stays within the band. *)
+  for i = 0 to 49 do
+    let has_diag = ref false in
+    for k = m.Kernels.Spmv.row_ptr.(i) to m.Kernels.Spmv.row_ptr.(i + 1) - 1 do
+      let c = m.Kernels.Spmv.col_idx.(k) in
+      if c = i then has_diag := true;
+      if abs (c - i) > 2 then Alcotest.failf "row %d: column %d outside band" i c
+    done;
+    if not !has_diag then Alcotest.failf "row %d missing diagonal" i
+  done
+
+let test_spmv_skewed_imbalance () =
+  let rng = Prng.Rng.create 15 in
+  let m = Kernels.Spmv.random_skewed ~rng ~n:500 ~avg_nnz:8 ~skew:1.0 in
+  check Alcotest.bool "has nonzeros" true (Kernels.Spmv.nnz m > 500);
+  (* Skew implies the longest row is much longer than the median. *)
+  let lengths =
+    Array.init 500 (fun i -> m.Kernels.Spmv.row_ptr.(i + 1) - m.Kernels.Spmv.row_ptr.(i))
+  in
+  Array.sort compare lengths;
+  check Alcotest.bool "heavy head" true (lengths.(499) > 4 * lengths.(250))
+
+let test_spmv_identity () =
+  Parallel.Pool.with_pool ~num_domains:1 (fun pool ->
+      (* Build an identity-like CSR through random_band with band 0. *)
+      let rng = Prng.Rng.create 16 in
+      let m = Kernels.Spmv.random_band ~rng ~n:10 ~band:0 ~fill:1.0 in
+      let x = Array.init 10 float_of_int in
+      let y = Kernels.Spmv.multiply ~pool m x in
+      (* y.(i) = v_i * x_i with v_i the random diagonal value. *)
+      for i = 0 to 9 do
+        check (Alcotest.float 1e-12) "diagonal action"
+          (m.Kernels.Spmv.values.(m.Kernels.Spmv.row_ptr.(i)) *. x.(i))
+          y.(i)
+      done)
+
+let test_spmv_validation () =
+  Parallel.Pool.with_pool ~num_domains:0 (fun pool ->
+      let rng = Prng.Rng.create 17 in
+      let m = Kernels.Spmv.random_band ~rng ~n:4 ~band:1 ~fill:1.0 in
+      Alcotest.check_raises "wrong vector length"
+        (Invalid_argument "Spmv: vector length must equal n_cols") (fun () ->
+          ignore (Kernels.Spmv.multiply ~pool m [| 1.; 2. |])))
+
+(* ---- Live adapters ---- *)
+
+let test_live_objectives_positive () =
+  Parallel.Pool.with_pool ~num_domains:1 (fun pool ->
+      let rng = Prng.Rng.create 77 in
+      let stencil_obj = Kernels.Live.stencil_objective ~pool ~rows:32 ~cols:32 ~iters:2 () in
+      let matmul_obj = Kernels.Live.matmul_objective ~pool ~n:24 () in
+      for _ = 1 to 5 do
+        let c1 = Param.Space.random_config Kernels.Live.stencil_space rng in
+        let t1 = stencil_obj c1 in
+        if t1 < 0. then Alcotest.fail "negative stencil time";
+        let c2 = Param.Space.random_config Kernels.Live.matmul_space rng in
+        let t2 = matmul_obj c2 in
+        if t2 < 0. then Alcotest.fail "negative matmul time"
+      done)
+
+let test_live_spaces_finite () =
+  check Alcotest.(option int) "stencil space" (Some (6 * 6 * 4))
+    (Param.Space.cardinality Kernels.Live.stencil_space);
+  check Alcotest.(option int) "matmul space" (Some (4 * 4 * 4 * 4 * 4))
+    (Param.Space.cardinality Kernels.Live.matmul_space)
+
+let test_schedule_labels () =
+  List.iter
+    (fun l -> ignore (Kernels.Live.schedule_of_label l))
+    Kernels.Live.schedule_labels;
+  Alcotest.check_raises "unknown label"
+    (Invalid_argument "Live.schedule_of_label: unknown schedule \"nope\"") (fun () ->
+      ignore (Kernels.Live.schedule_of_label "nope"))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "kernels",
+    [
+      tc "stencil matches reference" `Quick test_stencil_matches_reference;
+      tc "stencil zero iters" `Quick test_stencil_zero_iters_identity;
+      tc "stencil boundary fixed" `Quick test_stencil_boundary_fixed;
+      tc "stencil converges" `Quick test_stencil_converges;
+      tc "stencil validation" `Quick test_stencil_validation;
+      tc "matmul matches reference" `Quick test_matmul_matches_reference;
+      tc "matmul identity" `Quick test_matmul_identity;
+      tc "matmul schedules agree" `Quick test_matmul_schedules_agree;
+      tc "matmul validation" `Quick test_matmul_validation;
+      tc "spmv matches reference" `Quick test_spmv_matches_reference;
+      tc "spmv band structure" `Quick test_spmv_band_structure;
+      tc "spmv skewed imbalance" `Quick test_spmv_skewed_imbalance;
+      tc "spmv diagonal action" `Quick test_spmv_identity;
+      tc "spmv validation" `Quick test_spmv_validation;
+      tc "live objectives positive" `Quick test_live_objectives_positive;
+      tc "live spaces finite" `Quick test_live_spaces_finite;
+      tc "schedule labels" `Quick test_schedule_labels;
+    ] )

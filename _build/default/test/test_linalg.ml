@@ -1,0 +1,167 @@
+(* Unit and property tests for the linalg library. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let feq = Alcotest.float 1e-9
+let feq_loose = Alcotest.float 1e-6
+let check = Alcotest.check
+
+let test_vec_arith () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  check (Alcotest.array feq) "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  check (Alcotest.array feq) "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  check (Alcotest.array feq) "mul" [| 4.; 10.; 18. |] (Vec.mul a b);
+  check feq "dot" 32. (Vec.dot a b);
+  check feq "norm2" (sqrt 14.) (Vec.norm2 a);
+  check feq "sum" 6. (Vec.sum a);
+  check feq "mean" 2. (Vec.mean a);
+  check feq "max" 3. (Vec.max a);
+  check feq "min" 1. (Vec.min a);
+  check Alcotest.int "argmax" 2 (Vec.argmax a);
+  check Alcotest.int "argmin" 0 (Vec.argmin a);
+  check feq "sq_dist" 27. (Vec.sq_dist a b)
+
+let test_vec_axpy () =
+  let x = [| 1.; 2. |] and y = [| 10.; 20. |] in
+  Vec.axpy 2. x y;
+  check (Alcotest.array feq) "axpy in place" [| 12.; 24. |] y
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)")
+    (fun () -> ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_mat_basics () =
+  let m = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check Alcotest.int "rows" 2 (Mat.rows m);
+  check Alcotest.int "cols" 2 (Mat.cols m);
+  check feq "get" 3. (Mat.get m 1 0);
+  let t = Mat.transpose m in
+  check feq "transpose" 2. (Mat.get t 1 0);
+  check feq "trace" 5. (Mat.trace m);
+  check (Alcotest.array feq) "row" [| 3.; 4. |] (Mat.row m 1);
+  check (Alcotest.array feq) "col" [| 2.; 4. |] (Mat.col m 1)
+
+let test_matmul () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Mat.matmul a b in
+  check (Alcotest.array feq) "matmul row0" [| 19.; 22. |] (Mat.row c 0);
+  check (Alcotest.array feq) "matmul row1" [| 43.; 50. |] (Mat.row c 1)
+
+let test_identity () =
+  let i3 = Mat.identity 3 in
+  let m = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |]; [| 7.; 8.; 10. |] |] in
+  let p = Mat.matmul i3 m in
+  for r = 0 to 2 do
+    check (Alcotest.array feq) "I*m = m" (Mat.row m r) (Mat.row p r)
+  done
+
+let test_mat_vec () =
+  let m = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  check (Alcotest.array feq) "mat_vec" [| 5.; 11.; 17. |] (Mat.mat_vec m [| 1.; 2. |]);
+  check (Alcotest.array feq) "vec_mat" [| 22.; 28. |] (Mat.vec_mat [| 1.; 2.; 3. |] m)
+
+let test_outer () =
+  let o = Mat.outer [| 1.; 2. |] [| 3.; 4.; 5. |] in
+  check Alcotest.int "outer rows" 2 (Mat.rows o);
+  check Alcotest.int "outer cols" 3 (Mat.cols o);
+  check feq "outer entry" 10. (Mat.get o 1 2)
+
+let spd_of_seed seed n =
+  (* Build L lower-triangular with positive diagonal, return L L^T. *)
+  let rng = Prng.Rng.create seed in
+  let l = Mat.create n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      if i = j then Mat.set l i j (0.5 +. Prng.Rng.float rng)
+      else Mat.set l i j (Prng.Rng.float rng -. 0.5)
+    done
+  done;
+  (Mat.matmul l (Mat.transpose l), l)
+
+let test_cholesky_reconstruct () =
+  let a, _ = spd_of_seed 31 6 in
+  let l = Mat.cholesky a in
+  let rebuilt = Mat.matmul l (Mat.transpose l) in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      check feq_loose "L L^T = A" (Mat.get a i j) (Mat.get rebuilt i j)
+    done
+  done
+
+let test_cholesky_rejects_non_spd () =
+  let m = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  Alcotest.check_raises "non-SPD rejected" (Failure "Mat.cholesky: matrix not positive definite")
+    (fun () -> ignore (Mat.cholesky m))
+
+let test_triangular_solves () =
+  let l = Mat.of_arrays [| [| 2.; 0. |]; [| 1.; 3. |] |] in
+  let x = Mat.solve_lower l [| 4.; 11. |] in
+  check (Alcotest.array feq) "solve_lower" [| 2.; 3. |] x;
+  let u = Mat.transpose l in
+  let y = Mat.solve_upper u [| 7.; 6. |] in
+  check (Alcotest.array feq) "solve_upper" [| 2.5; 2. |] y
+
+let test_cholesky_solve () =
+  let a, _ = spd_of_seed 33 5 in
+  let l = Mat.cholesky a in
+  let b = Array.init 5 (fun i -> float_of_int (i + 1)) in
+  let x = Mat.cholesky_solve l b in
+  let ax = Mat.mat_vec a x in
+  Array.iteri (fun i bi -> check feq_loose "A x = b" bi ax.(i)) b
+
+let test_log_det () =
+  let a = Mat.of_arrays [| [| 4.; 0. |]; [| 0.; 9. |] |] in
+  let l = Mat.cholesky a in
+  check feq_loose "log det of diagonal" (log 36.) (Mat.log_det_from_cholesky l)
+
+let prop_cholesky_solve =
+  QCheck2.Test.make ~name:"cholesky_solve solves Ax=b for random SPD A" ~count:50
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let a, _ = spd_of_seed seed n in
+      let rng = Prng.Rng.create (seed + 1) in
+      let b = Array.init n (fun _ -> Prng.Rng.float rng -. 0.5) in
+      let l = Mat.cholesky a in
+      let x = Mat.cholesky_solve l b in
+      let ax = Mat.mat_vec a x in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) ax b)
+
+let prop_matmul_assoc =
+  QCheck2.Test.make ~name:"matmul is associative" ~count:50
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let rand n m = Mat.init n m (fun _ _ -> Prng.Rng.float rng -. 0.5) in
+      let a = rand 3 4 and b = rand 4 2 and c = rand 2 5 in
+      let left = Mat.matmul (Mat.matmul a b) c in
+      let right = Mat.matmul a (Mat.matmul b c) in
+      let ok = ref true in
+      for i = 0 to 2 do
+        for j = 0 to 4 do
+          if Float.abs (Mat.get left i j -. Mat.get right i j) > 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "linalg",
+    [
+      tc "vec arithmetic" `Quick test_vec_arith;
+      tc "vec axpy" `Quick test_vec_axpy;
+      tc "vec dimension mismatch" `Quick test_vec_dim_mismatch;
+      tc "mat basics" `Quick test_mat_basics;
+      tc "matmul" `Quick test_matmul;
+      tc "identity" `Quick test_identity;
+      tc "mat_vec / vec_mat" `Quick test_mat_vec;
+      tc "outer product" `Quick test_outer;
+      tc "cholesky reconstructs" `Quick test_cholesky_reconstruct;
+      tc "cholesky rejects non-SPD" `Quick test_cholesky_rejects_non_spd;
+      tc "triangular solves" `Quick test_triangular_solves;
+      tc "cholesky solve" `Quick test_cholesky_solve;
+      tc "log det" `Quick test_log_det;
+      QCheck_alcotest.to_alcotest prop_cholesky_solve;
+      QCheck_alcotest.to_alcotest prop_matmul_assoc;
+    ] )

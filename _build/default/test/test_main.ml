@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "hiperbot"
+    [
+      Test_rng.suite;
+      Test_linalg.suite;
+      Test_stats.suite;
+      Test_param.suite;
+      Test_dataset.suite;
+      Test_hpcsim.suite;
+      Test_graphlib.suite;
+      Test_nn.suite;
+      Test_gp.suite;
+      Test_hiperbot.suite;
+      Test_baselines.suite;
+      Test_metrics.suite;
+      Test_parallel.suite;
+      Test_kernels.suite;
+      Test_simulate.suite;
+      Test_gbt.suite;
+      Test_infer.suite;
+      Test_runlog.suite;
+      Test_integration.suite;
+    ]

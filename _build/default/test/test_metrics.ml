@@ -1,0 +1,104 @@
+(* Tests for the evaluation metrics and the repetition runner. *)
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let space =
+  Param.Space.make
+    [ Param.Spec.categorical "c" [ "a"; "b" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3 ] ]
+
+(* Objective values 1..6, distinct per config. *)
+let objective config =
+  float_of_int ((Param.Value.to_index config.(0) * 3) + Param.Value.to_index config.(1) + 1)
+
+let table = Dataset.Table.create ~name:"toy" ~space ~objective
+let config_of v = Dataset.Table.config table (v - 1) (* rows enumerate in rank order: value = rank+1 *)
+
+let test_percentile_good_set () =
+  let good = Metrics.Recall.percentile_good_set table 0.34 in
+  check Alcotest.bool "count small" true (good.Metrics.Recall.count >= 2 && good.Metrics.Recall.count <= 3);
+  check Alcotest.bool "best is good" true (good.Metrics.Recall.test (config_of 1));
+  check Alcotest.bool "worst is not" false (good.Metrics.Recall.test (config_of 6))
+
+let test_tolerance_good_set () =
+  let good = Metrics.Recall.tolerance_good_set table 1.0 in
+  (* within 2x of best=1: values 1, 2 *)
+  check Alcotest.int "count" 2 good.Metrics.Recall.count;
+  check Alcotest.bool "value 2 good" true (good.Metrics.Recall.test (config_of 2));
+  check Alcotest.bool "value 3 not good" false (good.Metrics.Recall.test (config_of 3))
+
+let test_recall () =
+  let good = Metrics.Recall.tolerance_good_set table 1.0 in
+  let history = [| (config_of 2, 2.); (config_of 5, 5.); (config_of 1, 1.) |] in
+  check feq "full recall" 1. (Metrics.Recall.recall good history);
+  check feq "prefix recall" 0.5 (Metrics.Recall.recall_prefix good history 1);
+  check feq "empty prefix" 0. (Metrics.Recall.recall_prefix good history 0)
+
+let test_best_prefix () =
+  let history = [| (config_of 4, 4.); (config_of 2, 2.); (config_of 3, 3.) |] in
+  check feq "prefix 1" 4. (Metrics.Recall.best_prefix history 1);
+  check feq "prefix 2" 2. (Metrics.Recall.best_prefix history 2);
+  check feq "prefix 3" 2. (Metrics.Recall.best_prefix history 3);
+  Alcotest.check_raises "prefix 0 invalid" (Invalid_argument "Recall.best_prefix: prefix out of range")
+    (fun () -> ignore (Metrics.Recall.best_prefix history 0))
+
+let test_sweep_shapes_and_monotonicity () =
+  let good = Metrics.Recall.percentile_good_set table 0.34 in
+  let run ~rng ~budget = Baselines.Random_search.run ~rng ~space ~objective ~budget () in
+  let points =
+    Metrics.Runner.sweep ~reps:20 ~base_seed:7 ~sample_sizes:[| 2; 4; 6 |] ~good ~run
+  in
+  check Alcotest.int "one point per size" 3 (Array.length points);
+  (* More samples can only improve best-so-far and recall. *)
+  for i = 1 to 2 do
+    check Alcotest.bool "best mean non-increasing" true
+      (points.(i).Metrics.Runner.best_mean <= points.(i - 1).Metrics.Runner.best_mean +. 1e-9);
+    check Alcotest.bool "recall mean non-decreasing" true
+      (points.(i).Metrics.Runner.recall_mean >= points.(i - 1).Metrics.Runner.recall_mean -. 1e-9)
+  done;
+  (* At budget 6 random search exhausts the space: best = 1, recall = 1. *)
+  check feq "exhausted best" 1. points.(2).Metrics.Runner.best_mean;
+  check feq "exhausted best std" 0. points.(2).Metrics.Runner.best_std;
+  check feq "exhausted recall" 1. points.(2).Metrics.Runner.recall_mean
+
+let test_sweep_validation () =
+  let good = Metrics.Recall.percentile_good_set table 0.34 in
+  let run ~rng ~budget = Baselines.Random_search.run ~rng ~space ~objective ~budget () in
+  Alcotest.check_raises "unsorted sizes"
+    (Invalid_argument "Runner.sweep: sample sizes must be sorted increasing") (fun () ->
+      ignore (Metrics.Runner.sweep ~reps:1 ~base_seed:0 ~sample_sizes:[| 4; 2 |] ~good ~run));
+  Alcotest.check_raises "no sizes" (Invalid_argument "Runner.sweep: no sample sizes") (fun () ->
+      ignore (Metrics.Runner.sweep ~reps:1 ~base_seed:0 ~sample_sizes:[||] ~good ~run))
+
+let test_replicate () =
+  let s = Metrics.Runner.replicate ~reps:50 ~base_seed:3 (fun ~rng -> Prng.Rng.float rng) in
+  check Alcotest.bool "mean near 0.5" true (Float.abs (s.Metrics.Runner.mean -. 0.5) < 0.15);
+  check Alcotest.bool "std positive" true (s.Metrics.Runner.std > 0.);
+  let constant = Metrics.Runner.replicate ~reps:5 ~base_seed:3 (fun ~rng:_ -> 2.) in
+  check feq "constant mean" 2. constant.Metrics.Runner.mean;
+  check feq "constant std" 0. constant.Metrics.Runner.std
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "metrics",
+    [
+      tc "percentile good set" `Quick test_percentile_good_set;
+      tc "tolerance good set" `Quick test_tolerance_good_set;
+      tc "recall" `Quick test_recall;
+      tc "best prefix" `Quick test_best_prefix;
+      tc "sweep shapes" `Quick test_sweep_shapes_and_monotonicity;
+      tc "sweep validation" `Quick test_sweep_validation;
+      tc "replicate" `Quick test_replicate;
+    ] )
+
+let test_recall_counts_duplicates_once () =
+  let good = Metrics.Recall.tolerance_good_set table 1.0 in
+  (* config_of 1 is good; evaluating it twice must not double-count. *)
+  let history = [| (config_of 1, 1.); (config_of 1, 1.); (config_of 5, 5.) |] in
+  check feq "duplicates count once" 0.5 (Metrics.Recall.recall good history);
+  check Alcotest.bool "recall never exceeds 1" true
+    (Metrics.Recall.recall good [| (config_of 1, 1.); (config_of 1, 1.); (config_of 2, 2.); (config_of 2, 2.) |] <= 1.)
+
+let suite =
+  let name, cases = suite in
+  (name, cases @ [ Alcotest.test_case "recall dedupes history" `Quick test_recall_counts_duplicates_once ])

@@ -1,0 +1,108 @@
+(* Tests for the MLP regressor. *)
+
+let check = Alcotest.check
+
+let test_activations () =
+  check (Alcotest.float 1e-9) "relu positive" 2. (Nn.Activation.apply Nn.Activation.Relu 2.);
+  check (Alcotest.float 1e-9) "relu negative" 0. (Nn.Activation.apply Nn.Activation.Relu (-2.));
+  check (Alcotest.float 1e-9) "relu' positive" 1. (Nn.Activation.derivative Nn.Activation.Relu 2.);
+  check (Alcotest.float 1e-9) "relu' negative" 0. (Nn.Activation.derivative Nn.Activation.Relu (-2.));
+  check (Alcotest.float 1e-9) "identity" 3.5 (Nn.Activation.apply Nn.Activation.Identity 3.5);
+  check (Alcotest.float 1e-6) "tanh'(0)" 1. (Nn.Activation.derivative Nn.Activation.Tanh 0.)
+
+let test_create_validation () =
+  let rng = Prng.Rng.create 1 in
+  Alcotest.check_raises "output must be 1" (Invalid_argument "Mlp.create: output size must be 1")
+    (fun () -> ignore (Nn.Mlp.create ~rng ~layer_sizes:[ 2; 3 ] ()));
+  Alcotest.check_raises "too few layers"
+    (Invalid_argument "Mlp.create: need at least input and output sizes") (fun () ->
+      ignore (Nn.Mlp.create ~rng ~layer_sizes:[ 1 ] ()))
+
+let test_n_parameters () =
+  let rng = Prng.Rng.create 1 in
+  let m = Nn.Mlp.create ~rng ~layer_sizes:[ 3; 4; 1 ] () in
+  (* (3*4 + 4) + (4*1 + 1) = 21 *)
+  check Alcotest.int "parameter count" 21 (Nn.Mlp.n_parameters m)
+
+let linear_data ~n ~rng =
+  let inputs = Array.init n (fun _ -> [| Prng.Rng.float rng; Prng.Rng.float rng |]) in
+  let targets = Array.map (fun x -> (2. *. x.(0)) -. (1.5 *. x.(1)) +. 0.3) inputs in
+  (inputs, targets)
+
+let test_learns_linear_function () =
+  let rng = Prng.Rng.create 5 in
+  let inputs, targets = linear_data ~n:128 ~rng in
+  let m = Nn.Mlp.create ~rng ~layer_sizes:[ 2; 16; 1 ] () in
+  let before = Nn.Mlp.mse m ~inputs ~targets in
+  let config = { Nn.Mlp.default_training with epochs = 300 } in
+  let (_ : float) = Nn.Mlp.train m ~rng ~config ~inputs ~targets () in
+  let after = Nn.Mlp.mse m ~inputs ~targets in
+  check Alcotest.bool "training reduces mse" true (after < before);
+  check Alcotest.bool "fit is tight" true (after < 1e-3)
+
+let test_generalizes () =
+  let rng = Prng.Rng.create 6 in
+  let inputs, targets = linear_data ~n:256 ~rng in
+  let m = Nn.Mlp.create ~rng ~layer_sizes:[ 2; 16; 1 ] () in
+  let (_ : float) = Nn.Mlp.train m ~rng ~config:{ Nn.Mlp.default_training with epochs = 300 } ~inputs ~targets () in
+  let test_inputs, test_targets = linear_data ~n:64 ~rng in
+  check Alcotest.bool "holdout mse small" true (Nn.Mlp.mse m ~inputs:test_inputs ~targets:test_targets < 5e-3)
+
+let test_copy_independent () =
+  let rng = Prng.Rng.create 7 in
+  let inputs, targets = linear_data ~n:64 ~rng in
+  let m = Nn.Mlp.create ~rng ~layer_sizes:[ 2; 8; 1 ] () in
+  let snapshot = Nn.Mlp.copy m in
+  let x = [| 0.3; 0.7 |] in
+  let before = Nn.Mlp.predict snapshot x in
+  let (_ : float) = Nn.Mlp.train m ~rng ~config:{ Nn.Mlp.default_training with epochs = 50 } ~inputs ~targets () in
+  check (Alcotest.float 1e-12) "copy unaffected by training the original" before
+    (Nn.Mlp.predict snapshot x);
+  check Alcotest.bool "original changed" true (Nn.Mlp.predict m x <> before)
+
+let test_fine_tune_shifts_model () =
+  (* Train on f, fine-tune on g = f + 1; predictions should move
+     toward g. *)
+  let rng = Prng.Rng.create 8 in
+  let inputs, targets = linear_data ~n:128 ~rng in
+  let m = Nn.Mlp.create ~rng ~layer_sizes:[ 2; 16; 1 ] () in
+  let (_ : float) = Nn.Mlp.train m ~rng ~config:{ Nn.Mlp.default_training with epochs = 200 } ~inputs ~targets () in
+  let shifted = Array.map (fun y -> y +. 1.) targets in
+  let (_ : float) =
+    Nn.Mlp.fine_tune m ~rng ~config:{ Nn.Mlp.default_training with epochs = 200 } ~inputs ~targets:shifted ()
+  in
+  check Alcotest.bool "fine-tuned toward shifted targets" true
+    (Nn.Mlp.mse m ~inputs ~targets:shifted < 0.02)
+
+let test_train_validation () =
+  let rng = Prng.Rng.create 9 in
+  let m = Nn.Mlp.create ~rng ~layer_sizes:[ 2; 4; 1 ] () in
+  Alcotest.check_raises "empty data" (Invalid_argument "Mlp.train: empty data") (fun () ->
+      ignore (Nn.Mlp.train m ~rng ~inputs:[||] ~targets:[||] ()));
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Mlp.train: input/target length mismatch")
+    (fun () -> ignore (Nn.Mlp.train m ~rng ~inputs:[| [| 0.; 0. |] |] ~targets:[| 1.; 2. |] ()))
+
+let test_deterministic_training () =
+  let build seed =
+    let rng = Prng.Rng.create seed in
+    let inputs, targets = linear_data ~n:64 ~rng in
+    let m = Nn.Mlp.create ~rng ~layer_sizes:[ 2; 8; 1 ] () in
+    let (_ : float) = Nn.Mlp.train m ~rng ~config:{ Nn.Mlp.default_training with epochs = 20 } ~inputs ~targets () in
+    Nn.Mlp.predict m [| 0.25; 0.75 |]
+  in
+  check (Alcotest.float 1e-12) "same seed, same model" (build 42) (build 42)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "nn",
+    [
+      tc "activations" `Quick test_activations;
+      tc "create validation" `Quick test_create_validation;
+      tc "parameter count" `Quick test_n_parameters;
+      tc "learns a linear function" `Quick test_learns_linear_function;
+      tc "generalizes" `Quick test_generalizes;
+      tc "copy independent" `Quick test_copy_independent;
+      tc "fine-tune shifts model" `Quick test_fine_tune_shifts_model;
+      tc "train validation" `Quick test_train_validation;
+      tc "deterministic training" `Quick test_deterministic_training;
+    ] )

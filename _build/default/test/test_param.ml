@@ -1,0 +1,180 @@
+(* Unit and property tests for the param library. *)
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "color" [ "red"; "green"; "blue" ];
+      Param.Spec.ordinal_ints "threads" [ 1; 2; 4; 8 ];
+      Param.Spec.continuous "rate" ~lo:0. ~hi:1.;
+    ]
+
+let finite_space =
+  Param.Space.make
+    [
+      Param.Spec.categorical "color" [ "red"; "green"; "blue" ];
+      Param.Spec.ordinal_ints "threads" [ 1; 2; 4; 8 ];
+      Param.Spec.ordinal_ints "tile" [ 16; 32 ];
+    ]
+
+(* ---- Spec ---- *)
+
+let test_spec_validation () =
+  let color = Param.Space.spec space 0 in
+  check Alcotest.bool "valid categorical" true (Param.Spec.validate color (Param.Value.Categorical 2));
+  check Alcotest.bool "categorical out of range" false (Param.Spec.validate color (Param.Value.Categorical 3));
+  check Alcotest.bool "wrong kind" false (Param.Spec.validate color (Param.Value.Continuous 0.5));
+  let rate = Param.Space.spec space 2 in
+  check Alcotest.bool "continuous in range" true (Param.Spec.validate rate (Param.Value.Continuous 0.5));
+  check Alcotest.bool "continuous out of range" false (Param.Spec.validate rate (Param.Value.Continuous 1.5))
+
+let test_spec_constructors_reject_bad_input () =
+  Alcotest.check_raises "empty labels" (Invalid_argument "Spec.make: empty label table") (fun () ->
+      ignore (Param.Spec.categorical "x" []));
+  Alcotest.check_raises "non-increasing levels"
+    (Invalid_argument "Spec.make: levels must be strictly increasing") (fun () ->
+      ignore (Param.Spec.ordinal_ints "x" [ 1; 1 ]));
+  Alcotest.check_raises "empty range" (Invalid_argument "Spec.make: empty range") (fun () ->
+      ignore (Param.Spec.continuous "x" ~lo:1. ~hi:1.))
+
+let test_spec_rendering () =
+  let color = Param.Space.spec space 0 in
+  check Alcotest.string "label rendering" "green"
+    (Param.Spec.value_to_string color (Param.Value.Categorical 1));
+  let threads = Param.Space.spec space 1 in
+  check Alcotest.string "level rendering" "4" (Param.Spec.value_to_string threads (Param.Value.Ordinal 2))
+
+let test_spec_level () =
+  let threads = Param.Space.spec space 1 in
+  check feq "level lookup" 8. (Param.Spec.level threads 3);
+  check Alcotest.(option int) "n_choices ordinal" (Some 4) (Param.Spec.n_choices threads);
+  check Alcotest.(option int) "n_choices continuous" None (Param.Spec.n_choices (Param.Space.spec space 2))
+
+let test_numeric_encoding () =
+  let threads = Param.Space.spec space 1 in
+  check feq "first level -> 0" 0. (Param.Spec.numeric_encoding threads (Param.Value.Ordinal 0));
+  check feq "last level -> 1" 1. (Param.Spec.numeric_encoding threads (Param.Value.Ordinal 3));
+  let rate = Param.Space.spec space 2 in
+  check feq "continuous midpoint" 0.5 (Param.Spec.numeric_encoding rate (Param.Value.Continuous 0.5))
+
+(* ---- Config ---- *)
+
+let test_config_equality_hash () =
+  let a = [| Param.Value.Categorical 1; Param.Value.Ordinal 2 |] in
+  let b = [| Param.Value.Categorical 1; Param.Value.Ordinal 2 |] in
+  let c = [| Param.Value.Categorical 1; Param.Value.Ordinal 3 |] in
+  check Alcotest.bool "equal configs" true (Param.Config.equal a b);
+  check Alcotest.bool "unequal configs" false (Param.Config.equal a c);
+  check Alcotest.int "equal hashes" (Param.Config.hash a) (Param.Config.hash b);
+  check Alcotest.int "compare equal" 0 (Param.Config.compare a b);
+  check Alcotest.bool "compare total order" true (Param.Config.compare a c * Param.Config.compare c a < 0)
+
+let test_config_table () =
+  let t = Param.Config.Table.create 4 in
+  let a = [| Param.Value.Ordinal 0 |] and b = [| Param.Value.Ordinal 0 |] in
+  Param.Config.Table.replace t a 42;
+  check Alcotest.int "structural lookup" 42 (Param.Config.Table.find t b)
+
+(* ---- Space ---- *)
+
+let test_cardinality () =
+  check Alcotest.(option int) "finite cardinality" (Some 24) (Param.Space.cardinality finite_space);
+  check Alcotest.(option int) "continuous cardinality" None (Param.Space.cardinality space);
+  check Alcotest.bool "finiteness" true (Param.Space.is_finite finite_space);
+  check Alcotest.bool "non-finite" false (Param.Space.is_finite space)
+
+let test_duplicate_names_rejected () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Space.make: duplicate parameter name \"x\"") (fun () ->
+      ignore (Param.Space.make [ Param.Spec.categorical "x" [ "a" ]; Param.Spec.ordinal_ints "x" [ 1 ] ]))
+
+let test_enumerate () =
+  let all = Param.Space.enumerate finite_space in
+  check Alcotest.int "enumeration size" 24 (Array.length all);
+  (* all distinct *)
+  let t = Param.Config.Table.create 24 in
+  Array.iter (fun c -> Param.Config.Table.replace t c ()) all;
+  check Alcotest.int "all distinct" 24 (Param.Config.Table.length t);
+  (* all valid *)
+  Array.iter (fun c -> check Alcotest.bool "enumerated valid" true (Param.Space.validate finite_space c)) all
+
+let test_rank_roundtrip () =
+  let all = Param.Space.enumerate finite_space in
+  Array.iteri
+    (fun i c ->
+      check Alcotest.int "rank matches enumeration order" i (Param.Space.config_rank finite_space c);
+      check Alcotest.bool "config_of_rank inverse" true
+        (Param.Config.equal c (Param.Space.config_of_rank finite_space i)))
+    all
+
+let test_index_of_name () =
+  check Alcotest.int "index_of_name" 1 (Param.Space.index_of_name space "threads");
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Param.Space.index_of_name space "nope"))
+
+let test_random_config_valid () =
+  let rng = Prng.Rng.create 51 in
+  for _ = 1 to 200 do
+    check Alcotest.bool "random config valid" true
+      (Param.Space.validate space (Param.Space.random_config space rng))
+  done
+
+let test_distance () =
+  let a = [| Param.Value.Categorical 0; Param.Value.Ordinal 0; Param.Value.Ordinal 0 |] in
+  let b = [| Param.Value.Categorical 1; Param.Value.Ordinal 3; Param.Value.Ordinal 1 |] in
+  check feq "distance to self" 0. (Param.Space.distance finite_space a a);
+  check feq "max distance" 1. (Param.Space.distance finite_space a b);
+  check feq "symmetric" (Param.Space.distance finite_space a b) (Param.Space.distance finite_space b a);
+  let c = [| Param.Value.Categorical 0; Param.Value.Ordinal 1; Param.Value.Ordinal 0 |] in
+  (* one ordinal step of 1/3 over 3 parameters *)
+  check feq "partial distance" (1. /. 9.) (Param.Space.distance finite_space a c)
+
+let test_encode () =
+  check Alcotest.int "encode width" (3 + 1 + 1) (Param.Space.encode_width finite_space);
+  let c = [| Param.Value.Categorical 1; Param.Value.Ordinal 3; Param.Value.Ordinal 0 |] in
+  let e = Param.Space.encode finite_space c in
+  check (Alcotest.array feq) "one-hot encoding" [| 0.; 1.; 0.; 1.; 0. |] e
+
+let test_to_string () =
+  let c = [| Param.Value.Categorical 2; Param.Value.Ordinal 1; Param.Value.Ordinal 1 |] in
+  check Alcotest.string "rendering" "color=blue threads=2 tile=32" (Param.Space.to_string finite_space c)
+
+let prop_rank_roundtrip =
+  QCheck2.Test.make ~name:"config_of_rank / config_rank roundtrip" ~count:200
+    QCheck2.Gen.(int_range 0 23)
+    (fun rank -> Param.Space.config_rank finite_space (Param.Space.config_of_rank finite_space rank) = rank)
+
+let prop_distance_bounds =
+  QCheck2.Test.make ~name:"distance lies in [0, 1]" ~count:200
+    QCheck2.Gen.(pair (int_range 0 23) (int_range 0 23))
+    (fun (i, j) ->
+      let a = Param.Space.config_of_rank finite_space i in
+      let b = Param.Space.config_of_rank finite_space j in
+      let d = Param.Space.distance finite_space a b in
+      d >= 0. && d <= 1. && (i <> j || d = 0.))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "param",
+    [
+      tc "spec validation" `Quick test_spec_validation;
+      tc "spec constructors reject bad input" `Quick test_spec_constructors_reject_bad_input;
+      tc "spec rendering" `Quick test_spec_rendering;
+      tc "spec levels" `Quick test_spec_level;
+      tc "numeric encoding" `Quick test_numeric_encoding;
+      tc "config equality/hash" `Quick test_config_equality_hash;
+      tc "config table" `Quick test_config_table;
+      tc "cardinality" `Quick test_cardinality;
+      tc "duplicate names rejected" `Quick test_duplicate_names_rejected;
+      tc "enumerate" `Quick test_enumerate;
+      tc "rank roundtrip" `Quick test_rank_roundtrip;
+      tc "index_of_name" `Quick test_index_of_name;
+      tc "random config valid" `Quick test_random_config_valid;
+      tc "distance" `Quick test_distance;
+      tc "one-hot encode" `Quick test_encode;
+      tc "to_string" `Quick test_to_string;
+      QCheck_alcotest.to_alcotest prop_rank_roundtrip;
+      QCheck_alcotest.to_alcotest prop_distance_bounds;
+    ] )

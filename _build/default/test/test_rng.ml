@@ -1,0 +1,196 @@
+(* Unit and property tests for the prng library. *)
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_determinism () =
+  let a = Prng.Rng.create 42 and b = Prng.Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.Rng.bits64 a) (Prng.Rng.bits64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Prng.Rng.create 1 and b = Prng.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.Rng.bits64 a) (Prng.Rng.bits64 b)) then differs := true
+  done;
+  check Alcotest.bool "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Prng.Rng.create 7 in
+  let b = Prng.Rng.copy a in
+  let x = Prng.Rng.bits64 a in
+  let y = Prng.Rng.bits64 b in
+  check Alcotest.int64 "copy starts at same state" x y;
+  (* advancing a does not affect b *)
+  let _ = Prng.Rng.bits64 a in
+  let a3 = Prng.Rng.bits64 a in
+  let b2 = Prng.Rng.bits64 b in
+  check Alcotest.bool "copies advance independently" false (Int64.equal a3 b2)
+
+let test_split_decorrelated () =
+  let parent = Prng.Rng.create 11 in
+  let child = Prng.Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.Rng.bits64 parent) (Prng.Rng.bits64 child) then incr matches
+  done;
+  check Alcotest.bool "child stream decorrelated" true (!matches < 4)
+
+let test_float_range () =
+  let rng = Prng.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.Rng.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_float_mean () =
+  let rng = Prng.Rng.create 5 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Prng.Rng.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  check Alcotest.bool "uniform mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds_and_coverage () =
+  let rng = Prng.Rng.create 9 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7_000 do
+    let k = Prng.Rng.int rng 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 then Alcotest.failf "category %d badly undersampled: %d" i c)
+    counts
+
+let test_normal_moments () =
+  let rng = Prng.Rng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let z = Prng.Rng.normal rng in
+    sum := !sum +. z;
+    sum2 := !sum2 +. (z *. z)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check Alcotest.bool "normal mean ~0" true (Float.abs mean < 0.02);
+  check Alcotest.bool "normal var ~1" true (Float.abs (var -. 1.) < 0.05)
+
+let test_gaussian_shift () =
+  let rng = Prng.Rng.create 15 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Prng.Rng.gaussian rng ~mu:5. ~sigma:0.5
+  done;
+  check Alcotest.bool "gaussian mean ~5" true (Float.abs ((!acc /. float_of_int n) -. 5.) < 0.02)
+
+let test_exponential_mean () =
+  let rng = Prng.Rng.create 17 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let x = Prng.Rng.exponential rng ~rate:2. in
+    if x < 0. then Alcotest.fail "exponential negative";
+    acc := !acc +. x
+  done;
+  check Alcotest.bool "exponential mean ~1/rate" true
+    (Float.abs ((!acc /. float_of_int n) -. 0.5) < 0.02)
+
+let test_categorical_weights () =
+  let rng = Prng.Rng.create 19 in
+  let weights = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let k = Prng.Rng.categorical rng weights in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check Alcotest.int "zero-weight category never drawn" 0 counts.(1);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+  check Alcotest.bool "3:1 ratio approximately" true (Float.abs (ratio -. 3.) < 0.2)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.Rng.create 21 in
+  let arr = Array.init 100 (fun i -> i) in
+  Prng.Rng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "shuffle preserves elements" (Array.init 100 (fun i -> i)) sorted;
+  check Alcotest.bool "shuffle moved something" true (arr <> Array.init 100 (fun i -> i))
+
+let test_sample_without_replacement () =
+  let rng = Prng.Rng.create 23 in
+  let sample = Prng.Rng.sample_without_replacement rng 50 100 in
+  check Alcotest.int "sample size" 50 (Array.length sample);
+  let seen = Hashtbl.create 50 in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= 100 then Alcotest.failf "index out of range: %d" i;
+      if Hashtbl.mem seen i then Alcotest.failf "duplicate index %d" i;
+      Hashtbl.add seen i ())
+    sample
+
+let test_sample_full () =
+  let rng = Prng.Rng.create 25 in
+  let sample = Prng.Rng.sample_without_replacement rng 10 10 in
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "k=n covers all" (Array.init 10 (fun i -> i)) sorted
+
+let test_choose () =
+  let rng = Prng.Rng.create 27 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let x = Prng.Rng.choose rng arr in
+    check Alcotest.bool "choose returns an element" true (Array.exists (fun y -> y = x) arr)
+  done
+
+let prop_int_in_bounds =
+  QCheck2.Test.make ~name:"int n is within [0, n)" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.Rng.create seed in
+      let x = Prng.Rng.int rng n in
+      x >= 0 && x < n)
+
+let prop_float_range_in_bounds =
+  QCheck2.Test.make ~name:"float_range lo hi is within [lo, hi)" ~count:500
+    QCheck2.Gen.(triple (float_range (-1e6) 1e6) (float_range 1e-6 1e6) (int_range 0 10_000))
+    (fun (lo, width, seed) ->
+      let hi = lo +. width in
+      if not (lo < hi) then QCheck2.assume_fail ()
+      else begin
+        let rng = Prng.Rng.create seed in
+        let x = Prng.Rng.float_range rng lo hi in
+        x >= lo && x < hi
+      end)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "prng",
+    [
+      tc "determinism" `Quick test_determinism;
+      tc "distinct seeds" `Quick test_distinct_seeds;
+      tc "copy independent" `Quick test_copy_independent;
+      tc "split decorrelated" `Quick test_split_decorrelated;
+      tc "float in [0,1)" `Quick test_float_range;
+      tc "float mean" `Quick test_float_mean;
+      tc "int bounds and coverage" `Quick test_int_bounds_and_coverage;
+      tc "normal moments" `Quick test_normal_moments;
+      tc "gaussian shift" `Quick test_gaussian_shift;
+      tc "exponential mean" `Quick test_exponential_mean;
+      tc "categorical weights" `Quick test_categorical_weights;
+      tc "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+      tc "sample without replacement" `Quick test_sample_without_replacement;
+      tc "sample k=n" `Quick test_sample_full;
+      tc "choose" `Quick test_choose;
+      QCheck_alcotest.to_alcotest prop_int_in_bounds;
+      QCheck_alcotest.to_alcotest prop_float_range_in_bounds;
+    ] )
+
+let _ = checkf

@@ -1,0 +1,119 @@
+(* Tests for run-log recording and persistence. *)
+
+let check = Alcotest.check
+
+let space =
+  Param.Space.make
+    [ Param.Spec.categorical "c" [ "a"; "b" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 4 ] ]
+
+let config c o = [| Param.Value.Categorical c; Param.Value.Ordinal o |]
+
+let sample_log () =
+  Dataset.Runlog.create ~name:"demo" ~seed:42 ~space
+    [
+      { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 5.5 };
+      { index = 2; config = config 1 2; status = Dataset.Runlog.Ok 3.25 };
+      { index = 1; config = config 0 1; status = Dataset.Runlog.Failed };
+    ]
+
+let test_create_sorts_and_validates () =
+  let log = sample_log () in
+  check Alcotest.int "three entries" 3 (Array.length log.Dataset.Runlog.entries);
+  check Alcotest.int "sorted by index" 1 log.Dataset.Runlog.entries.(1).Dataset.Runlog.index;
+  Alcotest.check_raises "duplicate index" (Invalid_argument "Runlog.create: duplicate index")
+    (fun () ->
+      ignore
+        (Dataset.Runlog.create ~name:"x" ~seed:0 ~space
+           [
+             { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 1. };
+             { index = 0; config = config 1 1; status = Dataset.Runlog.Ok 2. };
+           ]))
+
+let test_history_and_best () =
+  let log = sample_log () in
+  let h = Dataset.Runlog.history log in
+  check Alcotest.int "history excludes failures" 2 (Array.length h);
+  match Dataset.Runlog.best log with
+  | Some (c, y) ->
+      check (Alcotest.float 1e-12) "best value" 3.25 y;
+      check Alcotest.bool "best config" true (Param.Config.equal c (config 1 2))
+  | None -> Alcotest.fail "expected a best entry"
+
+let test_roundtrip () =
+  let log = sample_log () in
+  let text = Dataset.Runlog.to_string log in
+  let parsed = Dataset.Runlog.of_string text in
+  check Alcotest.string "name" "demo" parsed.Dataset.Runlog.name;
+  check Alcotest.int "seed" 42 parsed.Dataset.Runlog.seed;
+  check Alcotest.int "entries" 3 (Array.length parsed.Dataset.Runlog.entries);
+  Array.iteri
+    (fun i e ->
+      let orig = log.Dataset.Runlog.entries.(i) in
+      check Alcotest.int "index" orig.Dataset.Runlog.index e.Dataset.Runlog.index;
+      check Alcotest.bool "config" true (Param.Config.equal orig.config e.Dataset.Runlog.config);
+      match (orig.status, e.Dataset.Runlog.status) with
+      | Dataset.Runlog.Ok a, Dataset.Runlog.Ok b -> check (Alcotest.float 1e-12) "value" a b
+      | Dataset.Runlog.Failed, Dataset.Runlog.Failed -> ()
+      | _ -> Alcotest.fail "status mismatch")
+    parsed.Dataset.Runlog.entries
+
+let test_file_roundtrip () =
+  let log = sample_log () in
+  let path = Filename.temp_file "runlog" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset.Runlog.save log path;
+      let loaded = Dataset.Runlog.load path in
+      check Alcotest.int "entries survive the file" 3 (Array.length loaded.Dataset.Runlog.entries))
+
+let test_recorder_with_tuner () =
+  (* Wire a recorder into a resilient tuning run and check it captures
+     every evaluation and failure. *)
+  let rec_ = Dataset.Runlog.recorder ~name:"wired" ~seed:7 ~space in
+  let objective c = if Param.Value.to_index c.(1) = 2 then None else Some 1.5 in
+  let result =
+    Hiperbot.Tuner.run_resilient
+      ~options:{ Hiperbot.Tuner.default_options with n_init = 2 }
+      ~on_evaluation:(fun i c y -> Dataset.Runlog.record_evaluation rec_ i c y)
+      ~on_failure:(fun i c -> Dataset.Runlog.record_failure rec_ i c)
+      ~rng:(Prng.Rng.create 31) ~space ~objective ~budget:6 ()
+  in
+  let log = Dataset.Runlog.finish rec_ in
+  check Alcotest.int "log captures every attempt"
+    (Array.length result.Hiperbot.Tuner.history + Array.length result.Hiperbot.Tuner.failures)
+    (Array.length log.Dataset.Runlog.entries);
+  check Alcotest.int "log history matches tuner history"
+    (Array.length result.Hiperbot.Tuner.history)
+    (Array.length (Dataset.Runlog.history log))
+
+let test_malformed_rejected () =
+  Alcotest.check_raises "bad magic" (Failure "Runlog: missing '#runlog v1' magic") (fun () ->
+      ignore (Dataset.Runlog.of_string "hello\n"));
+  Alcotest.check_raises "unknown status" (Failure "Runlog: unknown status \"meh\"") (fun () ->
+      ignore
+        (Dataset.Runlog.of_string
+           "#runlog v1\n#name x\n#seed 1\n#spec c=cat:a,b\nindex,c,objective,status\n0,a,1.0,meh\n"))
+
+let test_continuous_unsupported () =
+  let cont_space = Param.Space.make [ Param.Spec.continuous "x" ~lo:0. ~hi:1. ] in
+  let log =
+    Dataset.Runlog.create ~name:"c" ~seed:0 ~space:cont_space
+      [ { Dataset.Runlog.index = 0; config = [| Param.Value.Continuous 0.5 |]; status = Dataset.Runlog.Ok 1. } ]
+  in
+  Alcotest.check_raises "continuous serialization rejected"
+    (Invalid_argument "Runlog: continuous parameters are not supported") (fun () ->
+      ignore (Dataset.Runlog.to_string log))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "runlog",
+    [
+      tc "create sorts and validates" `Quick test_create_sorts_and_validates;
+      tc "history and best" `Quick test_history_and_best;
+      tc "string roundtrip" `Quick test_roundtrip;
+      tc "file roundtrip" `Quick test_file_roundtrip;
+      tc "recorder wired into tuner" `Quick test_recorder_with_tuner;
+      tc "malformed rejected" `Quick test_malformed_rejected;
+      tc "continuous unsupported" `Quick test_continuous_unsupported;
+    ] )

@@ -1,0 +1,191 @@
+(* Tests for the discrete-event simulation substrate: heap, engine,
+   task-graph scheduler, and the sweep wavefront model. *)
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+(* ---- Heap ---- *)
+
+let test_heap_ordering () =
+  let h = Simulate.Heap.create () in
+  List.iter (fun k -> Simulate.Heap.push h k (int_of_float k)) [ 5.; 1.; 4.; 1.5; 3.; 2. ];
+  check Alcotest.int "length" 6 (Simulate.Heap.length h);
+  let rec drain acc =
+    match Simulate.Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+  in
+  check (Alcotest.list feq) "sorted drain" [ 1.; 1.5; 2.; 3.; 4.; 5. ] (drain []);
+  check Alcotest.bool "empty after drain" true (Simulate.Heap.is_empty h)
+
+let test_heap_peek_and_clear () =
+  let h = Simulate.Heap.create () in
+  check Alcotest.(option (pair (float 0.) int)) "peek empty" None (Simulate.Heap.peek h);
+  Simulate.Heap.push h 2. 20;
+  Simulate.Heap.push h 1. 10;
+  check Alcotest.(option (pair (float 0.) int)) "peek min" (Some (1., 10)) (Simulate.Heap.peek h);
+  check Alcotest.int "peek does not remove" 2 (Simulate.Heap.length h);
+  Simulate.Heap.clear h;
+  check Alcotest.bool "cleared" true (Simulate.Heap.is_empty h)
+
+let test_heap_random_property () =
+  let rng = Prng.Rng.create 3 in
+  for _ = 1 to 20 do
+    let n = 1 + Prng.Rng.int rng 200 in
+    let keys = Array.init n (fun _ -> Prng.Rng.float rng) in
+    let h = Simulate.Heap.create () in
+    Array.iter (fun k -> Simulate.Heap.push h k ()) keys;
+    let sorted = Array.copy keys in
+    Array.sort compare sorted;
+    Array.iter
+      (fun expected ->
+        match Simulate.Heap.pop h with
+        | Some (k, ()) -> if k <> expected then Alcotest.failf "pop %g, expected %g" k expected
+        | None -> Alcotest.fail "heap exhausted early")
+      sorted
+  done
+
+(* ---- Engine ---- *)
+
+let test_engine_order_and_time () =
+  let e = Simulate.Engine.create () in
+  let log = ref [] in
+  Simulate.Engine.schedule e ~at:3. (fun e -> log := ("c", Simulate.Engine.now e) :: !log);
+  Simulate.Engine.schedule e ~at:1. (fun e -> log := ("a", Simulate.Engine.now e) :: !log);
+  Simulate.Engine.schedule e ~at:2. (fun e -> log := ("b", Simulate.Engine.now e) :: !log);
+  let final = Simulate.Engine.run e in
+  check feq "final time" 3. final;
+  check Alcotest.(list (pair string (float 0.))) "events in time order"
+    [ ("a", 1.); ("b", 2.); ("c", 3.) ]
+    (List.rev !log);
+  check Alcotest.int "events processed" 3 (Simulate.Engine.events_processed e)
+
+let test_engine_cascading () =
+  let e = Simulate.Engine.create () in
+  let hits = ref 0 in
+  let rec chain e =
+    incr hits;
+    if !hits < 5 then Simulate.Engine.schedule_after e ~delay:2. chain
+  in
+  Simulate.Engine.schedule e ~at:1. chain;
+  let final = Simulate.Engine.run e in
+  check Alcotest.int "cascade length" 5 !hits;
+  check feq "cascade end time" 9. final
+
+let test_engine_rejects_past () =
+  let e = Simulate.Engine.create () in
+  Simulate.Engine.schedule e ~at:5. (fun e ->
+      Alcotest.check_raises "past event" (Invalid_argument "Engine.schedule: event in the past")
+        (fun () -> Simulate.Engine.schedule e ~at:1. (fun _ -> ())));
+  ignore (Simulate.Engine.run e)
+
+(* ---- Taskgraph ---- *)
+
+let task duration resource deps = { Simulate.Taskgraph.duration; resource; deps = Array.of_list deps }
+
+let test_taskgraph_chain () =
+  let r = Simulate.Taskgraph.simulate ~n_resources:1 [| task 1. 0 []; task 2. 0 [ (0, 0.) ]; task 3. 0 [ (1, 0.) ] |] in
+  check feq "chain makespan" 6. r.Simulate.Taskgraph.makespan;
+  check (Alcotest.array feq) "chain completions" [| 1.; 3.; 6. |] r.Simulate.Taskgraph.completion
+
+let test_taskgraph_resource_serialization () =
+  (* Two independent tasks on one resource must serialize; on two
+     resources they run concurrently. *)
+  let tasks = [| task 2. 0 []; task 2. 0 [] |] in
+  let serial = Simulate.Taskgraph.simulate ~n_resources:1 tasks in
+  check feq "serialized" 4. serial.Simulate.Taskgraph.makespan;
+  let tasks2 = [| task 2. 0 []; task 2. 1 [] |] in
+  let parallel = Simulate.Taskgraph.simulate ~n_resources:2 tasks2 in
+  check feq "parallel" 2. parallel.Simulate.Taskgraph.makespan
+
+let test_taskgraph_cross_resource_latency () =
+  (* Latency applies across resources, not within one. *)
+  let cross = Simulate.Taskgraph.simulate ~n_resources:2 [| task 1. 0 []; task 1. 1 [ (0, 5.) ] |] in
+  check feq "cross-resource pays latency" 7. cross.Simulate.Taskgraph.makespan;
+  let local = Simulate.Taskgraph.simulate ~n_resources:1 [| task 1. 0 []; task 1. 0 [ (0, 5.) ] |] in
+  check feq "same-resource skips latency" 2. local.Simulate.Taskgraph.makespan
+
+let test_taskgraph_max_over_edges () =
+  (* The start time is the max over incoming edges, not the last
+     edge to fire. *)
+  let r =
+    Simulate.Taskgraph.simulate ~n_resources:3
+      [| task 1. 0 []; task 3. 1 []; task 1. 2 [ (0, 10.); (1, 0.) ] |]
+  in
+  (* dep 0 completes at 1 with latency 10 -> 11; dep 1 completes at 3
+     with latency 0 -> 3; start at 11, finish at 12. *)
+  check feq "max over edges" 12. r.Simulate.Taskgraph.makespan
+
+let test_taskgraph_validation () =
+  Alcotest.check_raises "forward dep"
+    (Invalid_argument "Taskgraph.simulate: dependencies must point to earlier tasks") (fun () ->
+      ignore (Simulate.Taskgraph.simulate ~n_resources:1 [| task 1. 0 [ (0, 0.) ] |]));
+  Alcotest.check_raises "bad resource" (Invalid_argument "Taskgraph.simulate: resource out of range")
+    (fun () -> ignore (Simulate.Taskgraph.simulate ~n_resources:1 [| task 1. 3 [] |]))
+
+(* ---- Sweep ---- *)
+
+let test_grid_of_ranks () =
+  check Alcotest.(pair int int) "64 -> 8x8" (8, 8) (Simulate.Sweep.grid_of_ranks 64);
+  check Alcotest.(pair int int) "12 -> 3x4" (3, 4) (Simulate.Sweep.grid_of_ranks 12);
+  check Alcotest.(pair int int) "7 -> 1x7" (1, 7) (Simulate.Sweep.grid_of_ranks 7);
+  check Alcotest.(pair int int) "1 -> 1x1" (1, 1) (Simulate.Sweep.grid_of_ranks 1)
+
+let test_sweep_single_rank () =
+  (* One rank: pure serial work, no fill, no messages. *)
+  check feq "serial makespan" 8. (Simulate.Sweep.makespan ~px:1 ~py:1 ~work_units:4 ~t_chunk:2. ~t_msg:9.)
+
+let test_sweep_known_small () =
+  (* 2x1 grid, 1 unit: fill = one chunk + one message + one chunk. *)
+  check feq "2-rank fill" (1. +. 0.5 +. 1.)
+    (Simulate.Sweep.makespan ~px:2 ~py:1 ~work_units:1 ~t_chunk:1. ~t_msg:0.5);
+  (* diameter fill with zero message cost: (px+py-2+U) chunks. *)
+  check feq "diagonal fill" 5.
+    (Simulate.Sweep.makespan ~px:2 ~py:2 ~work_units:3 ~t_chunk:1. ~t_msg:0.)
+
+let test_sweep_matches_taskgraph () =
+  List.iter
+    (fun (px, py, u, tc, tm) ->
+      let dp = Simulate.Sweep.makespan ~px ~py ~work_units:u ~t_chunk:tc ~t_msg:tm in
+      let tg = Simulate.Sweep.makespan_taskgraph ~px ~py ~work_units:u ~t_chunk:tc ~t_msg:tm in
+      check feq
+        (Printf.sprintf "DP = taskgraph (%d,%d,%d)" px py u)
+        dp tg.Simulate.Taskgraph.makespan)
+    [ (1, 1, 5, 1., 0.3); (2, 3, 4, 0.7, 0.1); (4, 4, 8, 0.25, 0.05); (3, 5, 2, 1.2, 0.9); (8, 8, 6, 0.1, 0.02) ]
+
+let test_sweep_pipeline_efficiency_properties () =
+  let eff u = Simulate.Sweep.pipeline_efficiency ~px:4 ~py:4 ~work_units:u ~t_chunk:1. ~t_msg:0.1 in
+  check Alcotest.bool "efficiency in (0,1]" true (eff 4 > 0. && eff 4 <= 1.);
+  check Alcotest.bool "deeper pipeline is more efficient" true (eff 32 > eff 4);
+  let eff_small_grid =
+    Simulate.Sweep.pipeline_efficiency ~px:2 ~py:2 ~work_units:8 ~t_chunk:1. ~t_msg:0.1
+  in
+  let eff_large_grid =
+    Simulate.Sweep.pipeline_efficiency ~px:8 ~py:8 ~work_units:8 ~t_chunk:1. ~t_msg:0.1
+  in
+  check Alcotest.bool "bigger grid fills longer" true (eff_small_grid > eff_large_grid)
+
+let test_sweep_monotone_in_messages () =
+  let m tm = Simulate.Sweep.makespan ~px:4 ~py:4 ~work_units:8 ~t_chunk:1. ~t_msg:tm in
+  check Alcotest.bool "messages only hurt" true (m 0.5 > m 0.)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "simulate",
+    [
+      tc "heap ordering" `Quick test_heap_ordering;
+      tc "heap peek/clear" `Quick test_heap_peek_and_clear;
+      tc "heap random property" `Quick test_heap_random_property;
+      tc "engine order and time" `Quick test_engine_order_and_time;
+      tc "engine cascading" `Quick test_engine_cascading;
+      tc "engine rejects the past" `Quick test_engine_rejects_past;
+      tc "taskgraph chain" `Quick test_taskgraph_chain;
+      tc "taskgraph resource serialization" `Quick test_taskgraph_resource_serialization;
+      tc "taskgraph cross-resource latency" `Quick test_taskgraph_cross_resource_latency;
+      tc "taskgraph max over edges" `Quick test_taskgraph_max_over_edges;
+      tc "taskgraph validation" `Quick test_taskgraph_validation;
+      tc "grid of ranks" `Quick test_grid_of_ranks;
+      tc "sweep single rank" `Quick test_sweep_single_rank;
+      tc "sweep known small cases" `Quick test_sweep_known_small;
+      tc "sweep DP matches taskgraph" `Quick test_sweep_matches_taskgraph;
+      tc "sweep pipeline efficiency" `Quick test_sweep_pipeline_efficiency_properties;
+      tc "sweep monotone in message cost" `Quick test_sweep_monotone_in_messages;
+    ] )
