@@ -1,0 +1,27 @@
+# Development entry points. `make check` is what CI runs: build,
+# formatting (when ocamlformat is installed), and the full test suite.
+
+.PHONY: all build test fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The formatting gate is skipped when ocamlformat is not on PATH so
+# `make check` works in minimal containers; install ocamlformat to
+# enforce it locally.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+check: build fmt test
+
+clean:
+	dune clean

@@ -92,78 +92,235 @@ let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc)
 
 let save_arg =
-  let doc = "Write a run log of every evaluation to $(docv) (see Dataset.Runlog)." in
+  let doc = "Write a run log of every evaluation to $(docv), one flushed line per evaluation so an interrupted run is recoverable (see Dataset.Runlog)." in
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"PATH" ~doc)
 
+let resume_arg =
+  let doc = "Resume an interrupted campaign from the --save run log: recorded evaluations are replayed (not re-run) and the remaining budget is tuned and appended to the log. Requires --save and the hiperbot method." in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let faults_arg =
+  let doc = "Inject deterministic faults at transient rate $(docv) (plus permanent failures at a quarter and 8x stragglers at half that rate). Hiperbot method only." in
+  Arg.(value & opt float 0. & info [ "faults" ] ~docv:"RATE" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault-injection streams (default: derived from --seed)." in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc = "Maximum attempts per configuration (transient failures and timeouts are retried with exponential simulated backoff; permanent failures never are)." in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Per-evaluation cost budget: an evaluation above $(docv) is classified as a timeout (straggler) instead of a measurement." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"COST" ~doc)
+
+let status_of_outcome = function
+  | Resilience.Outcome.Value y -> Dataset.Runlog.Ok y
+  | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
+  | Resilience.Outcome.Permanent _ -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
+  | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+
 let tune_cmd =
-  let run dataset seed budget method_ alpha n_init proposal trace save =
+  let run dataset seed budget method_ alpha n_init proposal trace save resume faults fault_seed
+      retries timeout =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
         let space = Dataset.Table.space table in
         let objective = Dataset.Table.objective_fn table in
         let rng = Prng.Rng.create seed in
-        let recorder =
-          Option.map
-            (fun _ -> Dataset.Runlog.recorder ~name:("tune:" ^ dataset) ~seed ~space)
-            save
-        in
-        let best = ref infinity in
-        let on_evaluation i config y =
-          (match recorder with Some r -> Dataset.Runlog.record_evaluation r i config y | None -> ());
-          if trace || y < !best then begin
-            if y < !best then best := y;
-            Printf.printf "%4d  %10.4g  %s\n" i y (Param.Space.to_string space config)
+        let resilient = resume || faults > 0. in
+        if resilient && method_ <> `Hiperbot then
+          `Error (false, "--resume and --faults are only supported with --method hiperbot")
+        else if resume && save = None then `Error (false, "--resume requires --save PATH")
+        else if not (0. <= faults && faults <= 1.) then
+          `Error (false, "--faults RATE must be in [0, 1]")
+        else if retries < 1 then `Error (false, "--retries must be at least 1")
+        else if (match timeout with Some t -> t <= 0. | None -> false) then
+          `Error (false, "--timeout must be positive")
+        else begin
+          let best = ref infinity in
+          let print_evaluation i config y =
+            if trace || y < !best then begin
+              if y < !best then best := y;
+              Printf.printf "%4d  %10.4g  %s\n" i y (Param.Space.to_string space config)
+            end
+          in
+          let print_tuner_result (result : Hiperbot.Tuner.result) =
+            (match result.Hiperbot.Tuner.final_surrogate with
+            | Some s ->
+                Printf.printf "parameter importance: %s\n"
+                  (Hiperbot.Importance.to_string (Hiperbot.Importance.of_surrogate s))
+            | None -> ());
+            let n_fail = Array.length result.Hiperbot.Tuner.failures in
+            if n_fail > 0 || result.Hiperbot.Tuner.n_attempts > Array.length result.Hiperbot.Tuner.history
+            then
+              Printf.printf "failures: %d  attempts: %d  backoff cost: %.4g\n" n_fail
+                result.Hiperbot.Tuner.n_attempts result.Hiperbot.Tuner.retry_cost;
+            Baselines.Outcome.of_tuner_result result
+          in
+          let hiperbot_options () =
+            let strategy =
+              match proposal with
+              | Some k -> Hiperbot.Strategy.Proposal { n_candidates = k }
+              | None -> Hiperbot.Strategy.Ranking
+            in
+            {
+              Hiperbot.Tuner.default_options with
+              n_init;
+              strategy;
+              surrogate = { Hiperbot.Surrogate.default_options with alpha };
+            }
+          in
+          if resilient then begin
+            (* Resilient path: outcome-taxonomy objective, retry policy,
+               flush-per-entry v2 run log, optional resume. *)
+            let policy =
+              { Resilience.Policy.default with max_attempts = retries; timeout }
+            in
+            let fault_spec =
+              if faults > 0. then
+                Some
+                  (Hpcsim.Faults.standard
+                     ~seed:(Option.value fault_seed ~default:(seed + 7919))
+                     ~rate:faults)
+              else None
+            in
+            let outcome_objective ~attempt c =
+              match fault_spec with
+              | Some fs -> Hpcsim.Faults.inject fs objective ~attempt c
+              | None -> Resilience.Outcome.Value (objective c)
+            in
+            let existing_log =
+              match save with
+              | Some path when resume && Sys.file_exists path ->
+                  Some (Dataset.Runlog.load ~recover:true path)
+              | _ -> None
+            in
+            (match existing_log with
+            | Some log
+              when Param.Space.specs log.Dataset.Runlog.space <> Param.Space.specs space ->
+                `Error (false, "run log space does not match the dataset")
+            | _ -> begin
+                let writer =
+                  match (save, existing_log) with
+                  | Some path, Some log -> Some (Dataset.Runlog.writer_resume ~path log)
+                  | Some path, None ->
+                      Some
+                        (Dataset.Runlog.writer_create ~path ~name:("tune:" ^ dataset) ~seed
+                           ~space)
+                  | None, _ -> None
+                in
+                let on_outcome i config (v : Resilience.Evaluator.verdict) =
+                  (match writer with
+                  | Some w ->
+                      Dataset.Runlog.writer_record w
+                        {
+                          Dataset.Runlog.index = i;
+                          config;
+                          status = status_of_outcome v.Resilience.Evaluator.outcome;
+                          attempts = v.Resilience.Evaluator.attempts;
+                        }
+                  | None -> ());
+                  match v.Resilience.Evaluator.outcome with
+                  | Resilience.Outcome.Value y -> print_evaluation i config y
+                  | failure ->
+                      if trace then
+                        Printf.printf "%4d  %10s  %s\n" i
+                          (Resilience.Outcome.kind failure)
+                          (Param.Space.to_string space config)
+                in
+                let options = hiperbot_options () in
+                let tuner_result =
+                  match existing_log with
+                  | Some log ->
+                      if log.Dataset.Runlog.seed <> seed then
+                        Printf.printf "resuming with the log's seed %d (ignoring --seed %d)\n"
+                          log.Dataset.Runlog.seed seed;
+                      Printf.printf "resuming after %d recorded evaluations\n"
+                        (Array.length log.Dataset.Runlog.entries);
+                      Hiperbot.Tuner.resume ~options ~policy ~on_outcome ~log
+                        ~objective:outcome_objective ~budget ()
+                  | None ->
+                      Hiperbot.Tuner.run_with_policy ~options ~policy ~on_outcome ~rng ~space
+                        ~objective:outcome_objective ~budget ()
+                in
+                (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
+                match tuner_result with
+                | Stdlib.Error err ->
+                    `Error
+                      ( false,
+                        Printf.sprintf
+                          "every evaluation failed (%d failures, %d attempts); no best \
+                           configuration"
+                          (Array.length err.Hiperbot.Tuner.error_failures)
+                          err.Hiperbot.Tuner.error_attempts )
+                | Stdlib.Ok result ->
+                    let outcome = print_tuner_result result in
+                    Printf.printf "best after %d evaluations: %.4g\n"
+                      (Array.length outcome.Baselines.Outcome.history)
+                      outcome.Baselines.Outcome.best_value;
+                    Printf.printf "  %s\n"
+                      (Param.Space.to_string space outcome.Baselines.Outcome.best_config);
+                    Printf.printf "exhaustive best: %.4g\n" (Dataset.Table.best_value table);
+                    (match save with
+                    | Some path -> Printf.printf "run log written to %s\n" path
+                    | None -> ());
+                    `Ok ()
+              end)
           end
-        in
-        let outcome =
-          match method_ with
-          | `Random -> Baselines.Random_search.run ~rng ~space ~objective ~budget ()
-          | `Geist -> Baselines.Geist.run ~rng ~space ~objective ~budget ()
-          | `Gp -> Baselines.Gp_tuner.run ~rng ~space ~objective ~budget ()
-          | `Gbt -> Baselines.Gbt_tuner.run ~rng ~space ~objective ~budget ()
-          | `Hiperbot ->
-              let strategy =
-                match proposal with
-                | Some k -> Hiperbot.Strategy.Proposal { n_candidates = k }
-                | None -> Hiperbot.Strategy.Ranking
-              in
-              let options =
-                {
-                  Hiperbot.Tuner.default_options with
-                  n_init;
-                  strategy;
-                  surrogate = { Hiperbot.Surrogate.default_options with alpha };
-                }
-              in
-              let result =
-                Hiperbot.Tuner.run ~options ~on_evaluation ~rng ~space ~objective ~budget ()
-              in
-              (match result.Hiperbot.Tuner.final_surrogate with
-              | Some s ->
-                  Printf.printf "parameter importance: %s\n"
-                    (Hiperbot.Importance.to_string (Hiperbot.Importance.of_surrogate s))
+          else begin
+            let writer =
+              Option.map
+                (fun path ->
+                  Dataset.Runlog.writer_create ~path ~name:("tune:" ^ dataset) ~seed ~space)
+                save
+            in
+            let on_evaluation i config y =
+              (match writer with
+              | Some w ->
+                  Dataset.Runlog.writer_record w
+                    {
+                      Dataset.Runlog.index = i;
+                      config;
+                      status = Dataset.Runlog.Ok y;
+                      attempts = 1;
+                    }
               | None -> ());
-              Baselines.Outcome.of_tuner_result result
-        in
-        Printf.printf "best after %d evaluations: %.4g\n"
-          (Array.length outcome.Baselines.Outcome.history)
-          outcome.Baselines.Outcome.best_value;
-        Printf.printf "  %s\n" (Param.Space.to_string space outcome.Baselines.Outcome.best_config);
-        Printf.printf "exhaustive best: %.4g\n" (Dataset.Table.best_value table);
-        (match (recorder, save) with
-        | Some r, Some path ->
-            Dataset.Runlog.save (Dataset.Runlog.finish r) path;
-            Printf.printf "run log written to %s\n" path
-        | _ -> ());
-        `Ok ()
+              print_evaluation i config y
+            in
+            let outcome =
+              match method_ with
+              | `Random -> Baselines.Random_search.run ~rng ~space ~objective ~budget ()
+              | `Geist -> Baselines.Geist.run ~rng ~space ~objective ~budget ()
+              | `Gp -> Baselines.Gp_tuner.run ~rng ~space ~objective ~budget ()
+              | `Gbt -> Baselines.Gbt_tuner.run ~rng ~space ~objective ~budget ()
+              | `Hiperbot ->
+                  let options = hiperbot_options () in
+                  print_tuner_result
+                    (Hiperbot.Tuner.run ~options ~on_evaluation ~rng ~space ~objective ~budget ())
+            in
+            (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
+            Printf.printf "best after %d evaluations: %.4g\n"
+              (Array.length outcome.Baselines.Outcome.history)
+              outcome.Baselines.Outcome.best_value;
+            Printf.printf "  %s\n" (Param.Space.to_string space outcome.Baselines.Outcome.best_config);
+            Printf.printf "exhaustive best: %.4g\n" (Dataset.Table.best_value table);
+            (match save with
+            | Some path -> Printf.printf "run log written to %s\n" path
+            | None -> ());
+            `Ok ()
+          end
+        end
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run a tuner on a dataset and report the best configuration found.")
     Term.(
       ret
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
-       $ proposal_arg $ trace_arg $ save_arg))
+       $ proposal_arg $ trace_arg $ save_arg $ resume_arg $ faults_arg $ fault_seed_arg
+       $ retries_arg $ timeout_arg))
 
 (* ---- transfer ---- *)
 
@@ -335,7 +492,7 @@ let replay_cmd =
     Arg.(value & opt (some string) None & info [ "against" ] ~docv:"NAME" ~doc)
   in
   let run path against =
-    match Dataset.Runlog.load path with
+    match Dataset.Runlog.load ~recover:true path with
     | exception Failure msg -> `Error (false, msg)
     | log ->
         let space = log.Dataset.Runlog.space in
@@ -343,6 +500,17 @@ let replay_cmd =
         Printf.printf "run %S (seed %d): %d evaluations, %d failures\n" log.Dataset.Runlog.name
           log.Dataset.Runlog.seed (Array.length history)
           (Array.length log.Dataset.Runlog.entries - Array.length history);
+        List.iter
+          (fun kind ->
+            let n = Dataset.Runlog.count_kind log kind in
+            if n > 0 then
+              Printf.printf "  %s: %d\n" (Dataset.Runlog.failure_kind_to_string kind) n)
+          [
+            Dataset.Runlog.Crash;
+            Dataset.Runlog.Transient;
+            Dataset.Runlog.Permanent;
+            Dataset.Runlog.Timeout;
+          ];
         (match Dataset.Runlog.best log with
         | Some (c, y) -> Printf.printf "best: %.4g at %s\n" y (Param.Space.to_string space c)
         | None -> Printf.printf "no successful evaluation\n");

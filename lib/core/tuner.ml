@@ -24,13 +24,28 @@ type result = {
   trajectory : float array;
   final_surrogate : Surrogate.t option;
   stopped_early : bool;
-  failures : Param.Config.t array;
+  failures : (Param.Config.t * Resilience.Outcome.t) array;
+  n_attempts : int;
+  retry_cost : float;
+}
+
+type run_error = {
+  error_failures : (Param.Config.t * Resilience.Outcome.t) array;
+  error_attempts : int;
 }
 
 let max_init_redraws = 50
 
-let run_impl ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_evaluation
-    ?on_failure ~rng ~space ~objective ~budget () =
+(* The outcome-driven core every public entry point funnels into.
+   [eval] produces one final verdict per configuration (retries happen
+   inside it, so a verdict consumes exactly one unit of budget no
+   matter how many attempts it took). [replay] short-circuits the
+   first evaluations with recorded verdicts: because everything else
+   — rng draws, selection, bookkeeping — runs exactly as live, a
+   resumed campaign retraces the interrupted one bit-for-bit and then
+   continues. *)
+let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_outcome
+    ?(replay = [||]) ~rng ~space ~eval ~budget () =
   if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
   if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
   if options.batch_size < 1 then invalid_arg "Tuner.run: batch_size must be at least 1";
@@ -68,25 +83,43 @@ let run_impl ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_e
   let history = ref [] in
   let failures = ref [] in
   let n_evaluated = ref 0 in
+  let n_attempts = ref 0 in
+  let retry_cost = ref 0. in
   let best = ref None in
   let trajectory = ref [] in
   let since_improvement = ref 0 in
   let evaluate config =
+    let idx = !n_evaluated in
+    let verdict =
+      if idx < Array.length replay then begin
+        let recorded_config, v = replay.(idx) in
+        if not (Param.Config.equal recorded_config config) then
+          failwith
+            "Tuner.resume: run log diverges from the replayed trajectory (were the seed, \
+             options, or objective changed?)";
+        v
+      end
+      else begin
+        let v = eval config in
+        (match on_outcome with Some f -> f idx config v | None -> ());
+        v
+      end
+    in
     Param.Config.Table.replace evaluated config ();
-    (match objective config with
-    | Some y ->
+    n_attempts := !n_attempts + verdict.Resilience.Evaluator.attempts;
+    retry_cost := !retry_cost +. verdict.Resilience.Evaluator.retry_cost;
+    (match verdict.Resilience.Evaluator.outcome with
+    | Resilience.Outcome.Value y ->
         history := (config, y) :: !history;
         (match !best with
         | Some (_, by) when by <= y -> incr since_improvement
         | Some _ | None ->
             best := Some (config, y);
             since_improvement := 0);
-        trajectory := snd (Option.get !best) :: !trajectory;
-        (match on_evaluation with Some f -> f !n_evaluated config y | None -> ())
-    | None ->
-        failures := config :: !failures;
-        incr since_improvement;
-        (match on_failure with Some f -> f !n_evaluated config | None -> ()));
+        trajectory := snd (Option.get !best) :: !trajectory
+    | failure ->
+        failures := (config, failure) :: !failures;
+        incr since_improvement);
     incr n_evaluated
   in
   (* Phase 1: uniform random initialization, avoiding duplicates
@@ -116,7 +149,10 @@ let run_impl ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_e
   done;
   since_improvement := 0;
   (* Phase 2: surrogate-guided iteration, [batch_size] evaluations per
-     refit, optionally stopping when guided samples go stale. *)
+     refit, optionally stopping when guided samples go stale. A batch
+     member whose verdict is a failure (including Timeout stragglers)
+     joins [failures] and the rest of the batch proceeds — one bad
+     member never stalls the campaign. *)
   let observations () = Array.append warm_start (Array.of_list (List.rev !history)) in
   let final_surrogate = ref None in
   let stopped_early = ref false in
@@ -130,7 +166,8 @@ let run_impl ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_e
     else begin
       let surrogate =
         Surrogate.fit ~options:options.surrogate ?prior:options.prior
-          ~extra_bad:(Array.of_list !failures) space obs
+          ~extra_bad:(Array.of_list (List.rev_map fst !failures))
+          space obs
       in
       final_surrogate := Some surrogate;
       let k = min options.batch_size (budget - !n_evaluated) in
@@ -144,24 +181,87 @@ let run_impl ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_e
   done;
   if stale () then stopped_early := true;
   match !best with
-  | None -> failwith "Tuner: every evaluation failed; no best configuration"
+  | None ->
+      Stdlib.Error
+        {
+          error_failures = Array.of_list (List.rev !failures);
+          error_attempts = !n_attempts;
+        }
   | Some (best_config, best_value) ->
-      {
-        history = Array.of_list (List.rev !history);
-        best_config;
-        best_value;
-        trajectory = Array.of_list (List.rev !trajectory);
-        final_surrogate = !final_surrogate;
-        stopped_early = !stopped_early;
-        failures = Array.of_list (List.rev !failures);
-      }
+      Stdlib.Ok
+        {
+          history = Array.of_list (List.rev !history);
+          best_config;
+          best_value;
+          trajectory = Array.of_list (List.rev !trajectory);
+          final_surrogate = !final_surrogate;
+          stopped_early = !stopped_early;
+          failures = Array.of_list (List.rev !failures);
+          n_attempts = !n_attempts;
+          retry_cost = !retry_cost;
+        }
+
+let verdict_of_outcome outcome =
+  { Resilience.Evaluator.outcome; attempts = 1; retry_cost = 0. }
 
 let run ?options ?warm_start ?candidates ?on_evaluation ~rng ~space ~objective ~budget () =
-  run_impl ?options ?warm_start ?candidates ?on_evaluation ~rng ~space
-    ~objective:(fun c -> Some (objective c))
-    ~budget ()
+  let eval c = verdict_of_outcome (Resilience.Outcome.Value (objective c)) in
+  let on_outcome =
+    Option.map
+      (fun f i c v ->
+        match v.Resilience.Evaluator.outcome with
+        | Resilience.Outcome.Value y -> f i c y
+        | _ -> ())
+      on_evaluation
+  in
+  match run_core ?options ?warm_start ?candidates ?on_outcome ~rng ~space ~eval ~budget () with
+  | Stdlib.Ok r -> r
+  | Stdlib.Error _ -> assert false (* a total objective cannot fail *)
 
 let run_resilient ?options ?warm_start ?candidates ?on_evaluation ?on_failure ~rng ~space
     ~objective ~budget () =
-  run_impl ?options ?warm_start ?candidates ?on_evaluation ?on_failure ~rng ~space ~objective
-    ~budget ()
+  let eval c = verdict_of_outcome (Resilience.Outcome.of_option (objective c)) in
+  let on_outcome i c v =
+    match v.Resilience.Evaluator.outcome with
+    | Resilience.Outcome.Value y -> (match on_evaluation with Some f -> f i c y | None -> ())
+    | _ -> ( match on_failure with Some f -> f i c | None -> ())
+  in
+  run_core ?options ?warm_start ?candidates ~on_outcome ~rng ~space ~eval ~budget ()
+
+let run_with_policy ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates
+    ?on_outcome ?replay ~rng ~space ~objective ~budget () =
+  let eval c = Resilience.Evaluator.evaluate ~policy ~objective c in
+  run_core ?options ?warm_start ?candidates ?on_outcome ?replay ~rng ~space ~eval ~budget ()
+
+let replay_of_log ~policy log =
+  Array.mapi
+    (fun i (e : Dataset.Runlog.entry) ->
+      if e.Dataset.Runlog.index <> i then
+        failwith "Tuner.resume: run log indices are not dense from 0";
+      let outcome =
+        match e.Dataset.Runlog.status with
+        | Dataset.Runlog.Ok y -> Resilience.Outcome.Value y
+        | Dataset.Runlog.Failed Dataset.Runlog.Crash ->
+            Resilience.Outcome.Permanent "recorded failure"
+        | Dataset.Runlog.Failed Dataset.Runlog.Transient ->
+            Resilience.Outcome.Transient "recorded failure"
+        | Dataset.Runlog.Failed Dataset.Runlog.Permanent ->
+            Resilience.Outcome.Permanent "recorded failure"
+        | Dataset.Runlog.Failed Dataset.Runlog.Timeout -> Resilience.Outcome.Timeout
+      in
+      ( e.Dataset.Runlog.config,
+        {
+          Resilience.Evaluator.outcome;
+          attempts = e.Dataset.Runlog.attempts;
+          retry_cost = Resilience.Policy.total_backoff policy ~attempts:e.Dataset.Runlog.attempts;
+        } ))
+    log.Dataset.Runlog.entries
+
+let resume ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome
+    ~log ~objective ~budget () =
+  let replay = replay_of_log ~policy log in
+  if Array.length replay > budget then
+    invalid_arg "Tuner.resume: budget is smaller than the recorded evaluation count";
+  let rng = Prng.Rng.create log.Dataset.Runlog.seed in
+  run_with_policy ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ~rng
+    ~space:log.Dataset.Runlog.space ~objective ~budget ()

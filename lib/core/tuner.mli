@@ -12,7 +12,15 @@
     mixed into every refit with weight [prior_weight]. [batch_size]
     amortizes one refit over several evaluations (e.g. to run several
     configurations in parallel on a cluster); [early_stop] implements
-    the paper's sample-quality termination condition. *)
+    the paper's sample-quality termination condition.
+
+    The resilient entry points ({!run_resilient}, {!run_with_policy},
+    {!resume}) absorb evaluation failures into the surrogate's bad
+    density instead of dying on them: every failed configuration is
+    classified by the {!Resilience.Outcome} taxonomy, retried
+    according to a {!Resilience.Policy} (transients and timeouts only
+    — permanent failures are never retried), and counted against the
+    budget exactly once regardless of how many attempts it took. *)
 
 type options = {
   n_init : int;  (** random initial samples (paper: 20) *)
@@ -32,21 +40,36 @@ val default_options : options
 
 type result = {
   history : (Param.Config.t * float) array;
-      (** every evaluation performed by this run, in order (initial
-          samples first; warm-start observations are excluded) *)
+      (** every successful evaluation performed by this run, in order
+          (initial samples first; warm-start observations are
+          excluded) *)
   best_config : Param.Config.t;
   best_value : float;
   trajectory : float array;
-      (** best-so-far objective after each evaluation;
+      (** best-so-far objective after each successful evaluation;
           [trajectory.(i)] covers [history.(0..i)] *)
   final_surrogate : Surrogate.t option;
       (** the last fitted surrogate (None when the budget was too
           small to fit one, i.e. no iterative step ran) *)
   stopped_early : bool;  (** the [early_stop] criterion ended the run *)
-  failures : Param.Config.t array;
-      (** configurations whose evaluation failed (only populated by
-          {!run_resilient}) *)
+  failures : (Param.Config.t * Resilience.Outcome.t) array;
+      (** configurations whose evaluation failed, with the final
+          outcome after retries (only populated by the resilient
+          entry points) *)
+  n_attempts : int;
+      (** total objective attempts including retries; equals
+          [Array.length history + Array.length failures] when nothing
+          was retried *)
+  retry_cost : float;  (** accumulated simulated backoff cost *)
 }
+
+type run_error = {
+  error_failures : (Param.Config.t * Resilience.Outcome.t) array;
+      (** every failed configuration with its final outcome *)
+  error_attempts : int;  (** total attempts spent before giving up *)
+}
+(** Every evaluation of the run failed — there is no best
+    configuration to report. *)
 
 val run :
   ?options:options ->
@@ -88,12 +111,65 @@ val run_resilient :
   objective:(Param.Config.t -> float option) ->
   budget:int ->
   unit ->
-  result
+  (result, run_error) Stdlib.result
 (** Like {!run} for objectives that can fail — builds that crash,
     invalid parameter combinations, timed-out runs. A [None] from the
-    objective consumes budget, is never retried, and joins the bad
-    density of every later surrogate fit (it is certainly not a good
-    configuration), steering selection away from the failing region.
-    Failed configurations appear in [failures], not [history].
-    Raises [Failure] if every evaluation failed (there is then no
-    best configuration to report). *)
+    objective consumes budget, is never retried (it is classified
+    [Permanent]), and joins the bad density of every later surrogate
+    fit, steering selection away from the failing region. Failed
+    configurations appear in [failures], not [history]. When every
+    evaluation failed the run returns [Error] with the structured
+    failure report instead of raising. *)
+
+val run_with_policy :
+  ?options:options ->
+  ?policy:Resilience.Policy.t ->
+  ?warm_start:(Param.Config.t * float) array ->
+  ?candidates:Param.Config.t array ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?replay:(Param.Config.t * Resilience.Evaluator.verdict) array ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (result, run_error) Stdlib.result
+(** The full resilient evaluation layer: each selected configuration
+    is driven through {!Resilience.Evaluator.evaluate} under [policy]
+    (default {!Resilience.Policy.default} — 3 attempts, exponential
+    simulated backoff, no timeout). The final verdict consumes one
+    unit of budget whatever its attempt count, so retried transients
+    do not double-count. A batch member whose verdict is [Timeout]
+    (a straggler exceeding the policy's cost budget) is recorded as a
+    failure and the batch completes. [on_outcome i config verdict]
+    fires once per consumed budget unit with the final verdict.
+
+    [replay] is the resume mechanism: the first [Array.length replay]
+    evaluations take their verdicts from the array instead of calling
+    [objective] (and do not fire [on_outcome]); the tuner still
+    performs the same rng draws and selection, so the run continues
+    exactly where the recorded one stopped. Raises [Failure] if a
+    replayed configuration does not match the recorded one. *)
+
+val resume :
+  ?options:options ->
+  ?policy:Resilience.Policy.t ->
+  ?warm_start:(Param.Config.t * float) array ->
+  ?candidates:Param.Config.t array ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  log:Dataset.Runlog.t ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (result, run_error) Stdlib.result
+(** [resume ~log ~objective ~budget ()] reconstructs an interrupted
+    campaign from its run log and continues it up to [budget] total
+    evaluations. The rng is rebuilt from [log.seed] and the recorded
+    entries are replayed (see [replay] above), so given the same
+    [options], [policy], and objective, an interrupted-then-resumed
+    campaign produces bit-for-bit the same evaluation sequence,
+    trajectory, and best configuration as an uninterrupted run —
+    the resume guarantee the tests assert. Raises [Invalid_argument]
+    if the log already holds more than [budget] entries and [Failure]
+    if the log's entries are not dense from index 0 or diverge from
+    the replayed trajectory. *)

@@ -1,5 +1,6 @@
-type status = Ok of float | Failed
-type entry = { index : int; config : Param.Config.t; status : status }
+type failure_kind = Crash | Transient | Permanent | Timeout
+type status = Ok of float | Failed of failure_kind
+type entry = { index : int; config : Param.Config.t; status : status; attempts : int }
 type t = { name : string; seed : int; space : Param.Space.t; entries : entry array }
 
 let create ~name ~seed ~space entries =
@@ -9,6 +10,7 @@ let create ~name ~seed ~space entries =
     (fun i e ->
       if not (Param.Space.validate space e.config) then
         invalid_arg "Runlog.create: invalid configuration";
+      if e.attempts < 1 then invalid_arg "Runlog.create: attempts must be at least 1";
       if i > 0 && entries.(i - 1).index = e.index then invalid_arg "Runlog.create: duplicate index")
     entries;
   { name; seed; space; entries }
@@ -17,28 +19,50 @@ type recorder = { r_name : string; r_seed : int; r_space : Param.Space.t; mutabl
 
 let recorder ~name ~seed ~space = { r_name = name; r_seed = seed; r_space = space; acc = [] }
 
-let record_evaluation r index config value =
-  r.acc <- { index; config; status = Ok value } :: r.acc
+let record_entry r entry = r.acc <- entry :: r.acc
 
-let record_failure r index config = r.acc <- { index; config; status = Failed } :: r.acc
+let record_evaluation r index config value =
+  record_entry r { index; config; status = Ok value; attempts = 1 }
+
+let record_failure ?(kind = Crash) ?(attempts = 1) r index config =
+  record_entry r { index; config; status = Failed kind; attempts }
+
 let finish r = create ~name:r.r_name ~seed:r.r_seed ~space:r.r_space r.acc
 
 let history t =
   Array.of_list
     (List.filter_map
-       (fun e -> match e.status with Ok y -> Some (e.config, y) | Failed -> None)
+       (fun e -> match e.status with Ok y -> Some (e.config, y) | Failed _ -> None)
        (Array.to_list t.entries))
 
 let best t =
   Array.fold_left
     (fun acc e ->
       match (e.status, acc) with
-      | Failed, _ -> acc
+      | Failed _, _ -> acc
       | Ok y, Some (_, by) when by <= y -> acc
       | Ok y, _ -> Some (e.config, y))
     None t.entries
 
+let count_kind t kind =
+  Array.fold_left
+    (fun n e -> match e.status with Failed k when k = kind -> n + 1 | _ -> n)
+    0 t.entries
+
 (* ---- serialization ---- *)
+
+let failure_kind_to_string = function
+  | Crash -> "failed"
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+  | Timeout -> "timeout"
+
+let failure_kind_of_string = function
+  | "failed" -> Some Crash
+  | "transient" -> Some Transient
+  | "permanent" -> Some Permanent
+  | "timeout" -> Some Timeout
+  | _ -> None
 
 let spec_header spec =
   let name = Param.Spec.name spec in
@@ -56,27 +80,38 @@ let spec_header spec =
         (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") levels)))
   | Param.Spec.Continuous _ -> invalid_arg "Runlog: continuous parameters are not supported"
 
-let to_string t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "#runlog v1\n";
-  Buffer.add_string buf (Printf.sprintf "#name %s\n" t.name);
-  Buffer.add_string buf (Printf.sprintf "#seed %d\n" t.seed);
-  let specs = Param.Space.specs t.space in
+let header_string ~version ~name ~seed ~specs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "#runlog v%d\n" version);
+  Buffer.add_string buf (Printf.sprintf "#name %s\n" name);
+  Buffer.add_string buf (Printf.sprintf "#seed %d\n" seed);
   Array.iter (fun spec -> Buffer.add_string buf (spec_header spec ^ "\n")) specs;
   Buffer.add_string buf "index";
   Array.iter (fun spec -> Buffer.add_string buf ("," ^ Param.Spec.name spec)) specs;
-  Buffer.add_string buf ",objective,status\n";
-  Array.iter
-    (fun e ->
-      Buffer.add_string buf (string_of_int e.index);
-      Array.iteri
-        (fun i v -> Buffer.add_string buf ("," ^ Param.Spec.value_to_string specs.(i) v))
-        e.config;
-      (match e.status with
-      | Ok y -> Buffer.add_string buf (Printf.sprintf ",%.17g,ok" y)
-      | Failed -> Buffer.add_string buf ",,failed");
-      Buffer.add_char buf '\n')
-    t.entries;
+  Buffer.add_string buf ",objective,status";
+  if version >= 2 then Buffer.add_string buf ",attempts";
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let entry_row ~version ~specs e =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int e.index);
+  Array.iteri
+    (fun i v -> Buffer.add_string buf ("," ^ Param.Spec.value_to_string specs.(i) v))
+    e.config;
+  (match e.status with
+  | Ok y -> Buffer.add_string buf (Printf.sprintf ",%.17g,ok" y)
+  | Failed kind -> Buffer.add_string buf (",," ^ failure_kind_to_string kind));
+  if version >= 2 then Buffer.add_string buf ("," ^ string_of_int e.attempts);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_string ?(version = 2) t =
+  if version <> 1 && version <> 2 then invalid_arg "Runlog.to_string: unknown format version";
+  let specs = Param.Space.specs t.space in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header_string ~version ~name:t.name ~seed:t.seed ~specs);
+  Array.iter (fun e -> Buffer.add_string buf (entry_row ~version ~specs e)) t.entries;
   Buffer.contents buf
 
 let parse_spec_header line =
@@ -129,63 +164,126 @@ let value_of_string spec s =
       find 0
   | Param.Spec.Continuous _ -> assert false
 
-let of_string text =
+let of_string ?(recover = false) text =
   let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
-  match lines with
-  | magic :: rest when String.trim magic = "#runlog v1" ->
-      let name = ref "" and seed = ref 0 and specs = ref [] in
-      let rec headers = function
-        | line :: rest when String.length line > 0 && line.[0] = '#' ->
-            (if String.length line > 6 && String.sub line 0 6 = "#name " then
-               name := String.sub line 6 (String.length line - 6)
-             else if String.length line > 6 && String.sub line 0 6 = "#seed " then
-               seed :=
-                 (match int_of_string_opt (String.trim (String.sub line 6 (String.length line - 6))) with
-                 | Some s -> s
-                 | None -> failwith "Runlog: malformed #seed line")
-             else if String.length line > 6 && String.sub line 0 6 = "#spec " then
-               specs := parse_spec_header line :: !specs
-             else failwith (Printf.sprintf "Runlog: unknown header %S" line));
-            headers rest
-        | rest -> rest
+  let version, rest =
+    match lines with
+    | magic :: rest when String.trim magic = "#runlog v1" -> (1, rest)
+    | magic :: rest when String.trim magic = "#runlog v2" -> (2, rest)
+    | _ -> failwith "Runlog: missing '#runlog v1' magic"
+  in
+  let name = ref "" and seed = ref 0 and specs = ref [] in
+  let rec headers = function
+    | line :: rest when String.length line > 0 && line.[0] = '#' ->
+        (if String.length line > 6 && String.sub line 0 6 = "#name " then
+           name := String.sub line 6 (String.length line - 6)
+         else if String.length line > 6 && String.sub line 0 6 = "#seed " then
+           seed :=
+             (match int_of_string_opt (String.trim (String.sub line 6 (String.length line - 6))) with
+             | Some s -> s
+             | None -> failwith "Runlog: malformed #seed line")
+         else if String.length line > 6 && String.sub line 0 6 = "#spec " then
+           specs := parse_spec_header line :: !specs
+         else failwith (Printf.sprintf "Runlog: unknown header %S" line));
+        headers rest
+    | rest -> rest
+  in
+  let body = headers rest in
+  let space = Param.Space.make (List.rev !specs) in
+  let spec_arr = Param.Space.specs space in
+  let n_params = Array.length spec_arr in
+  let n_fields = n_params + (if version >= 2 then 4 else 3) in
+  let parse_row line =
+    let fields = String.split_on_char ',' line |> Array.of_list in
+    if Array.length fields <> n_fields then
+      failwith
+        (Printf.sprintf "Runlog: row has %d fields, expected %d" (Array.length fields) n_fields);
+    let index =
+      match int_of_string_opt fields.(0) with
+      | Some i -> i
+      | None -> failwith "Runlog: malformed index"
+    in
+    let config = Array.init n_params (fun i -> value_of_string spec_arr.(i) fields.(i + 1)) in
+    let status =
+      match String.trim fields.(n_params + 2) with
+      | "ok" -> begin
+          match float_of_string_opt fields.(n_params + 1) with
+          | Some y -> Ok y
+          | None -> failwith "Runlog: ok row without objective"
+        end
+      | other -> begin
+          match failure_kind_of_string other with
+          | Some kind -> Failed kind
+          | None -> failwith (Printf.sprintf "Runlog: unknown status %S" other)
+        end
+    in
+    let attempts =
+      if version >= 2 then
+        match int_of_string_opt (String.trim fields.(n_params + 3)) with
+        | Some a when a >= 1 -> a
+        | Some _ | None -> failwith "Runlog: malformed attempts"
+      else 1
+    in
+    { index; config; status; attempts }
+  in
+  match body with
+  | [] -> failwith "Runlog: missing column header"
+  | _header :: rows ->
+      (* With [recover], a parse failure on the *final* row — the
+         signature of a crash mid-write — drops that row; failures
+         anywhere else still abort. *)
+      let n_rows = List.length rows in
+      let entries =
+        List.mapi (fun i line -> (i, line)) rows
+        |> List.filter_map (fun (i, line) ->
+               match parse_row line with
+               | entry -> Some entry
+               | exception Failure msg ->
+                   if recover && i = n_rows - 1 then None else failwith msg)
       in
-      let body = headers rest in
-      let space = Param.Space.make (List.rev !specs) in
-      let spec_arr = Param.Space.specs space in
-      let n_params = Array.length spec_arr in
-      let parse_row line =
-        let fields = String.split_on_char ',' line |> Array.of_list in
-        if Array.length fields <> n_params + 3 then
-          failwith (Printf.sprintf "Runlog: row has %d fields, expected %d" (Array.length fields) (n_params + 3));
-        let index =
-          match int_of_string_opt fields.(0) with
-          | Some i -> i
-          | None -> failwith "Runlog: malformed index"
-        in
-        let config = Array.init n_params (fun i -> value_of_string spec_arr.(i) fields.(i + 1)) in
-        let status =
-          match String.trim fields.(n_params + 2) with
-          | "ok" -> begin
-              match float_of_string_opt fields.(n_params + 1) with
-              | Some y -> Ok y
-              | None -> failwith "Runlog: ok row without objective"
-            end
-          | "failed" -> Failed
-          | other -> failwith (Printf.sprintf "Runlog: unknown status %S" other)
-        in
-        { index; config; status }
-      in
-      (match body with
-      | [] -> failwith "Runlog: missing column header"
-      | _header :: rows -> create ~name:!name ~seed:!seed ~space (List.map parse_row rows))
-  | _ -> failwith "Runlog: missing '#runlog v1' magic"
+      create ~name:!name ~seed:!seed ~space entries
 
 let save t path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
 
-let load path =
-  let ic = open_in path in
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?recover path = of_string ?recover (read_file path)
+
+(* ---- incremental writer ---- *)
+
+type writer = { w_oc : out_channel; w_specs : Param.Spec.t array; mutable w_closed : bool }
+
+let writer_create ~path ~name ~seed ~space =
+  let specs = Param.Space.specs space in
+  let header = header_string ~version:2 ~name ~seed ~specs in
+  let oc = open_out path in
+  output_string oc header;
+  flush oc;
+  { w_oc = oc; w_specs = specs; w_closed = false }
+
+let writer_resume ~path t =
+  (* Rewrite the (recovered) log from scratch: this truncates any
+     partial final line left by a crash and upgrades v1 files to v2,
+     so subsequent appends always extend a well-formed file. *)
+  let specs = Param.Space.specs t.space in
+  let oc = open_out path in
+  output_string oc (to_string t);
+  flush oc;
+  { w_oc = oc; w_specs = specs; w_closed = false }
+
+let writer_record w entry =
+  if w.w_closed then invalid_arg "Runlog: record on a closed writer";
+  output_string w.w_oc (entry_row ~version:2 ~specs:w.w_specs entry);
+  flush w.w_oc
+
+let writer_close w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    close_out w.w_oc
+  end

@@ -1,25 +1,46 @@
 (** Persistent records of tuning runs.
 
-    A run log captures everything needed to audit or replay a tuning
-    session: the parameter space, the seed, and every evaluation in
-    order (including failed ones). The on-disk format is a small
-    self-describing text file — `#` header lines declaring the space,
-    then CSV rows — so logs are diffable and greppable:
+    A run log captures everything needed to audit, replay, or — since
+    format v2 — {e resume} a tuning session: the parameter space, the
+    seed, and every evaluation in order, including failed ones with
+    their failure kind and how many attempts the retry policy spent on
+    them. The on-disk format is a small self-describing text file —
+    `#` header lines declaring the space, then CSV rows — so logs are
+    diffable and greppable:
 
     {v
-    #runlog v1
+    #runlog v2
     #name lulesh-tune
     #seed 42
     #spec level=cat:O0,O1,O2,O3
     #spec unroll=ord:1,2,4
-    index,level,unroll,objective,status
-    0,O3,2,4.12,ok
-    1,O0,1,,failed
-    v} *)
+    index,level,unroll,objective,status,attempts
+    0,O3,2,4.12,ok,1
+    1,O0,1,,transient,3
+    2,O1,4,,timeout,2
+    v}
 
-type status = Ok of float | Failed
+    v1 files (no [attempts] column; the only failure status is
+    [failed]) are still parsed; {!of_string} accepts both. The
+    {!writer} API appends one flushed line per evaluation, so a killed
+    process loses at most the entry being written — and
+    [of_string ~recover:true] parses such a truncated file up to its
+    last complete entry. *)
 
-type entry = { index : int; config : Param.Config.t; status : status }
+type failure_kind =
+  | Crash  (** unclassified failure (what v1's [failed] maps to) *)
+  | Transient
+  | Permanent
+  | Timeout
+
+type status = Ok of float | Failed of failure_kind
+
+type entry = {
+  index : int;
+  config : Param.Config.t;
+  status : status;
+  attempts : int;  (** retry-policy attempts consumed (1 when not retried) *)
+}
 
 type t = {
   name : string;
@@ -29,18 +50,24 @@ type t = {
 }
 
 val create : name:string -> seed:int -> space:Param.Space.t -> entry list -> t
-(** Entries are sorted by index; indices must be distinct and configs
-    valid for the space ([Invalid_argument] otherwise). *)
+(** Entries are sorted by index; indices must be distinct, configs
+    valid for the space, and attempts >= 1 ([Invalid_argument]
+    otherwise). *)
 
 type recorder
 
 val recorder : name:string -> seed:int -> space:Param.Space.t -> recorder
-(** A recorder whose callbacks plug into
+(** An in-memory recorder whose callbacks plug into
     {!Hiperbot.Tuner.run}/[run_resilient]'s [on_evaluation] and
-    [on_failure]. *)
+    [on_failure]. For crash-safe persistence prefer the {!writer}
+    API. *)
 
 val record_evaluation : recorder -> int -> Param.Config.t -> float -> unit
-val record_failure : recorder -> int -> Param.Config.t -> unit
+
+val record_failure : ?kind:failure_kind -> ?attempts:int -> recorder -> int -> Param.Config.t -> unit
+(** [kind] defaults to [Crash], [attempts] to 1. *)
+
+val record_entry : recorder -> entry -> unit
 
 val finish : recorder -> t
 (** Snapshot the recorded entries (the recorder stays usable). *)
@@ -52,16 +79,54 @@ val history : t -> (Param.Config.t * float) array
 val best : t -> (Param.Config.t * float) option
 (** Best successful evaluation, [None] if all failed. *)
 
-val to_string : t -> string
-(** Serialize to the format above. Continuous parameters are not
-    supported (the reproduction's spaces are finite); raises
-    [Invalid_argument] on a continuous spec. *)
+val count_kind : t -> failure_kind -> int
+(** Number of entries that failed with the given kind. *)
 
-val of_string : string -> t
-(** Parse {!to_string}'s output. Raises [Failure] on malformed
-    input. *)
+val failure_kind_to_string : failure_kind -> string
+(** The status-column word: ["failed"], ["transient"], ["permanent"],
+    or ["timeout"]. *)
+
+val to_string : ?version:int -> t -> string
+(** Serialize to the format above; [version] is 2 (default) or 1.
+    Version 1 is lossy: every failure kind collapses to [failed] and
+    attempt counts are dropped. Continuous parameters are not
+    supported (the reproduction's spaces are finite); raises
+    [Invalid_argument] on a continuous spec or an unknown version. *)
+
+val of_string : ?recover:bool -> string -> t
+(** Parse v1 or v2 text. Raises [Failure] on malformed input. With
+    [~recover:true] (default false) a malformed {e final} row — the
+    residue of a crash mid-write — is dropped instead; malformed rows
+    anywhere else still raise. *)
 
 val save : t -> string -> unit
-(** Write to a file path. *)
+(** Write to a file path (v2). *)
 
-val load : string -> t
+val load : ?recover:bool -> string -> t
+
+(** {2 Incremental, crash-safe writing}
+
+    A [writer] emits the v2 header immediately and then one CSV row
+    per recorded entry, flushing after every write — the append-
+    oriented discipline that makes tuning campaigns recoverable: kill
+    the process at any point and the file on disk is a valid (at worst
+    final-line-truncated) run log of everything evaluated so far. *)
+
+type writer
+
+val writer_create : path:string -> name:string -> seed:int -> space:Param.Space.t -> writer
+(** Start a fresh log at [path] (truncating any existing file) and
+    write the v2 header. Raises [Invalid_argument] for spaces the
+    format cannot represent (continuous parameters). *)
+
+val writer_resume : path:string -> t -> writer
+(** Rewrite [path] with the entries of [t] (dropping any truncated
+    tail, upgrading v1 files to v2) and return a writer positioned to
+    append the resumed campaign's new entries. *)
+
+val writer_record : writer -> entry -> unit
+(** Append one entry and flush. Raises [Invalid_argument] on a closed
+    writer. *)
+
+val writer_close : writer -> unit
+(** Close the underlying channel; idempotent. *)

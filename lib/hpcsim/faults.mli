@@ -1,0 +1,40 @@
+(** Deterministic fault injection for any simulated objective.
+
+    Layered on {!Noise}: every fault decision is a pure function of
+    (spec seed, configuration, attempt number), so a faulty campaign
+    is exactly as reproducible as a clean one — the determinism the
+    resume guarantee and the fault-injection tests rely on. Three
+    fault classes mirror what real HPC tuning campaigns see:
+
+    - {e transient} crashes (node failure, network flake): drawn per
+      attempt, so a retry can succeed;
+    - {e permanent} failures (invalid configuration, diverging
+      solve): drawn per configuration, independent of the attempt —
+      retrying never helps;
+    - {e stragglers}: the evaluation succeeds but its cost is
+      inflated by [slowdown], which a retry policy with a [timeout]
+      budget will classify as {!Resilience.Outcome.Timeout}. *)
+
+type spec = {
+  seed : int;
+  transient : float;  (** per-attempt transient-crash probability *)
+  permanent : float;  (** per-configuration permanent-failure probability *)
+  straggler : float;  (** per-attempt straggler probability *)
+  slowdown : float;  (** straggler cost multiplier (>= 1) *)
+}
+
+val none : spec
+(** All rates zero: [inject none f] behaves like [f]. *)
+
+val standard : seed:int -> rate:float -> spec
+(** The benchmark mix used by the CLI's [--faults] flag: transient
+    rate [rate], permanent [rate/4], straggler [rate/2], slowdown 8x.
+    Raises [Invalid_argument] unless [0 <= rate <= 1]. *)
+
+val inject :
+  spec -> (Param.Config.t -> float) -> attempt:int -> Param.Config.t -> Resilience.Outcome.t
+(** [inject spec objective ~attempt config] evaluates [objective]
+    through the fault model. Fault classes are checked in order
+    permanent, transient, straggler; the underlying objective is only
+    evaluated when no crash fires. Raises [Invalid_argument] on rates
+    outside [0, 1] or [slowdown < 1]. *)

@@ -199,3 +199,8 @@ let map_array t ?schedule f xs =
     parallel_for t ?schedule ~lo:1 ~hi:n (fun i -> out.(i) <- f xs.(i));
     out
   end
+
+let map_array_result t ?schedule f xs =
+  map_array t ?schedule
+    (fun x -> match f x with y -> Stdlib.Ok y | exception e -> Stdlib.Error e)
+    xs

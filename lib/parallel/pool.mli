@@ -63,3 +63,11 @@ val parallel_for_reduce :
 
 val map_array : t -> ?schedule:schedule -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]. *)
+
+val map_array_result :
+  t -> ?schedule:schedule -> ('a -> 'b) -> 'a array -> ('b, exn) Stdlib.result array
+(** Failure-isolating parallel map for batch evaluation: an exception
+    raised by [f] on one element becomes that element's [Error] and
+    every other element still completes — one crashing batch member
+    never aborts the batch (contrast {!map_array}, which re-raises
+    and loses the surviving results). *)

@@ -1,0 +1,27 @@
+type verdict = { outcome : Outcome.t; attempts : int; retry_cost : float }
+
+let classify policy (outcome : Outcome.t) =
+  match outcome with
+  | Outcome.Value v -> begin
+      match policy.Policy.timeout with
+      | Some budget when v > budget -> Outcome.Timeout
+      | Some _ | None -> outcome
+    end
+  | Outcome.Transient _ | Outcome.Permanent _ | Outcome.Timeout -> outcome
+
+let evaluate ~policy ~objective x =
+  Policy.validate policy;
+  let rec attempt_loop attempt cost =
+    let raw =
+      try objective ~attempt x with e -> Outcome.Transient (Printexc.to_string e)
+    in
+    let outcome = classify policy raw in
+    match outcome with
+    | Outcome.Value _ | Outcome.Permanent _ -> { outcome; attempts = attempt; retry_cost = cost }
+    | Outcome.Transient _ | Outcome.Timeout ->
+        if attempt >= policy.Policy.max_attempts then
+          { outcome; attempts = attempt; retry_cost = cost }
+        else
+          attempt_loop (attempt + 1) (cost +. Policy.backoff policy ~attempt:(attempt + 1))
+  in
+  attempt_loop 1 0.

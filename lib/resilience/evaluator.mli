@@ -1,0 +1,26 @@
+(** The retry loop: one evaluation request in, one {!verdict} out.
+
+    The evaluator drives an attempt-indexed objective under a
+    {!Policy.t}: transient failures and timeouts are retried (with the
+    policy's simulated backoff cost accumulated) up to [max_attempts];
+    permanent failures and successful values return immediately. A
+    permanent failure is {e never} retried. Exceptions escaping the
+    objective are contained and classified as [Transient] — a crashing
+    evaluation must not take the tuning campaign down with it. *)
+
+type verdict = {
+  outcome : Outcome.t;  (** the final outcome after retries *)
+  attempts : int;  (** attempts consumed, [1 .. max_attempts] *)
+  retry_cost : float;  (** accumulated simulated backoff cost *)
+}
+
+val classify : Policy.t -> Outcome.t -> Outcome.t
+(** Apply the policy's timeout budget: a [Value] above [timeout]
+    becomes [Timeout]; everything else is unchanged. *)
+
+val evaluate :
+  policy:Policy.t -> objective:(attempt:int -> 'a -> Outcome.t) -> 'a -> verdict
+(** [evaluate ~policy ~objective x] runs the retry loop on [x]. The
+    objective receives the 1-based attempt number so deterministic
+    fault injectors can vary per attempt. Raises [Invalid_argument]
+    on an invalid policy. *)

@@ -1,0 +1,21 @@
+type t = Value of float | Transient of string | Permanent of string | Timeout
+
+let is_success = function Value _ -> true | Transient _ | Permanent _ | Timeout -> false
+let is_failure o = not (is_success o)
+let value = function Value v -> Some v | Transient _ | Permanent _ | Timeout -> None
+
+let kind = function
+  | Value _ -> "ok"
+  | Transient _ -> "transient"
+  | Permanent _ -> "permanent"
+  | Timeout -> "timeout"
+
+let describe = function
+  | Value v -> Printf.sprintf "ok(%g)" v
+  | Transient "" -> "transient"
+  | Transient m -> "transient: " ^ m
+  | Permanent "" -> "permanent"
+  | Permanent m -> "permanent: " ^ m
+  | Timeout -> "timeout"
+
+let of_option = function Some v -> Value v | None -> Permanent "evaluation returned no value"

@@ -1,0 +1,37 @@
+(** Deterministic retry/timeout policies.
+
+    A policy bounds how hard the evaluator tries before accepting a
+    failure: at most [max_attempts] attempts per configuration, with
+    an exponential backoff schedule between attempts. The backoff is
+    expressed in {e simulated cost units} (the same units as the
+    objective), not wall-clock sleeps, so tuning runs stay bit-for-bit
+    reproducible: the cost of waiting is accounted, never actually
+    waited for. [timeout] is the per-evaluation cost budget — a
+    successful measurement above it is reclassified as
+    {!Outcome.Timeout} (a straggler that would have been killed). *)
+
+type t = {
+  max_attempts : int;  (** total attempts per configuration, including the first *)
+  backoff_base : float;  (** simulated cost charged before the first retry *)
+  backoff_factor : float;  (** multiplier per subsequent retry *)
+  timeout : float option;  (** per-evaluation cost budget ([None]: unbounded) *)
+}
+
+val default : t
+(** 3 attempts, backoff 1.0 doubling per retry, no timeout. *)
+
+val no_retry : t
+(** A single attempt — the pre-resilience behaviour. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive [max_attempts], negative
+    backoff fields, or a non-positive [timeout]. *)
+
+val backoff : t -> attempt:int -> float
+(** Simulated cost charged before attempt [attempt]:
+    [0] for the first attempt, [backoff_base * backoff_factor^(attempt-2)]
+    for retries. *)
+
+val total_backoff : t -> attempts:int -> float
+(** Cumulative backoff cost of a verdict that took [attempts]
+    attempts. *)

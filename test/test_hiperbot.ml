@@ -493,17 +493,23 @@ let test_resilient_avoids_failing_region () =
   in
   let options = { Hiperbot.Tuner.default_options with n_init = 4 } in
   let result =
-    Hiperbot.Tuner.run_resilient ~options
-      ~on_failure:(fun _ _ -> incr failures_seen)
-      ~rng:(Prng.Rng.create 211) ~space:space2 ~objective ~budget:12 ()
+    match
+      Hiperbot.Tuner.run_resilient ~options
+        ~on_failure:(fun _ _ -> incr failures_seen)
+        ~rng:(Prng.Rng.create 211) ~space:space2 ~objective ~budget:12 ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "expected some successful evaluations"
   in
   let n_ok = Array.length result.Hiperbot.Tuner.history in
   let n_fail = Array.length result.Hiperbot.Tuner.failures in
   check Alcotest.int "failure callback count" n_fail !failures_seen;
   check Alcotest.int "budget = successes + failures" 12 (n_ok + n_fail);
   Array.iter
-    (fun c ->
-      check Alcotest.int "failures all in the crashing region" 2 (Param.Value.to_index c.(0)))
+    (fun (c, outcome) ->
+      check Alcotest.int "failures all in the crashing region" 2 (Param.Value.to_index c.(0));
+      check Alcotest.bool "None maps to a permanent failure" true
+        (match outcome with Resilience.Outcome.Permanent _ -> true | _ -> false))
     result.Hiperbot.Tuner.failures;
   Array.iter
     (fun (c, _) ->
@@ -512,11 +518,18 @@ let test_resilient_avoids_failing_region () =
     result.Hiperbot.Tuner.history
 
 let test_resilient_all_fail () =
-  Alcotest.check_raises "all evaluations failed"
-    (Failure "Tuner: every evaluation failed; no best configuration") (fun () ->
-      ignore
-        (Hiperbot.Tuner.run_resilient ~rng:(Prng.Rng.create 212) ~space:space2
-           ~objective:(fun _ -> None) ~budget:5 ()))
+  (* Every evaluation failing is reported as a structured error, not
+     an exception — callers degrade gracefully. *)
+  match
+    Hiperbot.Tuner.run_resilient ~rng:(Prng.Rng.create 212) ~space:space2
+      ~objective:(fun _ -> None) ~budget:5 ()
+  with
+  | Stdlib.Ok _ -> Alcotest.fail "expected an all-failed error"
+  | Stdlib.Error err ->
+      check Alcotest.int "all five failures reported" 5
+        (Array.length err.Hiperbot.Tuner.error_failures);
+      check Alcotest.int "one attempt each (None is never retried)" 5
+        err.Hiperbot.Tuner.error_attempts
 
 let test_resilient_matches_run_when_no_failures () =
   let objective c = float_of_int (Param.Config.hash c mod 17) in
@@ -524,9 +537,13 @@ let test_resilient_matches_run_when_no_failures () =
     Hiperbot.Tuner.run ~rng:(Prng.Rng.create 213) ~space:space2 ~objective ~budget:10 ()
   in
   let b =
-    Hiperbot.Tuner.run_resilient ~rng:(Prng.Rng.create 213) ~space:space2
-      ~objective:(fun c -> Some (objective c))
-      ~budget:10 ()
+    match
+      Hiperbot.Tuner.run_resilient ~rng:(Prng.Rng.create 213) ~space:space2
+        ~objective:(fun c -> Some (objective c))
+        ~budget:10 ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "expected a successful run"
   in
   check feq "same best" a.Hiperbot.Tuner.best_value b.Hiperbot.Tuner.best_value;
   check Alcotest.int "same history length" (Array.length a.Hiperbot.Tuner.history)
@@ -549,7 +566,7 @@ let suite =
     cases
     @ [
         Alcotest.test_case "resilient: avoids failing region" `Quick test_resilient_avoids_failing_region;
-        Alcotest.test_case "resilient: all fail raises" `Quick test_resilient_all_fail;
+        Alcotest.test_case "resilient: all fail returns structured error" `Quick test_resilient_all_fail;
         Alcotest.test_case "resilient: matches run when clean" `Quick test_resilient_matches_run_when_no_failures;
         Alcotest.test_case "surrogate: extra_bad shifts scores" `Quick test_surrogate_extra_bad_shifts_scores;
       ] )

@@ -19,5 +19,6 @@ let () =
       Test_gbt.suite;
       Test_infer.suite;
       Test_runlog.suite;
+      Test_resilience.suite;
       Test_integration.suite;
     ]

@@ -70,6 +70,34 @@ let test_map_array () =
       Array.iteri (fun i y -> if y <> i * i then Alcotest.failf "map wrong at %d" i) ys;
       check Alcotest.(array int) "empty map" [||] (Parallel.Pool.map_array pool (fun x -> x) [||]))
 
+let test_map_array_result_isolates_failures () =
+  (* One crashing element must not poison the rest of the batch — the
+     straggler/failure-tolerant evaluation path relies on this. *)
+  Parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let xs = Array.init 64 (fun i -> i) in
+      let ys =
+        Parallel.Pool.map_array_result pool
+          (fun x -> if x mod 10 = 7 then failwith (string_of_int x) else x * 2)
+          xs
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Stdlib.Ok y ->
+              if i mod 10 = 7 then Alcotest.failf "element %d should have failed" i;
+              if y <> i * 2 then Alcotest.failf "wrong value at %d" i
+          | Stdlib.Error (Failure m) ->
+              if i mod 10 <> 7 then Alcotest.failf "element %d should have succeeded" i;
+              if m <> string_of_int i then Alcotest.failf "wrong diagnostic at %d" i
+          | Stdlib.Error _ -> Alcotest.failf "unexpected exception at %d" i)
+        ys;
+      (* all-ok and empty batches degrade to plain map *)
+      let ok = Parallel.Pool.map_array_result pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      check Alcotest.bool "all ok" true
+        (ok = [| Stdlib.Ok 2; Stdlib.Ok 3; Stdlib.Ok 4 |]);
+      check Alcotest.int "empty" 0
+        (Array.length (Parallel.Pool.map_array_result pool (fun x -> x) ([||] : int array))))
+
 let test_pool_reuse () =
   Parallel.Pool.with_pool ~num_domains:2 (fun pool ->
       for round = 1 to 20 do
@@ -119,6 +147,7 @@ let suite =
       tc "reduce" `Quick test_reduce;
       tc "reduce empty" `Quick test_reduce_empty;
       tc "map_array" `Quick test_map_array;
+      tc "map_array_result isolates failures" `Quick test_map_array_result_isolates_failures;
       tc "pool reuse" `Quick test_pool_reuse;
       tc "exception propagates" `Quick test_exception_propagates;
       tc "shutdown idempotent" `Quick test_shutdown_idempotent;

@@ -1,4 +1,7 @@
-(* Tests for run-log recording and persistence. *)
+(* Tests for run-log recording and persistence: the v2 format with
+   failure kinds and attempt counts, v1 backward compatibility,
+   property-style round trips, crash-truncation recovery, and the
+   flush-per-entry writer. *)
 
 let check = Alcotest.check
 
@@ -11,28 +14,55 @@ let config c o = [| Param.Value.Categorical c; Param.Value.Ordinal o |]
 let sample_log () =
   Dataset.Runlog.create ~name:"demo" ~seed:42 ~space
     [
-      { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 5.5 };
-      { index = 2; config = config 1 2; status = Dataset.Runlog.Ok 3.25 };
-      { index = 1; config = config 0 1; status = Dataset.Runlog.Failed };
+      { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 5.5; attempts = 1 };
+      { index = 2; config = config 1 2; status = Dataset.Runlog.Ok 3.25; attempts = 3 };
+      { index = 1; config = config 0 1; status = Dataset.Runlog.Failed Dataset.Runlog.Transient; attempts = 2 };
+      { index = 3; config = config 1 0; status = Dataset.Runlog.Failed Dataset.Runlog.Timeout; attempts = 2 };
+      { index = 4; config = config 0 2; status = Dataset.Runlog.Failed Dataset.Runlog.Permanent; attempts = 1 };
     ]
+
+let entries_equal (a : Dataset.Runlog.entry) (b : Dataset.Runlog.entry) =
+  a.Dataset.Runlog.index = b.Dataset.Runlog.index
+  && Param.Config.equal a.config b.config
+  && a.attempts = b.attempts
+  &&
+  match (a.status, b.status) with
+  | Dataset.Runlog.Ok x, Dataset.Runlog.Ok y -> Float.equal x y
+  | Dataset.Runlog.Failed x, Dataset.Runlog.Failed y -> x = y
+  | _ -> false
+
+let logs_equal (a : Dataset.Runlog.t) (b : Dataset.Runlog.t) =
+  a.Dataset.Runlog.name = b.Dataset.Runlog.name
+  && a.Dataset.Runlog.seed = b.Dataset.Runlog.seed
+  && Param.Space.specs a.Dataset.Runlog.space = Param.Space.specs b.Dataset.Runlog.space
+  && Array.length a.Dataset.Runlog.entries = Array.length b.Dataset.Runlog.entries
+  && Array.for_all2 entries_equal a.Dataset.Runlog.entries b.Dataset.Runlog.entries
 
 let test_create_sorts_and_validates () =
   let log = sample_log () in
-  check Alcotest.int "three entries" 3 (Array.length log.Dataset.Runlog.entries);
+  check Alcotest.int "five entries" 5 (Array.length log.Dataset.Runlog.entries);
   check Alcotest.int "sorted by index" 1 log.Dataset.Runlog.entries.(1).Dataset.Runlog.index;
   Alcotest.check_raises "duplicate index" (Invalid_argument "Runlog.create: duplicate index")
     (fun () ->
       ignore
         (Dataset.Runlog.create ~name:"x" ~seed:0 ~space
            [
-             { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 1. };
-             { index = 0; config = config 1 1; status = Dataset.Runlog.Ok 2. };
-           ]))
+             { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 1.; attempts = 1 };
+             { index = 0; config = config 1 1; status = Dataset.Runlog.Ok 2.; attempts = 1 };
+           ]));
+  Alcotest.check_raises "zero attempts" (Invalid_argument "Runlog.create: attempts must be at least 1")
+    (fun () ->
+      ignore
+        (Dataset.Runlog.create ~name:"x" ~seed:0 ~space
+           [ { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 1.; attempts = 0 } ]))
 
 let test_history_and_best () =
   let log = sample_log () in
   let h = Dataset.Runlog.history log in
   check Alcotest.int "history excludes failures" 2 (Array.length h);
+  check Alcotest.int "transient count" 1 (Dataset.Runlog.count_kind log Dataset.Runlog.Transient);
+  check Alcotest.int "timeout count" 1 (Dataset.Runlog.count_kind log Dataset.Runlog.Timeout);
+  check Alcotest.int "crash count" 0 (Dataset.Runlog.count_kind log Dataset.Runlog.Crash);
   match Dataset.Runlog.best log with
   | Some (c, y) ->
       check (Alcotest.float 1e-12) "best value" 3.25 y;
@@ -42,20 +72,24 @@ let test_history_and_best () =
 let test_roundtrip () =
   let log = sample_log () in
   let text = Dataset.Runlog.to_string log in
+  check Alcotest.bool "v2 magic" true (String.length text > 10 && String.sub text 0 10 = "#runlog v2");
   let parsed = Dataset.Runlog.of_string text in
-  check Alcotest.string "name" "demo" parsed.Dataset.Runlog.name;
-  check Alcotest.int "seed" 42 parsed.Dataset.Runlog.seed;
-  check Alcotest.int "entries" 3 (Array.length parsed.Dataset.Runlog.entries);
-  Array.iteri
-    (fun i e ->
-      let orig = log.Dataset.Runlog.entries.(i) in
-      check Alcotest.int "index" orig.Dataset.Runlog.index e.Dataset.Runlog.index;
-      check Alcotest.bool "config" true (Param.Config.equal orig.config e.Dataset.Runlog.config);
-      match (orig.status, e.Dataset.Runlog.status) with
-      | Dataset.Runlog.Ok a, Dataset.Runlog.Ok b -> check (Alcotest.float 1e-12) "value" a b
-      | Dataset.Runlog.Failed, Dataset.Runlog.Failed -> ()
-      | _ -> Alcotest.fail "status mismatch")
-    parsed.Dataset.Runlog.entries
+  check Alcotest.bool "v2 round trip preserves everything" true (logs_equal log parsed)
+
+let test_v1_parses () =
+  (* A v1 file (no attempts column) parses with Crash failures and
+     attempts defaulted to 1. *)
+  let v1_text =
+    "#runlog v1\n#name old\n#seed 9\n#spec c=cat:a,b\n#spec o=ord:1,2,4\n\
+     index,c,o,objective,status\n0,a,1,5.5,ok\n1,b,4,,failed\n"
+  in
+  let parsed = Dataset.Runlog.of_string v1_text in
+  check Alcotest.int "two entries" 2 (Array.length parsed.Dataset.Runlog.entries);
+  check Alcotest.int "attempts default to 1" 1
+    parsed.Dataset.Runlog.entries.(1).Dataset.Runlog.attempts;
+  check Alcotest.bool "v1 failed maps to Crash" true
+    (parsed.Dataset.Runlog.entries.(1).Dataset.Runlog.status
+    = Dataset.Runlog.Failed Dataset.Runlog.Crash)
 
 let test_file_roundtrip () =
   let log = sample_log () in
@@ -65,7 +99,7 @@ let test_file_roundtrip () =
     (fun () ->
       Dataset.Runlog.save log path;
       let loaded = Dataset.Runlog.load path in
-      check Alcotest.int "entries survive the file" 3 (Array.length loaded.Dataset.Runlog.entries))
+      check Alcotest.bool "entries survive the file" true (logs_equal log loaded))
 
 let test_recorder_with_tuner () =
   (* Wire a recorder into a resilient tuning run and check it captures
@@ -73,11 +107,15 @@ let test_recorder_with_tuner () =
   let rec_ = Dataset.Runlog.recorder ~name:"wired" ~seed:7 ~space in
   let objective c = if Param.Value.to_index c.(1) = 2 then None else Some 1.5 in
   let result =
-    Hiperbot.Tuner.run_resilient
-      ~options:{ Hiperbot.Tuner.default_options with n_init = 2 }
-      ~on_evaluation:(fun i c y -> Dataset.Runlog.record_evaluation rec_ i c y)
-      ~on_failure:(fun i c -> Dataset.Runlog.record_failure rec_ i c)
-      ~rng:(Prng.Rng.create 31) ~space ~objective ~budget:6 ()
+    match
+      Hiperbot.Tuner.run_resilient
+        ~options:{ Hiperbot.Tuner.default_options with n_init = 2 }
+        ~on_evaluation:(fun i c y -> Dataset.Runlog.record_evaluation rec_ i c y)
+        ~on_failure:(fun i c -> Dataset.Runlog.record_failure rec_ i c)
+        ~rng:(Prng.Rng.create 31) ~space ~objective ~budget:6 ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "expected a successful run"
   in
   let log = Dataset.Runlog.finish rec_ in
   check Alcotest.int "log captures every attempt"
@@ -93,17 +131,206 @@ let test_malformed_rejected () =
   Alcotest.check_raises "unknown status" (Failure "Runlog: unknown status \"meh\"") (fun () ->
       ignore
         (Dataset.Runlog.of_string
-           "#runlog v1\n#name x\n#seed 1\n#spec c=cat:a,b\nindex,c,objective,status\n0,a,1.0,meh\n"))
+           "#runlog v1\n#name x\n#seed 1\n#spec c=cat:a,b\nindex,c,objective,status\n0,a,1.0,meh\n"));
+  Alcotest.check_raises "bad attempts" (Failure "Runlog: malformed attempts") (fun () ->
+      ignore
+        (Dataset.Runlog.of_string
+           "#runlog v2\n#name x\n#seed 1\n#spec c=cat:a,b\nindex,c,objective,status,attempts\n0,a,1.0,ok,zero\n"))
 
 let test_continuous_unsupported () =
   let cont_space = Param.Space.make [ Param.Spec.continuous "x" ~lo:0. ~hi:1. ] in
   let log =
     Dataset.Runlog.create ~name:"c" ~seed:0 ~space:cont_space
-      [ { Dataset.Runlog.index = 0; config = [| Param.Value.Continuous 0.5 |]; status = Dataset.Runlog.Ok 1. } ]
+      [ { Dataset.Runlog.index = 0; config = [| Param.Value.Continuous 0.5 |]; status = Dataset.Runlog.Ok 1.; attempts = 1 } ]
   in
   Alcotest.check_raises "continuous serialization rejected"
     (Invalid_argument "Runlog: continuous parameters are not supported") (fun () ->
       ignore (Dataset.Runlog.to_string log))
+
+(* ---- Property-style round trips ---- *)
+
+(* Random logs over the fixed test space: random configs, interleaved
+   failure kinds, single-digit attempt counts (so a truncated final
+   field can never silently reparse as a valid smaller number). *)
+let gen_entry =
+  QCheck2.Gen.(
+    map
+      (fun (index, (c, o), status_pick, value, attempts) ->
+        let status =
+          match status_pick with
+          | 0 -> Dataset.Runlog.Ok value
+          | 1 -> Dataset.Runlog.Failed Dataset.Runlog.Crash
+          | 2 -> Dataset.Runlog.Failed Dataset.Runlog.Transient
+          | 3 -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
+          | _ -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+        in
+        { Dataset.Runlog.index; config = config c o; status; attempts })
+      (tup5 (int_range 0 10000)
+         (tup2 (int_range 0 1) (int_range 0 2))
+         (int_range 0 4)
+         (map (fun x -> float_of_int x /. 16.) (int_range (-1000) 1000))
+         (int_range 1 9)))
+
+let distinct_indices entries =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (e : Dataset.Runlog.entry) ->
+      if Hashtbl.mem seen e.Dataset.Runlog.index then false
+      else begin
+        Hashtbl.add seen e.Dataset.Runlog.index ();
+        true
+      end)
+    entries
+
+let gen_log =
+  QCheck2.Gen.(
+    map
+      (fun (name_tag, seed, entries) ->
+        Dataset.Runlog.create
+          ~name:(Printf.sprintf "prop-%d" name_tag)
+          ~seed ~space (distinct_indices entries))
+      (tup3 (int_range 0 99) (int_range 0 10000) (list_size (int_range 0 25) gen_entry)))
+
+let prop_v2_roundtrip =
+  QCheck2.Test.make ~name:"runlog: of_string (to_string t) = t (v2, all failure kinds)" ~count:100
+    gen_log (fun log ->
+      logs_equal log (Dataset.Runlog.of_string (Dataset.Runlog.to_string log)))
+
+let prop_v1_roundtrip =
+  (* v1 can only express Crash failures and single attempts; logs
+     restricted to that subset round-trip exactly through the v1
+     serializer. *)
+  let restrict (log : Dataset.Runlog.t) =
+    Dataset.Runlog.create ~name:log.Dataset.Runlog.name ~seed:log.Dataset.Runlog.seed ~space
+      (List.map
+         (fun (e : Dataset.Runlog.entry) ->
+           let status =
+             match e.Dataset.Runlog.status with
+             | Dataset.Runlog.Ok y -> Dataset.Runlog.Ok y
+             | Dataset.Runlog.Failed _ -> Dataset.Runlog.Failed Dataset.Runlog.Crash
+           in
+           { e with Dataset.Runlog.status; attempts = 1 })
+         (Array.to_list log.Dataset.Runlog.entries))
+  in
+  QCheck2.Test.make ~name:"runlog: of_string (to_string ~version:1 t) = t (v1 subset)" ~count:100
+    gen_log (fun log ->
+      let log = restrict log in
+      logs_equal log (Dataset.Runlog.of_string (Dataset.Runlog.to_string ~version:1 log)))
+
+let prop_truncation_recovery =
+  (* Chopping the tail of a serialized log (a crash mid-write) must
+     still parse with ~recover:true, yielding a prefix of the
+     entries; without recovery a mid-row chop must raise. *)
+  QCheck2.Test.make ~name:"runlog: truncated final line parses up to the last complete entry"
+    ~count:100
+    QCheck2.Gen.(tup2 gen_log (int_range 1 30))
+    (fun (log, chop) ->
+      QCheck2.assume (Array.length log.Dataset.Runlog.entries > 0);
+      let text = Dataset.Runlog.to_string log in
+      let last_row_start =
+        (* start of the final entry's line *)
+        String.rindex (String.sub text 0 (String.length text - 1)) '\n' + 1
+      in
+      let chop = min chop (String.length text - last_row_start) in
+      let truncated = String.sub text 0 (String.length text - chop) in
+      let parsed = Dataset.Runlog.of_string ~recover:true truncated in
+      let n = Array.length log.Dataset.Runlog.entries in
+      let n_parsed = Array.length parsed.Dataset.Runlog.entries in
+      (* chopping exactly the trailing newline leaves the final row
+         complete; anything deeper drops exactly that row *)
+      (if chop = 1 then n_parsed = n else n_parsed = n - 1)
+      && Array.for_all2 entries_equal parsed.Dataset.Runlog.entries
+           (Array.sub log.Dataset.Runlog.entries 0 n_parsed))
+
+let prop_truncation_strict_raises =
+  QCheck2.Test.make ~name:"runlog: truncated final line raises without ~recover" ~count:50
+    QCheck2.Gen.(tup2 gen_log (int_range 2 30))
+    (fun (log, chop) ->
+      QCheck2.assume (Array.length log.Dataset.Runlog.entries > 0);
+      let text = Dataset.Runlog.to_string log in
+      let last_row_start =
+        String.rindex (String.sub text 0 (String.length text - 1)) '\n' + 1
+      in
+      (* chop = 1 leaves the row complete (only the newline goes) and
+         chopping the whole row leaves a valid shorter file, so only
+         mid-row chops are expected to raise *)
+      QCheck2.assume (chop < String.length text - last_row_start);
+      let truncated = String.sub text 0 (String.length text - chop) in
+      match Dataset.Runlog.of_string truncated with
+      | _ -> false
+      | exception Failure _ -> true)
+
+let test_only_failures_roundtrip () =
+  let log =
+    Dataset.Runlog.create ~name:"grim" ~seed:3 ~space
+      [
+        { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Failed Dataset.Runlog.Permanent; attempts = 1 };
+        { index = 1; config = config 1 1; status = Dataset.Runlog.Failed Dataset.Runlog.Transient; attempts = 4 };
+        { index = 2; config = config 0 2; status = Dataset.Runlog.Failed Dataset.Runlog.Timeout; attempts = 2 };
+      ]
+  in
+  let parsed = Dataset.Runlog.of_string (Dataset.Runlog.to_string log) in
+  check Alcotest.bool "all-failure log round trips" true (logs_equal log parsed);
+  check Alcotest.bool "no best" true (Dataset.Runlog.best parsed = None);
+  check Alcotest.int "empty history" 0 (Array.length (Dataset.Runlog.history parsed))
+
+(* ---- Incremental writer ---- *)
+
+let test_writer_flush_per_entry () =
+  let path = Filename.temp_file "runlog_writer" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Dataset.Runlog.writer_create ~path ~name:"live" ~seed:5 ~space in
+      (* Before closing the writer, the file must already hold every
+         recorded entry — that is the crash-safety property. *)
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 2.0; attempts = 1 };
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 1; config = config 1 1; status = Dataset.Runlog.Failed Dataset.Runlog.Transient; attempts = 3 };
+      let mid = Dataset.Runlog.load path in
+      check Alcotest.int "both entries visible before close" 2
+        (Array.length mid.Dataset.Runlog.entries);
+      Dataset.Runlog.writer_close w;
+      Dataset.Runlog.writer_close w;
+      (* idempotent *)
+      let final = Dataset.Runlog.load path in
+      check Alcotest.int "entries after close" 2 (Array.length final.Dataset.Runlog.entries);
+      check Alcotest.bool "failure kind survives" true
+        (final.Dataset.Runlog.entries.(1).Dataset.Runlog.status
+        = Dataset.Runlog.Failed Dataset.Runlog.Transient);
+      check Alcotest.int "attempts survive" 3
+        final.Dataset.Runlog.entries.(1).Dataset.Runlog.attempts)
+
+let test_writer_resume_truncates_partial_tail () =
+  let path = Filename.temp_file "runlog_resume" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Dataset.Runlog.writer_create ~path ~name:"crashy" ~seed:6 ~space in
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 0; config = config 0 1; status = Dataset.Runlog.Ok 1.5; attempts = 1 };
+      Dataset.Runlog.writer_close w;
+      (* Simulate a crash mid-write: append half a row. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "1,b,2";
+      close_out oc;
+      Alcotest.check_raises "strict load rejects the partial tail"
+        (Failure "Runlog: row has 3 fields, expected 6") (fun () ->
+          ignore (Dataset.Runlog.load path));
+      let recovered = Dataset.Runlog.load ~recover:true path in
+      check Alcotest.int "recovered up to the last complete entry" 1
+        (Array.length recovered.Dataset.Runlog.entries);
+      (* Resuming rewrites a clean file and appends. *)
+      let w2 = Dataset.Runlog.writer_resume ~path recovered in
+      Dataset.Runlog.writer_record w2
+        { Dataset.Runlog.index = 1; config = config 1 2; status = Dataset.Runlog.Ok 0.5; attempts = 2 };
+      Dataset.Runlog.writer_close w2;
+      let final = Dataset.Runlog.load path in
+      check Alcotest.int "clean file with both entries" 2
+        (Array.length final.Dataset.Runlog.entries);
+      check Alcotest.int "appended entry attempts" 2
+        final.Dataset.Runlog.entries.(1).Dataset.Runlog.attempts)
 
 let suite =
   let tc = Alcotest.test_case in
@@ -112,8 +339,16 @@ let suite =
       tc "create sorts and validates" `Quick test_create_sorts_and_validates;
       tc "history and best" `Quick test_history_and_best;
       tc "string roundtrip" `Quick test_roundtrip;
+      tc "v1 files still parse" `Quick test_v1_parses;
       tc "file roundtrip" `Quick test_file_roundtrip;
       tc "recorder wired into tuner" `Quick test_recorder_with_tuner;
       tc "malformed rejected" `Quick test_malformed_rejected;
       tc "continuous unsupported" `Quick test_continuous_unsupported;
+      tc "only-failures log roundtrip" `Quick test_only_failures_roundtrip;
+      tc "writer flushes per entry" `Quick test_writer_flush_per_entry;
+      tc "writer resume truncates partial tail" `Quick test_writer_resume_truncates_partial_tail;
+      QCheck_alcotest.to_alcotest prop_v2_roundtrip;
+      QCheck_alcotest.to_alcotest prop_v1_roundtrip;
+      QCheck_alcotest.to_alcotest prop_truncation_recovery;
+      QCheck_alcotest.to_alcotest prop_truncation_strict_raises;
     ] )
