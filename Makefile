@@ -1,7 +1,7 @@
 # Development entry points. `make check` is what CI runs: build,
 # formatting (when ocamlformat is installed), and the full test suite.
 
-.PHONY: all build test fmt check clean
+.PHONY: all build test fmt check clean bench bench-build
 
 all: build
 
@@ -10,6 +10,15 @@ build:
 
 test:
 	dune runtest
+
+bench-build:
+	dune build bench/main.exe
+
+# Naive-vs-compiled candidate ranking; writes BENCH_select.json in the
+# current directory (machine-readable timings plus the bit-identical
+# parallel/sequential check).
+bench: bench-build
+	dune exec bench/main.exe -- --experiment select
 
 # The formatting gate is skipped when ocamlformat is not on PATH so
 # `make check` works in minimal containers; install ocamlformat to
@@ -21,7 +30,7 @@ fmt:
 		echo "fmt: ocamlformat not installed, skipping"; \
 	fi
 
-check: build fmt test
+check: build bench-build fmt test
 
 clean:
 	dune clean

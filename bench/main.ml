@@ -10,7 +10,15 @@
 let default_reps = 5
 
 let experiments =
-  Experiments.all @ [ { Experiments.id = "micro"; describe = "microbenchmarks"; run = Micro.run } ]
+  Experiments.all
+  @ [
+      { Experiments.id = "micro"; describe = "microbenchmarks"; run = Micro.run };
+      {
+        Experiments.id = "select";
+        describe = "naive vs compiled candidate ranking (writes BENCH_select.json)";
+        run = Select_bench.run;
+      };
+    ]
 
 let list_experiments () =
   Printf.printf "available experiments:\n";

@@ -17,6 +17,8 @@ let tests () =
   let obs = kripke_observations 100 in
   let surrogate = Hiperbot.Surrogate.fit space obs in
   let pool = Param.Space.enumerate space in
+  let encoded = Hiperbot.Surrogate.Pool.encode space pool in
+  let compiled = Hiperbot.Surrogate.compile surrogate encoded in
   let graph = Graphlib.Lattice.build space in
   let labels =
     {
@@ -32,6 +34,24 @@ let tests () =
            let best = ref neg_infinity in
            Array.iter (fun c -> best := Float.max !best (Hiperbot.Surrogate.score surrogate c)) pool;
            !best));
+    Test.make ~name:"ei_rank_compiled_1620"
+      (Staged.stage (fun () ->
+           (* per-refit cost: compile against the pre-encoded pool, then scan *)
+           let compiled = Hiperbot.Surrogate.compile surrogate encoded in
+           let best = ref neg_infinity in
+           for i = 0 to Array.length pool - 1 do
+             best := Float.max !best (Hiperbot.Surrogate.Compiled.log_ratio compiled i)
+           done;
+           !best));
+    Test.make ~name:"ei_rank_compiled_scan_1620"
+      (Staged.stage (fun () ->
+           let best = ref neg_infinity in
+           for i = 0 to Array.length pool - 1 do
+             best := Float.max !best (Hiperbot.Surrogate.Compiled.log_ratio compiled i)
+           done;
+           !best));
+    Test.make ~name:"pool_encode_1620"
+      (Staged.stage (fun () -> Hiperbot.Surrogate.Pool.encode space pool));
     Test.make ~name:"camlp_propagate_kripke_graph"
       (Staged.stage (fun () -> Graphlib.Camlp.propagate graph labels));
     Test.make ~name:"space_enumerate_1620" (Staged.stage (fun () -> Param.Space.enumerate space));

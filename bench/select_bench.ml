@@ -1,0 +1,172 @@
+(* Before/after benchmark of the candidate-ranking path: the naive
+   per-configuration Surrogate.score scan (the pre-compiled-scorer
+   implementation) against Surrogate.compile + table lookups,
+   sequential and parallel. Results go to stdout for humans and to
+   BENCH_select.json for tooling, including the per-setting check that
+   every variant returns the same selection. *)
+
+let output_path = "BENCH_select.json"
+let k = 10
+
+(* ns per call, best of [reps] timed batches. The batch size doubles
+   until one batch takes at least 20 ms so timer granularity never
+   dominates a measurement. *)
+let time_ns ~reps f =
+  ignore (f ());
+  let min_batch_s = 0.02 in
+  let rec calibrate iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_batch_s then (iters, dt) else calibrate (iters * 2)
+  in
+  let iters, first = calibrate 1 in
+  let best = ref first in
+  for _ = 2 to reps do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best /. float_of_int iters *. 1e9
+
+let same_selection a b =
+  List.length a = List.length b && List.for_all2 Param.Config.equal a b
+
+let schedule_name = function
+  | Parallel.Pool.Static -> "static"
+  | Parallel.Pool.Dynamic n -> Printf.sprintf "dynamic%d" n
+  | Parallel.Pool.Guided -> "guided"
+
+let run ~reps () =
+  Harness.section "Candidate ranking: naive scan vs compiled scorer";
+  let reps = Stdlib.max 3 reps in
+  let table = (Hpcsim.Registry.find "kripke").Hpcsim.Registry.table () in
+  let space = Dataset.Table.space table in
+  let rng = Prng.Rng.create 99 in
+  let obs =
+    let idx = Prng.Rng.sample_without_replacement rng 100 (Dataset.Table.size table) in
+    Array.map (fun i -> (Dataset.Table.config table i, Dataset.Table.objective table i)) idx
+  in
+  let surrogate = Hiperbot.Surrogate.fit space obs in
+  let pool = Param.Space.enumerate space in
+  let n = Array.length pool in
+  let encoded = Hiperbot.Surrogate.Pool.encode space pool in
+  let evaluated = Param.Config.Table.create 16 in
+  let select_rng = Prng.Rng.create 1 in
+  (* The pre-PR selection: one Surrogate.score (two density
+     evaluations and two logs per parameter) per candidate. *)
+  let naive_select () =
+    let top = Hiperbot.Strategy.Topk.create k in
+    Array.iteri
+      (fun i c ->
+        if not (Param.Config.Table.mem evaluated c) then
+          Hiperbot.Strategy.Topk.offer_indexed top c (Hiperbot.Surrogate.score surrogate c) i)
+      pool;
+    Hiperbot.Strategy.Topk.to_list_desc top
+  in
+  (* The production path: compile against the pre-encoded pool, then
+     rank — what one surrogate refit pays. *)
+  let compiled_select () =
+    Hiperbot.Strategy.select_many ~encoded Hiperbot.Strategy.Ranking ~k ~rng:select_rng
+      ~surrogate ~pool ~evaluated
+  in
+  let compiled = Hiperbot.Surrogate.compile surrogate encoded in
+  (* The micro-benchmark shape of ei_rank_full_space_1620: a pure
+     max-score scan, before and after. *)
+  let naive_scan () =
+    let best = ref neg_infinity in
+    Array.iter (fun c -> best := Stdlib.max !best (Hiperbot.Surrogate.score surrogate c)) pool;
+    !best
+  in
+  let compiled_scan () =
+    let best = ref neg_infinity in
+    for i = 0 to n - 1 do
+      best := Stdlib.max !best (Hiperbot.Surrogate.Compiled.log_ratio compiled i)
+    done;
+    !best
+  in
+  let sequential = compiled_select () in
+  let naive_matches = same_selection (naive_select ()) sequential in
+  let naive_select_ns = time_ns ~reps naive_select in
+  let compiled_select_ns = time_ns ~reps compiled_select in
+  let naive_scan_ns = time_ns ~reps naive_scan in
+  let compiled_scan_ns = time_ns ~reps compiled_scan in
+  let encode_ns = time_ns ~reps (fun () -> Hiperbot.Surrogate.Pool.encode space pool) in
+  let compile_ns = time_ns ~reps (fun () -> Hiperbot.Surrogate.compile surrogate encoded) in
+  let select_speedup = naive_select_ns /. compiled_select_ns in
+  let scan_speedup = naive_scan_ns /. compiled_scan_ns in
+  Printf.printf "pool: %d configurations, k=%d, %d observations\n" n k (Array.length obs);
+  Printf.printf "%-34s %12.0f ns\n" "naive select (per refit)" naive_select_ns;
+  Printf.printf "%-34s %12.0f ns  (%.1fx)\n" "compiled select (per refit)" compiled_select_ns
+    select_speedup;
+  Printf.printf "%-34s %12.0f ns\n" "naive max-score scan" naive_scan_ns;
+  Printf.printf "%-34s %12.0f ns  (%.1fx)\n" "compiled max-score scan" compiled_scan_ns
+    scan_speedup;
+  Printf.printf "%-34s %12.0f ns  (once per campaign)\n" "pool index-encode" encode_ns;
+  Printf.printf "%-34s %12.0f ns  (once per refit)\n" "surrogate compile" compile_ns;
+  Printf.printf "naive selection matches compiled: %b\n" naive_matches;
+  (* Parallel ranking across domain counts and schedules; each setting
+     must reproduce the sequential selection bit-for-bit. *)
+  let parallel_rows =
+    List.concat_map
+      (fun domains ->
+        Parallel.Pool.with_pool ~num_domains:domains (fun workers ->
+            List.map
+              (fun schedule ->
+                let f () =
+                  Hiperbot.Strategy.select_many ~workers ~schedule ~encoded
+                    Hiperbot.Strategy.Ranking ~k ~rng:select_rng ~surrogate ~pool ~evaluated
+                in
+                let matches = same_selection (f ()) sequential in
+                let ns = time_ns ~reps f in
+                Printf.printf "parallel %d+1 domains %-10s %12.0f ns  matches=%b\n" domains
+                  (schedule_name schedule) ns matches;
+                (domains, schedule, ns, matches))
+              [ Parallel.Pool.Static; Parallel.Pool.Dynamic 64; Parallel.Pool.Guided ]))
+      [ 0; 1; 3 ]
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n";
+  Printf.bprintf buf "  \"benchmark\": \"select\",\n";
+  Printf.bprintf buf "  \"dataset\": \"kripke\",\n";
+  Printf.bprintf buf "  \"pool_size\": %d,\n" n;
+  Printf.bprintf buf "  \"k\": %d,\n" k;
+  Printf.bprintf buf "  \"n_observations\": %d,\n" (Array.length obs);
+  Printf.bprintf buf "  \"reps\": %d,\n" reps;
+  Printf.bprintf buf "  \"naive_select_ns\": %.1f,\n" naive_select_ns;
+  Printf.bprintf buf "  \"compiled_select_ns\": %.1f,\n" compiled_select_ns;
+  Printf.bprintf buf "  \"select_speedup\": %.2f,\n" select_speedup;
+  Printf.bprintf buf "  \"naive_rank_scan_ns\": %.1f,\n" naive_scan_ns;
+  Printf.bprintf buf "  \"compiled_rank_scan_ns\": %.1f,\n" compiled_scan_ns;
+  Printf.bprintf buf "  \"rank_scan_speedup\": %.2f,\n" scan_speedup;
+  Printf.bprintf buf "  \"encode_pool_ns\": %.1f,\n" encode_ns;
+  Printf.bprintf buf "  \"compile_ns\": %.1f,\n" compile_ns;
+  Printf.bprintf buf "  \"naive_matches_compiled\": %b,\n" naive_matches;
+  Printf.bprintf buf "  \"parallel\": [\n";
+  List.iteri
+    (fun i (domains, schedule, ns, matches) ->
+      Printf.bprintf buf
+        "    { \"domains\": %d, \"schedule\": \"%s\", \"select_ns\": %.1f, \
+         \"matches_sequential\": %b }%s\n"
+        domains (schedule_name schedule) ns matches
+        (if i = List.length parallel_rows - 1 then "" else ","))
+    parallel_rows;
+  Printf.bprintf buf "  ]\n";
+  Printf.bprintf buf "}\n";
+  let oc = open_out output_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" output_path;
+  if not naive_matches then failwith "BENCH select: naive and compiled selections diverged";
+  List.iter
+    (fun (domains, schedule, _, matches) ->
+      if not matches then
+        failwith
+          (Printf.sprintf "BENCH select: parallel (%d domains, %s) diverged from sequential"
+             domains (schedule_name schedule)))
+    parallel_rows

@@ -115,6 +115,16 @@ let timeout_arg =
   let doc = "Per-evaluation cost budget: an evaluation above $(docv) is classified as a timeout (straggler) instead of a measurement." in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"COST" ~doc)
 
+let jobs_arg =
+  let doc = "Rank candidates on $(docv) domains. Selections are bit-identical to --jobs 1 (ties break on the candidate's pool position), so this only changes wall-clock time. Hiperbot method only." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Run [f (Some pool)] on a [jobs]-domain pool, or [f None] when a
+   single job needs no pool at all. *)
+let with_jobs jobs f =
+  if jobs > 1 then Parallel.Pool.with_pool ~num_domains:(jobs - 1) (fun p -> f (Some p))
+  else f None
+
 let status_of_outcome = function
   | Resilience.Outcome.Value y -> Dataset.Runlog.Ok y
   | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
@@ -123,7 +133,7 @@ let status_of_outcome = function
 
 let tune_cmd =
   let run dataset seed budget method_ alpha n_init proposal trace save resume faults fault_seed
-      retries timeout =
+      retries timeout jobs =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
@@ -139,6 +149,9 @@ let tune_cmd =
         else if retries < 1 then `Error (false, "--retries must be at least 1")
         else if (match timeout with Some t -> t <= 0. | None -> false) then
           `Error (false, "--timeout must be positive")
+        else if jobs < 1 then `Error (false, "--jobs must be at least 1")
+        else if jobs > 1 && method_ <> `Hiperbot then
+          `Error (false, "--jobs is only supported with --method hiperbot")
         else begin
           let best = ref infinity in
           let print_evaluation i config y =
@@ -233,18 +246,19 @@ let tune_cmd =
                 in
                 let options = hiperbot_options () in
                 let tuner_result =
-                  match existing_log with
-                  | Some log ->
-                      if log.Dataset.Runlog.seed <> seed then
-                        Printf.printf "resuming with the log's seed %d (ignoring --seed %d)\n"
-                          log.Dataset.Runlog.seed seed;
-                      Printf.printf "resuming after %d recorded evaluations\n"
-                        (Array.length log.Dataset.Runlog.entries);
-                      Hiperbot.Tuner.resume ~options ~policy ~on_outcome ~log
-                        ~objective:outcome_objective ~budget ()
-                  | None ->
-                      Hiperbot.Tuner.run_with_policy ~options ~policy ~on_outcome ~rng ~space
-                        ~objective:outcome_objective ~budget ()
+                  with_jobs jobs (fun pool ->
+                      match existing_log with
+                      | Some log ->
+                          if log.Dataset.Runlog.seed <> seed then
+                            Printf.printf "resuming with the log's seed %d (ignoring --seed %d)\n"
+                              log.Dataset.Runlog.seed seed;
+                          Printf.printf "resuming after %d recorded evaluations\n"
+                            (Array.length log.Dataset.Runlog.entries);
+                          Hiperbot.Tuner.resume ~options ~policy ~on_outcome ?pool ~log
+                            ~objective:outcome_objective ~budget ()
+                      | None ->
+                          Hiperbot.Tuner.run_with_policy ~options ~policy ~on_outcome ?pool ~rng
+                            ~space ~objective:outcome_objective ~budget ())
                 in
                 (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
                 match tuner_result with
@@ -299,7 +313,9 @@ let tune_cmd =
               | `Hiperbot ->
                   let options = hiperbot_options () in
                   print_tuner_result
-                    (Hiperbot.Tuner.run ~options ~on_evaluation ~rng ~space ~objective ~budget ())
+                    (with_jobs jobs (fun pool ->
+                         Hiperbot.Tuner.run ~options ~on_evaluation ?pool ~rng ~space ~objective
+                           ~budget ()))
             in
             (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
             Printf.printf "best after %d evaluations: %.4g\n"
@@ -320,7 +336,7 @@ let tune_cmd =
       ret
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
        $ proposal_arg $ trace_arg $ save_arg $ resume_arg $ faults_arg $ fault_seed_arg
-       $ retries_arg $ timeout_arg))
+       $ retries_arg $ timeout_arg $ jobs_arg))
 
 (* ---- transfer ---- *)
 

@@ -46,7 +46,7 @@ let pdf t v =
       Stats.Histogram.prob hist (Param.Value.to_index v)
   | Continuous { spec; kde; _ } ->
       if not (Param.Spec.validate spec v) then invalid_arg "Density.pdf: value does not match spec";
-      Stdlib.max 1e-300 (Stats.Kde.pdf kde (Param.Value.to_float_raw v))
+      Stdlib.max Stats.Kde.min_density (Stats.Kde.pdf kde (Param.Value.to_float_raw v))
   | Uniform spec -> begin
       if not (Param.Spec.validate spec v) then invalid_arg "Density.pdf: value does not match spec";
       match Param.Spec.n_choices spec with
@@ -55,6 +55,33 @@ let pdf t v =
           let lo, hi = continuous_range spec in
           1. /. (hi -. lo)
     end
+
+(* One batched pass per table: the histogram normalization is folded
+   in once (Histogram.log_probs) and the KDE is evaluated once per
+   distinct grid value instead of once per candidate. Entries must
+   equal [log (pdf t v)] bit-for-bit — the compiled scorer's
+   equivalence with the naive one depends on it. *)
+let log_pdf_table t values =
+  match t with
+  | Discrete { spec; hist } ->
+      let lp = Stats.Histogram.log_probs hist in
+      Array.map
+        (fun v ->
+          if not (Param.Spec.validate spec v) then
+            invalid_arg "Density.log_pdf_table: value does not match spec";
+          lp.(Param.Value.to_index v))
+        values
+  | Continuous { spec; kde; _ } ->
+      let xs =
+        Array.map
+          (fun v ->
+            if not (Param.Spec.validate spec v) then
+              invalid_arg "Density.log_pdf_table: value does not match spec";
+            Param.Value.to_float_raw v)
+          values
+      in
+      Array.map (fun p -> log (Stdlib.max Stats.Kde.min_density p)) (Stats.Kde.pdf_grid kde xs)
+  | Uniform _ -> Array.map (fun v -> log (pdf t v)) values
 
 let sample t rng =
   match t with

@@ -34,6 +34,13 @@ val pdf : t -> Param.Value.t -> float
 (** Probability (discrete) or density (continuous) of a value. Always
     strictly positive for in-domain values. *)
 
+val log_pdf_table : t -> Param.Value.t array -> float array
+(** [log (pdf t v)] for each value, computed in one batched pass: the
+    histogram normalization is folded in once per category and the KDE
+    is evaluated once per distinct value. Entries equal
+    [log (pdf t v)] bit-for-bit — this is the building block of the
+    compiled scorer ({!Surrogate.compile}). *)
+
 val sample : t -> Prng.Rng.t -> Param.Value.t
 (** Draw a value (continuous draws are clamped to the spec's range). *)
 

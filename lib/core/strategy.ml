@@ -3,37 +3,115 @@ type t = Ranking | Proposal of { n_candidates : int }
 let default = Ranking
 let max_duplicate_redraws = 20
 
-(* Keep the k best (config, score) pairs seen so far, smallest first
-   in [heap]-free form: a sorted association list is fine for the
-   small k used in batch selection. *)
+(* Keep the k best (value, score) triples seen so far under the total
+   order "higher score first, equal scores resolved toward the smaller
+   index". The index is the caller's pool position (Ranking) or an
+   insertion counter (Proposal), so ties are explicit and
+   deterministic: the same multiset of offers yields the same top-k
+   whatever the offer order — which is what makes per-worker
+   accumulators mergeable into a schedule-independent result. Entries
+   are kept worst-first in a sorted association list; fine for the
+   small k of batch selection. *)
 module Topk = struct
-  type 'a t = { k : int; mutable entries : ('a * float) list; mutable size : int }
+  type 'a entry = { value : 'a; score : float; index : int }
 
-  let create k = { k; entries = []; size = 0 }
+  type 'a t = {
+    k : int;
+    mutable entries : 'a entry list;  (* sorted worst-first *)
+    mutable size : int;
+    mutable next_index : int;
+  }
 
-  let offer t value score =
-    let worst_kept () = match t.entries with (_, s) :: _ -> s | [] -> neg_infinity in
-    if t.size < t.k || score > worst_kept () then begin
+  let create k =
+    if k < 1 then invalid_arg "Topk.create: k must be at least 1";
+    { k; entries = []; size = 0; next_index = 0 }
+
+  (* [beats a b]: a ranks strictly better than b. *)
+  let beats a b = a.score > b.score || (a.score = b.score && a.index < b.index)
+
+  let offer_indexed t value score index =
+    let e = { value; score; index } in
+    let admit =
+      t.size < t.k || (match t.entries with worst :: _ -> beats e worst | [] -> true)
+    in
+    if admit then begin
       let rec insert = function
-        | [] -> [ (value, score) ]
-        | (v, s) :: rest when s >= score -> (value, score) :: (v, s) :: rest
-        | pair :: rest -> pair :: insert rest
+        | [] -> [ e ]
+        | x :: rest -> if beats e x then x :: insert rest else e :: x :: rest
       in
       t.entries <- insert t.entries;
       if t.size = t.k then t.entries <- List.tl t.entries else t.size <- t.size + 1
     end
 
-  let to_list_desc t = List.rev_map fst t.entries
+  let offer t value score =
+    offer_indexed t value score t.next_index;
+    t.next_index <- t.next_index + 1
+
+  let to_list_desc t = List.rev_map (fun e -> e.value) t.entries
 end
 
-let select_many_ranking ~k ~surrogate ~pool ~evaluated =
-  let top = Topk.create k in
-  Array.iter
-    (fun config ->
-      if not (Param.Config.Table.mem evaluated config) then
-        Topk.offer top config (Surrogate.score surrogate config))
-    pool;
-  Topk.to_list_desc top
+(* Immutable best-first entry lists for the parallel reduction: the
+   merge of two k-truncated lists is the k-truncation of their union,
+   so the fold is associative with [] as identity and the reduction is
+   schedule- and domain-count-independent. *)
+let rec take k = function [] -> [] | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+let rec merge_desc k a b =
+  if k = 0 then []
+  else
+    match (a, b) with
+    | [], rest | rest, [] -> take k rest
+    | x :: xs, y :: ys ->
+        if Topk.beats y x then y :: merge_desc (k - 1) a ys else x :: merge_desc (k - 1) xs b
+
+let ranking_encoded ~surrogate ~pool ~encoded =
+  match encoded with
+  | Some e ->
+      if not (Surrogate.Pool.configs e == pool) then
+        invalid_arg "Strategy.select_many: encoded pool does not wrap the candidate pool";
+      e
+  | None -> Surrogate.Pool.encode (Surrogate.space surrogate) pool
+
+let select_many_ranking ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluated () =
+  let enc = ranking_encoded ~surrogate ~pool ~encoded in
+  let compiled = Surrogate.compile surrogate enc in
+  let n = Array.length pool in
+  (* Invert the evaluated-set check: hashing every candidate per refit
+     would dominate the compiled scan, so instead hash only the (much
+     smaller) evaluated set into a per-refit exclusion mask via the
+     pool's config->index table. The mask is written before the scan
+     and only read during it, so the parallel loop touches no shared
+     mutable state at all. *)
+  let excluded = Bytes.make n '\000' in
+  Param.Config.Table.iter
+    (fun c () -> List.iter (fun i -> Bytes.set excluded i '\001') (Surrogate.Pool.indices_of enc c))
+    evaluated;
+  let keep i = Bytes.unsafe_get excluded i = '\000' in
+  match workers with
+  | None ->
+      let top = Topk.create k in
+      for i = 0 to n - 1 do
+        if keep i then Topk.offer_indexed top pool.(i) (Surrogate.Compiled.log_ratio compiled i) i
+      done;
+      Topk.to_list_desc top
+  | Some w ->
+      (* Each worker folds its own best-first list and the per-worker
+         partials merge deterministically. *)
+      let best =
+        Parallel.Pool.parallel_for_reduce w ?schedule ~lo:0 ~hi:n ~init:[]
+          ~combine:(fun a b -> merge_desc k a b)
+          (fun i ->
+            if not (keep i) then []
+            else
+              [
+                {
+                  Topk.value = pool.(i);
+                  score = Surrogate.Compiled.log_ratio compiled i;
+                  index = i;
+                };
+              ])
+      in
+      List.map (fun e -> e.Topk.value) best
 
 let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
   let chosen = Param.Config.Table.create k in
@@ -64,15 +142,15 @@ let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
   in
   pick [] k
 
-let select_many t ~k ~rng ~surrogate ~pool ~evaluated =
+let select_many ?workers ?schedule ?encoded t ~k ~rng ~surrogate ~pool ~evaluated =
   if k < 1 then invalid_arg "Strategy.select_many: k must be at least 1";
   match t with
-  | Ranking -> select_many_ranking ~k ~surrogate ~pool ~evaluated
+  | Ranking -> select_many_ranking ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluated ()
   | Proposal { n_candidates } ->
       if n_candidates <= 0 then invalid_arg "Strategy.select: non-positive candidate count";
       select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates
 
-let select t ~rng ~surrogate ~pool ~evaluated =
-  match select_many t ~k:1 ~rng ~surrogate ~pool ~evaluated with
+let select ?workers ?schedule ?encoded t ~rng ~surrogate ~pool ~evaluated =
+  match select_many ?workers ?schedule ?encoded t ~k:1 ~rng ~surrogate ~pool ~evaluated with
   | [] -> None
   | best :: _ -> Some best

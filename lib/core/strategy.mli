@@ -2,11 +2,19 @@
 
     [Ranking] scores every not-yet-evaluated configuration of a finite
     space and picks the best — exhaustive, duplicate-free, and the
-    paper's default for the discrete HPC spaces. [Proposal] samples
-    candidates from the good density pg (applicable to continuous or
-    huge spaces) and picks the best-scoring draw; duplicates with the
-    history are re-drawn a bounded number of times and then allowed
-    (a repeated evaluation is harmless, merely uninformative). *)
+    paper's default for the discrete HPC spaces. Ranking always runs
+    through the compiled scorer ({!Surrogate.compile}): the candidate
+    pool is index-encoded (once per campaign when the caller passes
+    [?encoded]) and each refit reduces scoring to [n_params] array
+    reads and adds per candidate. Scores are bit-identical to the
+    naive {!Surrogate.score}, so switching paths never changes a
+    selection.
+
+    [Proposal] samples candidates from the good density pg (applicable
+    to continuous or huge spaces) and picks the best-scoring draw;
+    duplicates with the history are re-drawn a bounded number of times
+    and then allowed (a repeated evaluation is harmless, merely
+    uninformative). *)
 
 type t =
   | Ranking
@@ -15,7 +23,35 @@ type t =
 val default : t
 (** [Ranking]. *)
 
+(** Bounded best-k accumulator with explicit, documented tie-breaking:
+    entries are ordered by score descending, and {e equal scores are
+    resolved toward the smaller index} — the pool position for Ranking
+    ({!offer_indexed}) or the insertion order for {!offer}. The same
+    multiset of offers therefore yields the same top-k whatever the
+    offer order, which is what lets per-worker accumulators merge into
+    a schedule-independent result. *)
+module Topk : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** [create k] holds the best [k] offers. Requires [k >= 1]. *)
+
+  val offer_indexed : 'a t -> 'a -> float -> int -> unit
+  (** [offer_indexed t value score index] — ties broken toward the
+      smaller [index]. Callers must keep indices distinct. *)
+
+  val offer : 'a t -> 'a -> float -> unit
+  (** {!offer_indexed} with an internal insertion counter as the
+      index: among equal scores, the earliest offer ranks first. *)
+
+  val to_list_desc : 'a t -> 'a list
+  (** Best first. *)
+end
+
 val select :
+  ?workers:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  ?encoded:Surrogate.Pool.t ->
   t ->
   rng:Prng.Rng.t ->
   surrogate:Surrogate.t ->
@@ -27,9 +63,13 @@ val select :
 
     [pool] is the enumerated space for [Ranking] (ignored by
     [Proposal]); [evaluated] is the already-evaluated set (values are
-    unused; the table is a set). *)
+    unused; the table is a set). See {!select_many} for [workers],
+    [schedule], and [encoded]. *)
 
 val select_many :
+  ?workers:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  ?encoded:Surrogate.Pool.t ->
   t ->
   k:int ->
   rng:Prng.Rng.t ->
@@ -41,4 +81,13 @@ val select_many :
     improvement, best first — one surrogate refit amortized over a
     batch of evaluations (e.g. to launch [k] application runs in
     parallel). Fewer than [k] are returned when the pool runs out.
-    Requires [k >= 1]. *)
+    Requires [k >= 1].
+
+    [Ranking] options: [workers] parallelizes the scoring scan across
+    the domain pool with per-worker {!Topk} accumulators; because ties
+    break on the pool index, the result is bit-identical to the
+    sequential scan for every [schedule] and worker count. [encoded]
+    supplies the index-encoded pool (built once per campaign with
+    {!Surrogate.Pool.encode}); it must wrap the same [pool] array,
+    otherwise [Invalid_argument] is raised. When absent the pool is
+    encoded on the fly. *)

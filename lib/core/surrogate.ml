@@ -89,11 +89,14 @@ let bad_pdf t config =
   factorized t.bad config
 
 (* Computed in log space: with many parameters the factorized
-   densities underflow well before the ratio does. *)
+   densities underflow well before the ratio does. The per-parameter
+   grouping (log pg - log pb added as one term) matches the compiled
+   scorer's per-slot table entries bit-for-bit. *)
 let log_ratio t config =
   let acc = ref 0. in
   Array.iteri
-    (fun i d -> acc := !acc +. log (Density.pdf d config.(i)) -. log (Density.pdf t.bad.(i) config.(i)))
+    (fun i d ->
+      acc := !acc +. (log (Density.pdf d config.(i)) -. log (Density.pdf t.bad.(i) config.(i))))
     t.good;
   !acc
 
@@ -107,6 +110,146 @@ let expected_improvement t config =
   1. /. (t.options.alpha +. ((1. -. t.options.alpha) /. ratio))
 
 let sample_good t rng = Array.map (fun d -> Density.sample d rng) t.good
+
+(* ---- Compiled scoring path ----
+
+   Ranking rescans the full candidate pool on every surrogate refit.
+   The naive path re-validates each configuration, re-validates every
+   value inside Density.pdf, recomputes the histogram normalization
+   per lookup, takes 2 x n_params logs per candidate, and pays
+   O(n_samples) per KDE evaluation. The compiled path does all of that
+   once per refit: an index-encoded pool (built once per campaign,
+   the per-parameter slot tables are surrogate-independent) plus a
+   per-refit [log pg - log pb] table per parameter turns scoring into
+   n_params array reads and adds. *)
+
+module Pool = struct
+  type slots =
+    | Choices of int  (** discrete parameter: slot = choice index *)
+    | Grid of float array
+        (** continuous parameter: sorted distinct values present in
+            the pool; slot = position in this grid *)
+
+  type t = {
+    space : Param.Space.t;
+    configs : Param.Config.t array;
+    slots : slots array;
+    codes : int array;  (* row-major: codes.((i * n_params) + p) *)
+    index : int Param.Config.Table.t;  (* config -> every pool position *)
+  }
+
+  (* Position of [x] in the sorted distinct-value grid. Every encoded
+     value is present by construction, so plain lower-bound search. *)
+  let find_slot grid x =
+    let lo = ref 0 and hi = ref (Array.length grid - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if grid.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let sorted_distinct xs =
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let n = Array.length sorted in
+    if n = 0 then [||]
+    else begin
+      let out = ref [ sorted.(0) ] and count = ref 1 in
+      for i = 1 to n - 1 do
+        if sorted.(i) <> sorted.(i - 1) then begin
+          out := sorted.(i) :: !out;
+          incr count
+        end
+      done;
+      let grid = Array.make !count 0. in
+      List.iteri (fun i x -> grid.(!count - 1 - i) <- x) !out;
+      grid
+    end
+
+  let encode space configs =
+    Array.iter
+      (fun c ->
+        if not (Param.Space.validate space c) then
+          invalid_arg "Surrogate.Pool.encode: invalid configuration")
+      configs;
+    let n_params = Param.Space.n_params space in
+    let all_discrete =
+      Array.for_all (fun spec -> Param.Spec.is_discrete spec) (Param.Space.specs space)
+    in
+    let slots =
+      Array.init n_params (fun p ->
+          match Param.Spec.n_choices (Param.Space.spec space p) with
+          | Some n -> Choices n
+          | None ->
+              Grid (sorted_distinct (Array.map (fun c -> Param.Value.to_float_raw c.(p)) configs)))
+    in
+    let codes = Array.make (Array.length configs * n_params) 0 in
+    Array.iteri
+      (fun i c ->
+        let base = i * n_params in
+        if all_discrete then
+          Array.blit (Param.Space.index_encode space c) 0 codes base n_params
+        else
+          for p = 0 to n_params - 1 do
+            codes.(base + p) <-
+              (match slots.(p) with
+              | Choices _ -> Param.Value.to_index c.(p)
+              | Grid grid -> find_slot grid (Param.Value.to_float_raw c.(p)))
+          done)
+      configs;
+    let index = Param.Config.Table.create (Array.length configs) in
+    Array.iteri (fun i c -> Param.Config.Table.add index c i) configs;
+    { space; configs; slots; codes; index }
+
+  let length t = Array.length t.configs
+  let config t i = t.configs.(i)
+  let configs t = t.configs
+  let space t = t.space
+  let indices_of t c = Param.Config.Table.find_all t.index c
+end
+
+module Compiled = struct
+  type t = {
+    pool : Pool.t;
+    tables : float array array;  (* per parameter, per slot: log pg - log pb *)
+    n_params : int;
+  }
+
+  let pool t = t.pool
+  let length t = Array.length t.pool.Pool.configs
+  let config t i = t.pool.Pool.configs.(i)
+
+  let log_ratio t i =
+    let codes = t.pool.Pool.codes in
+    let base = i * t.n_params in
+    let acc = ref 0. in
+    for p = 0 to t.n_params - 1 do
+      acc := !acc +. Array.unsafe_get t.tables.(p) (Array.unsafe_get codes (base + p))
+    done;
+    !acc
+
+  let score t i = exp (log_ratio t i)
+end
+
+let compile t pool =
+  if
+    pool.Pool.space != t.space
+    && Param.Space.specs pool.Pool.space <> Param.Space.specs t.space
+  then invalid_arg "Surrogate.compile: pool encoded over a different space";
+  let n_params = Param.Space.n_params t.space in
+  let tables =
+    Array.init n_params (fun p ->
+        let values =
+          match pool.Pool.slots.(p) with
+          | Pool.Choices n ->
+              Array.init n (fun j -> Param.Spec.value_of_index (Param.Space.spec t.space p) j)
+          | Pool.Grid grid -> Array.map (fun x -> Param.Value.Continuous x) grid
+        in
+        let lg = Density.log_pdf_table t.good.(p) values in
+        let lb = Density.log_pdf_table t.bad.(p) values in
+        Array.map2 (fun a b -> a -. b) lg lb)
+  in
+  { Compiled.pool; tables; n_params }
 
 let param_js_divergence t i =
   check_param t i;

@@ -52,9 +52,15 @@ val good_pdf : t -> Param.Config.t -> float
 
 val bad_pdf : t -> Param.Config.t -> float
 
+val log_ratio : t -> Param.Config.t -> float
+(** [log (pg x / pb x)], accumulated per parameter — the log-space
+    quantity the Ranking strategy actually orders by. Does not
+    re-validate the configuration. *)
+
 val score : t -> Param.Config.t -> float
 (** The density ratio pg(x)/pb(x) — the quantity maximized by the
-    selection strategies. Strictly positive. *)
+    selection strategies. Strictly positive. [exp (log_ratio t x)]
+    exactly. *)
 
 val expected_improvement : t -> Param.Config.t -> float
 (** Eq. 5 exactly: [1 / (alpha + (pb/pg) (1 - alpha))]. A monotone
@@ -67,3 +73,58 @@ val sample_good : t -> Prng.Rng.t -> Param.Config.t
 val param_js_divergence : t -> int -> float
 (** JS divergence between pg,xi and pb,xi for parameter [i] — the
     parameter-importance measure of §VI. *)
+
+(** An index-encoded candidate pool: each configuration is flattened
+    to one small integer per parameter (the choice index for discrete
+    parameters, the position in the sorted distinct-value grid for
+    continuous ones). The encoding depends only on the space and the
+    pool — not on any fitted surrogate — so it is built once per
+    campaign and reused across refits. *)
+module Pool : sig
+  type t
+
+  val encode : Param.Space.t -> Param.Config.t array -> t
+  (** Encode a candidate pool. Every configuration must be valid for
+      the space. *)
+
+  val length : t -> int
+  val config : t -> int -> Param.Config.t
+  val configs : t -> Param.Config.t array
+  (** The original configuration array, physically the one passed to
+      {!encode}. *)
+
+  val space : t -> Param.Space.t
+
+  val indices_of : t -> Param.Config.t -> int list
+  (** Every pool position holding this configuration ([[]] when
+      absent) — lets the evaluated-set scan hash the small evaluated
+      side instead of every candidate on each refit. *)
+end
+
+(** A compiled scorer: one [log pg - log pb] lookup table per
+    parameter (histogram normalization folded in once, KDE evaluated
+    once per grid cell), so scoring a pool element is [n_params] array
+    reads and adds over its int-encoded row. Scores equal the naive
+    {!score}/{!log_ratio} bit-for-bit. *)
+module Compiled : sig
+  type t
+
+  val pool : t -> Pool.t
+  val length : t -> int
+  val config : t -> int -> Param.Config.t
+
+  val log_ratio : t -> int -> float
+  (** [log_ratio c i] equals [log_ratio surrogate (Pool.config pool i)]
+      bit-for-bit. *)
+
+  val score : t -> int -> float
+  (** [exp (log_ratio c i)] — equals the naive {!score}
+      bit-for-bit. *)
+end
+
+val compile : t -> Pool.t -> Compiled.t
+(** Precompute the per-parameter log-ratio tables of this surrogate
+    over an encoded pool. Cost: one density evaluation per parameter
+    per distinct value — amortized over the whole pool on every
+    ranking pass. The pool must be encoded over the surrogate's
+    space. *)

@@ -45,7 +45,7 @@ let max_init_redraws = 50
    resumed campaign retraces the interrupted one bit-for-bit and then
    continues. *)
 let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_outcome
-    ?(replay = [||]) ~rng ~space ~eval ~budget () =
+    ?(replay = [||]) ?pool:workers ?schedule ~rng ~space ~eval ~budget () =
   if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
   if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
   if options.batch_size < 1 then invalid_arg "Tuner.run: batch_size must be at least 1";
@@ -73,6 +73,14 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
           invalid_arg "Tuner.run: Ranking strategy requires a finite space";
         Param.Space.enumerate space
     | None, Strategy.Proposal _ -> [||]
+  in
+  (* Index-encode the candidate pool once per campaign: the encoding
+     depends only on the space and the pool, so every refit's compiled
+     scorer reuses it. *)
+  let encoded =
+    match options.strategy with
+    | Strategy.Ranking when Array.length pool > 0 -> Some (Surrogate.Pool.encode space pool)
+    | Strategy.Ranking | Strategy.Proposal _ -> None
   in
   let evaluated = Param.Config.Table.create (budget + Array.length warm_start) in
   Array.iter
@@ -137,12 +145,28 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
     in
     attempt 0
   in
+  (* Once a finite pool is fully covered, every draw is a duplicate:
+     each would spin [max_init_redraws] hash probes for nothing, so
+     initialization exits early instead (the coverage scan only runs
+     when the evaluated count could plausibly cover the pool, and its
+     positive answer is latched). *)
+  let pool_covered = ref false in
+  let pool_exhausted () =
+    Array.length pool > 0
+    && (!pool_covered
+       || Param.Config.Table.length evaluated >= Array.length pool
+          && Array.for_all (fun c -> Param.Config.Table.mem evaluated c) pool
+          && begin
+               pool_covered := true;
+               true
+             end)
+  in
   let n_init =
     let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
     min options.n_init cap
   in
   let init_drawn = ref 0 in
-  while !init_drawn < n_init do
+  while !init_drawn < n_init && not (pool_exhausted ()) do
     let c = draw_fresh () in
     incr init_drawn;
     if not (Param.Config.Table.mem evaluated c) then evaluate c
@@ -171,7 +195,10 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
       in
       final_surrogate := Some surrogate;
       let k = min options.batch_size (budget - !n_evaluated) in
-      match Strategy.select_many options.strategy ~k ~rng ~surrogate ~pool ~evaluated with
+      match
+        Strategy.select_many ?workers ?schedule ?encoded options.strategy ~k ~rng ~surrogate
+          ~pool ~evaluated
+      with
       | [] -> continue := false
       | batch ->
           List.iter
@@ -204,7 +231,8 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
 let verdict_of_outcome outcome =
   { Resilience.Evaluator.outcome; attempts = 1; retry_cost = 0. }
 
-let run ?options ?warm_start ?candidates ?on_evaluation ~rng ~space ~objective ~budget () =
+let run ?options ?warm_start ?candidates ?on_evaluation ?pool ?schedule ~rng ~space ~objective
+    ~budget () =
   let eval c = verdict_of_outcome (Resilience.Outcome.Value (objective c)) in
   let on_outcome =
     Option.map
@@ -214,24 +242,29 @@ let run ?options ?warm_start ?candidates ?on_evaluation ~rng ~space ~objective ~
         | _ -> ())
       on_evaluation
   in
-  match run_core ?options ?warm_start ?candidates ?on_outcome ~rng ~space ~eval ~budget () with
+  match
+    run_core ?options ?warm_start ?candidates ?on_outcome ?pool ?schedule ~rng ~space ~eval
+      ~budget ()
+  with
   | Stdlib.Ok r -> r
   | Stdlib.Error _ -> assert false (* a total objective cannot fail *)
 
-let run_resilient ?options ?warm_start ?candidates ?on_evaluation ?on_failure ~rng ~space
-    ~objective ~budget () =
+let run_resilient ?options ?warm_start ?candidates ?on_evaluation ?on_failure ?pool ?schedule
+    ~rng ~space ~objective ~budget () =
   let eval c = verdict_of_outcome (Resilience.Outcome.of_option (objective c)) in
   let on_outcome i c v =
     match v.Resilience.Evaluator.outcome with
     | Resilience.Outcome.Value y -> (match on_evaluation with Some f -> f i c y | None -> ())
     | _ -> ( match on_failure with Some f -> f i c | None -> ())
   in
-  run_core ?options ?warm_start ?candidates ~on_outcome ~rng ~space ~eval ~budget ()
+  run_core ?options ?warm_start ?candidates ~on_outcome ?pool ?schedule ~rng ~space ~eval
+    ~budget ()
 
 let run_with_policy ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates
-    ?on_outcome ?replay ~rng ~space ~objective ~budget () =
+    ?on_outcome ?replay ?pool ?schedule ~rng ~space ~objective ~budget () =
   let eval c = Resilience.Evaluator.evaluate ~policy ~objective c in
-  run_core ?options ?warm_start ?candidates ?on_outcome ?replay ~rng ~space ~eval ~budget ()
+  run_core ?options ?warm_start ?candidates ?on_outcome ?replay ?pool ?schedule ~rng ~space
+    ~eval ~budget ()
 
 let replay_of_log ~policy log =
   Array.mapi
@@ -258,10 +291,10 @@ let replay_of_log ~policy log =
     log.Dataset.Runlog.entries
 
 let resume ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome
-    ~log ~objective ~budget () =
+    ?pool ?schedule ~log ~objective ~budget () =
   let replay = replay_of_log ~policy log in
   if Array.length replay > budget then
     invalid_arg "Tuner.resume: budget is smaller than the recorded evaluation count";
   let rng = Prng.Rng.create log.Dataset.Runlog.seed in
-  run_with_policy ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ~rng
-    ~space:log.Dataset.Runlog.space ~objective ~budget ()
+  run_with_policy ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool ?schedule
+    ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()

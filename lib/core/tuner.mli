@@ -76,6 +76,8 @@ val run :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  ?pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
   objective:(Param.Config.t -> float) ->
@@ -87,6 +89,13 @@ val run :
     against the budget; duplicate random initial draws are evaluated
     once). Requires [budget >= 1]. [on_evaluation i config value] is
     called after each evaluation with its 0-based index.
+
+    [pool] parallelizes candidate ranking across a domain pool (with
+    an optional [schedule]); because ties break on the candidate's
+    pool index, selections — and therefore the whole campaign — are
+    bit-identical to the sequential run for every worker count and
+    schedule. Ranking consumes no rng, so the random stream is
+    untouched too.
 
     [candidates] restricts both initialization and selection to an
     explicit configuration set — e.g. the measured rows of a study
@@ -106,6 +115,8 @@ val run_resilient :
   ?candidates:Param.Config.t array ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
   ?on_failure:(int -> Param.Config.t -> unit) ->
+  ?pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
   objective:(Param.Config.t -> float option) ->
@@ -128,6 +139,8 @@ val run_with_policy :
   ?candidates:Param.Config.t array ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
   ?replay:(Param.Config.t * Resilience.Evaluator.verdict) array ->
+  ?pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
   objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
@@ -157,6 +170,8 @@ val resume :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
   log:Dataset.Runlog.t ->
   objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
   budget:int ->

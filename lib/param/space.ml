@@ -95,6 +95,15 @@ let config_of_rank t rank =
   done;
   Array.init n (fun i -> Spec.value_of_index t.specs.(i) indices.(i))
 
+let index_encode t config =
+  if not (validate t config) then invalid_arg "Space.index_encode: invalid configuration";
+  Array.map Value.to_index config
+
+let index_decode t indices =
+  if Array.length indices <> Array.length t.specs then
+    invalid_arg "Space.index_decode: wrong arity";
+  Array.init (Array.length indices) (fun i -> Spec.value_of_index t.specs.(i) indices.(i))
+
 let random_config t rng = Array.map (fun spec -> Spec.random_value spec rng) t.specs
 
 let distance t a b =

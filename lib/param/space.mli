@@ -39,6 +39,15 @@ val config_rank : t -> Config.t -> int
 val config_of_rank : t -> int -> Config.t
 (** Inverse of {!config_rank}. *)
 
+val index_encode : t -> Config.t -> int array
+(** Per-parameter choice indices of a configuration of an all-discrete
+    space — the flat integer encoding consumed by the compiled scorer.
+    Raises [Invalid_argument] for invalid configurations or continuous
+    parameters. *)
+
+val index_decode : t -> int array -> Config.t
+(** Inverse of {!index_encode}. *)
+
 val random_config : t -> Prng.Rng.t -> Config.t
 
 val distance : t -> Config.t -> Config.t -> float

@@ -3,6 +3,13 @@ type t = { centers : float array; weights : float array; total_weight : float; b
 let min_bandwidth = 1e-6
 let inv_sqrt_2pi = 0.3989422804014327
 
+(* Shared density floor: every density lookup in the tuner (naive
+   Density.pdf and the compiled scorer's tables alike) clamps at this
+   value, so log-space scores never see -inf and the two scoring paths
+   agree bit-for-bit on zero-density points. *)
+let min_density = 1e-300
+let log_min_density = log min_density
+
 let default_bandwidth xs =
   (* Fixed-fraction-of-range bandwidth, per the paper's "fixed
      bandwidth" choice; the floor keeps point-mass data usable. *)
@@ -53,7 +60,10 @@ let pdf t x =
 
 let log_pdf t x =
   let p = pdf t x in
-  if p > 0. then log p else -745. (* below exp-able range; avoids -inf arithmetic *)
+  if p >= min_density then log p else log_min_density
+
+let pdf_grid t xs = Array.map (fun x -> pdf t x) xs
+let log_pdf_grid t xs = Array.map (fun x -> log_pdf t x) xs
 
 let sample t rng =
   let i = Prng.Rng.categorical rng t.weights in

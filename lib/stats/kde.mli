@@ -25,10 +25,30 @@ val silverman_bandwidth : float array -> float
 val bandwidth : t -> float
 val n_samples : t -> int
 
+val min_density : float
+(** The density floor ([1e-300]) shared by every density lookup in the
+    tuner: {!pdf} consumers clamp at this value before taking logs so
+    log-space scores never see [-inf], and the naive and compiled
+    scoring paths agree bit-for-bit on zero-density points. *)
+
+val log_min_density : float
+(** [log min_density], the corresponding log-space floor. *)
+
 val pdf : t -> float -> float
 (** Density at a point; integrates to 1 over the real line. *)
 
 val log_pdf : t -> float -> float
+(** [log (pdf t x)], floored at {!log_min_density} when the density
+    underflows. *)
+
+val pdf_grid : t -> float array -> float array
+(** Evaluate {!pdf} once per grid point — the compiled scorer's
+    batched KDE evaluation (one O(n_samples) pass per distinct
+    candidate value instead of per candidate). *)
+
+val log_pdf_grid : t -> float array -> float array
+(** Evaluate {!log_pdf} once per grid point. *)
+
 val sample : t -> Prng.Rng.t -> float
 (** Draw from the estimated density (pick a kernel center by weight,
     then add Gaussian noise) — the Proposal selection strategy of

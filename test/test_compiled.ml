@@ -1,0 +1,300 @@
+(* Tests for the compiled scoring path: naive/compiled score
+   equivalence, deterministic parallel ranking, Topk tie-breaking, the
+   shared density floor, and campaign-level parity (parallel and
+   resumed runs replay the sequential campaign bit-for-bit). *)
+
+let check = Alcotest.check
+
+let ulp_diff a b =
+  Int64.abs (Int64.sub (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let same_configs a b = List.length a = List.length b && List.for_all2 Param.Config.equal a b
+
+let schedules = [ Parallel.Pool.Static; Parallel.Pool.Dynamic 4; Parallel.Pool.Guided ]
+
+let schedule_label = function
+  | Parallel.Pool.Static -> "static"
+  | Parallel.Pool.Dynamic n -> Printf.sprintf "dynamic-%d" n
+  | Parallel.Pool.Guided -> "guided"
+
+(* ---- compiled scorer vs naive scorer ---- *)
+
+let random_space rng =
+  let n = 1 + Prng.Rng.int rng 3 in
+  Param.Space.make
+    (List.init n (fun i ->
+         match Prng.Rng.int rng 3 with
+         | 0 -> Param.Spec.categorical (Printf.sprintf "c%d" i) [ "a"; "b"; "x" ]
+         | 1 -> Param.Spec.ordinal_ints (Printf.sprintf "o%d" i) [ 1; 2; 4; 8 ]
+         | _ -> Param.Spec.continuous (Printf.sprintf "r%d" i) ~lo:0. ~hi:10.))
+
+(* Random space, observations, priors, extra_bad, and both bandwidth
+   rules: every pool element must score identically (<= 1 ulp; the
+   implementation is expected to be exactly bit-equal) through the
+   naive per-config path and the compiled tables. *)
+let prop_compiled_matches_naive =
+  QCheck2.Test.make ~name:"surrogate: compiled log_ratio/score equal naive within 1 ulp"
+    ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let space = random_space rng in
+      let pool =
+        Array.init (5 + Prng.Rng.int rng 40) (fun _ -> Param.Space.random_config space rng)
+      in
+      let obs =
+        Array.init
+          (4 + Prng.Rng.int rng 20)
+          (fun _ -> (Param.Space.random_config space rng, Prng.Rng.float rng *. 100.))
+      in
+      let extra_bad =
+        Array.init (Prng.Rng.int rng 4) (fun _ -> Param.Space.random_config space rng)
+      in
+      let bandwidth =
+        if Prng.Rng.int rng 2 = 0 then Hiperbot.Density.Fixed_fraction 0.1
+        else Hiperbot.Density.Silverman
+      in
+      let options =
+        {
+          Hiperbot.Surrogate.alpha = 0.1 +. (0.4 *. Prng.Rng.float rng);
+          density = { Hiperbot.Density.default_options with bandwidth };
+        }
+      in
+      let surrogate = Hiperbot.Surrogate.fit ~options ~extra_bad space obs in
+      let encoded = Hiperbot.Surrogate.Pool.encode space pool in
+      let compiled = Hiperbot.Surrogate.compile surrogate encoded in
+      Array.for_all
+        (fun i ->
+          let naive = Hiperbot.Surrogate.log_ratio surrogate pool.(i) in
+          let fast = Hiperbot.Surrogate.Compiled.log_ratio compiled i in
+          ulp_diff naive fast <= 1L
+          && ulp_diff (Hiperbot.Surrogate.score surrogate pool.(i))
+               (Hiperbot.Surrogate.Compiled.score compiled i)
+             <= 1L)
+        (Array.init (Array.length pool) Fun.id))
+
+(* ---- deterministic parallel ranking ---- *)
+
+let space3 =
+  Param.Space.make
+    [
+      Param.Spec.categorical "c" [ "a"; "b"; "x" ];
+      Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ];
+      Param.Spec.categorical "z" [ "p"; "q"; "r" ];
+    ]
+
+let obs3 =
+  let rng = Prng.Rng.create 7 in
+  Array.init 30 (fun _ ->
+      (Param.Space.random_config space3 rng, float_of_int (1 + Prng.Rng.int rng 1000)))
+
+let test_parallel_select_matches_sequential () =
+  let surrogate = Hiperbot.Surrogate.fit space3 obs3 in
+  let pool = Param.Space.enumerate space3 in
+  let encoded = Hiperbot.Surrogate.Pool.encode space3 pool in
+  let evaluated = Param.Config.Table.create 8 in
+  Array.iteri (fun i c -> if i mod 5 = 0 then Param.Config.Table.replace evaluated c ()) pool;
+  let rng = Prng.Rng.create 3 in
+  let sequential =
+    Hiperbot.Strategy.select_many ~encoded Hiperbot.Strategy.Ranking ~k:7 ~rng ~surrogate ~pool
+      ~evaluated
+  in
+  List.iter
+    (fun num_domains ->
+      Parallel.Pool.with_pool ~num_domains (fun workers ->
+          List.iter
+            (fun schedule ->
+              let got =
+                Hiperbot.Strategy.select_many ~workers ~schedule ~encoded
+                  Hiperbot.Strategy.Ranking ~k:7 ~rng ~surrogate ~pool ~evaluated
+              in
+              check Alcotest.bool
+                (Printf.sprintf "parallel(%d domains, %s) = sequential" num_domains
+                   (schedule_label schedule))
+                true
+                (same_configs sequential got))
+            schedules))
+    [ 0; 1; 3 ]
+
+(* ---- Topk tie-breaking ---- *)
+
+let test_topk_ties_break_on_index () =
+  let top = Hiperbot.Strategy.Topk.create 3 in
+  Hiperbot.Strategy.Topk.offer_indexed top "d" 1. 3;
+  Hiperbot.Strategy.Topk.offer_indexed top "a" 1. 0;
+  Hiperbot.Strategy.Topk.offer_indexed top "c" 1. 2;
+  Hiperbot.Strategy.Topk.offer_indexed top "b" 1. 1;
+  check (Alcotest.list Alcotest.string) "equal scores resolved toward smaller index"
+    [ "a"; "b"; "c" ]
+    (Hiperbot.Strategy.Topk.to_list_desc top);
+  let fifo = Hiperbot.Strategy.Topk.create 2 in
+  Hiperbot.Strategy.Topk.offer fifo "first" 5.;
+  Hiperbot.Strategy.Topk.offer fifo "second" 5.;
+  Hiperbot.Strategy.Topk.offer fifo "third" 5.;
+  check (Alcotest.list Alcotest.string) "offer ties keep insertion order" [ "first"; "second" ]
+    (Hiperbot.Strategy.Topk.to_list_desc fifo)
+
+(* All four observations share one configuration value per parameter,
+   so the good and bad histograms coincide and every candidate scores
+   exactly log 1 = 0: selection must fall back to pool order, in every
+   execution mode. *)
+let test_all_equal_scores_select_pool_order () =
+  let space =
+    Param.Space.make
+      [ Param.Spec.categorical "c" [ "a"; "b"; "x" ]; Param.Spec.ordinal_ints "o" [ 1; 2 ] ]
+  in
+  let c0 = [| Param.Value.Categorical 0; Param.Value.Ordinal 0 |] in
+  let obs = [| (c0, 1.); (c0, 2.); (c0, 30.); (c0, 40.) |] in
+  let options = { Hiperbot.Surrogate.default_options with alpha = 0.5 } in
+  let surrogate = Hiperbot.Surrogate.fit ~options space obs in
+  let pool = Param.Space.enumerate space in
+  Array.iter
+    (fun c ->
+      check (Alcotest.float 0.) "log-ratio exactly 0" 0.
+        (Hiperbot.Surrogate.log_ratio surrogate c))
+    pool;
+  let evaluated = Param.Config.Table.create 1 in
+  let rng = Prng.Rng.create 1 in
+  let expected = Array.to_list (Array.sub pool 0 4) in
+  let got =
+    Hiperbot.Strategy.select_many Hiperbot.Strategy.Ranking ~k:4 ~rng ~surrogate ~pool ~evaluated
+  in
+  check Alcotest.bool "sequential: first k in pool order" true (same_configs expected got);
+  Parallel.Pool.with_pool ~num_domains:3 (fun workers ->
+      List.iter
+        (fun schedule ->
+          let got =
+            Hiperbot.Strategy.select_many ~workers ~schedule Hiperbot.Strategy.Ranking ~k:4 ~rng
+              ~surrogate ~pool ~evaluated
+          in
+          check Alcotest.bool
+            (Printf.sprintf "parallel %s: first k in pool order" (schedule_label schedule))
+            true (same_configs expected got))
+        schedules)
+
+(* ---- shared density floor ---- *)
+
+let test_density_floor_unified () =
+  (* A point far outside a narrow kernel underflows pdf to 0; log_pdf
+     must land exactly on the shared floor. *)
+  let kde = Stats.Kde.create ~bandwidth:1e-3 [| 0. |] in
+  check (Alcotest.float 0.) "kde pdf underflows" 0. (Stats.Kde.pdf kde 50.);
+  check (Alcotest.float 0.) "kde log_pdf hits the shared floor" Stats.Kde.log_min_density
+    (Stats.Kde.log_pdf kde 50.);
+  check (Alcotest.float 0.) "floor is log min_density" (log Stats.Kde.min_density)
+    Stats.Kde.log_min_density;
+  (* Density.pdf clamps to the same constant, so log (Density.pdf _)
+     (the naive path) equals the compiled table entry exactly. *)
+  let spec = Param.Spec.continuous "r" ~lo:0. ~hi:10. in
+  let options =
+    { Hiperbot.Density.default_options with bandwidth = Hiperbot.Density.Fixed_fraction 1e-9 }
+  in
+  let d = Hiperbot.Density.fit ~options spec [| Param.Value.Continuous 0.1 |] in
+  let far = Param.Value.Continuous 9. in
+  check (Alcotest.float 0.) "Density.pdf clamps at min_density" Stats.Kde.min_density
+    (Hiperbot.Density.pdf d far);
+  let table = Hiperbot.Density.log_pdf_table d [| far |] in
+  check (Alcotest.float 0.) "log_pdf_table agrees with the clamp" Stats.Kde.log_min_density
+    table.(0)
+
+(* ---- campaign-level parity ---- *)
+
+let objective3 c = float_of_int ((Param.Config.hash c land 0xFFFF) + 1)
+
+let tuner_options =
+  { Hiperbot.Tuner.default_options with n_init = 4; batch_size = 2 }
+
+let same_result (a : Hiperbot.Tuner.result) (b : Hiperbot.Tuner.result) =
+  Array.length a.Hiperbot.Tuner.history = Array.length b.Hiperbot.Tuner.history
+  && Array.for_all2
+       (fun (c1, y1) (c2, y2) -> Param.Config.equal c1 c2 && y1 = y2)
+       a.Hiperbot.Tuner.history b.Hiperbot.Tuner.history
+  && Param.Config.equal a.Hiperbot.Tuner.best_config b.Hiperbot.Tuner.best_config
+  && a.Hiperbot.Tuner.best_value = b.Hiperbot.Tuner.best_value
+  && a.Hiperbot.Tuner.trajectory = b.Hiperbot.Tuner.trajectory
+
+let test_parallel_campaign_matches_sequential () =
+  let run pool schedule =
+    Hiperbot.Tuner.run ~options:tuner_options ?pool ?schedule ~rng:(Prng.Rng.create 42)
+      ~space:space3 ~objective:objective3 ~budget:20 ()
+  in
+  let sequential = run None None in
+  List.iter
+    (fun num_domains ->
+      Parallel.Pool.with_pool ~num_domains (fun workers ->
+          List.iter
+            (fun schedule ->
+              check Alcotest.bool
+                (Printf.sprintf "campaign(%d domains, %s) = sequential" num_domains
+                   (schedule_label schedule))
+                true
+                (same_result sequential (run (Some workers) (Some schedule))))
+            schedules))
+    [ 1; 3 ]
+
+(* Interrupt a parallel campaign after [cut] evaluations, then resume
+   it (replay of the recorded verdicts, still on the parallel path):
+   the resumed run must retrace the uninterrupted one bit-for-bit. *)
+let test_parallel_resume_replays_bit_for_bit () =
+  let objective ~attempt:_ c = Resilience.Outcome.Value (objective3 c) in
+  Parallel.Pool.with_pool ~num_domains:3 (fun workers ->
+      let recorded = ref [] in
+      let on_outcome _i c v = recorded := (c, v) :: !recorded in
+      let full =
+        Hiperbot.Tuner.run_with_policy ~options:tuner_options ~on_outcome ~pool:workers
+          ~rng:(Prng.Rng.create 5) ~space:space3 ~objective ~budget:15 ()
+      in
+      let verdicts = Array.of_list (List.rev !recorded) in
+      check Alcotest.int "captured every evaluation" 15 (Array.length verdicts);
+      let cut = 7 in
+      let resumed =
+        Hiperbot.Tuner.run_with_policy ~options:tuner_options
+          ~replay:(Array.sub verdicts 0 cut) ~pool:workers ~rng:(Prng.Rng.create 5)
+          ~space:space3 ~objective ~budget:15 ()
+      in
+      match (full, resumed) with
+      | Stdlib.Ok a, Stdlib.Ok b ->
+          check Alcotest.bool "resumed campaign = uninterrupted campaign" true (same_result a b)
+      | _ -> Alcotest.fail "campaign unexpectedly produced no best configuration")
+
+(* ---- initialization early-exit ---- *)
+
+(* When the warm start already covers every candidate, phase 1 must
+   exit without consuming a single rng draw (no redraw spinning), and
+   the run reports an error since nothing was evaluated. *)
+let test_init_exits_early_when_pool_covered () =
+  let space =
+    Param.Space.make
+      [ Param.Spec.categorical "c" [ "a"; "b"; "x" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ] ]
+  in
+  let pool = Param.Space.enumerate space in
+  let warm_start = Array.map (fun c -> (c, objective3 c)) pool in
+  let rng = Prng.Rng.create 77 in
+  let objective ~attempt:_ _ = Alcotest.fail "no evaluation should run" in
+  (match
+     Hiperbot.Tuner.run_with_policy ~warm_start ~rng ~space ~objective ~budget:5 ()
+   with
+  | Stdlib.Error e -> check Alcotest.int "no attempts made" 0 e.Hiperbot.Tuner.error_attempts
+  | Stdlib.Ok _ -> Alcotest.fail "fully warm-started run cannot evaluate anything");
+  let fresh = Prng.Rng.create 77 in
+  check Alcotest.int "rng stream untouched by the covered-pool exit" (Prng.Rng.int fresh 1000000)
+    (Prng.Rng.int rng 1000000)
+
+let suite =
+  ( "compiled",
+    [
+      Alcotest.test_case "parallel select = sequential (domains x schedules)" `Quick
+        test_parallel_select_matches_sequential;
+      Alcotest.test_case "topk ties break on index / insertion order" `Quick
+        test_topk_ties_break_on_index;
+      Alcotest.test_case "all-equal scores select pool order" `Quick
+        test_all_equal_scores_select_pool_order;
+      Alcotest.test_case "density floor unified across paths" `Quick test_density_floor_unified;
+      Alcotest.test_case "parallel campaign = sequential campaign" `Quick
+        test_parallel_campaign_matches_sequential;
+      Alcotest.test_case "parallel resume replays bit-for-bit" `Quick
+        test_parallel_resume_replays_bit_for_bit;
+      Alcotest.test_case "covered pool exits init without rng draws" `Quick
+        test_init_exits_early_when_pool_covered;
+      QCheck_alcotest.to_alcotest prop_compiled_matches_naive;
+    ] )

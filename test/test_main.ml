@@ -11,6 +11,7 @@ let () =
       Test_nn.suite;
       Test_gp.suite;
       Test_hiperbot.suite;
+      Test_compiled.suite;
       Test_baselines.suite;
       Test_metrics.suite;
       Test_parallel.suite;

@@ -141,6 +141,23 @@ let test_to_string () =
   let c = [| Param.Value.Categorical 2; Param.Value.Ordinal 1; Param.Value.Ordinal 1 |] in
   check Alcotest.string "rendering" "color=blue threads=2 tile=32" (Param.Space.to_string finite_space c)
 
+let test_index_encode_roundtrip () =
+  let rng = Prng.Rng.create 17 in
+  for _ = 1 to 50 do
+    let c = Param.Space.random_config finite_space rng in
+    let decoded =
+      Param.Space.index_decode finite_space (Param.Space.index_encode finite_space c)
+    in
+    check Alcotest.bool "index encode/decode roundtrip" true (Param.Config.equal c decoded)
+  done;
+  let bad = [| Param.Value.Categorical 9; Param.Value.Ordinal 0; Param.Value.Ordinal 0 |] in
+  Alcotest.check_raises "invalid config rejected"
+    (Invalid_argument "Space.index_encode: invalid configuration") (fun () ->
+      ignore (Param.Space.index_encode finite_space bad));
+  Alcotest.check_raises "wrong arity rejected"
+    (Invalid_argument "Space.index_decode: wrong arity") (fun () ->
+      ignore (Param.Space.index_decode finite_space [| 0 |]))
+
 let prop_rank_roundtrip =
   QCheck2.Test.make ~name:"config_of_rank / config_rank roundtrip" ~count:200
     QCheck2.Gen.(int_range 0 23)
@@ -175,6 +192,7 @@ let suite =
       tc "distance" `Quick test_distance;
       tc "one-hot encode" `Quick test_encode;
       tc "to_string" `Quick test_to_string;
+      tc "index encode/decode roundtrip" `Quick test_index_encode_roundtrip;
       QCheck_alcotest.to_alcotest prop_rank_roundtrip;
       QCheck_alcotest.to_alcotest prop_distance_bounds;
     ] )
