@@ -3,14 +3,22 @@
    implementation) against Surrogate.compile + table lookups,
    sequential and parallel. Results go to stdout for humans and to
    BENCH_select.json for tooling, including the per-setting check that
-   every variant returns the same selection. *)
+   every variant returns the same selection.
+
+   The production path is timed through the telemetry spans the code
+   itself emits (one Compile + one Rank span per select_many call)
+   rather than an external stopwatch, so the benchmark measures
+   exactly what a traced campaign reports. The naive paths are not
+   instrumented (they no longer exist in production) and keep the
+   ad-hoc timer. *)
 
 let output_path = "BENCH_select.json"
 let k = 10
 
 (* ns per call, best of [reps] timed batches. The batch size doubles
    until one batch takes at least 20 ms so timer granularity never
-   dominates a measurement. *)
+   dominates a measurement. Used only for the uninstrumented naive
+   paths and the (span-free) pool encode. *)
 let time_ns ~reps f =
   ignore (f ());
   let min_batch_s = 0.02 in
@@ -22,9 +30,9 @@ let time_ns ~reps f =
     let dt = Unix.gettimeofday () -. t0 in
     if dt >= min_batch_s then (iters, dt) else calibrate (iters * 2)
   in
-  let iters, first = calibrate 1 in
-  let best = ref first in
-  for _ = 2 to reps do
+  let iters, _ = calibrate 1 in
+  let best = ref infinity in
+  for _ = 1 to reps do
     let t0 = Unix.gettimeofday () in
     for _ = 1 to iters do
       ignore (f ())
@@ -33,6 +41,38 @@ let time_ns ~reps f =
     if dt < !best then best := dt
   done;
   !best /. float_of_int iters *. 1e9
+
+(* Per-call timings of an instrumented selection, read back from its
+   own telemetry: run [f telemetry] enough times to cover at least
+   20 ms x [reps], then take the minimum per-call Compile, Rank, and
+   Compile+Rank span durations. Returns (total, compile, rank) in
+   ns. *)
+let span_ns ~reps f =
+  let sink, collected = Telemetry.Trace.memory_sink () in
+  let telemetry = Telemetry.Trace.make [ sink ] in
+  ignore (f telemetry);
+  let min_total_s = 0.02 *. float_of_int reps in
+  let t0 = Unix.gettimeofday () in
+  let calls = ref 0 in
+  while !calls < reps || Unix.gettimeofday () -. t0 < min_total_s do
+    ignore (f telemetry);
+    incr calls
+  done;
+  let compile = ref [] and rank = ref [] in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Telemetry.Event.Compile { dur_ms; _ } -> compile := dur_ms :: !compile
+      | Telemetry.Event.Rank { dur_ms; _ } -> rank := dur_ms :: !rank
+      | _ -> ())
+    (collected ());
+  if List.length !compile <> List.length !rank then
+    failwith "BENCH select: unpaired Compile/Rank spans";
+  (* The lists are call-ordered (both reversed), so map2 pairs each
+     call's compile span with its rank span. *)
+  let totals = List.map2 ( +. ) !compile !rank in
+  let min_ns ms = List.fold_left Stdlib.min infinity ms *. 1e6 in
+  (min_ns totals, min_ns !compile, min_ns !rank)
 
 let same_selection a b =
   List.length a = List.length b && List.for_all2 Param.Config.equal a b
@@ -71,9 +111,9 @@ let run ~reps () =
   in
   (* The production path: compile against the pre-encoded pool, then
      rank — what one surrogate refit pays. *)
-  let compiled_select () =
-    Hiperbot.Strategy.select_many ~encoded Hiperbot.Strategy.Ranking ~k ~rng:select_rng
-      ~surrogate ~pool ~evaluated
+  let compiled_select telemetry =
+    Hiperbot.Strategy.select_many ~telemetry ~encoded Hiperbot.Strategy.Ranking ~k
+      ~rng:select_rng ~surrogate ~pool ~evaluated
   in
   let compiled = Hiperbot.Surrogate.compile surrogate encoded in
   (* The micro-benchmark shape of ei_rank_full_space_1620: a pure
@@ -90,14 +130,19 @@ let run ~reps () =
     done;
     !best
   in
-  let sequential = compiled_select () in
+  let sequential = compiled_select Telemetry.Trace.disabled in
   let naive_matches = same_selection (naive_select ()) sequential in
+  (* Tracing must not change the selection (the determinism guarantee
+     the telemetry layer makes). *)
+  let traced_matches =
+    let sink, _ = Telemetry.Trace.memory_sink () in
+    same_selection (compiled_select (Telemetry.Trace.make [ sink ])) sequential
+  in
   let naive_select_ns = time_ns ~reps naive_select in
-  let compiled_select_ns = time_ns ~reps compiled_select in
+  let compiled_select_ns, compile_ns, rank_ns = span_ns ~reps compiled_select in
   let naive_scan_ns = time_ns ~reps naive_scan in
   let compiled_scan_ns = time_ns ~reps compiled_scan in
   let encode_ns = time_ns ~reps (fun () -> Hiperbot.Surrogate.Pool.encode space pool) in
-  let compile_ns = time_ns ~reps (fun () -> Hiperbot.Surrogate.compile surrogate encoded) in
   let select_speedup = naive_select_ns /. compiled_select_ns in
   let scan_speedup = naive_scan_ns /. compiled_scan_ns in
   Printf.printf "pool: %d configurations, k=%d, %d observations\n" n k (Array.length obs);
@@ -108,22 +153,26 @@ let run ~reps () =
   Printf.printf "%-34s %12.0f ns  (%.1fx)\n" "compiled max-score scan" compiled_scan_ns
     scan_speedup;
   Printf.printf "%-34s %12.0f ns  (once per campaign)\n" "pool index-encode" encode_ns;
-  Printf.printf "%-34s %12.0f ns  (once per refit)\n" "surrogate compile" compile_ns;
+  Printf.printf "%-34s %12.0f ns  (once per refit, from Compile span)\n" "surrogate compile"
+    compile_ns;
+  Printf.printf "%-34s %12.0f ns  (from Rank span)\n" "ranking scan" rank_ns;
   Printf.printf "naive selection matches compiled: %b\n" naive_matches;
+  Printf.printf "traced selection matches untraced: %b\n" traced_matches;
   (* Parallel ranking across domain counts and schedules; each setting
-     must reproduce the sequential selection bit-for-bit. *)
+     must reproduce the sequential selection bit-for-bit. Timings come
+     from the same Compile+Rank spans. *)
   let parallel_rows =
     List.concat_map
       (fun domains ->
         Parallel.Pool.with_pool ~num_domains:domains (fun workers ->
             List.map
               (fun schedule ->
-                let f () =
-                  Hiperbot.Strategy.select_many ~workers ~schedule ~encoded
+                let f telemetry =
+                  Hiperbot.Strategy.select_many ~telemetry ~workers ~schedule ~encoded
                     Hiperbot.Strategy.Ranking ~k ~rng:select_rng ~surrogate ~pool ~evaluated
                 in
-                let matches = same_selection (f ()) sequential in
-                let ns = time_ns ~reps f in
+                let matches = same_selection (f Telemetry.Trace.disabled) sequential in
+                let ns, _, _ = span_ns ~reps f in
                 Printf.printf "parallel %d+1 domains %-10s %12.0f ns  matches=%b\n" domains
                   (schedule_name schedule) ns matches;
                 (domains, schedule, ns, matches))
@@ -134,6 +183,7 @@ let run ~reps () =
   Printf.bprintf buf "{\n";
   Printf.bprintf buf "  \"benchmark\": \"select\",\n";
   Printf.bprintf buf "  \"dataset\": \"kripke\",\n";
+  Printf.bprintf buf "  \"timing_source\": \"telemetry-spans\",\n";
   Printf.bprintf buf "  \"pool_size\": %d,\n" n;
   Printf.bprintf buf "  \"k\": %d,\n" k;
   Printf.bprintf buf "  \"n_observations\": %d,\n" (Array.length obs);
@@ -146,7 +196,9 @@ let run ~reps () =
   Printf.bprintf buf "  \"rank_scan_speedup\": %.2f,\n" scan_speedup;
   Printf.bprintf buf "  \"encode_pool_ns\": %.1f,\n" encode_ns;
   Printf.bprintf buf "  \"compile_ns\": %.1f,\n" compile_ns;
+  Printf.bprintf buf "  \"rank_span_ns\": %.1f,\n" rank_ns;
   Printf.bprintf buf "  \"naive_matches_compiled\": %b,\n" naive_matches;
+  Printf.bprintf buf "  \"traced_matches_untraced\": %b,\n" traced_matches;
   Printf.bprintf buf "  \"parallel\": [\n";
   List.iteri
     (fun i (domains, schedule, ns, matches) ->
@@ -163,6 +215,7 @@ let run ~reps () =
   close_out oc;
   Printf.printf "wrote %s\n%!" output_path;
   if not naive_matches then failwith "BENCH select: naive and compiled selections diverged";
+  if not traced_matches then failwith "BENCH select: tracing changed the selection";
   List.iter
     (fun (domains, schedule, _, matches) ->
       if not matches then

@@ -1,6 +1,7 @@
 (* hiperbot command-line interface.
 
-   Subcommands: list, describe, tune, transfer, importance, export.
+   Subcommands: list, describe, tune, tune-csv, transfer, importance,
+   export, replay, trace, compare.
    Every built-in dataset of the reproduction is addressable by name;
    `export` writes a dataset as CSV so external tools (or the
    `Dataset.Table.of_csv` loader) can round-trip it. *)
@@ -50,7 +51,7 @@ let describe_cmd =
         Printf.printf "parameters:\n";
         Array.iter (fun spec -> Format.printf "  %a@." Param.Spec.pp spec) (Param.Space.specs space);
         let ys = Dataset.Table.objectives table in
-        Array.sort compare ys;
+        Array.sort Float.compare ys;
         let q p = Stats.Quantile.quantile_sorted ys p in
         Printf.printf "objective: min=%.4g p25=%.4g median=%.4g p75=%.4g max=%.4g\n" ys.(0) (q 0.25)
           (q 0.5) (q 0.75)
@@ -87,9 +88,17 @@ let proposal_arg =
   let doc = "Use the Proposal selection strategy with $(docv) sampled candidates instead of exhaustive Ranking." in
   Arg.(value & opt (some int) None & info [ "proposal" ] ~docv:"K" ~doc)
 
-let trace_arg =
+let verbose_arg =
   let doc = "Print every evaluation, not just improvements." in
-  Arg.(value & flag & info [ "trace" ] ~doc)
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let trace_file_arg =
+  let doc = "Write a structured JSONL campaign trace to $(docv): one flushed line per event (init draws, refit/compile/rank spans, evaluations, retry attempts). Tracing never changes the campaign — traced runs are bit-identical to untraced ones. Hiperbot method only." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let trace_summary_arg =
+  let doc = "Print an end-of-campaign telemetry summary (per-phase time breakdown, refit count, p50/p95 refit and ranking latencies). Hiperbot method only." in
+  Arg.(value & flag & info [ "trace-summary" ] ~doc)
 
 let save_arg =
   let doc = "Write a run log of every evaluation to $(docv), one flushed line per evaluation so an interrupted run is recoverable (see Dataset.Runlog)." in
@@ -132,8 +141,8 @@ let status_of_outcome = function
   | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
 
 let tune_cmd =
-  let run dataset seed budget method_ alpha n_init proposal trace save resume faults fault_seed
-      retries timeout jobs =
+  let run dataset seed budget method_ alpha n_init proposal verbose trace_file trace_summary save
+      resume faults fault_seed retries timeout jobs =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
@@ -152,10 +161,25 @@ let tune_cmd =
         else if jobs < 1 then `Error (false, "--jobs must be at least 1")
         else if jobs > 1 && method_ <> `Hiperbot then
           `Error (false, "--jobs is only supported with --method hiperbot")
+        else if (trace_file <> None || trace_summary) && method_ <> `Hiperbot then
+          `Error (false, "--trace and --trace-summary are only supported with --method hiperbot")
         else begin
+          let summary = if trace_summary then Some (Telemetry.Summary.create ()) else None in
+          let telemetry =
+            Telemetry.Trace.make
+              ((match trace_file with Some p -> [ Telemetry.Trace.jsonl_sink p ] | None -> [])
+              @ match summary with Some s -> [ Telemetry.Summary.sink s ] | None -> [])
+          in
+          let finish_trace () =
+            Telemetry.Trace.close telemetry;
+            (match trace_file with
+            | Some p -> Printf.printf "trace written to %s\n" p
+            | None -> ());
+            match summary with Some s -> print_string (Telemetry.Summary.render s) | None -> ()
+          in
           let best = ref infinity in
           let print_evaluation i config y =
-            if trace || y < !best then begin
+            if verbose || y < !best then begin
               if y < !best then best := y;
               Printf.printf "%4d  %10.4g  %s\n" i y (Param.Space.to_string space config)
             end
@@ -239,7 +263,7 @@ let tune_cmd =
                   match v.Resilience.Evaluator.outcome with
                   | Resilience.Outcome.Value y -> print_evaluation i config y
                   | failure ->
-                      if trace then
+                      if verbose then
                         Printf.printf "%4d  %10s  %s\n" i
                           (Resilience.Outcome.kind failure)
                           (Param.Space.to_string space config)
@@ -254,13 +278,14 @@ let tune_cmd =
                               log.Dataset.Runlog.seed seed;
                           Printf.printf "resuming after %d recorded evaluations\n"
                             (Array.length log.Dataset.Runlog.entries);
-                          Hiperbot.Tuner.resume ~options ~policy ~on_outcome ?pool ~log
-                            ~objective:outcome_objective ~budget ()
+                          Hiperbot.Tuner.resume ~telemetry ~options ~policy ~on_outcome ?pool
+                            ~log ~objective:outcome_objective ~budget ()
                       | None ->
-                          Hiperbot.Tuner.run_with_policy ~options ~policy ~on_outcome ?pool ~rng
-                            ~space ~objective:outcome_objective ~budget ())
+                          Hiperbot.Tuner.run_with_policy ~telemetry ~options ~policy ~on_outcome
+                            ?pool ~rng ~space ~objective:outcome_objective ~budget ())
                 in
                 (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
+                finish_trace ();
                 match tuner_result with
                 | Stdlib.Error err ->
                     `Error
@@ -314,10 +339,11 @@ let tune_cmd =
                   let options = hiperbot_options () in
                   print_tuner_result
                     (with_jobs jobs (fun pool ->
-                         Hiperbot.Tuner.run ~options ~on_evaluation ?pool ~rng ~space ~objective
-                           ~budget ()))
+                         Hiperbot.Tuner.run ~telemetry ~options ~on_evaluation ?pool ~rng ~space
+                           ~objective ~budget ()))
             in
             (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
+            finish_trace ();
             Printf.printf "best after %d evaluations: %.4g\n"
               (Array.length outcome.Baselines.Outcome.history)
               outcome.Baselines.Outcome.best_value;
@@ -335,8 +361,8 @@ let tune_cmd =
     Term.(
       ret
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
-       $ proposal_arg $ trace_arg $ save_arg $ resume_arg $ faults_arg $ fault_seed_arg
-       $ retries_arg $ timeout_arg $ jobs_arg))
+       $ proposal_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg $ resume_arg
+       $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg))
 
 (* ---- transfer ---- *)
 
@@ -551,6 +577,28 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Inspect a saved run log, optionally scoring it against a dataset.")
     Term.(ret (const run $ log_arg $ against_arg))
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let log_arg =
+    let doc = "Campaign trace written by `tune --trace'." in
+    Arg.(required & opt (some file) None & info [ "log" ] ~docv:"PATH" ~doc)
+  in
+  let run path =
+    match Telemetry.Tracefile.load ~recover:true path with
+    | exception Failure msg -> `Error (false, msg)
+    | tf ->
+        Printf.printf "trace %s (schema %s v%d): %d events%s\n" path Telemetry.Tracefile.schema
+          tf.Telemetry.Tracefile.version
+          (Array.length tf.Telemetry.Tracefile.events)
+          (if tf.Telemetry.Tracefile.dropped then " (truncated final line dropped)" else "");
+        print_string (Telemetry.Summary.render (Telemetry.Summary.of_trace tf));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Inspect and summarize a saved campaign trace.")
+    Term.(ret (const run $ log_arg))
+
 (* ---- compare ---- *)
 
 let compare_cmd =
@@ -610,5 +658,6 @@ let () =
             importance_cmd;
             export_cmd;
             replay_cmd;
+            trace_cmd;
             compare_cmd;
           ]))

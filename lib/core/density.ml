@@ -94,7 +94,8 @@ let sample t rng =
   | Uniform spec -> Param.Spec.random_value spec rng
 
 let merge_prior ~prior ~w t =
-  if w < 0. then invalid_arg "Density.merge_prior: negative weight";
+  if not (Float.is_finite w) || w < 0. then
+    invalid_arg "Density.merge_prior: weight must be finite and non-negative";
   match (prior, t) with
   | Uniform _, other -> other
   | other, Uniform _ -> other

@@ -6,7 +6,7 @@ let of_surrogate surrogate =
     Array.init (Param.Space.n_params space) (fun i ->
         (Param.Spec.name (Param.Space.spec space i), Surrogate.param_js_divergence surrogate i))
   in
-  Array.sort (fun (_, a) (_, b) -> compare b a) scores;
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) scores;
   scores
 
 let of_observations ?options space observations =
@@ -16,25 +16,31 @@ let spearman a b =
   let n = Array.length a in
   if n <> Array.length b then invalid_arg "Importance.spearman: rankings of different sizes";
   if n = 0 then invalid_arg "Importance.spearman: empty rankings";
-  let rank_of r = Array.mapi (fun i (name, _) -> (name, i)) r in
-  let rb = rank_of b in
-  let position name =
-    match Array.find_opt (fun (n', _) -> n' = name) rb with
-    | Some (_, i) -> i
-    | None -> invalid_arg "Importance.spearman: parameter sets differ"
-  in
-  let d2 = ref 0. in
+  (* Correlate the underlying scores, not the array positions: tied
+     scores must share a fractional (average) rank, and the position
+     formula 1 - 6Σd²/n(n²-1) is only valid without ties. Looking up
+     b's score by name through a hash table also replaces the old
+     O(n²) linear scan. *)
+  let score_in_b = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun (name, s) ->
+      if Hashtbl.mem score_in_b name then
+        invalid_arg (Printf.sprintf "Importance.spearman: duplicate parameter %S" name);
+      Hashtbl.add score_in_b name s)
+    b;
+  let xs = Array.make n 0. and ys = Array.make n 0. in
+  let seen = Hashtbl.create (2 * n) in
   Array.iteri
-    (fun ia (name, _) ->
-      let ib = position name in
-      let d = float_of_int (ia - ib) in
-      d2 := !d2 +. (d *. d))
+    (fun i (name, s) ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Importance.spearman: duplicate parameter %S" name);
+      Hashtbl.add seen name ();
+      xs.(i) <- s;
+      match Hashtbl.find_opt score_in_b name with
+      | Some s' -> ys.(i) <- s'
+      | None -> invalid_arg "Importance.spearman: parameter sets differ")
     a;
-  if n = 1 then 1.
-  else begin
-    let nf = float_of_int n in
-    1. -. (6. *. !d2 /. (nf *. ((nf *. nf) -. 1.)))
-  end
+  if n = 1 then 1. else Stats.Correlation.spearman xs ys
 
 let to_string ranking =
   String.concat ","

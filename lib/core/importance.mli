@@ -22,8 +22,11 @@ val of_observations :
 val spearman : ranking -> ranking -> float
 (** Spearman rank correlation between two rankings of the same
     parameter set (how well a sampled ranking recovers the exhaustive
-    one). Raises [Invalid_argument] if the parameter-name sets
-    differ. *)
+    one), computed on the scores with tie-aware fractional ranks —
+    parameters with equal divergence share the average of the ranks
+    they span, so the result does not depend on how ties happen to be
+    ordered. Raises [Invalid_argument] if the parameter-name sets
+    differ or either ranking repeats a name. *)
 
 val to_string : ranking -> string
 (** "name(score),name(score),..." in Table I's style. *)

@@ -72,9 +72,20 @@ let ranking_encoded ~surrogate ~pool ~encoded =
       e
   | None -> Surrogate.Pool.encode (Surrogate.space surrogate) pool
 
-let select_many_ranking ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluated () =
+let schedule_label workers schedule =
+  match workers with
+  | None -> "seq"
+  | Some _ -> (
+      match schedule with
+      | None | Some Parallel.Pool.Static -> "static"
+      | Some (Parallel.Pool.Dynamic c) -> Printf.sprintf "dynamic:%d" c
+      | Some Parallel.Pool.Guided -> "guided")
+
+let select_many_ranking ?(telemetry = Telemetry.Trace.disabled) ?workers ?schedule ?encoded ~k
+    ~surrogate ~pool ~evaluated () =
   let enc = ranking_encoded ~surrogate ~pool ~encoded in
-  let compiled = Surrogate.compile surrogate enc in
+  let compiled = Surrogate.compile ~telemetry surrogate enc in
+  let t0 = Telemetry.Trace.now telemetry in
   let n = Array.length pool in
   (* Invert the evaluated-set check: hashing every candidate per refit
      would dominate the compiled scan, so instead hash only the (much
@@ -87,31 +98,45 @@ let select_many_ranking ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluat
     (fun c () -> List.iter (fun i -> Bytes.set excluded i '\001') (Surrogate.Pool.indices_of enc c))
     evaluated;
   let keep i = Bytes.unsafe_get excluded i = '\000' in
-  match workers with
-  | None ->
-      let top = Topk.create k in
-      for i = 0 to n - 1 do
-        if keep i then Topk.offer_indexed top pool.(i) (Surrogate.Compiled.log_ratio compiled i) i
-      done;
-      Topk.to_list_desc top
-  | Some w ->
-      (* Each worker folds its own best-first list and the per-worker
-         partials merge deterministically. *)
-      let best =
-        Parallel.Pool.parallel_for_reduce w ?schedule ~lo:0 ~hi:n ~init:[]
-          ~combine:(fun a b -> merge_desc k a b)
-          (fun i ->
-            if not (keep i) then []
-            else
-              [
-                {
-                  Topk.value = pool.(i);
-                  score = Surrogate.Compiled.log_ratio compiled i;
-                  index = i;
-                };
-              ])
-      in
-      List.map (fun e -> e.Topk.value) best
+  let selected =
+    match workers with
+    | None ->
+        let top = Topk.create k in
+        for i = 0 to n - 1 do
+          if keep i then Topk.offer_indexed top pool.(i) (Surrogate.Compiled.log_ratio compiled i) i
+        done;
+        Topk.to_list_desc top
+    | Some w ->
+        (* Each worker folds its own best-first list and the per-worker
+           partials merge deterministically. *)
+        let best =
+          Parallel.Pool.parallel_for_reduce w ?schedule ~lo:0 ~hi:n ~init:[]
+            ~combine:(fun a b -> merge_desc k a b)
+            (fun i ->
+              if not (keep i) then []
+              else
+                [
+                  {
+                    Topk.value = pool.(i);
+                    score = Surrogate.Compiled.log_ratio compiled i;
+                    index = i;
+                  };
+                ])
+        in
+        List.map (fun e -> e.Topk.value) best
+  in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Rank
+         {
+           pool_size = n;
+           k;
+           selected = List.length selected;
+           workers = (match workers with None -> 1 | Some w -> Parallel.Pool.size w);
+           schedule = schedule_label workers schedule;
+           dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
+         });
+  selected
 
 let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
   let chosen = Param.Config.Table.create k in
@@ -142,15 +167,18 @@ let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
   in
   pick [] k
 
-let select_many ?workers ?schedule ?encoded t ~k ~rng ~surrogate ~pool ~evaluated =
+let select_many ?telemetry ?workers ?schedule ?encoded t ~k ~rng ~surrogate ~pool ~evaluated =
   if k < 1 then invalid_arg "Strategy.select_many: k must be at least 1";
   match t with
-  | Ranking -> select_many_ranking ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluated ()
+  | Ranking ->
+      select_many_ranking ?telemetry ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluated ()
   | Proposal { n_candidates } ->
       if n_candidates <= 0 then invalid_arg "Strategy.select: non-positive candidate count";
       select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates
 
-let select ?workers ?schedule ?encoded t ~rng ~surrogate ~pool ~evaluated =
-  match select_many ?workers ?schedule ?encoded t ~k:1 ~rng ~surrogate ~pool ~evaluated with
+let select ?telemetry ?workers ?schedule ?encoded t ~rng ~surrogate ~pool ~evaluated =
+  match
+    select_many ?telemetry ?workers ?schedule ?encoded t ~k:1 ~rng ~surrogate ~pool ~evaluated
+  with
   | [] -> None
   | best :: _ -> Some best

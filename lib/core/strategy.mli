@@ -49,6 +49,7 @@ module Topk : sig
 end
 
 val select :
+  ?telemetry:Telemetry.Trace.t ->
   ?workers:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
   ?encoded:Surrogate.Pool.t ->
@@ -67,6 +68,7 @@ val select :
     [schedule], and [encoded]. *)
 
 val select_many :
+  ?telemetry:Telemetry.Trace.t ->
   ?workers:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
   ?encoded:Surrogate.Pool.t ->
@@ -90,4 +92,9 @@ val select_many :
     supplies the index-encoded pool (built once per campaign with
     {!Surrogate.Pool.encode}); it must wrap the same [pool] array,
     otherwise [Invalid_argument] is raised. When absent the pool is
-    encoded on the fly. *)
+    encoded on the fly.
+
+    [telemetry] receives a [Compile] span (table build) and a [Rank]
+    span (the scoring scan, with worker count and schedule label) per
+    [Ranking] call; tracing never affects which candidates are
+    selected. *)

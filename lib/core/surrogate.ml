@@ -12,7 +12,9 @@ type t = {
   n_bad : int;
 }
 
-let fit ?(options = default_options) ?prior ?(extra_bad = [||]) space observations =
+let fit ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options) ?prior
+    ?(extra_bad = [||]) space observations =
+  let t0 = Telemetry.Trace.now telemetry in
   if Array.length observations = 0 then invalid_arg "Surrogate.fit: no observations";
   Array.iter
     (fun c ->
@@ -20,14 +22,19 @@ let fit ?(options = default_options) ?prior ?(extra_bad = [||]) space observatio
     extra_bad;
   if options.alpha <= 0. || options.alpha >= 1. then invalid_arg "Surrogate.fit: alpha outside (0, 1)";
   Array.iter
-    (fun (c, _) ->
-      if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration")
+    (fun (c, y) ->
+      if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration";
+      if not (Float.is_finite y) then invalid_arg "Surrogate.fit: non-finite objective value")
     observations;
   (match prior with
   | Some (p, w) ->
       if p.space != space && Param.Space.specs p.space <> Param.Space.specs space then
         invalid_arg "Surrogate.fit: prior fitted on a different space";
-      if w < 0. then invalid_arg "Surrogate.fit: negative prior weight"
+      (* [w < 0.] alone waves NaN through (every comparison with NaN
+         is false) and accepts infinity, which later poisons the
+         merged densities. *)
+      if not (Float.is_finite w) || w < 0. then
+        invalid_arg "Surrogate.fit: prior weight must be finite and non-negative"
   | None -> ());
   let ys = Array.map snd observations in
   let threshold, good_idx, bad_idx = Stats.Quantile.split_at_quantile ys options.alpha in
@@ -45,15 +52,30 @@ let fit ?(options = default_options) ?prior ?(extra_bad = [||]) space observatio
   let bad_values i =
     Array.append (values_of bad_idx i) (Array.map (fun c -> c.(i)) extra_bad)
   in
-  {
-    space;
-    options;
-    threshold;
-    good = Array.init n_params (fun i -> fit_side (values_of good_idx i) prior_good i);
-    bad = Array.init n_params (fun i -> fit_side (bad_values i) prior_bad i);
-    n_good = Array.length good_idx;
-    n_bad = Array.length bad_idx + Array.length extra_bad;
-  }
+  let t =
+    {
+      space;
+      options;
+      threshold;
+      good = Array.init n_params (fun i -> fit_side (values_of good_idx i) prior_good i);
+      bad = Array.init n_params (fun i -> fit_side (bad_values i) prior_bad i);
+      n_good = Array.length good_idx;
+      n_bad = Array.length bad_idx + Array.length extra_bad;
+    }
+  in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Refit
+         {
+           n_obs = Array.length observations;
+           n_good = t.n_good;
+           n_bad = Array.length bad_idx;
+           n_extra_bad = Array.length extra_bad;
+           alpha = options.alpha;
+           threshold;
+           dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
+         });
+  t
 
 let space t = t.space
 let alpha t = t.options.alpha
@@ -231,7 +253,8 @@ module Compiled = struct
   let score t i = exp (log_ratio t i)
 end
 
-let compile t pool =
+let compile ?(telemetry = Telemetry.Trace.disabled) t pool =
+  let t0 = Telemetry.Trace.now telemetry in
   if
     pool.Pool.space != t.space
     && Param.Space.specs pool.Pool.space <> Param.Space.specs t.space
@@ -249,6 +272,14 @@ let compile t pool =
         let lb = Density.log_pdf_table t.bad.(p) values in
         Array.map2 (fun a b -> a -. b) lg lb)
   in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Compile
+         {
+           pool_size = Pool.length pool;
+           n_params;
+           dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
+         });
   { Compiled.pool; tables; n_params }
 
 let param_js_divergence t i =

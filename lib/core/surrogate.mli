@@ -17,6 +17,7 @@ val default_options : options
 type t
 
 val fit :
+  ?telemetry:Telemetry.Trace.t ->
   ?options:options ->
   ?prior:t * float ->
   ?extra_bad:Param.Config.t array ->
@@ -24,10 +25,14 @@ val fit :
   (Param.Config.t * float) array ->
   t
 (** [fit space observations] estimates the surrogate. At least one
-    observation is required. [prior], when given, mixes a surrogate
-    fitted on a source domain into both densities with the given
-    weight (transfer learning, paper eqs. 9-10); the prior must be
-    over the same space.
+    observation is required, every objective value must be finite, and
+    the prior weight (when given) must be finite and non-negative.
+    [prior] mixes a surrogate fitted on a source domain into both
+    densities with the given weight (transfer learning, paper
+    eqs. 9-10); the prior must be over the same space.
+
+    [telemetry] receives one [Refit] span per call (observation count,
+    good/bad split sizes, α, threshold, wall time).
 
     [extra_bad] are configurations with no objective value at all —
     crashed or invalid runs. They join the bad density unconditionally
@@ -122,9 +127,9 @@ module Compiled : sig
       bit-for-bit. *)
 end
 
-val compile : t -> Pool.t -> Compiled.t
+val compile : ?telemetry:Telemetry.Trace.t -> t -> Pool.t -> Compiled.t
 (** Precompute the per-parameter log-ratio tables of this surrogate
     over an encoded pool. Cost: one density evaluation per parameter
     per distinct value — amortized over the whole pool on every
     ranking pass. The pool must be encoded over the surrogate's
-    space. *)
+    space. [telemetry] receives one [Compile] span per call. *)

@@ -1,9 +1,13 @@
 let prior_of_source ?options space source = Surrogate.fit ?options space source
 
-let run ?(options = Tuner.default_options) ?(weight = 1.0) ?on_evaluation ~rng ~space ~source
-    ~objective ~budget () =
-  if weight < 0. then invalid_arg "Transfer.run: negative prior weight";
+let run ?(telemetry = Telemetry.Trace.disabled) ?(options = Tuner.default_options) ?(weight = 1.0)
+    ?on_evaluation ~rng ~space ~source ~objective ~budget () =
+  (* [weight < 0.] alone lets NaN through (NaN comparisons are all
+     false) and accepts infinity — both would silently poison the
+     merged densities instead of failing here with a clear message. *)
+  if not (Float.is_finite weight) || weight < 0. then
+    invalid_arg "Transfer.run: prior weight must be finite and non-negative";
   if Array.length source = 0 then invalid_arg "Transfer.run: empty source data";
   let prior = prior_of_source ~options:options.Tuner.surrogate space source in
   let options = { options with Tuner.prior = Some (prior, weight) } in
-  Tuner.run ~options ?on_evaluation ~rng ~space ~objective ~budget ()
+  Tuner.run ~telemetry ~options ?on_evaluation ~rng ~space ~objective ~budget ()

@@ -14,6 +14,7 @@ val prior_of_source :
     be the (shared) parameter space of source and target. *)
 
 val run :
+  ?telemetry:Telemetry.Trace.t ->
   ?options:Tuner.options ->
   ?weight:float ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
@@ -28,5 +29,7 @@ val run :
     target objective with the source data as prior. [weight] (the
     paper's [w], default 1.0) scales the prior's influence: each
     source observation counts as [weight] target observations in the
-    density estimates. The surrogate fit on the source uses the same
-    alpha/density options as the target surrogate ([options.surrogate]). *)
+    density estimates; it must be finite and non-negative. The
+    surrogate fit on the source uses the same alpha/density options as
+    the target surrogate ([options.surrogate]). [telemetry] is passed
+    through to the underlying {!Tuner.run}. *)

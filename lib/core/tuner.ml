@@ -44,8 +44,10 @@ let max_init_redraws = 50
    — rng draws, selection, bookkeeping — runs exactly as live, a
    resumed campaign retraces the interrupted one bit-for-bit and then
    continues. *)
-let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_outcome
-    ?(replay = [||]) ?pool:workers ?schedule ~rng ~space ~eval ~budget () =
+let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
+    ?(warm_start = [||]) ?candidates ?on_outcome ?(replay = [||]) ?pool:workers ?schedule ~rng
+    ~space ~eval ~budget () =
+  let campaign_t0 = Telemetry.Trace.now telemetry in
   if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
   if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
   if options.batch_size < 1 then invalid_arg "Tuner.run: batch_size must be at least 1";
@@ -98,6 +100,7 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
   let since_improvement = ref 0 in
   let evaluate config =
     let idx = !n_evaluated in
+    let eval_t0 = Telemetry.Trace.now telemetry in
     let verdict =
       if idx < Array.length replay then begin
         let recorded_config, v = replay.(idx) in
@@ -128,6 +131,20 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
     | failure ->
         failures := (config, failure) :: !failures;
         incr since_improvement);
+    if Telemetry.Trace.enabled telemetry then begin
+      let outcome = verdict.Resilience.Evaluator.outcome in
+      Telemetry.Trace.emit telemetry
+        (Telemetry.Event.Eval
+           {
+             index = idx;
+             kind = Resilience.Outcome.kind outcome;
+             value = Resilience.Outcome.value outcome;
+             attempts = verdict.Resilience.Evaluator.attempts;
+             retry_cost = verdict.Resilience.Evaluator.retry_cost;
+             replayed = idx < Array.length replay;
+             dur_ms = (Telemetry.Trace.now telemetry -. eval_t0) *. 1000.;
+           })
+    end;
     incr n_evaluated
   in
   (* Phase 1: uniform random initialization, avoiding duplicates
@@ -141,7 +158,8 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
   let draw_fresh () =
     let rec attempt i =
       let c = random_candidate () in
-      if (not (Param.Config.Table.mem evaluated c)) || i >= max_init_redraws then c else attempt (i + 1)
+      if (not (Param.Config.Table.mem evaluated c)) || i >= max_init_redraws then (c, i)
+      else attempt (i + 1)
     in
     attempt 0
   in
@@ -165,11 +183,25 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
     let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
     min options.n_init cap
   in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Campaign_start
+         {
+           budget;
+           n_init;
+           batch_size = options.batch_size;
+           n_warm = Array.length warm_start;
+           n_replay = Array.length replay;
+         });
   let init_drawn = ref 0 in
   while !init_drawn < n_init && not (pool_exhausted ()) do
-    let c = draw_fresh () in
+    let c, redraws = draw_fresh () in
+    let duplicate = Param.Config.Table.mem evaluated c in
+    if Telemetry.Trace.enabled telemetry then
+      Telemetry.Trace.emit telemetry
+        (Telemetry.Event.Init_draw { index = !init_drawn; redraws; duplicate });
     incr init_drawn;
-    if not (Param.Config.Table.mem evaluated c) then evaluate c
+    if not duplicate then evaluate c
   done;
   since_improvement := 0;
   (* Phase 2: surrogate-guided iteration, [batch_size] evaluations per
@@ -189,15 +221,15 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
     if Array.length obs = 0 then continue := false
     else begin
       let surrogate =
-        Surrogate.fit ~options:options.surrogate ?prior:options.prior
+        Surrogate.fit ~telemetry ~options:options.surrogate ?prior:options.prior
           ~extra_bad:(Array.of_list (List.rev_map fst !failures))
           space obs
       in
       final_surrogate := Some surrogate;
       let k = min options.batch_size (budget - !n_evaluated) in
       match
-        Strategy.select_many ?workers ?schedule ?encoded options.strategy ~k ~rng ~surrogate
-          ~pool ~evaluated
+        Strategy.select_many ~telemetry ?workers ?schedule ?encoded options.strategy ~k ~rng
+          ~surrogate ~pool ~evaluated
       with
       | [] -> continue := false
       | batch ->
@@ -207,6 +239,16 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
     end
   done;
   if stale () then stopped_early := true;
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Campaign_end
+         {
+           evaluations = !n_evaluated;
+           failures = List.length !failures;
+           best = Option.map snd !best;
+           stopped_early = !stopped_early;
+           dur_ms = (Telemetry.Trace.now telemetry -. campaign_t0) *. 1000.;
+         });
   match !best with
   | None ->
       Stdlib.Error
@@ -231,8 +273,8 @@ let run_core ?(options = default_options) ?(warm_start = [||]) ?candidates ?on_o
 let verdict_of_outcome outcome =
   { Resilience.Evaluator.outcome; attempts = 1; retry_cost = 0. }
 
-let run ?options ?warm_start ?candidates ?on_evaluation ?pool ?schedule ~rng ~space ~objective
-    ~budget () =
+let run ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?pool ?schedule ~rng ~space
+    ~objective ~budget () =
   let eval c = verdict_of_outcome (Resilience.Outcome.Value (objective c)) in
   let on_outcome =
     Option.map
@@ -243,28 +285,40 @@ let run ?options ?warm_start ?candidates ?on_evaluation ?pool ?schedule ~rng ~sp
       on_evaluation
   in
   match
-    run_core ?options ?warm_start ?candidates ?on_outcome ?pool ?schedule ~rng ~space ~eval
-      ~budget ()
+    run_core ?telemetry ?options ?warm_start ?candidates ?on_outcome ?pool ?schedule ~rng ~space
+      ~eval ~budget ()
   with
   | Stdlib.Ok r -> r
   | Stdlib.Error _ -> assert false (* a total objective cannot fail *)
 
-let run_resilient ?options ?warm_start ?candidates ?on_evaluation ?on_failure ?pool ?schedule
-    ~rng ~space ~objective ~budget () =
+let run_resilient ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?on_failure ?pool
+    ?schedule ~rng ~space ~objective ~budget () =
   let eval c = verdict_of_outcome (Resilience.Outcome.of_option (objective c)) in
   let on_outcome i c v =
     match v.Resilience.Evaluator.outcome with
     | Resilience.Outcome.Value y -> (match on_evaluation with Some f -> f i c y | None -> ())
     | _ -> ( match on_failure with Some f -> f i c | None -> ())
   in
-  run_core ?options ?warm_start ?candidates ~on_outcome ?pool ?schedule ~rng ~space ~eval
-    ~budget ()
-
-let run_with_policy ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates
-    ?on_outcome ?replay ?pool ?schedule ~rng ~space ~objective ~budget () =
-  let eval c = Resilience.Evaluator.evaluate ~policy ~objective c in
-  run_core ?options ?warm_start ?candidates ?on_outcome ?replay ?pool ?schedule ~rng ~space
+  run_core ?telemetry ?options ?warm_start ?candidates ~on_outcome ?pool ?schedule ~rng ~space
     ~eval ~budget ()
+
+let run_with_policy ?(telemetry = Telemetry.Trace.disabled) ?options
+    ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome ?replay ?pool
+    ?schedule ~rng ~space ~objective ~budget () =
+  (* The resilience layer stays dependency-free: it exposes a generic
+     per-attempt probe, and the telemetry wiring lives here. *)
+  let probe =
+    if Telemetry.Trace.enabled telemetry then
+      Some
+        (fun ~attempt ~backoff outcome ->
+          Telemetry.Trace.emit telemetry
+            (Telemetry.Event.Attempt
+               { attempt; kind = Resilience.Outcome.kind outcome; backoff }))
+    else None
+  in
+  let eval c = Resilience.Evaluator.evaluate ?probe ~policy ~objective c in
+  run_core ~telemetry ?options ?warm_start ?candidates ?on_outcome ?replay ?pool ?schedule ~rng
+    ~space ~eval ~budget ()
 
 let replay_of_log ~policy log =
   Array.mapi
@@ -290,11 +344,11 @@ let replay_of_log ~policy log =
         } ))
     log.Dataset.Runlog.entries
 
-let resume ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome
-    ?pool ?schedule ~log ~objective ~budget () =
+let resume ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates
+    ?on_outcome ?pool ?schedule ~log ~objective ~budget () =
   let replay = replay_of_log ~policy log in
   if Array.length replay > budget then
     invalid_arg "Tuner.resume: budget is smaller than the recorded evaluation count";
   let rng = Prng.Rng.create log.Dataset.Runlog.seed in
-  run_with_policy ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool ?schedule
-    ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()
+  run_with_policy ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool
+    ?schedule ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()

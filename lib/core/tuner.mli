@@ -72,6 +72,7 @@ type run_error = {
     configuration to report. *)
 
 val run :
+  ?telemetry:Telemetry.Trace.t ->
   ?options:options ->
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
@@ -107,9 +108,20 @@ val run :
     With the [Ranking] strategy the space must be finite (unless
     [candidates] is given); if the budget exceeds the candidate count
     the run stops early when every configuration has been
-    evaluated. *)
+    evaluated.
+
+    [telemetry] (here and on every other entry point) streams the
+    campaign's structured events — [Campaign_start], one [Init_draw]
+    per random draw, [Refit]/[Compile]/[Rank] spans per iteration,
+    one [Eval] per consumed budget unit, and a final [Campaign_end] —
+    to the given {!Telemetry.Trace.t}. Tracing reads only the trace's
+    clock: it performs no rng draws and never influences selection,
+    so a traced campaign is bit-identical to an untraced one. The
+    default is {!Telemetry.Trace.disabled}, which costs one pointer
+    comparison per site. *)
 
 val run_resilient :
+  ?telemetry:Telemetry.Trace.t ->
   ?options:options ->
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
@@ -133,6 +145,7 @@ val run_resilient :
     failure report instead of raising. *)
 
 val run_with_policy :
+  ?telemetry:Telemetry.Trace.t ->
   ?options:options ->
   ?policy:Resilience.Policy.t ->
   ?warm_start:(Param.Config.t * float) array ->
@@ -156,6 +169,9 @@ val run_with_policy :
     (a straggler exceeding the policy's cost budget) is recorded as a
     failure and the batch completes. [on_outcome i config verdict]
     fires once per consumed budget unit with the final verdict.
+    With [telemetry] enabled, every retry-loop attempt additionally
+    emits an [Attempt] event (wired through the evaluator's generic
+    probe, keeping the resilience layer dependency-free).
 
     [replay] is the resume mechanism: the first [Array.length replay]
     evaluations take their verdicts from the array instead of calling
@@ -165,6 +181,7 @@ val run_with_policy :
     replayed configuration does not match the recorded one. *)
 
 val resume :
+  ?telemetry:Telemetry.Trace.t ->
   ?options:options ->
   ?policy:Resilience.Policy.t ->
   ?warm_start:(Param.Config.t * float) array ->

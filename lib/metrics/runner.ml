@@ -28,6 +28,16 @@ let sweep_detailed ~reps ~base_seed ~sample_sizes ~good ~run =
     let outcome = run ~rng ~budget in
     let history = outcome.Baselines.Outcome.history in
     let n_history = Array.length history in
+    (* Without this check the first [Recall.best_prefix] call dies
+       with an opaque "empty prefix" — name the offending rep and
+       seed instead so a flaky tuner run can actually be tracked
+       down. *)
+    if n_history = 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Runner.sweep: rep %d (seed %d) produced an empty history — the tuner evaluated \
+            nothing or every evaluation failed"
+           r (base_seed + r));
     Array.iteri
       (fun i s ->
         let n = min s n_history in

@@ -34,7 +34,9 @@ val sweep_detailed :
     per-repetition finals of different methods run with the same
     [base_seed] are paired by seed (for paired bootstrap tests). If a
     run returns fewer evaluations than a checkpoint (exhausted space),
-    the checkpoint uses the full history. *)
+    the checkpoint uses the full history; a run with an {e empty}
+    history raises [Invalid_argument] naming the repetition and its
+    seed. *)
 
 val sweep :
   reps:int ->

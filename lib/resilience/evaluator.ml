@@ -9,13 +9,14 @@ let classify policy (outcome : Outcome.t) =
     end
   | Outcome.Transient _ | Outcome.Permanent _ | Outcome.Timeout -> outcome
 
-let evaluate ~policy ~objective x =
+let evaluate ?probe ~policy ~objective x =
   Policy.validate policy;
   let rec attempt_loop attempt cost =
     let raw =
       try objective ~attempt x with e -> Outcome.Transient (Printexc.to_string e)
     in
     let outcome = classify policy raw in
+    (match probe with Some f -> f ~attempt ~backoff:cost outcome | None -> ());
     match outcome with
     | Outcome.Value _ | Outcome.Permanent _ -> { outcome; attempts = attempt; retry_cost = cost }
     | Outcome.Transient _ | Outcome.Timeout ->

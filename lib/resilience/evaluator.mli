@@ -19,8 +19,19 @@ val classify : Policy.t -> Outcome.t -> Outcome.t
     becomes [Timeout]; everything else is unchanged. *)
 
 val evaluate :
-  policy:Policy.t -> objective:(attempt:int -> 'a -> Outcome.t) -> 'a -> verdict
+  ?probe:(attempt:int -> backoff:float -> Outcome.t -> unit) ->
+  policy:Policy.t ->
+  objective:(attempt:int -> 'a -> Outcome.t) ->
+  'a ->
+  verdict
 (** [evaluate ~policy ~objective x] runs the retry loop on [x]. The
     objective receives the 1-based attempt number so deterministic
     fault injectors can vary per attempt. Raises [Invalid_argument]
-    on an invalid policy. *)
+    on an invalid policy.
+
+    [probe] observes each attempt after classification — the attempt
+    number, the backoff cost accumulated {e before} this attempt, and
+    the classified outcome. It exists so callers (e.g. the telemetry
+    layer upstream) can watch the retry loop without this library
+    growing a dependency; it must not raise and cannot alter the
+    verdict. *)

@@ -20,7 +20,7 @@ let pearson xs ys =
 let ranks xs =
   let n = Array.length xs in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) order;
   let out = Array.make n 0. in
   let i = ref 0 in
   while !i < n do

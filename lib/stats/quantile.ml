@@ -1,6 +1,14 @@
+let check_finite name xs =
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg (Printf.sprintf "Quantile.%s: non-finite entry" name))
+    xs
+
 let quantile_sorted xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Quantile.quantile_sorted: empty data";
+  check_finite "quantile_sorted" xs;
   if q < 0. || q > 1. then invalid_arg "Quantile.quantile_sorted: q outside [0, 1]";
   if n = 1 then xs.(0)
   else begin
@@ -14,8 +22,12 @@ let quantile_sorted xs q =
   end
 
 let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Quantile.quantile: empty data";
+  check_finite "quantile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not the polymorphic compare: the latter orders NaN
+     inconsistently and would silently corrupt the order statistics. *)
+  Array.sort Float.compare sorted;
   quantile_sorted sorted q
 
 let percentile_rank xs v =

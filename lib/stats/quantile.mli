@@ -8,10 +8,12 @@
 
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [0, 1]. Raises [Invalid_argument] on
-    empty data or [q] outside [0, 1]. Input need not be sorted. *)
+    empty data, [q] outside [0, 1], or any non-finite entry (NaN and
+    infinities have no meaningful rank). Input need not be sorted. *)
 
 val quantile_sorted : float array -> float -> float
-(** Same, assuming [xs] is already sorted ascending (no copy). *)
+(** Same, assuming [xs] is already sorted ascending (no copy). Also
+    rejects non-finite entries. *)
 
 val percentile_rank : float array -> float -> float
 (** [percentile_rank xs v] is the fraction of entries strictly below

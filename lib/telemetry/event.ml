@@ -1,0 +1,210 @@
+type t =
+  | Campaign_start of { budget : int; n_init : int; batch_size : int; n_warm : int; n_replay : int }
+  | Init_draw of { index : int; redraws : int; duplicate : bool }
+  | Refit of {
+      n_obs : int;
+      n_good : int;
+      n_bad : int;
+      n_extra_bad : int;
+      alpha : float;
+      threshold : float;
+      dur_ms : float;
+    }
+  | Compile of { pool_size : int; n_params : int; dur_ms : float }
+  | Rank of {
+      pool_size : int;
+      k : int;
+      selected : int;
+      workers : int;
+      schedule : string;
+      dur_ms : float;
+    }
+  | Attempt of { attempt : int; kind : string; backoff : float }
+  | Eval of {
+      index : int;
+      kind : string;
+      value : float option;
+      attempts : int;
+      retry_cost : float;
+      replayed : bool;
+      dur_ms : float;
+    }
+  | Campaign_end of {
+      evaluations : int;
+      failures : int;
+      best : float option;
+      stopped_early : bool;
+      dur_ms : float;
+    }
+
+let name = function
+  | Campaign_start _ -> "campaign_start"
+  | Init_draw _ -> "init_draw"
+  | Refit _ -> "refit"
+  | Compile _ -> "compile"
+  | Rank _ -> "rank"
+  | Attempt _ -> "attempt"
+  | Eval _ -> "eval"
+  | Campaign_end _ -> "campaign_end"
+
+let num f = Jsonl.Number f
+let int_ i = Jsonl.Number (float_of_int i)
+let opt_num = function Some f -> Jsonl.Number f | None -> Jsonl.Null
+
+let to_fields ev =
+  ("ev", Jsonl.String (name ev))
+  ::
+  (match ev with
+  | Campaign_start { budget; n_init; batch_size; n_warm; n_replay } ->
+      [
+        ("budget", int_ budget);
+        ("n_init", int_ n_init);
+        ("batch_size", int_ batch_size);
+        ("n_warm", int_ n_warm);
+        ("n_replay", int_ n_replay);
+      ]
+  | Init_draw { index; redraws; duplicate } ->
+      [ ("index", int_ index); ("redraws", int_ redraws); ("duplicate", Jsonl.Bool duplicate) ]
+  | Refit { n_obs; n_good; n_bad; n_extra_bad; alpha; threshold; dur_ms } ->
+      [
+        ("n_obs", int_ n_obs);
+        ("n_good", int_ n_good);
+        ("n_bad", int_ n_bad);
+        ("n_extra_bad", int_ n_extra_bad);
+        ("alpha", num alpha);
+        ("threshold", num threshold);
+        ("dur_ms", num dur_ms);
+      ]
+  | Compile { pool_size; n_params; dur_ms } ->
+      [ ("pool_size", int_ pool_size); ("n_params", int_ n_params); ("dur_ms", num dur_ms) ]
+  | Rank { pool_size; k; selected; workers; schedule; dur_ms } ->
+      [
+        ("pool_size", int_ pool_size);
+        ("k", int_ k);
+        ("selected", int_ selected);
+        ("workers", int_ workers);
+        ("schedule", Jsonl.String schedule);
+        ("dur_ms", num dur_ms);
+      ]
+  | Attempt { attempt; kind; backoff } ->
+      [ ("attempt", int_ attempt); ("kind", Jsonl.String kind); ("backoff", num backoff) ]
+  | Eval { index; kind; value; attempts; retry_cost; replayed; dur_ms } ->
+      [
+        ("index", int_ index);
+        ("kind", Jsonl.String kind);
+        ("value", opt_num value);
+        ("attempts", int_ attempts);
+        ("retry_cost", num retry_cost);
+        ("replayed", Jsonl.Bool replayed);
+        ("dur_ms", num dur_ms);
+      ]
+  | Campaign_end { evaluations; failures; best; stopped_early; dur_ms } ->
+      [
+        ("evaluations", int_ evaluations);
+        ("failures", int_ failures);
+        ("best", opt_num best);
+        ("stopped_early", Jsonl.Bool stopped_early);
+        ("dur_ms", num dur_ms);
+      ])
+
+(* ---- decoding ---- *)
+
+let fail ev key what =
+  failwith (Printf.sprintf "Telemetry.Event: %s event: %s field %S" ev what key)
+
+let number ev fields key =
+  match List.assoc_opt key fields with
+  | Some (Jsonl.Number f) -> f
+  | Some _ -> fail ev key "mistyped"
+  | None -> fail ev key "missing"
+
+let int_field ev fields key =
+  let f = number ev fields key in
+  if Float.is_integer f then int_of_float f else fail ev key "non-integer"
+
+let string_field ev fields key =
+  match List.assoc_opt key fields with
+  | Some (Jsonl.String s) -> s
+  | Some _ -> fail ev key "mistyped"
+  | None -> fail ev key "missing"
+
+let bool_field ev fields key =
+  match List.assoc_opt key fields with
+  | Some (Jsonl.Bool b) -> b
+  | Some _ -> fail ev key "mistyped"
+  | None -> fail ev key "missing"
+
+let opt_number_field ev fields key =
+  match List.assoc_opt key fields with
+  | Some (Jsonl.Number f) -> Some f
+  | Some Jsonl.Null | None -> None
+  | Some _ -> fail ev key "mistyped"
+
+let of_fields fields =
+  let ev =
+    match List.assoc_opt "ev" fields with
+    | Some (Jsonl.String s) -> s
+    | _ -> failwith "Telemetry.Event: missing \"ev\" discriminator"
+  in
+  let i = int_field ev fields in
+  let f = number ev fields in
+  let s = string_field ev fields in
+  let b = bool_field ev fields in
+  let fo = opt_number_field ev fields in
+  match ev with
+  | "campaign_start" ->
+      Campaign_start
+        {
+          budget = i "budget";
+          n_init = i "n_init";
+          batch_size = i "batch_size";
+          n_warm = i "n_warm";
+          n_replay = i "n_replay";
+        }
+  | "init_draw" ->
+      Init_draw { index = i "index"; redraws = i "redraws"; duplicate = b "duplicate" }
+  | "refit" ->
+      Refit
+        {
+          n_obs = i "n_obs";
+          n_good = i "n_good";
+          n_bad = i "n_bad";
+          n_extra_bad = i "n_extra_bad";
+          alpha = f "alpha";
+          threshold = f "threshold";
+          dur_ms = f "dur_ms";
+        }
+  | "compile" ->
+      Compile { pool_size = i "pool_size"; n_params = i "n_params"; dur_ms = f "dur_ms" }
+  | "rank" ->
+      Rank
+        {
+          pool_size = i "pool_size";
+          k = i "k";
+          selected = i "selected";
+          workers = i "workers";
+          schedule = s "schedule";
+          dur_ms = f "dur_ms";
+        }
+  | "attempt" -> Attempt { attempt = i "attempt"; kind = s "kind"; backoff = f "backoff" }
+  | "eval" ->
+      Eval
+        {
+          index = i "index";
+          kind = s "kind";
+          value = fo "value";
+          attempts = i "attempts";
+          retry_cost = f "retry_cost";
+          replayed = b "replayed";
+          dur_ms = f "dur_ms";
+        }
+  | "campaign_end" ->
+      Campaign_end
+        {
+          evaluations = i "evaluations";
+          failures = i "failures";
+          best = fo "best";
+          stopped_early = b "stopped_early";
+          dur_ms = f "dur_ms";
+        }
+  | other -> failwith (Printf.sprintf "Telemetry.Event: unknown event %S" other)

@@ -1,0 +1,75 @@
+(** Typed campaign-trace events.
+
+    Each event is one fact about a tuning campaign — an init draw, a
+    surrogate refit, a compiled-table build, a candidate-ranking scan,
+    an evaluation verdict — with the measurements production BO
+    services need to diagnose regressions (wall-times, good/bad split
+    sizes, retry counts). Durations are wall-clock milliseconds read
+    from the trace's clock; they are observations only and never feed
+    back into the campaign, which is what keeps a traced run
+    bit-identical to an untraced one. *)
+
+type t =
+  | Campaign_start of {
+      budget : int;
+      n_init : int;
+      batch_size : int;
+      n_warm : int;  (** warm-start observations supplied *)
+      n_replay : int;  (** recorded verdicts replayed by a resume *)
+    }
+  | Init_draw of {
+      index : int;  (** 0-based ordinal of the init draw *)
+      redraws : int;  (** duplicate redraws spent before settling *)
+      duplicate : bool;  (** final draw was still a duplicate (skipped) *)
+    }
+  | Refit of {
+      n_obs : int;
+      n_good : int;
+      n_bad : int;
+      n_extra_bad : int;  (** failed configurations joining the bad side *)
+      alpha : float;  (** the quantile threshold parameter of this refit *)
+      threshold : float;  (** the α-quantile objective value (eq. 5 split) *)
+      dur_ms : float;
+    }
+  | Compile of { pool_size : int; n_params : int; dur_ms : float }
+  | Rank of {
+      pool_size : int;
+      k : int;
+      selected : int;
+      workers : int;  (** loop participants; 1 for the sequential scan *)
+      schedule : string;  (** "seq", "static", "dynamicN", or "guided" *)
+      dur_ms : float;
+    }
+  | Attempt of {
+      attempt : int;  (** 1-based attempt number within the retry loop *)
+      kind : string;  (** classified outcome: "ok"/"transient"/... *)
+      backoff : float;  (** simulated backoff cost accumulated before it *)
+    }
+  | Eval of {
+      index : int;  (** 0-based evaluation index (budget unit) *)
+      kind : string;
+      value : float option;  (** the measurement, [None] for failures *)
+      attempts : int;
+      retry_cost : float;
+      replayed : bool;  (** verdict came from a resume replay, not a run *)
+      dur_ms : float;  (** 0 for replayed verdicts *)
+    }
+  | Campaign_end of {
+      evaluations : int;  (** budget units consumed *)
+      failures : int;
+      best : float option;
+      stopped_early : bool;
+      dur_ms : float;
+    }
+
+val name : t -> string
+(** The wire name of the event's variant ("refit", "rank", ...). *)
+
+val to_fields : t -> (string * Jsonl.value) list
+(** Flat field list including the ["ev"] discriminator, ready for
+    {!Jsonl.encode}. *)
+
+val of_fields : (string * Jsonl.value) list -> t
+(** Inverse of {!to_fields}; ignores unknown extra fields (such as the
+    reader-level ["ts"]). Raises [Failure] on a missing discriminator,
+    an unknown event name, or a missing/mistyped field. *)

@@ -1,0 +1,154 @@
+type value = String of string | Number of float | Bool of bool | Null
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Integers print without an exponent or trailing zeros so the common
+   fields (counts, indices) stay human-readable; everything else uses
+   %.17g, which round-trips any finite float exactly. *)
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let encode fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      add_escaped buf k;
+      Buffer.add_string buf "\":";
+      match v with
+      | String s ->
+          Buffer.add_char buf '"';
+          add_escaped buf s;
+          Buffer.add_char buf '"'
+      | Number f ->
+          if Float.is_finite f then Buffer.add_string buf (number_to_string f)
+          else Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Null -> Buffer.add_string buf "null")
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let decode line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = failwith ("Telemetry.Jsonl: " ^ msg) in
+  let peek () = if !pos >= n then fail "unexpected end of line" else line.[!pos] in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected %C" c);
+    incr pos
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub line !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "malformed literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      incr pos;
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          let e = peek () in
+          incr pos;
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> fail "non-ASCII \\u escape"
+              | None -> fail "malformed \\u escape")
+          | _ -> fail "unknown escape");
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> String (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        while
+          !pos < n
+          && match line.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+        do
+          incr pos
+        done;
+        (match float_of_string_opt (String.sub line start (!pos - start)) with
+        | Some f -> Number f
+        | None -> fail "malformed number")
+    | _ -> fail "unsupported value (flat objects only)"
+  in
+  expect '{';
+  skip_ws ();
+  let fields =
+    if peek () = '}' then begin
+      incr pos;
+      []
+    end
+    else begin
+      let acc = ref [] in
+      let rec go () =
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        acc := (key, v) :: !acc;
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            incr pos;
+            go ()
+        | '}' -> incr pos
+        | _ -> fail "expected ',' or '}'"
+      in
+      go ();
+      List.rev !acc
+    end
+  in
+  skip_ws ();
+  if !pos <> n then fail "trailing characters";
+  fields

@@ -1,0 +1,19 @@
+(** Minimal flat-JSON line codec for trace records.
+
+    Trace events are flat objects — string, number, boolean, or null
+    values only, never nested — so the codec is deliberately tiny
+    rather than a general JSON implementation. One encoded line never
+    contains a newline, which is what makes the trace file a JSONL
+    stream whose reader can recover from a truncated final line. *)
+
+type value = String of string | Number of float | Bool of bool | Null
+
+val encode : (string * value) list -> string
+(** One-line JSON object, fields in order. Numbers are printed with
+    round-trip precision ([%.17g]); non-finite numbers encode as
+    [null] (JSON has no representation for them). *)
+
+val decode : string -> (string * value) list
+(** Parse one encoded line back into its fields, in order. Raises
+    [Failure] on anything malformed, including nested objects or
+    arrays — a flat object is the schema's invariant. *)

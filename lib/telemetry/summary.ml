@@ -1,0 +1,128 @@
+type t = {
+  mutable campaign_start : float option;
+  mutable campaign_wall_ms : float option;
+  mutable init_draws : int;
+  mutable init_redraws : int;
+  mutable init_duplicates : int;
+  mutable refit_ms : float list;  (* newest first *)
+  mutable compile_ms : float list;
+  mutable rank_ms : float list;
+  mutable eval_ms : float list;
+  mutable evals : int;
+  mutable failures : int;
+  mutable attempts : int;
+  mutable retry_cost : float;
+  mutable replayed : int;
+  mutable last_alpha : float option;
+  mutable best : float option;
+  mutable stopped_early : bool;
+}
+
+let create () =
+  {
+    campaign_start = None;
+    campaign_wall_ms = None;
+    init_draws = 0;
+    init_redraws = 0;
+    init_duplicates = 0;
+    refit_ms = [];
+    compile_ms = [];
+    rank_ms = [];
+    eval_ms = [];
+    evals = 0;
+    failures = 0;
+    attempts = 0;
+    retry_cost = 0.;
+    replayed = 0;
+    last_alpha = None;
+    best = None;
+    stopped_early = false;
+  }
+
+let observe t ~ts (ev : Event.t) =
+  match ev with
+  | Campaign_start _ -> t.campaign_start <- Some ts
+  | Init_draw { redraws; duplicate; _ } ->
+      t.init_draws <- t.init_draws + 1;
+      t.init_redraws <- t.init_redraws + redraws;
+      if duplicate then t.init_duplicates <- t.init_duplicates + 1
+  | Refit { alpha; dur_ms; _ } ->
+      t.refit_ms <- dur_ms :: t.refit_ms;
+      t.last_alpha <- Some alpha
+  | Compile { dur_ms; _ } -> t.compile_ms <- dur_ms :: t.compile_ms
+  | Rank { dur_ms; _ } -> t.rank_ms <- dur_ms :: t.rank_ms
+  | Attempt _ -> ()
+  | Eval { kind; attempts; retry_cost; replayed; dur_ms; _ } ->
+      t.evals <- t.evals + 1;
+      if kind <> "ok" then t.failures <- t.failures + 1;
+      (* Every attempt is already folded into its Eval record, so
+         counting [Attempt] events too would double-count. *)
+      t.attempts <- t.attempts + attempts;
+      t.retry_cost <- t.retry_cost +. retry_cost;
+      if replayed then t.replayed <- t.replayed + 1;
+      t.eval_ms <- dur_ms :: t.eval_ms
+  | Campaign_end { failures; best; stopped_early; dur_ms; _ } ->
+      t.failures <- max t.failures failures;
+      t.best <- best;
+      t.stopped_early <- stopped_early;
+      t.campaign_wall_ms <- Some dur_ms
+
+let sink t : Trace.sink = { emit = (fun ~ts ev -> observe t ~ts ev); close = ignore }
+
+let of_trace (tf : Tracefile.t) =
+  let t = create () in
+  Array.iter (fun (ts, ev) -> observe t ~ts ev) tf.Tracefile.events;
+  t
+
+let refits t = List.length t.refit_ms
+let compiles t = List.length t.compile_ms
+let ranks t = List.length t.rank_ms
+let evals t = t.evals
+let failures t = t.failures
+let init_draws t = t.init_draws
+
+let sum = List.fold_left ( +. ) 0.
+
+let pq p xs =
+  match xs with
+  | [] -> nan
+  | xs -> Stats.Quantile.quantile (Array.of_list xs) p
+
+let fmt_ms f = if Float.is_nan f then "-" else Printf.sprintf "%.2f ms" f
+
+let phase_line b name durs =
+  if durs <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  %-10s %5d spans  total %9.2f ms  p50 %s  p95 %s\n" name
+         (List.length durs) (sum durs)
+         (fmt_ms (pq 0.5 durs))
+         (fmt_ms (pq 0.95 durs)))
+
+let render t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "campaign summary\n";
+  (match t.campaign_wall_ms with
+  | Some w -> Buffer.add_string b (Printf.sprintf "  wall time  %.2f ms%s\n" w (if t.stopped_early then "  (stopped early)" else ""))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "  init       %d draws (%d redraws, %d duplicates)\n" t.init_draws
+       t.init_redraws t.init_duplicates);
+  Buffer.add_string b
+    (Printf.sprintf "  refits     %d%s\n" (refits t)
+       (match t.last_alpha with
+       | Some a -> Printf.sprintf "  (last alpha %.3f)" a
+       | None -> ""));
+  Buffer.add_string b
+    (Printf.sprintf "  evals      %d ok, %d failed, %d attempts%s%s\n" (t.evals - t.failures)
+       t.failures t.attempts
+       (if t.replayed > 0 then Printf.sprintf ", %d replayed" t.replayed else "")
+       (if t.retry_cost > 0. then Printf.sprintf ", retry cost %.3f" t.retry_cost else ""));
+  (match t.best with
+  | Some v -> Buffer.add_string b (Printf.sprintf "  best       %.6g\n" v)
+  | None -> ());
+  Buffer.add_string b "  phases\n";
+  phase_line b "refit" (List.rev t.refit_ms);
+  phase_line b "compile" (List.rev t.compile_ms);
+  phase_line b "rank" (List.rev t.rank_ms);
+  phase_line b "evaluate" (List.rev t.eval_ms);
+  Buffer.contents b

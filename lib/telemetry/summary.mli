@@ -1,0 +1,27 @@
+(** In-memory trace aggregation and the end-of-campaign summary.
+
+    Feed it events — live, as a {!Trace.sink}, or after the fact from
+    a loaded {!Tracefile.t} — and render a per-phase time breakdown
+    (refit / compile / rank / evaluate), the refit count, and p50/p95
+    refit and ranking latencies. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> ts:float -> Event.t -> unit
+val sink : t -> Trace.sink
+(** A sink that feeds this aggregator (close is a no-op). *)
+
+val of_trace : Tracefile.t -> t
+(** Aggregate a loaded trace file. *)
+
+(* Accessors used by tests and the CLI validator. *)
+val refits : t -> int
+val compiles : t -> int
+val ranks : t -> int
+val evals : t -> int
+val failures : t -> int
+val init_draws : t -> int
+
+val render : t -> string
+(** Human-readable multi-line summary. *)

@@ -1,0 +1,28 @@
+type sink = { emit : ts:float -> Event.t -> unit; close : unit -> unit }
+type t = { sinks : sink list; clock : unit -> float }
+
+let disabled = { sinks = []; clock = (fun () -> 0.) }
+
+let make ?(clock = Unix.gettimeofday) sinks =
+  match sinks with [] -> disabled | sinks -> { sinks; clock }
+
+let enabled t = t.sinks <> []
+let now t = match t.sinks with [] -> 0. | _ -> t.clock ()
+
+let emit t ev =
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+      let ts = t.clock () in
+      List.iter (fun s -> s.emit ~ts ev) sinks
+
+let close t = List.iter (fun s -> s.close ()) t.sinks
+
+let jsonl_sink path =
+  let w = Tracefile.writer_create path in
+  { emit = (fun ~ts ev -> Tracefile.writer_emit w ~ts ev); close = (fun () -> Tracefile.writer_close w) }
+
+let memory_sink () =
+  let events = ref [] in
+  ( { emit = (fun ~ts ev -> events := (ts, ev) :: !events); close = ignore },
+    fun () -> List.rev !events )

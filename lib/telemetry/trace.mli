@@ -1,0 +1,55 @@
+(** Campaign tracing: where instrumented code hands events to sinks.
+
+    A {!t} is threaded through the tuner, the selection strategies,
+    the surrogate, and the CLI as an optional argument. The disabled
+    trace is the default everywhere and costs one pointer comparison
+    per instrumentation site: {!enabled} is false, {!now} returns 0
+    without touching a clock, and {!emit} is a no-op — so untraced
+    campaigns pay essentially nothing.
+
+    {b Determinism guarantee.} Tracing reads the trace's clock and
+    nothing else: no rng draws, no influence on selection order or
+    evaluation results. A traced campaign is therefore bit-identical
+    to an untraced one (asserted by tests, including across an
+    interrupt-then-resume). *)
+
+type sink = {
+  emit : ts:float -> Event.t -> unit;
+  close : unit -> unit;
+}
+(** One consumer of the event stream. [emit] must not raise — a
+    broken sink must not take the campaign down. *)
+
+type t
+
+val disabled : t
+(** The no-op trace. [enabled disabled = false]. *)
+
+val make : ?clock:(unit -> float) -> sink list -> t
+(** A trace fanning out to [sinks] ([[]] yields {!disabled}).
+    [clock] defaults to [Unix.gettimeofday]; tests inject a
+    deterministic clock. *)
+
+val enabled : t -> bool
+
+val now : t -> float
+(** The trace's clock, or [0.] when disabled (no clock read). Use it
+    to bracket spans: [let t0 = now tr in ... emit tr (Refit { ...;
+    dur_ms = (now tr -. t0) *. 1000. })]. *)
+
+val emit : t -> Event.t -> unit
+(** Stamp the event with the clock and hand it to every sink.
+    Instrumentation sites should guard event {e construction} with
+    {!enabled} so a disabled trace allocates nothing. *)
+
+val close : t -> unit
+(** Close every sink (flushes and closes trace files). *)
+
+val jsonl_sink : string -> sink
+(** Opens [path] immediately, writes the schema header, and flushes
+    one line per event (see {!Tracefile}). *)
+
+val memory_sink : unit -> sink * (unit -> (float * Event.t) list)
+(** An in-memory collector and a function returning everything
+    collected so far, oldest first — for tests, benches, and the
+    summary path. *)

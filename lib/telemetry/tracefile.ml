@@ -1,0 +1,83 @@
+let schema = "hiperbot-trace"
+let version = 1
+
+type t = { version : int; events : (float * Event.t) array; dropped : bool }
+
+let header_line =
+  Jsonl.encode [ ("schema", Jsonl.String schema); ("version", Jsonl.Number (float_of_int version)) ]
+
+let event_line ~ts ev = Jsonl.encode (("ts", Jsonl.Number ts) :: Event.to_fields ev)
+
+let parse_event line =
+  let fields = Jsonl.decode line in
+  let ts =
+    match List.assoc_opt "ts" fields with
+    | Some (Jsonl.Number f) -> f
+    | _ -> failwith "Telemetry.Tracefile: event line missing \"ts\""
+  in
+  (ts, Event.of_fields fields)
+
+let of_string ?(recover = false) text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> failwith "Telemetry.Tracefile: empty trace"
+  | header :: rows ->
+      let hfields =
+        try Jsonl.decode header
+        with Failure _ -> failwith "Telemetry.Tracefile: missing schema header"
+      in
+      (match List.assoc_opt "schema" hfields with
+      | Some (Jsonl.String s) when s = schema -> ()
+      | _ -> failwith "Telemetry.Tracefile: missing schema header");
+      let v =
+        match List.assoc_opt "version" hfields with
+        | Some (Jsonl.Number f) when Float.is_integer f -> int_of_float f
+        | _ -> failwith "Telemetry.Tracefile: header missing version"
+      in
+      if v <> version then
+        failwith (Printf.sprintf "Telemetry.Tracefile: unsupported version %d" v);
+      (* With [recover], a parse failure on the *final* line — the
+         signature of a crash mid-write — drops that line; failures
+         anywhere else still abort. *)
+      let n_rows = List.length rows in
+      let dropped = ref false in
+      let events =
+        List.mapi (fun i l -> (i, l)) rows
+        |> List.filter_map (fun (i, line) ->
+               match parse_event line with
+               | ev -> Some ev
+               | exception Failure msg ->
+                   if recover && i = n_rows - 1 then begin
+                     dropped := true;
+                     None
+                   end
+                   else failwith msg)
+      in
+      { version = v; events = Array.of_list events; dropped = !dropped }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?recover path = of_string ?recover (read_file path)
+
+type writer = { oc : out_channel; mutable closed : bool }
+
+let writer_create path =
+  let oc = open_out path in
+  output_string oc (header_line ^ "\n");
+  flush oc;
+  { oc; closed = false }
+
+let writer_emit w ~ts ev =
+  if w.closed then invalid_arg "Telemetry.Tracefile: emit on a closed writer";
+  output_string w.oc (event_line ~ts ev ^ "\n");
+  flush w.oc
+
+let writer_close w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end

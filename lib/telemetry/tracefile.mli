@@ -1,0 +1,46 @@
+(** Versioned JSONL trace files.
+
+    A trace file is one schema-header line followed by one JSON object
+    per event, each carrying the emission timestamp as ["ts"]. Like
+    the run-log writer, the trace writer emits the header immediately
+    and flushes after every event, so a killed process loses at most
+    the line being written — and the reader can drop exactly that
+    truncated final line ([~recover:true]) while corruption anywhere
+    else still aborts. *)
+
+val schema : string
+(** The header's schema tag, ["hiperbot-trace"]. *)
+
+val version : int
+(** Current format version (1). *)
+
+type t = {
+  version : int;
+  events : (float * Event.t) array;  (** (timestamp, event), file order *)
+  dropped : bool;  (** a truncated final line was recovered away *)
+}
+
+val of_string : ?recover:bool -> string -> t
+(** Parse a trace. With [recover] (default [false]) a malformed
+    {e final} line — the signature of a crash mid-write — is dropped
+    and flagged in [dropped]; a malformed line anywhere else, a
+    missing or alien header, or an unsupported version raises
+    [Failure]. *)
+
+val load : ?recover:bool -> string -> t
+
+type writer
+
+val writer_create : string -> writer
+(** Open [path], write the schema header, and flush. *)
+
+val writer_emit : writer -> ts:float -> Event.t -> unit
+(** Append one event line and flush it. Raises [Invalid_argument] on
+    a closed writer. *)
+
+val writer_close : writer -> unit
+(** Idempotent. *)
+
+val event_line : ts:float -> Event.t -> string
+(** The exact line [writer_emit] appends (without the newline) —
+    exposed so tests can corrupt and reassemble traces surgically. *)

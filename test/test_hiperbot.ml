@@ -320,11 +320,34 @@ let test_transfer_validation () =
       ignore
         (Hiperbot.Transfer.run ~rng:(Prng.Rng.create 1) ~space:space2 ~source:[||]
            ~objective:(fun _ -> 0.) ~budget:5 ()));
-  Alcotest.check_raises "negative weight" (Invalid_argument "Transfer.run: negative prior weight")
-    (fun () ->
-      ignore
-        (Hiperbot.Transfer.run ~weight:(-1.) ~rng:(Prng.Rng.create 1) ~space:space2
-           ~source:separable_obs ~objective:(fun _ -> 0.) ~budget:5 ()))
+  let bad_weight = Invalid_argument "Transfer.run: prior weight must be finite and non-negative" in
+  List.iter
+    (fun (label, w) ->
+      Alcotest.check_raises label bad_weight (fun () ->
+          ignore
+            (Hiperbot.Transfer.run ~weight:w ~rng:(Prng.Rng.create 1) ~space:space2
+               ~source:separable_obs ~objective:(fun _ -> 0.) ~budget:5 ())))
+    [ ("negative weight", -1.); ("nan weight", Float.nan); ("infinite weight", Float.infinity) ]
+
+let test_surrogate_weight_validation () =
+  let prior = Hiperbot.Surrogate.fit space2 separable_obs in
+  List.iter
+    (fun (label, w) ->
+      Alcotest.check_raises label
+        (Invalid_argument "Surrogate.fit: prior weight must be finite and non-negative")
+        (fun () -> ignore (Hiperbot.Surrogate.fit ~prior:(prior, w) space2 separable_obs)))
+    [ ("negative weight", -0.5); ("nan weight", Float.nan); ("infinite weight", Float.infinity) ]
+
+let test_surrogate_rejects_non_finite_objective () =
+  List.iter
+    (fun (label, y) ->
+      let obs = Array.copy separable_obs in
+      obs.(3) <- (fst obs.(3), y);
+      Alcotest.check_raises label
+        (Invalid_argument "Surrogate.fit: non-finite objective value")
+        (fun () -> ignore (Hiperbot.Surrogate.fit space2 obs)))
+    [ ("nan objective", Float.nan); ("inf objective", Float.infinity);
+      ("-inf objective", Float.neg_infinity) ]
 
 (* ---- Importance ---- *)
 
@@ -341,11 +364,36 @@ let test_importance_spearman () =
   let reversed = [| ("z", 0.9); ("y", 0.2); ("x", 0.05) |] in
   check feq "reversed order" (-1.) (Hiperbot.Importance.spearman a reversed)
 
+let test_importance_spearman_ties () =
+  (* a has x and y tied at 3.0 (fractional ranks: w=4, x=y=2.5, z=1);
+     b ranks w=4, y=3, x=2, z=1. Pearson on those fractional ranks is
+     4.5 / sqrt(4.5 * 5) = sqrt 0.9 — hand-computed, and distinct
+     from any value the tie-blind position formula can produce. *)
+  let a = [| ("w", 4.); ("x", 3.); ("y", 3.); ("z", 1.) |] in
+  let b = [| ("w", 10.); ("y", 8.); ("x", 2.); ("z", 1.) |] in
+  check feq "tie-aware fractional ranks" (sqrt 0.9) (Hiperbot.Importance.spearman a b);
+  (* Swapping the order tied entries happen to appear in must not
+     change the coefficient. *)
+  let a' = [| ("w", 4.); ("y", 3.); ("x", 3.); ("z", 1.) |] in
+  check feq "tie order irrelevant" (Hiperbot.Importance.spearman a b)
+    (Hiperbot.Importance.spearman a' b);
+  (* An all-tied ranking carries no order information: correlation 0
+     by the zero-variance convention, not 1. *)
+  let flat = [| ("w", 1.); ("x", 1.); ("y", 1.); ("z", 1.) |] in
+  check feq "all-tied ranking is uninformative" 0. (Hiperbot.Importance.spearman flat b)
+
 let test_importance_spearman_validation () =
   let a = [| ("x", 0.5) |] and b = [| ("y", 0.5) |] in
   Alcotest.check_raises "different parameter sets"
     (Invalid_argument "Importance.spearman: parameter sets differ") (fun () ->
-      ignore (Hiperbot.Importance.spearman a b))
+      ignore (Hiperbot.Importance.spearman a b));
+  let dup = [| ("x", 0.5); ("x", 0.3) |] and ok = [| ("x", 0.5); ("y", 0.3) |] in
+  Alcotest.check_raises "duplicate name in second ranking"
+    (Invalid_argument "Importance.spearman: duplicate parameter \"x\"") (fun () ->
+      ignore (Hiperbot.Importance.spearman ok dup));
+  Alcotest.check_raises "duplicate name in first ranking"
+    (Invalid_argument "Importance.spearman: duplicate parameter \"x\"") (fun () ->
+      ignore (Hiperbot.Importance.spearman dup ok))
 
 let test_importance_to_string () =
   check Alcotest.string "formatting" "a(0.50),b(0.10)"
@@ -384,8 +432,11 @@ let suite =
       tc "tuner: deterministic" `Quick test_tuner_deterministic;
       tc "transfer: prior biases selection" `Quick test_transfer_prior_biases_selection;
       tc "transfer: validation" `Quick test_transfer_validation;
+      tc "surrogate: weight validation" `Quick test_surrogate_weight_validation;
+      tc "surrogate: rejects non-finite objective" `Quick test_surrogate_rejects_non_finite_objective;
       tc "importance: ranking sorted" `Quick test_importance_ranking_sorted;
       tc "importance: spearman" `Quick test_importance_spearman;
+      tc "importance: spearman ties" `Quick test_importance_spearman_ties;
       tc "importance: spearman validation" `Quick test_importance_spearman_validation;
       tc "importance: to_string" `Quick test_importance_to_string;
     ] )

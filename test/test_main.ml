@@ -21,5 +21,6 @@ let () =
       Test_infer.suite;
       Test_runlog.suite;
       Test_resilience.suite;
+      Test_telemetry.suite;
       Test_integration.suite;
     ]

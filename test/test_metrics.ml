@@ -70,6 +70,26 @@ let test_sweep_validation () =
   Alcotest.check_raises "no sizes" (Invalid_argument "Runner.sweep: no sample sizes") (fun () ->
       ignore (Metrics.Runner.sweep ~reps:1 ~base_seed:0 ~sample_sizes:[||] ~good ~run))
 
+let test_sweep_empty_history_is_actionable () =
+  (* A run that returns no evaluations used to die inside
+     Recall.best_prefix with an opaque message; the sweep must instead
+     name the repetition and seed that produced nothing. *)
+  let good = Metrics.Recall.percentile_good_set table 0.34 in
+  let empty ~rng:_ ~budget:_ =
+    {
+      Baselines.Outcome.history = [||];
+      best_config = [| Param.Value.Ordinal 0 |];
+      best_value = infinity;
+      trajectory = [||];
+    }
+  in
+  Alcotest.check_raises "empty history names rep and seed"
+    (Invalid_argument
+       "Runner.sweep: rep 0 (seed 42) produced an empty history — the tuner evaluated nothing \
+        or every evaluation failed")
+    (fun () ->
+      ignore (Metrics.Runner.sweep ~reps:2 ~base_seed:42 ~sample_sizes:[| 2 |] ~good ~run:empty))
+
 let test_replicate () =
   let s = Metrics.Runner.replicate ~reps:50 ~base_seed:3 (fun ~rng -> Prng.Rng.float rng) in
   check Alcotest.bool "mean near 0.5" true (Float.abs (s.Metrics.Runner.mean -. 0.5) < 0.15);
@@ -88,6 +108,7 @@ let suite =
       tc "best prefix" `Quick test_best_prefix;
       tc "sweep shapes" `Quick test_sweep_shapes_and_monotonicity;
       tc "sweep validation" `Quick test_sweep_validation;
+      tc "sweep empty history" `Quick test_sweep_empty_history_is_actionable;
       tc "replicate" `Quick test_replicate;
     ] )
 

@@ -48,6 +48,19 @@ let test_quantile_known () =
 let test_quantile_unsorted_input () =
   check feq "input need not be sorted" 3. (Stats.Quantile.quantile [| 5.; 1.; 3.; 2.; 4. |] 0.5)
 
+let test_quantile_rejects_non_finite () =
+  (* The old polymorphic-compare sort ordered NaN arbitrarily and
+     returned a garbage order statistic; now every non-finite entry
+     fails loudly. *)
+  List.iter
+    (fun (label, bad) ->
+      Alcotest.check_raises label (Invalid_argument "Quantile.quantile: non-finite entry")
+        (fun () -> ignore (Stats.Quantile.quantile [| 1.; bad; 3. |] 0.5)))
+    [ ("nan entry", Float.nan); ("inf entry", Float.infinity); ("-inf entry", Float.neg_infinity) ];
+  Alcotest.check_raises "sorted variant rejects nan too"
+    (Invalid_argument "Quantile.quantile_sorted: non-finite entry") (fun () ->
+      ignore (Stats.Quantile.quantile_sorted [| 1.; 2.; Float.nan |] 0.5))
+
 let test_percentile_rank () =
   let xs = [| 1.; 2.; 3.; 4. |] in
   check feq "rank of 3" 0.5 (Stats.Quantile.percentile_rank xs 3.);
@@ -226,6 +239,7 @@ let suite =
       tc "standardize" `Quick test_standardize;
       tc "quantile known values" `Quick test_quantile_known;
       tc "quantile unsorted" `Quick test_quantile_unsorted_input;
+      tc "quantile rejects non-finite" `Quick test_quantile_rejects_non_finite;
       tc "percentile rank" `Quick test_percentile_rank;
       tc "split at quantile" `Quick test_split_at_quantile;
       tc "split all equal" `Quick test_split_all_equal;

@@ -1,0 +1,334 @@
+(* Tests for the campaign telemetry layer: JSONL event round-trips,
+   truncation-tolerant trace loading, the aggregated summary, and —
+   most importantly — the guarantee that tracing never changes a
+   campaign: trace-on and trace-off runs are bit-identical, including
+   across an interrupt-then-resume. *)
+
+let check = Alcotest.check
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let temp_path suffix =
+  let path = Filename.temp_file "hiperbot_trace" suffix in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* One representative of every event variant (finite floats only:
+   non-finite fields serialize as null by design). *)
+let all_events : Telemetry.Event.t list =
+  [
+    Campaign_start { budget = 30; n_init = 10; batch_size = 2; n_warm = 1; n_replay = 0 };
+    Init_draw { index = 3; redraws = 2; duplicate = false };
+    Init_draw { index = 4; redraws = 50; duplicate = true };
+    Refit
+      {
+        n_obs = 12;
+        n_good = 3;
+        n_bad = 9;
+        n_extra_bad = 1;
+        alpha = 0.2;
+        threshold = 14.5;
+        dur_ms = 0.75;
+      };
+    Compile { pool_size = 1620; n_params = 6; dur_ms = 0.125 };
+    Rank { pool_size = 1620; k = 2; selected = 2; workers = 4; schedule = "dynamic:64"; dur_ms = 1.5 };
+    Attempt { attempt = 2; kind = "transient"; backoff = 0.1 };
+    Eval
+      {
+        index = 7;
+        kind = "ok";
+        value = Some 42.5;
+        attempts = 2;
+        retry_cost = 0.1;
+        replayed = false;
+        dur_ms = 3.25;
+      };
+    Eval
+      {
+        index = 8;
+        kind = "permanent";
+        value = None;
+        attempts = 1;
+        retry_cost = 0.;
+        replayed = true;
+        dur_ms = 0.5;
+      };
+    Campaign_end { evaluations = 30; failures = 4; best = Some 13.25; stopped_early = false; dur_ms = 99. };
+    Campaign_end { evaluations = 2; failures = 2; best = None; stopped_early = true; dur_ms = 1. };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun ev ->
+      let line = Telemetry.Tracefile.event_line ~ts:12.5 ev in
+      let fields = Telemetry.Jsonl.decode line in
+      let ev' = Telemetry.Event.of_fields fields in
+      check Alcotest.bool (Telemetry.Event.name ev ^ " round-trips") true (ev = ev');
+      match List.assoc "ts" fields with
+      | Telemetry.Jsonl.Number ts -> check (Alcotest.float 1e-12) "ts preserved" 12.5 ts
+      | _ -> Alcotest.fail "ts missing or mistyped")
+    all_events
+
+let test_tracefile_roundtrip () =
+  let path = temp_path ".jsonl" in
+  let sink = Telemetry.Trace.jsonl_sink path in
+  List.iteri (fun i ev -> sink.Telemetry.Trace.emit ~ts:(float_of_int i) ev) all_events;
+  sink.Telemetry.Trace.close ();
+  let tf = Telemetry.Tracefile.load path in
+  check Alcotest.int "schema version" Telemetry.Tracefile.version tf.Telemetry.Tracefile.version;
+  check Alcotest.bool "nothing dropped" false tf.Telemetry.Tracefile.dropped;
+  check Alcotest.int "event count" (List.length all_events)
+    (Array.length tf.Telemetry.Tracefile.events);
+  Array.iteri
+    (fun i (ts, ev) ->
+      check (Alcotest.float 1e-12) "timestamp" (float_of_int i) ts;
+      check Alcotest.bool "event equal" true (ev = List.nth all_events i))
+    tf.Telemetry.Tracefile.events
+
+let test_truncated_trace_recovery () =
+  let lines =
+    Telemetry.Jsonl.encode
+      [ ("schema", Telemetry.Jsonl.String "hiperbot-trace"); ("version", Telemetry.Jsonl.Number 1.) ]
+    :: List.mapi (fun i ev -> Telemetry.Tracefile.event_line ~ts:(float_of_int i) ev) all_events
+  in
+  let whole = String.concat "\n" lines ^ "\n" in
+  (* Chop the file mid-way through its final line — what a killed
+     process leaves behind. *)
+  let truncated = String.sub whole 0 (String.length whole - 12) in
+  let tf = Telemetry.Tracefile.of_string ~recover:true truncated in
+  check Alcotest.bool "recovery flagged" true tf.Telemetry.Tracefile.dropped;
+  check Alcotest.int "exactly the final line dropped"
+    (List.length all_events - 1)
+    (Array.length tf.Telemetry.Tracefile.events);
+  (* Without recover, a truncated tail is an error... *)
+  (match Telemetry.Tracefile.of_string truncated with
+  | _ -> Alcotest.fail "truncated trace should not load without ~recover"
+  | exception Failure _ -> ());
+  (* ...and corruption before the final line is an error regardless. *)
+  let corrupt_mid =
+    String.concat "\n"
+      (List.mapi (fun i l -> if i = 2 then "{ garbage" else l) lines)
+    ^ "\n"
+  in
+  (match Telemetry.Tracefile.of_string ~recover:true corrupt_mid with
+  | _ -> Alcotest.fail "mid-file corruption should never be recovered"
+  | exception Failure _ -> ());
+  (* A file with an alien header is rejected outright. *)
+  match Telemetry.Tracefile.of_string ~recover:true "{\"schema\":\"other\",\"version\":1}\n" with
+  | _ -> Alcotest.fail "alien schema should be rejected"
+  | exception Failure _ -> ()
+
+let test_disabled_trace_is_inert () =
+  let t = Telemetry.Trace.disabled in
+  check Alcotest.bool "disabled" false (Telemetry.Trace.enabled t);
+  check (Alcotest.float 0.) "now is 0 without a clock read" 0. (Telemetry.Trace.now t);
+  (* make [] collapses to disabled. *)
+  check Alcotest.bool "empty sink list is disabled" false
+    (Telemetry.Trace.enabled (Telemetry.Trace.make []))
+
+let test_memory_sink_and_clock () =
+  let ticks = ref 0. in
+  let clock () =
+    ticks := !ticks +. 1.;
+    !ticks
+  in
+  let sink, collected = Telemetry.Trace.memory_sink () in
+  let t = Telemetry.Trace.make ~clock [ sink ] in
+  Telemetry.Trace.emit t (Telemetry.Event.Init_draw { index = 0; redraws = 0; duplicate = false });
+  Telemetry.Trace.emit t (Telemetry.Event.Init_draw { index = 1; redraws = 1; duplicate = false });
+  match collected () with
+  | [ (ts1, _); (ts2, _) ] ->
+      check (Alcotest.float 1e-12) "injected clock drives timestamps" 1. ts1;
+      check (Alcotest.float 1e-12) "monotone" 2. ts2
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length l))
+
+(* ---- tracing never changes the campaign ---- *)
+
+let space2 =
+  Param.Space.make
+    [ Param.Spec.categorical "c" [ "a"; "b"; "x" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ] ]
+
+let objective2 c =
+  (* c=a fast, others slow; o breaks ties. *)
+  let base = if Param.Value.to_index c.(0) = 0 then 1. else 10. in
+  base +. (0.1 *. float_of_int (Param.Value.to_index c.(1)))
+
+let run_once telemetry seed =
+  Hiperbot.Tuner.run ?telemetry ~options:{ Hiperbot.Tuner.default_options with n_init = 5 }
+    ~rng:(Prng.Rng.create seed) ~space:space2 ~objective:objective2 ~budget:10 ()
+
+let test_trace_on_equals_trace_off () =
+  let untraced = run_once None 7 in
+  let sink, collected = Telemetry.Trace.memory_sink () in
+  let traced = run_once (Some (Telemetry.Trace.make [ sink ])) 7 in
+  check Alcotest.bool "histories identical" true
+    (untraced.Hiperbot.Tuner.history = traced.Hiperbot.Tuner.history);
+  check Alcotest.bool "trajectories identical" true
+    (untraced.Hiperbot.Tuner.trajectory = traced.Hiperbot.Tuner.trajectory);
+  check Alcotest.bool "best identical" true
+    (Param.Config.equal untraced.Hiperbot.Tuner.best_config traced.Hiperbot.Tuner.best_config
+    && Float.equal untraced.Hiperbot.Tuner.best_value traced.Hiperbot.Tuner.best_value);
+  check Alcotest.bool "trace not empty" true (List.length (collected ()) > 0)
+
+(* ---- full campaign trace structure (kripke, faults, JSONL) ---- *)
+
+let policy3 = { Resilience.Policy.default with max_attempts = 3 }
+
+let count pred events =
+  Array.fold_left (fun acc (_, ev) -> if pred ev then acc + 1 else acc) 0 events
+
+let test_kripke_campaign_trace () =
+  let t = (Hpcsim.Registry.find "kripke").Hpcsim.Registry.table () in
+  let space = Dataset.Table.space t in
+  let spec = Hpcsim.Faults.standard ~seed:77 ~rate:0.2 in
+  let objective = Hpcsim.Faults.inject spec (Dataset.Table.objective_fn t) in
+  let budget = 30 in
+  let path = temp_path ".jsonl" in
+  let telemetry = Telemetry.Trace.make [ Telemetry.Trace.jsonl_sink path ] in
+  let result =
+    match
+      Hiperbot.Tuner.run_with_policy ~telemetry
+        ~options:{ Hiperbot.Tuner.default_options with n_init = 10 }
+        ~policy:policy3 ~rng:(Prng.Rng.create 3) ~space ~objective ~budget ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "campaign failed outright"
+  in
+  Telemetry.Trace.close telemetry;
+  let tf = Telemetry.Tracefile.load path in
+  let events = tf.Telemetry.Tracefile.events in
+  check Alcotest.bool "nothing dropped" false tf.Telemetry.Tracefile.dropped;
+  (* Bracketing events. *)
+  (match events.(0) with
+  | _, Telemetry.Event.Campaign_start { budget = b; _ } ->
+      check Alcotest.int "start records the budget" budget b
+  | _ -> Alcotest.fail "first event must be campaign_start");
+  (match events.(Array.length events - 1) with
+  | _, Telemetry.Event.Campaign_end { evaluations; failures; best; _ } ->
+      check Alcotest.int "end counts every budget unit" budget evaluations;
+      check Alcotest.int "end counts the failures"
+        (Array.length result.Hiperbot.Tuner.failures)
+        failures;
+      check (Alcotest.option (Alcotest.float 1e-12)) "end records the best"
+        (Some result.Hiperbot.Tuner.best_value)
+        best
+  | _ -> Alcotest.fail "last event must be campaign_end");
+  (* Every refit produced exactly one compiled table and one ranking
+     scan, and at least one refit happened. *)
+  let refits = count (function Telemetry.Event.Refit _ -> true | _ -> false) events in
+  let compiles = count (function Telemetry.Event.Compile _ -> true | _ -> false) events in
+  let ranks = count (function Telemetry.Event.Rank _ -> true | _ -> false) events in
+  check Alcotest.bool "at least one refit" true (refits >= 1);
+  check Alcotest.int "one compile per refit" refits compiles;
+  check Alcotest.int "one rank per refit" refits ranks;
+  (* One eval per consumed budget unit; attempts line up with the
+     tuner's own accounting. *)
+  let evals = count (function Telemetry.Event.Eval _ -> true | _ -> false) events in
+  check Alcotest.int "one eval event per budget unit" budget evals;
+  check Alcotest.int "eval events cover history + failures"
+    (Array.length result.Hiperbot.Tuner.history + Array.length result.Hiperbot.Tuner.failures)
+    evals;
+  let attempts = count (function Telemetry.Event.Attempt _ -> true | _ -> false) events in
+  check Alcotest.int "one attempt event per objective attempt"
+    result.Hiperbot.Tuner.n_attempts attempts;
+  (* Refit spans carry the split sizes and alpha the surrogate used. *)
+  Array.iter
+    (fun (_, ev) ->
+      match ev with
+      | Telemetry.Event.Refit { n_obs; n_good; n_bad; alpha; _ } ->
+          check (Alcotest.float 1e-12) "alpha recorded" 0.2 alpha;
+          check Alcotest.int "good + bad covers the observations" n_obs (n_good + n_bad);
+          check Alcotest.bool "good side non-empty" true (n_good >= 1)
+      | _ -> ())
+    events;
+  (* The summary aggregates the same counts. *)
+  let s = Telemetry.Summary.of_trace tf in
+  check Alcotest.int "summary refits" refits (Telemetry.Summary.refits s);
+  check Alcotest.int "summary ranks" ranks (Telemetry.Summary.ranks s);
+  check Alcotest.int "summary evals" budget (Telemetry.Summary.evals s);
+  check Alcotest.int "summary failures"
+    (Array.length result.Hiperbot.Tuner.failures)
+    (Telemetry.Summary.failures s);
+  let rendered = Telemetry.Summary.render s in
+  check Alcotest.bool "summary renders refits" true
+    (String.length rendered > 0
+    && contains_substring rendered "refit"
+    && contains_substring rendered "rank")
+
+(* ---- resume with tracing is still bit-identical ---- *)
+
+let status_of_outcome = function
+  | Resilience.Outcome.Value y -> Dataset.Runlog.Ok y
+  | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
+  | Resilience.Outcome.Permanent _ -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
+  | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+
+let test_resume_with_trace_parity () =
+  let t = (Hpcsim.Registry.find "kripke").Hpcsim.Registry.table () in
+  let space = Dataset.Table.space t in
+  let spec = Hpcsim.Faults.standard ~seed:41 ~rate:0.15 in
+  let objective = Hpcsim.Faults.inject spec (Dataset.Table.objective_fn t) in
+  let options = { Hiperbot.Tuner.default_options with n_init = 8 } in
+  let budget = 20 and interrupt_after = 8 in
+  let recorded = ref [] in
+  let full =
+    match
+      Hiperbot.Tuner.run_with_policy ~options ~policy:policy3
+        ~on_outcome:(fun i c v -> recorded := (i, c, v) :: !recorded)
+        ~rng:(Prng.Rng.create 5) ~space ~objective ~budget ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "uninterrupted campaign failed outright"
+  in
+  let entries =
+    List.rev !recorded
+    |> List.filteri (fun i _ -> i < interrupt_after)
+    |> List.map (fun (i, c, (v : Resilience.Evaluator.verdict)) ->
+           {
+             Dataset.Runlog.index = i;
+             config = c;
+             status = status_of_outcome v.Resilience.Evaluator.outcome;
+             attempts = v.Resilience.Evaluator.attempts;
+           })
+  in
+  let log = Dataset.Runlog.create ~name:"kripke" ~seed:5 ~space entries in
+  let sink, collected = Telemetry.Trace.memory_sink () in
+  let telemetry = Telemetry.Trace.make [ sink ] in
+  let resumed =
+    match Hiperbot.Tuner.resume ~telemetry ~options ~policy:policy3 ~log ~objective ~budget () with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "resumed campaign failed outright"
+  in
+  check Alcotest.bool "traced resume reproduces the uninterrupted run" true
+    (full.Hiperbot.Tuner.history = resumed.Hiperbot.Tuner.history
+    && full.Hiperbot.Tuner.trajectory = resumed.Hiperbot.Tuner.trajectory
+    && Float.equal full.Hiperbot.Tuner.best_value resumed.Hiperbot.Tuner.best_value);
+  (* The trace marks exactly the replayed prefix. *)
+  let replayed, live =
+    List.fold_left
+      (fun (r, l) (_, ev) ->
+        match ev with
+        | Telemetry.Event.Eval { replayed = true; _ } -> (r + 1, l)
+        | Telemetry.Event.Eval { replayed = false; _ } -> (r, l + 1)
+        | _ -> (r, l))
+      (0, 0) (collected ())
+  in
+  check Alcotest.int "replayed prefix traced" interrupt_after replayed;
+  check Alcotest.int "live suffix traced" (budget - interrupt_after) live
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "telemetry",
+    [
+      tc "event round-trip" `Quick test_event_roundtrip;
+      tc "tracefile round-trip" `Quick test_tracefile_roundtrip;
+      tc "truncated trace recovery" `Quick test_truncated_trace_recovery;
+      tc "disabled trace inert" `Quick test_disabled_trace_is_inert;
+      tc "memory sink and clock" `Quick test_memory_sink_and_clock;
+      tc "trace on = trace off" `Quick test_trace_on_equals_trace_off;
+      tc "kripke campaign trace" `Quick test_kripke_campaign_trace;
+      tc "resume with trace parity" `Quick test_resume_with_trace_parity;
+    ] )
