@@ -1,7 +1,7 @@
 # Development entry points. `make check` is what CI runs: build,
 # formatting (when ocamlformat is installed), and the full test suite.
 
-.PHONY: all build test fmt check clean bench bench-build trace-demo
+.PHONY: all build test fmt check clean bench bench-build bench-async trace-demo
 
 all: build
 
@@ -19,6 +19,12 @@ bench-build:
 # parallel/sequential check).
 bench: bench-build
 	dune exec bench/main.exe -- --experiment select
+
+# Sync-vs-async campaign engine on kripke (k in-flight evaluations);
+# writes BENCH_async.json and asserts k=1 bit-parity with the
+# synchronous engine plus recall-within-noise for k > 1.
+bench-async: bench-build
+	dune exec bench/main.exe -- --experiment async
 
 # The formatting gate is skipped when ocamlformat is not on PATH so
 # `make check` works in minimal containers; install ocamlformat to

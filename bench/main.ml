@@ -18,6 +18,11 @@ let experiments =
         describe = "naive vs compiled candidate ranking (writes BENCH_select.json)";
         run = Select_bench.run;
       };
+      {
+        Experiments.id = "async";
+        describe = "sync vs async campaign engine, k in-flight (writes BENCH_async.json)";
+        run = Async_bench.run;
+      };
     ]
 
 let list_experiments () =

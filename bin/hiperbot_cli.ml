@@ -128,6 +128,10 @@ let jobs_arg =
   let doc = "Rank candidates on $(docv) domains. Selections are bit-identical to --jobs 1 (ties break on the candidate's pool position), so this only changes wall-clock time. Hiperbot method only." in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let async_arg =
+  let doc = "Run the asynchronous campaign engine with up to $(docv) evaluations in flight: the surrogate refits on every completion and pending configurations are penalized as constant liars. $(docv) = 1 retraces the synchronous engine bit-for-bit. Composes with --faults, --retries, --timeout, --save/--resume, --trace, and --jobs. Hiperbot method only." in
+  Arg.(value & opt (some int) None & info [ "async" ] ~docv:"K" ~doc)
+
 (* Run [f (Some pool)] on a [jobs]-domain pool, or [f None] when a
    single job needs no pool at all. *)
 let with_jobs jobs f =
@@ -142,16 +146,18 @@ let status_of_outcome = function
 
 let tune_cmd =
   let run dataset seed budget method_ alpha n_init proposal verbose trace_file trace_summary save
-      resume faults fault_seed retries timeout jobs =
+      resume faults fault_seed retries timeout jobs async =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
         let space = Dataset.Table.space table in
         let objective = Dataset.Table.objective_fn table in
         let rng = Prng.Rng.create seed in
-        let resilient = resume || faults > 0. in
+        let resilient = resume || faults > 0. || async <> None in
         if resilient && method_ <> `Hiperbot then
-          `Error (false, "--resume and --faults are only supported with --method hiperbot")
+          `Error (false, "--resume, --faults, and --async are only supported with --method hiperbot")
+        else if (match async with Some k -> k < 1 | None -> false) then
+          `Error (false, "--async K must be at least 1")
         else if resume && save = None then `Error (false, "--resume requires --save PATH")
         else if not (0. <= faults && faults <= 1.) then
           `Error (false, "--faults RATE must be in [0, 1]")
@@ -272,17 +278,29 @@ let tune_cmd =
                 let tuner_result =
                   with_jobs jobs (fun pool ->
                       match existing_log with
-                      | Some log ->
+                      | Some log -> begin
                           if log.Dataset.Runlog.seed <> seed then
                             Printf.printf "resuming with the log's seed %d (ignoring --seed %d)\n"
                               log.Dataset.Runlog.seed seed;
                           Printf.printf "resuming after %d recorded evaluations\n"
                             (Array.length log.Dataset.Runlog.entries);
-                          Hiperbot.Tuner.resume ~telemetry ~options ~policy ~on_outcome ?pool
-                            ~log ~objective:outcome_objective ~budget ()
-                      | None ->
-                          Hiperbot.Tuner.run_with_policy ~telemetry ~options ~policy ~on_outcome
-                            ?pool ~rng ~space ~objective:outcome_objective ~budget ())
+                          match async with
+                          | Some k ->
+                              Hiperbot.Tuner.resume_async ~telemetry ~options ~policy ~on_outcome
+                                ?pool ~k ~log ~objective:outcome_objective ~budget ()
+                          | None ->
+                              Hiperbot.Tuner.resume ~telemetry ~options ~policy ~on_outcome ?pool
+                                ~log ~objective:outcome_objective ~budget ()
+                        end
+                      | None -> (
+                          match async with
+                          | Some k ->
+                              Hiperbot.Tuner.run_async ~telemetry ~options ~policy ~on_outcome
+                                ?pool ~k ~rng ~space ~objective:outcome_objective ~budget ()
+                          | None ->
+                              Hiperbot.Tuner.run_with_policy ~telemetry ~options ~policy
+                                ~on_outcome ?pool ~rng ~space ~objective:outcome_objective ~budget
+                                ()))
                 in
                 (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
                 finish_trace ();
@@ -362,7 +380,7 @@ let tune_cmd =
       ret
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
        $ proposal_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg $ resume_arg
-       $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg))
+       $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg $ async_arg))
 
 (* ---- transfer ---- *)
 

@@ -20,7 +20,8 @@ let fit ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options) ?pr
     (fun c ->
       if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration")
     extra_bad;
-  if options.alpha <= 0. || options.alpha >= 1. then invalid_arg "Surrogate.fit: alpha outside (0, 1)";
+  if not (options.alpha > 0. && options.alpha < 1.) then
+    invalid_arg "Surrogate.fit: alpha outside (0, 1)";
   Array.iter
     (fun (c, y) ->
       if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration";

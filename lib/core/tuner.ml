@@ -36,18 +36,13 @@ type run_error = {
 
 let max_init_redraws = 50
 
-(* The outcome-driven core every public entry point funnels into.
-   [eval] produces one final verdict per configuration (retries happen
-   inside it, so a verdict consumes exactly one unit of budget no
-   matter how many attempts it took). [replay] short-circuits the
-   first evaluations with recorded verdicts: because everything else
-   — rng draws, selection, bookkeeping — runs exactly as live, a
-   resumed campaign retraces the interrupted one bit-for-bit and then
-   continues. *)
-let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
-    ?(warm_start = [||]) ?candidates ?on_outcome ?(replay = [||]) ?pool:workers ?schedule ~rng
-    ~space ~eval ~budget () =
-  let campaign_t0 = Telemetry.Trace.now telemetry in
+(* Validation and per-campaign candidate-pool setup shared by the
+   synchronous core and the asynchronous engine: checks the options,
+   materializes the candidate pool, index-encodes it once (the
+   encoding depends only on the space and the pool, so every refit's
+   compiled scorer reuses it), and caps [n_init] by the budget and
+   pool size. *)
+let campaign_setup ~options ~candidates ~space ~budget =
   if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
   if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
   if options.batch_size < 1 then invalid_arg "Tuner.run: batch_size must be at least 1";
@@ -76,14 +71,30 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
         Param.Space.enumerate space
     | None, Strategy.Proposal _ -> [||]
   in
-  (* Index-encode the candidate pool once per campaign: the encoding
-     depends only on the space and the pool, so every refit's compiled
-     scorer reuses it. *)
   let encoded =
     match options.strategy with
     | Strategy.Ranking when Array.length pool > 0 -> Some (Surrogate.Pool.encode space pool)
     | Strategy.Ranking | Strategy.Proposal _ -> None
   in
+  let n_init =
+    let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
+    min options.n_init cap
+  in
+  (pool, encoded, n_init)
+
+(* The outcome-driven core every public entry point funnels into.
+   [eval] produces one final verdict per configuration (retries happen
+   inside it, so a verdict consumes exactly one unit of budget no
+   matter how many attempts it took). [replay] short-circuits the
+   first evaluations with recorded verdicts: because everything else
+   — rng draws, selection, bookkeeping — runs exactly as live, a
+   resumed campaign retraces the interrupted one bit-for-bit and then
+   continues. *)
+let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
+    ?(warm_start = [||]) ?candidates ?on_outcome ?(replay = [||]) ?pool:workers ?schedule ~rng
+    ~space ~eval ~budget () =
+  let campaign_t0 = Telemetry.Trace.now telemetry in
+  let pool, encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
   let evaluated = Param.Config.Table.create (budget + Array.length warm_start) in
   Array.iter
     (fun (c, _) ->
@@ -178,10 +189,6 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
                pool_covered := true;
                true
              end)
-  in
-  let n_init =
-    let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
-    min options.n_init cap
   in
   if Telemetry.Trace.enabled telemetry then
     Telemetry.Trace.emit telemetry
@@ -352,3 +359,348 @@ let resume ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start
   let rng = Prng.Rng.create log.Dataset.Runlog.seed in
   run_with_policy ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool
     ?schedule ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()
+
+(* ---- asynchronous campaign engine ---- *)
+
+let default_duration _config (v : Resilience.Evaluator.verdict) =
+  let base =
+    match v.Resilience.Evaluator.outcome with
+    | Resilience.Outcome.Value y when Float.is_finite y && y > 0. -> y
+    | _ -> 1.
+  in
+  base +. v.Resilience.Evaluator.retry_cost
+
+(* One in-flight evaluation. The verdict thunk is memoized: with a
+   pool it awaits a future (the work already runs on a worker domain),
+   without one it evaluates inline at first demand. The attempt log is
+   captured inside the task and emitted at completion processing so
+   telemetry sinks are only ever touched from the submitting domain. *)
+type async_slot = {
+  slot_config : Param.Config.t;
+  slot_seq : int;  (* submission ordinal; completion-time tie-break *)
+  slot_submitted : float;  (* simulated submission time *)
+  slot_guided : bool;  (* false for random-init submissions *)
+  slot_run :
+    unit -> Resilience.Evaluator.verdict * (int * string * float) list * bool * float;
+  mutable slot_memo :
+    (Resilience.Evaluator.verdict * (int * string * float) list * bool * float) option;
+}
+
+let slot_force slot =
+  match slot.slot_memo with
+  | Some r -> r
+  | None ->
+      let r = slot.slot_run () in
+      slot.slot_memo <- Some r;
+      r
+
+let divergence_msg =
+  "Tuner.resume: run log diverges from the replayed trajectory (were the seed, options, or \
+   objective changed?)"
+
+let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
+    ?(policy = Resilience.Policy.default) ?(warm_start = [||]) ?candidates ?on_outcome
+    ?(replay = [||]) ?pool:workers ?schedule ?(duration = default_duration) ~k ~rng ~space
+    ~objective ~budget () =
+  let campaign_t0 = Telemetry.Trace.now telemetry in
+  if k < 1 then invalid_arg "Tuner.run_async: k must be at least 1";
+  let pool, encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  (* [seen] deduplicates at submission time: a configuration joins it
+     when submitted (or warm-started), so in-flight configurations are
+     excluded from init draws and guided selection exactly like
+     completed ones — an exact duplicate of a pending point can never
+     be resubmitted. For [k = 1] a submission completes before the
+     next draw, so [seen] holds the same configurations the
+     synchronous core's [evaluated] table would. *)
+  let seen = Param.Config.Table.create (budget + Array.length warm_start) in
+  Array.iter
+    (fun (c, _) ->
+      if not (Param.Space.validate space c) then
+        invalid_arg "Tuner.run: invalid warm-start configuration";
+      Param.Config.Table.replace seen c ())
+    warm_start;
+  (* Replay verdicts are keyed by configuration (configurations never
+     resubmit within a campaign, so the key is unique); completion
+     processing additionally checks the recorded completion order. *)
+  let replay_verdicts = Param.Config.Table.create (Array.length replay) in
+  Array.iter (fun (c, v) -> Param.Config.Table.replace replay_verdicts c v) replay;
+  let eval_task config () =
+    match Param.Config.Table.find_opt replay_verdicts config with
+    | Some v -> (v, [], true, 0.)
+    | None ->
+        let attempts = ref [] in
+        let probe =
+          if Telemetry.Trace.enabled telemetry then
+            Some
+              (fun ~attempt ~backoff outcome ->
+                attempts := (attempt, Resilience.Outcome.kind outcome, backoff) :: !attempts)
+          else None
+        in
+        let t0 = Telemetry.Trace.now telemetry in
+        let v = Resilience.Evaluator.evaluate ?probe ~policy ~objective config in
+        (v, List.rev !attempts, false, (Telemetry.Trace.now telemetry -. t0) *. 1000.)
+  in
+  let history = ref [] in
+  let failures = ref [] in
+  let n_attempts = ref 0 in
+  let retry_cost = ref 0. in
+  let best = ref None in
+  let trajectory = ref [] in
+  let since_improvement = ref 0 in
+  let final_surrogate = ref None in
+  let submitted = ref 0 in
+  let completed = ref 0 in
+  let in_flight = ref [] in
+  let sim_time = ref 0. in
+  let stale () =
+    match options.early_stop with Some e -> !since_improvement >= e | None -> false
+  in
+  let submit_config ~guided ~at config =
+    Param.Config.Table.replace seen config ();
+    let seq = !submitted in
+    incr submitted;
+    let run =
+      match workers with
+      | Some w ->
+          let fut = Parallel.Pool.async w (eval_task config) in
+          fun () -> Parallel.Pool.await fut
+      | None -> eval_task config
+    in
+    let slot =
+      {
+        slot_config = config;
+        slot_seq = seq;
+        slot_submitted = at;
+        slot_guided = guided;
+        slot_run = run;
+        slot_memo = None;
+      }
+    in
+    in_flight := slot :: !in_flight;
+    if Telemetry.Trace.enabled telemetry then
+      Telemetry.Trace.emit telemetry
+        (Telemetry.Event.Submit
+           { index = seq; in_flight = List.length !in_flight; sim_time = at })
+  in
+  let random_candidate () =
+    match candidates with
+    | Some c -> c.(Prng.Rng.int rng (Array.length c))
+    | None -> Param.Space.random_config space rng
+  in
+  let draw_fresh () =
+    let rec attempt i =
+      let c = random_candidate () in
+      if (not (Param.Config.Table.mem seen c)) || i >= max_init_redraws then (c, i)
+      else attempt (i + 1)
+    in
+    attempt 0
+  in
+  let pool_covered = ref false in
+  let pool_exhausted () =
+    Array.length pool > 0
+    && (!pool_covered
+       || Param.Config.Table.length seen >= Array.length pool
+          && Array.for_all (fun c -> Param.Config.Table.mem seen c) pool
+          && begin
+               pool_covered := true;
+               true
+             end)
+  in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Campaign_start
+         {
+           budget;
+           n_init;
+           batch_size = k;
+           n_warm = Array.length warm_start;
+           n_replay = Array.length replay;
+         });
+  let init_drawn = ref 0 in
+  (* Draw the next fresh random-init configuration, consuming the same
+     rng stream (including duplicate draws, which burn an init slot
+     without submitting) as the synchronous core's init loop. *)
+  let rec next_init () =
+    if !init_drawn >= n_init || pool_exhausted () then None
+    else begin
+      let c, redraws = draw_fresh () in
+      let duplicate = Param.Config.Table.mem seen c in
+      if Telemetry.Trace.enabled telemetry then
+        Telemetry.Trace.emit telemetry
+          (Telemetry.Event.Init_draw { index = !init_drawn; redraws; duplicate });
+      incr init_drawn;
+      if duplicate then next_init () else Some c
+    end
+  in
+  let observations () = Array.append warm_start (Array.of_list (List.rev !history)) in
+  (* Guided selection with the pending set treated as constant-liar
+     observations: in-flight configurations join the surrogate's bad
+     density (after the failures, preserving the synchronous fit input
+     order when the pending set is empty), so near-duplicates of
+     pending points score poorly, and the [seen] table excludes exact
+     duplicates outright. *)
+  let select_guided () =
+    let obs = observations () in
+    if Array.length obs = 0 then `Not_yet
+    else begin
+      let pending =
+        Array.of_list (List.rev_map (fun s -> s.slot_config) !in_flight)
+      in
+      let extra_bad =
+        Array.append (Array.of_list (List.rev_map fst !failures)) pending
+      in
+      let surrogate =
+        Surrogate.fit ~telemetry ~options:options.surrogate ?prior:options.prior ~extra_bad
+          space obs
+      in
+      final_surrogate := Some surrogate;
+      match
+        Strategy.select_many ~telemetry ?workers ?schedule ?encoded options.strategy ~k:1 ~rng
+          ~surrogate ~pool ~evaluated:seen
+      with
+      | [] -> `Exhausted
+      | c :: _ -> `Config c
+    end
+  in
+  (* Keep slots full: init draws while they last, then one refit +
+     selection per submission. [`Not_yet] (no observations to fit on
+     yet) pauses filling until a completion lands; an exhausted pool
+     latches [no_more]. *)
+  let no_more = ref false in
+  let fill at =
+    let filling = ref true in
+    while
+      !filling && (not !no_more)
+      && List.length !in_flight < k
+      && !submitted < budget
+      && not (stale ())
+    do
+      match next_init () with
+      | Some c -> submit_config ~guided:false ~at c
+      | None -> (
+          match select_guided () with
+          | `Config c -> submit_config ~guided:true ~at c
+          | `Exhausted -> no_more := true
+          | `Not_yet -> filling := false)
+    done
+  in
+  fill !sim_time;
+  while !in_flight <> [] do
+    (* Completion order is decided by the simulated clock, so every
+       pending duration must be known before the earliest completion
+       can be identified: force all in-flight verdicts (with a pool
+       they are already being computed on worker domains). *)
+    let timed =
+      List.rev_map
+        (fun slot ->
+          let v, _, _, _ = slot_force slot in
+          let d = duration slot.slot_config v in
+          if (not (Float.is_finite d)) || d < 0. then
+            invalid_arg "Tuner.run_async: duration must be finite and non-negative";
+          (slot, slot.slot_submitted +. d))
+        !in_flight
+    in
+    let slot, at =
+      List.fold_left
+        (fun ((bs, bt) as acc) ((s, t) as cand) ->
+          if t < bt || (t = bt && s.slot_seq < bs.slot_seq) then cand else acc)
+        (List.hd timed) (List.tl timed)
+    in
+    in_flight := List.filter (fun s -> s.slot_seq <> slot.slot_seq) !in_flight;
+    sim_time := at;
+    let verdict, attempts_log, replayed, eval_ms = slot_force slot in
+    let idx = !completed in
+    if idx < Array.length replay then begin
+      let recorded_config, _ = replay.(idx) in
+      if not (Param.Config.equal recorded_config slot.slot_config) then failwith divergence_msg
+    end
+    else if replayed then
+      (* A recorded verdict completing beyond the recorded prefix
+         means the completion order no longer matches the log. *)
+      failwith divergence_msg;
+    if Telemetry.Trace.enabled telemetry then
+      List.iter
+        (fun (attempt, kind, backoff) ->
+          Telemetry.Trace.emit telemetry (Telemetry.Event.Attempt { attempt; kind; backoff }))
+        attempts_log;
+    (if not replayed then
+       match on_outcome with Some f -> f idx slot.slot_config verdict | None -> ());
+    n_attempts := !n_attempts + verdict.Resilience.Evaluator.attempts;
+    retry_cost := !retry_cost +. verdict.Resilience.Evaluator.retry_cost;
+    (match verdict.Resilience.Evaluator.outcome with
+    | Resilience.Outcome.Value y ->
+        history := (slot.slot_config, y) :: !history;
+        (match !best with
+        | Some (_, by) when by <= y -> if slot.slot_guided then incr since_improvement
+        | Some _ | None ->
+            best := Some (slot.slot_config, y);
+            since_improvement := 0);
+        trajectory := snd (Option.get !best) :: !trajectory
+    | failure ->
+        failures := (slot.slot_config, failure) :: !failures;
+        if slot.slot_guided then incr since_improvement);
+    if Telemetry.Trace.enabled telemetry then begin
+      let outcome = verdict.Resilience.Evaluator.outcome in
+      Telemetry.Trace.emit telemetry
+        (Telemetry.Event.Eval
+           {
+             index = idx;
+             kind = Resilience.Outcome.kind outcome;
+             value = Resilience.Outcome.value outcome;
+             attempts = verdict.Resilience.Evaluator.attempts;
+             retry_cost = verdict.Resilience.Evaluator.retry_cost;
+             replayed;
+             dur_ms = eval_ms;
+           });
+      Telemetry.Trace.emit telemetry
+        (Telemetry.Event.Complete
+           {
+             index = idx;
+             in_flight = List.length !in_flight;
+             sim_time = !sim_time;
+             kind = Resilience.Outcome.kind outcome;
+           })
+    end;
+    incr completed;
+    fill !sim_time
+  done;
+  let stopped_early = stale () in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Campaign_end
+         {
+           evaluations = !completed;
+           failures = List.length !failures;
+           best = Option.map snd !best;
+           stopped_early;
+           dur_ms = (Telemetry.Trace.now telemetry -. campaign_t0) *. 1000.;
+         });
+  match !best with
+  | None ->
+      Stdlib.Error
+        {
+          error_failures = Array.of_list (List.rev !failures);
+          error_attempts = !n_attempts;
+        }
+  | Some (best_config, best_value) ->
+      Stdlib.Ok
+        {
+          history = Array.of_list (List.rev !history);
+          best_config;
+          best_value;
+          trajectory = Array.of_list (List.rev !trajectory);
+          final_surrogate = !final_surrogate;
+          stopped_early;
+          failures = Array.of_list (List.rev !failures);
+          n_attempts = !n_attempts;
+          retry_cost = !retry_cost;
+        }
+
+let resume_async ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start
+    ?candidates ?on_outcome ?pool ?schedule ?duration ~k ~log ~objective ~budget () =
+  let replay = replay_of_log ~policy log in
+  if Array.length replay > budget then
+    invalid_arg "Tuner.resume: budget is smaller than the recorded evaluation count";
+  let rng = Prng.Rng.create log.Dataset.Runlog.seed in
+  run_async ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool
+    ?schedule ?duration ~k ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()

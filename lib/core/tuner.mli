@@ -205,3 +205,90 @@ val resume :
     if the log already holds more than [budget] entries and [Failure]
     if the log's entries are not dense from index 0 or diverge from
     the replayed trajectory. *)
+
+val default_duration : Param.Config.t -> Resilience.Evaluator.verdict -> float
+(** The simulated duration {!run_async} assigns a completed verdict
+    when no [duration] function is supplied: the measured objective
+    value when it is finite and positive (an HPC runtime objective is
+    its own natural duration), 1.0 otherwise, plus the verdict's
+    accumulated retry backoff cost. *)
+
+val run_async :
+  ?telemetry:Telemetry.Trace.t ->
+  ?options:options ->
+  ?policy:Resilience.Policy.t ->
+  ?warm_start:(Param.Config.t * float) array ->
+  ?candidates:Param.Config.t array ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?replay:(Param.Config.t * Resilience.Evaluator.verdict) array ->
+  ?pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  ?duration:(Param.Config.t -> Resilience.Evaluator.verdict -> float) ->
+  k:int ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (result, run_error) Stdlib.result
+(** The asynchronous campaign engine: up to [k] evaluations are in
+    flight at once and the surrogate refits whenever a slot frees,
+    instead of waiting for a batch barrier ([options.batch_size] is
+    ignored — refit-on-completion replaces batching).
+
+    {b Submission.} Slots are kept full: random-init draws while they
+    last (same rng stream as the synchronous engine, duplicates burn
+    an init slot without submitting), then one refit + top-1 selection
+    per submission. In-flight configurations are penalized with a
+    constant-liar/bad-density treatment — they join the surrogate's
+    bad density exactly like failed configurations — so the ranker
+    steers away from near-duplicates of pending points, and the
+    submission-time dedup table excludes exact duplicates outright.
+    Each evaluation runs through {!Resilience.Evaluator.evaluate}
+    under [policy] inside its slot (retries stay within the slot and
+    the final verdict consumes one budget unit). Total submissions
+    never exceed [budget] regardless of [k].
+
+    {b Determinism.} Completion order is decided by a simulated
+    clock, never by wall time: a submission completes at its
+    submission time plus [duration config verdict] (default
+    {!default_duration}; must be finite and non-negative — ties break
+    toward the earlier submission). With [pool] the evaluations
+    actually execute concurrently on worker domains, but since the
+    processing order is simulation-driven, the same seed and the same
+    duration function give a bit-identical history, trajectory, and
+    best configuration for every worker count — and [~k:1] degrades
+    exactly to {!run_with_policy} (with the default batch size), the
+    equivalence the property tests assert. When [pool] is given,
+    [objective] must be thread-safe.
+
+    [history], [trajectory], [on_outcome] indices, and run-log entries
+    written from [on_outcome] are all in completion order. [telemetry]
+    additionally carries one [Submit] and one [Complete] event per
+    slot with the in-flight depth and simulated time ([Campaign_start]
+    records [k] in its [batch_size] field). [replay] is the resume
+    mechanism (see {!resume_async}); replayed verdicts are matched
+    against the recorded completion order and raise [Failure] on
+    divergence. *)
+
+val resume_async :
+  ?telemetry:Telemetry.Trace.t ->
+  ?options:options ->
+  ?policy:Resilience.Policy.t ->
+  ?warm_start:(Param.Config.t * float) array ->
+  ?candidates:Param.Config.t array ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?pool:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  ?duration:(Param.Config.t -> Resilience.Evaluator.verdict -> float) ->
+  k:int ->
+  log:Dataset.Runlog.t ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (result, run_error) Stdlib.result
+(** {!resume} for asynchronous campaigns: rebuilds the rng from
+    [log.seed] and replays the recorded verdicts in their recorded
+    completion order. The interrupted and resumed runs agree
+    bit-for-bit only if [k], [options], [policy], and the [duration]
+    function are the same as in the recorded run. *)

@@ -79,6 +79,43 @@ let with_pool ?num_domains f =
       shutdown t;
       raise e
 
+(* ---- futures ---- *)
+
+type 'a future_state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_ready : Condition.t;
+  mutable f_state : 'a future_state;
+}
+
+let async t f =
+  let fut = { f_mutex = Mutex.create (); f_ready = Condition.create (); f_state = Pending } in
+  let run () =
+    let result = match f () with v -> Done v | exception e -> Failed e in
+    Mutex.lock fut.f_mutex;
+    fut.f_state <- result;
+    Condition.broadcast fut.f_ready;
+    Mutex.unlock fut.f_mutex
+  in
+  (* With no worker domains nothing would ever drain the queue, so the
+     task runs inline here and the future is born completed. *)
+  if Array.length t.domains = 0 then run () else submit t run;
+  fut
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  let rec wait () =
+    match fut.f_state with
+    | Pending ->
+        Condition.wait fut.f_ready fut.f_mutex;
+        wait ()
+    | state -> state
+  in
+  let state = wait () in
+  Mutex.unlock fut.f_mutex;
+  match state with Done v -> v | Failed e -> raise e | Pending -> assert false
+
 type schedule = Static | Dynamic of int | Guided
 
 (* Run [work participant_id] on every participant (workers plus the

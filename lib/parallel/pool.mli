@@ -28,6 +28,27 @@ val shutdown : t -> unit
 val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
 (** Create, run, and always shut down (also on exceptions). *)
 
+type 'a future
+(** A single task submitted with {!async}, completed (or failed) at
+    most once. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** [async pool f] enqueues [f] to run on a worker domain and returns
+    immediately; the asynchronous campaign engine uses this to keep
+    [k] evaluations in flight. When the pool has zero worker domains
+    [f] runs inline before [async] returns (nothing else would drain
+    the queue), so the future is already completed — the degradation
+    mirrors the sequential fallback of the parallel loops. [f] must
+    not {!await} another future of the same pool (a task queued behind
+    it could never run) and must be thread-safe with respect to any
+    concurrently submitted work. Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the future's task has finished and return its result,
+    re-raising the task's exception if it failed. May be called any
+    number of times (from the domain that created the pool). *)
+
 (** Loop scheduling policies, mirroring OpenMP's:
     - [Static]: iterations are split into [size ()] contiguous blocks
       up front — lowest overhead, best for uniform iterations.

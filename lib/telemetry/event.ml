@@ -19,6 +19,8 @@ type t =
       schedule : string;
       dur_ms : float;
     }
+  | Submit of { index : int; in_flight : int; sim_time : float }
+  | Complete of { index : int; in_flight : int; sim_time : float; kind : string }
   | Attempt of { attempt : int; kind : string; backoff : float }
   | Eval of {
       index : int;
@@ -43,6 +45,8 @@ let name = function
   | Refit _ -> "refit"
   | Compile _ -> "compile"
   | Rank _ -> "rank"
+  | Submit _ -> "submit"
+  | Complete _ -> "complete"
   | Attempt _ -> "attempt"
   | Eval _ -> "eval"
   | Campaign_end _ -> "campaign_end"
@@ -85,6 +89,15 @@ let to_fields ev =
         ("workers", int_ workers);
         ("schedule", Jsonl.String schedule);
         ("dur_ms", num dur_ms);
+      ]
+  | Submit { index; in_flight; sim_time } ->
+      [ ("index", int_ index); ("in_flight", int_ in_flight); ("sim_time", num sim_time) ]
+  | Complete { index; in_flight; sim_time; kind } ->
+      [
+        ("index", int_ index);
+        ("in_flight", int_ in_flight);
+        ("sim_time", num sim_time);
+        ("kind", Jsonl.String kind);
       ]
   | Attempt { attempt; kind; backoff } ->
       [ ("attempt", int_ attempt); ("kind", Jsonl.String kind); ("backoff", num backoff) ]
@@ -185,6 +198,16 @@ let of_fields fields =
           workers = i "workers";
           schedule = s "schedule";
           dur_ms = f "dur_ms";
+        }
+  | "submit" ->
+      Submit { index = i "index"; in_flight = i "in_flight"; sim_time = f "sim_time" }
+  | "complete" ->
+      Complete
+        {
+          index = i "index";
+          in_flight = i "in_flight";
+          sim_time = f "sim_time";
+          kind = s "kind";
         }
   | "attempt" -> Attempt { attempt = i "attempt"; kind = s "kind"; backoff = f "backoff" }
   | "eval" ->

@@ -40,6 +40,17 @@ type t =
       schedule : string;  (** "seq", "static", "dynamicN", or "guided" *)
       dur_ms : float;
     }
+  | Submit of {
+      index : int;  (** 0-based submission ordinal *)
+      in_flight : int;  (** in-flight depth after this submission *)
+      sim_time : float;  (** simulated submission time (async engine clock) *)
+    }
+  | Complete of {
+      index : int;  (** 0-based completion ordinal (the budget unit) *)
+      in_flight : int;  (** in-flight depth after this completion *)
+      sim_time : float;  (** simulated completion time *)
+      kind : string;  (** final verdict kind: "ok"/"transient"/... *)
+    }
   | Attempt of {
       attempt : int;  (** 1-based attempt number within the retry loop *)
       kind : string;  (** classified outcome: "ok"/"transient"/... *)

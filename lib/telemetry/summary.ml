@@ -13,6 +13,9 @@ type t = {
   mutable attempts : int;
   mutable retry_cost : float;
   mutable replayed : int;
+  mutable submits : int;
+  mutable max_in_flight : int;
+  mutable sim_makespan : float option;
   mutable last_alpha : float option;
   mutable best : float option;
   mutable stopped_early : bool;
@@ -34,6 +37,9 @@ let create () =
     attempts = 0;
     retry_cost = 0.;
     replayed = 0;
+    submits = 0;
+    max_in_flight = 0;
+    sim_makespan = None;
     last_alpha = None;
     best = None;
     stopped_early = false;
@@ -51,6 +57,12 @@ let observe t ~ts (ev : Event.t) =
       t.last_alpha <- Some alpha
   | Compile { dur_ms; _ } -> t.compile_ms <- dur_ms :: t.compile_ms
   | Rank { dur_ms; _ } -> t.rank_ms <- dur_ms :: t.rank_ms
+  | Submit { in_flight; _ } ->
+      t.submits <- t.submits + 1;
+      if in_flight > t.max_in_flight then t.max_in_flight <- in_flight
+  | Complete { sim_time; _ } ->
+      t.sim_makespan <-
+        Some (match t.sim_makespan with None -> sim_time | Some m -> Float.max m sim_time)
   | Attempt _ -> ()
   | Eval { kind; attempts; retry_cost; replayed; dur_ms; _ } ->
       t.evals <- t.evals + 1;
@@ -80,6 +92,9 @@ let ranks t = List.length t.rank_ms
 let evals t = t.evals
 let failures t = t.failures
 let init_draws t = t.init_draws
+let submits t = t.submits
+let max_in_flight t = t.max_in_flight
+let sim_makespan t = t.sim_makespan
 
 let sum = List.fold_left ( +. ) 0.
 
@@ -117,6 +132,12 @@ let render t =
        t.failures t.attempts
        (if t.replayed > 0 then Printf.sprintf ", %d replayed" t.replayed else "")
        (if t.retry_cost > 0. then Printf.sprintf ", retry cost %.3f" t.retry_cost else ""));
+  if t.submits > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "  async      %d submits, max in-flight %d%s\n" t.submits t.max_in_flight
+         (match t.sim_makespan with
+         | Some m -> Printf.sprintf ", sim makespan %.6g" m
+         | None -> ""));
   (match t.best with
   | Some v -> Buffer.add_string b (Printf.sprintf "  best       %.6g\n" v)
   | None -> ());

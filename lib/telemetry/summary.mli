@@ -23,5 +23,16 @@ val evals : t -> int
 val failures : t -> int
 val init_draws : t -> int
 
+val submits : t -> int
+(** [Submit] events seen — 0 for synchronous campaigns, which makes
+    the async line of {!render} conditional. *)
+
+val max_in_flight : t -> int
+(** Deepest concurrent in-flight count reported by any [Submit]. *)
+
+val sim_makespan : t -> float option
+(** Largest simulated completion time over all [Complete] events: the
+    campaign's simulated wall-clock under [k]-way concurrency. *)
+
 val render : t -> string
 (** Human-readable multi-line summary. *)

@@ -1,0 +1,377 @@
+(* Tests for the asynchronous campaign engine: the k=1 degradation to
+   the synchronous resilient tuner (bit-for-bit, property-tested over
+   random spaces/seeds/fault plans and over the simulator datasets),
+   permutation-equality of async and sync histories under arbitrary
+   completion orders, the budget bound for every in-flight depth,
+   worker-count independence, and async interrupt-then-resume. *)
+
+let check = Alcotest.check
+
+let table name = (Hpcsim.Registry.find name).Hpcsim.Registry.table ()
+
+(* Compare the two possible outcomes of a resilient run. *)
+let run_outcomes_identical a b =
+  match (a, b) with
+  | Stdlib.Ok a, Stdlib.Ok b -> Gen.results_identical a b
+  | Stdlib.Error a, Stdlib.Error b ->
+      let failure_eq (c1, o1) (c2, o2) =
+        Param.Config.equal c1 c2 && Resilience.Outcome.kind o1 = Resilience.Outcome.kind o2
+      in
+      a.Hiperbot.Tuner.error_attempts = b.Hiperbot.Tuner.error_attempts
+      && Array.length a.Hiperbot.Tuner.error_failures
+         = Array.length b.Hiperbot.Tuner.error_failures
+      && Array.for_all2 failure_eq a.Hiperbot.Tuner.error_failures
+           b.Hiperbot.Tuner.error_failures
+  | _ -> false
+
+(* Every completed configuration with its outcome, as a sorted list of
+   strings — the order-insensitive view used by the permutation
+   property. *)
+let completion_multiset space outcome =
+  let items =
+    match outcome with
+    | Stdlib.Ok (r : Hiperbot.Tuner.result) ->
+        Array.to_list
+          (Array.map
+             (fun (c, y) -> Printf.sprintf "%s=%h" (Param.Space.to_string space c) y)
+             r.Hiperbot.Tuner.history)
+        @ Array.to_list
+            (Array.map
+               (fun (c, o) ->
+                 Printf.sprintf "%s!%s" (Param.Space.to_string space c)
+                   (Resilience.Outcome.kind o))
+               r.Hiperbot.Tuner.failures)
+    | Stdlib.Error (e : Hiperbot.Tuner.run_error) ->
+        Array.to_list
+          (Array.map
+             (fun (c, o) ->
+               Printf.sprintf "%s!%s" (Param.Space.to_string space c)
+                 (Resilience.Outcome.kind o))
+             e.Hiperbot.Tuner.error_failures)
+  in
+  List.sort compare items
+
+let completion_count outcome =
+  match outcome with
+  | Stdlib.Ok (r : Hiperbot.Tuner.result) ->
+      Array.length r.Hiperbot.Tuner.history + Array.length r.Hiperbot.Tuner.failures
+  | Stdlib.Error (e : Hiperbot.Tuner.run_error) ->
+      Array.length e.Hiperbot.Tuner.error_failures
+
+(* ---- property: k=1 degrades exactly to run_with_policy ---- *)
+
+let campaign_gen =
+  let open QCheck2.Gen in
+  let* space = Gen.space_gen ~max_params:3 ~allow_continuous:false () in
+  let* faults = Gen.fault_spec_gen in
+  let* seed = Gen.seed_gen in
+  let* n_init = int_range 1 6 in
+  let+ budget = int_range 1 16 in
+  (space, faults, seed, n_init, budget)
+
+let print_campaign (space, faults, seed, n_init, budget) =
+  Printf.sprintf "%s %s seed=%d n_init=%d budget=%d" (Gen.space_to_string space)
+    (Gen.fault_spec_to_string faults) seed n_init budget
+
+let prop_k1_bit_identical =
+  QCheck2.Test.make ~name:"async: k=1 = run_with_policy over random spaces/seeds/faults"
+    ~count:60 ~print:print_campaign campaign_gen
+    (fun (space, faults, seed, n_init, budget) ->
+      let objective = Hpcsim.Faults.inject faults Gen.hash_objective in
+      let options = { Hiperbot.Tuner.default_options with n_init } in
+      let sync =
+        Hiperbot.Tuner.run_with_policy ~options ~policy:Gen.policy3
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      let asynchronous =
+        Hiperbot.Tuner.run_async ~options ~policy:Gen.policy3 ~k:1
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      run_outcomes_identical sync asynchronous)
+
+(* ---- property: async history is a permutation of the sync one ----
+
+   During pure random initialization the submission stream depends
+   only on the rng, never on completions, so whatever completion order
+   a duration function induces, the async engine evaluates exactly the
+   configurations the synchronous engine would — in some order. The
+   precondition (no guided step ran in the sync run) is what makes the
+   claim exact; guided steps legitimately diverge because pending
+   penalties change selection. *)
+let prop_permutation_equal =
+  let gen =
+    let open QCheck2.Gen in
+    let* space = Gen.space_gen ~max_params:3 ~allow_continuous:false () in
+    let* faults = Gen.fault_spec_gen in
+    let* seed = Gen.seed_gen in
+    let* k = int_range 1 6 in
+    let* dur_salt = int_range 0 1_000_000 in
+    let+ budget = int_range 1 10 in
+    (space, faults, seed, k, dur_salt, budget)
+  in
+  QCheck2.Test.make
+    ~name:"async: history permutation-equal to sync under any completion order" ~count:60
+    ~print:(fun (space, faults, seed, k, dur_salt, budget) ->
+      Printf.sprintf "%s %s seed=%d k=%d dur_salt=%d budget=%d" (Gen.space_to_string space)
+        (Gen.fault_spec_to_string faults) seed k dur_salt budget)
+    gen
+    (fun (space, faults, seed, k, dur_salt, budget) ->
+      let objective = Hpcsim.Faults.inject faults Gen.hash_objective in
+      (* n_init >= budget: the whole campaign is random initialization
+         unless duplicate draws push it into the guided phase. *)
+      let options = { Hiperbot.Tuner.default_options with n_init = budget } in
+      (* An arbitrary deterministic completion-order scrambler. *)
+      let duration c _ = float_of_int (1 + ((Param.Config.hash c lxor dur_salt) land 0xFF)) in
+      let sync =
+        Hiperbot.Tuner.run_with_policy ~options ~policy:Gen.policy3
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      let no_guided_step =
+        match sync with
+        | Stdlib.Ok r -> r.Hiperbot.Tuner.final_surrogate = None
+        | Stdlib.Error _ -> true
+      in
+      QCheck2.assume no_guided_step;
+      let asynchronous =
+        Hiperbot.Tuner.run_async ~options ~policy:Gen.policy3 ~duration ~k
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      completion_multiset space sync = completion_multiset space asynchronous)
+
+(* ---- property: budget bound for every in-flight depth ---- *)
+
+let prop_budget_never_exceeded =
+  let gen =
+    let open QCheck2.Gen in
+    let* (space, faults, seed, n_init, budget) = campaign_gen in
+    let+ k = int_range 1 (budget + 5) in
+    (space, faults, seed, n_init, budget, k)
+  in
+  QCheck2.Test.make ~name:"async: budget never exceeded, no config resubmitted" ~count:60
+    ~print:(fun (space, faults, seed, n_init, budget, k) ->
+      Printf.sprintf "%s k=%d %s" (print_campaign (space, faults, seed, n_init, budget)) k
+        (Gen.fault_spec_to_string faults))
+    gen
+    (fun (space, faults, seed, n_init, budget, k) ->
+      let objective = Hpcsim.Faults.inject faults Gen.hash_objective in
+      let options = { Hiperbot.Tuner.default_options with n_init } in
+      let outcome =
+        Hiperbot.Tuner.run_async ~options ~policy:Gen.policy3 ~k
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      let n = completion_count outcome in
+      let distinct =
+        (* no configuration may be submitted twice *)
+        let configs =
+          match outcome with
+          | Stdlib.Ok r ->
+              Array.to_list (Array.map fst r.Hiperbot.Tuner.history)
+              @ Array.to_list (Array.map fst r.Hiperbot.Tuner.failures)
+          | Stdlib.Error e -> Array.to_list (Array.map fst e.Hiperbot.Tuner.error_failures)
+        in
+        List.length (List.sort_uniq Param.Config.compare configs) = List.length configs
+      in
+      let full_budget_when_possible =
+        match (outcome, Param.Space.cardinality space) with
+        | Stdlib.Ok _, Some card when card >= budget -> n = budget
+        | _ -> true
+      in
+      n <= budget && distinct && full_budget_when_possible)
+
+(* ---- k=1 equivalence over the simulator datasets ---- *)
+
+(* The acceptance criterion: over >= 2 datasets x 2 seeds, a faulty
+   async campaign at k=1 retraces run_with_policy bit-for-bit, and at
+   k>1 the engine is deterministic (same seed => same history) for
+   every worker count. *)
+let check_dataset_k1 ~dataset ~seed =
+  let t = table dataset in
+  let space = Dataset.Table.space t in
+  let spec = Hpcsim.Faults.standard ~seed:(seed * 131 + 7) ~rate:0.15 in
+  let objective = Hpcsim.Faults.inject spec (Dataset.Table.objective_fn t) in
+  let options = { Hiperbot.Tuner.default_options with n_init = 8 } in
+  let budget = 24 in
+  let sync =
+    Hiperbot.Tuner.run_with_policy ~options ~policy:Gen.policy3 ~rng:(Prng.Rng.create seed)
+      ~space ~objective ~budget ()
+  in
+  let asynchronous =
+    Hiperbot.Tuner.run_async ~options ~policy:Gen.policy3 ~k:1 ~rng:(Prng.Rng.create seed)
+      ~space ~objective ~budget ()
+  in
+  check Alcotest.bool
+    (Printf.sprintf "%s seed %d: async k=1 = run_with_policy" dataset seed)
+    true
+    (run_outcomes_identical sync asynchronous);
+  List.iter
+    (fun k ->
+      let run ?pool () =
+        Hiperbot.Tuner.run_async ?pool ~options ~policy:Gen.policy3 ~k
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      let sequential = run () in
+      check Alcotest.bool
+        (Printf.sprintf "%s seed %d k=%d: two runs agree" dataset seed k)
+        true
+        (run_outcomes_identical sequential (run ()));
+      Parallel.Pool.with_pool ~num_domains:3 (fun workers ->
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d k=%d: pooled run = sequential run" dataset seed k)
+            true
+            (run_outcomes_identical sequential (run ~pool:workers ()))))
+    [ 2; 4 ]
+
+let test_dataset_k1_equivalence () =
+  List.iter
+    (fun dataset -> List.iter (fun seed -> check_dataset_k1 ~dataset ~seed) [ 3; 14 ])
+    [ "kripke"; "hypre" ]
+
+(* ---- async interrupt-then-resume ---- *)
+
+let test_async_resume_determinism () =
+  let t = table "kripke" in
+  let space = Dataset.Table.space t in
+  let spec = Hpcsim.Faults.standard ~seed:101 ~rate:0.15 in
+  let objective = Hpcsim.Faults.inject spec (Dataset.Table.objective_fn t) in
+  let options = { Hiperbot.Tuner.default_options with n_init = 8 } in
+  let budget = 24 and interrupt_after = 10 and k = 3 and seed = 6 in
+  let recorded = ref [] in
+  let full =
+    match
+      Hiperbot.Tuner.run_async ~options ~policy:Gen.policy3 ~k
+        ~on_outcome:(fun i c v -> recorded := (i, c, v) :: !recorded)
+        ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "uninterrupted async campaign failed outright"
+  in
+  check Alcotest.int "one on_outcome per budget unit" budget (List.length !recorded);
+  let entries =
+    List.rev !recorded
+    |> List.filteri (fun i _ -> i < interrupt_after)
+    |> List.map (fun (i, c, (v : Resilience.Evaluator.verdict)) ->
+           {
+             Dataset.Runlog.index = i;
+             config = c;
+             status = Gen.status_of_outcome v.Resilience.Evaluator.outcome;
+             attempts = v.Resilience.Evaluator.attempts;
+           })
+  in
+  let log = Dataset.Runlog.create ~name:"kripke" ~seed ~space entries in
+  let resumed =
+    match
+      Hiperbot.Tuner.resume_async ~options ~policy:Gen.policy3 ~k ~log ~objective ~budget ()
+    with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error _ -> Alcotest.fail "resumed async campaign failed outright"
+  in
+  check Alcotest.bool "async resume reproduces the uninterrupted run bit-for-bit" true
+    (Gen.results_identical full resumed);
+  (* Resuming with a different k must be detected, not absorbed: the
+     recorded completion order cannot match. *)
+  match
+    Hiperbot.Tuner.resume_async ~options ~policy:Gen.policy3 ~k:1 ~log ~objective ~budget ()
+  with
+  | _ -> Alcotest.fail "resume with a different k must be rejected"
+  | exception Failure _ -> ()
+
+(* ---- async telemetry structure ---- *)
+
+let test_async_trace_structure () =
+  let t = table "kripke" in
+  let space = Dataset.Table.space t in
+  let objective ~attempt:_ c = Resilience.Outcome.Value (Dataset.Table.objective_fn t c) in
+  let options = { Hiperbot.Tuner.default_options with n_init = 6 } in
+  let budget = 18 and k = 4 in
+  let sink, collected = Telemetry.Trace.memory_sink () in
+  let telemetry = Telemetry.Trace.make [ sink ] in
+  (match
+     Hiperbot.Tuner.run_async ~telemetry ~options ~k ~rng:(Prng.Rng.create 11) ~space
+       ~objective ~budget ()
+   with
+  | Stdlib.Ok _ -> ()
+  | Stdlib.Error _ -> Alcotest.fail "campaign failed outright");
+  let events = List.map snd (collected ()) in
+  let count pred = List.length (List.filter pred events) in
+  let submits = count (function Telemetry.Event.Submit _ -> true | _ -> false) in
+  let completes = count (function Telemetry.Event.Complete _ -> true | _ -> false) in
+  let evals = count (function Telemetry.Event.Eval _ -> true | _ -> false) in
+  check Alcotest.int "one submit per budget unit" budget submits;
+  check Alcotest.int "one complete per budget unit" budget completes;
+  check Alcotest.int "one eval per budget unit" budget evals;
+  let max_depth =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Telemetry.Event.Submit { in_flight; _ } -> max acc in_flight
+        | _ -> acc)
+      0 events
+  in
+  check Alcotest.bool "in-flight depth reaches k" true (max_depth = k);
+  let sim_times =
+    List.filter_map
+      (function Telemetry.Event.Complete { sim_time; _ } -> Some sim_time | _ -> None)
+      events
+  in
+  check Alcotest.bool "completion sim-times are monotone" true
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length sim_times - 1) sim_times)
+       (List.tl sim_times));
+  (* The summary aggregator sees the same structure. *)
+  let summary = Telemetry.Summary.create () in
+  List.iter (fun (ts, ev) -> Telemetry.Summary.observe summary ~ts ev) (collected ());
+  check Alcotest.int "summary submits" budget (Telemetry.Summary.submits summary);
+  check Alcotest.int "summary max in-flight" k (Telemetry.Summary.max_in_flight summary);
+  check Alcotest.bool "summary makespan recorded" true
+    (Telemetry.Summary.sim_makespan summary <> None);
+  check Alcotest.bool "render mentions the async line" true
+    (let r = Telemetry.Summary.render summary in
+     let rec contains i =
+       i + 5 <= String.length r && (String.sub r i 5 = "async" || contains (i + 1))
+     in
+     contains 0)
+
+(* ---- early stop counts completions, not refit rounds ---- *)
+
+let test_async_early_stop () =
+  (* A constant objective never improves after the first success, so
+     with early_stop = e the campaign performs exactly e guided
+     completions after init — for every in-flight depth. *)
+  let space = Gen.wide_space in
+  let objective ~attempt:_ _ = Resilience.Outcome.Value 5.0 in
+  List.iter
+    (fun k ->
+      let options =
+        { Hiperbot.Tuner.default_options with n_init = 3; early_stop = Some 4 }
+      in
+      match
+        Hiperbot.Tuner.run_async ~options ~k ~rng:(Prng.Rng.create 2) ~space ~objective
+          ~budget:50 ()
+      with
+      | Stdlib.Ok r ->
+          check Alcotest.bool (Printf.sprintf "k=%d: stopped early" k) true
+            r.Hiperbot.Tuner.stopped_early;
+          (* In-flight guided evaluations at the moment the counter
+             trips still complete, so the history may overshoot by up
+             to k-1. *)
+          let n = Array.length r.Hiperbot.Tuner.history in
+          check Alcotest.bool
+            (Printf.sprintf "k=%d: stops within k-1 of the sync stopping point (got %d)" k n)
+            true
+            (n >= 3 + 4 && n <= 3 + 4 + (k - 1))
+      | Stdlib.Error _ -> Alcotest.fail "constant campaign cannot fail")
+    [ 1; 2; 4; 8 ]
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "async",
+    [
+      tc "dataset k=1 equivalence + k>1 determinism (2 datasets x 2 seeds)" `Slow
+        test_dataset_k1_equivalence;
+      tc "async resume determinism" `Slow test_async_resume_determinism;
+      tc "async trace structure" `Quick test_async_trace_structure;
+      tc "async early stop counts completions" `Quick test_async_early_stop;
+      QCheck_alcotest.to_alcotest prop_k1_bit_identical;
+      QCheck_alcotest.to_alcotest prop_permutation_equal;
+      QCheck_alcotest.to_alcotest prop_budget_never_exceeded;
+    ] )

@@ -19,44 +19,35 @@ let schedule_label = function
 
 (* ---- compiled scorer vs naive scorer ---- *)
 
-let random_space rng =
-  let n = 1 + Prng.Rng.int rng 3 in
-  Param.Space.make
-    (List.init n (fun i ->
-         match Prng.Rng.int rng 3 with
-         | 0 -> Param.Spec.categorical (Printf.sprintf "c%d" i) [ "a"; "b"; "x" ]
-         | 1 -> Param.Spec.ordinal_ints (Printf.sprintf "o%d" i) [ 1; 2; 4; 8 ]
-         | _ -> Param.Spec.continuous (Printf.sprintf "r%d" i) ~lo:0. ~hi:10.))
-
 (* Random space, observations, priors, extra_bad, and both bandwidth
    rules: every pool element must score identically (<= 1 ulp; the
    implementation is expected to be exactly bit-equal) through the
-   naive per-config path and the compiled tables. *)
+   naive per-config path and the compiled tables. Everything is built
+   from the shared [Gen] generators, so a failure shrinks to a minimal
+   space and pool. *)
 let prop_compiled_matches_naive =
+  let gen =
+    let open QCheck2.Gen in
+    let* space = Gen.space_gen ~max_params:3 () in
+    let* pool = Gen.configs_gen ~min_n:5 ~max_n:45 space in
+    let* obs = Gen.observations_gen ~min_n:4 ~max_n:24 space in
+    let* extra_bad = Gen.configs_gen ~min_n:0 ~max_n:3 space in
+    let* bandwidth =
+      oneofl [ Hiperbot.Density.Fixed_fraction 0.1; Hiperbot.Density.Silverman ]
+    in
+    let+ alpha = float_range 0.1 0.5 in
+    (space, pool, obs, extra_bad, bandwidth, alpha)
+  in
   QCheck2.Test.make ~name:"surrogate: compiled log_ratio/score equal naive within 1 ulp"
     ~count:60
-    QCheck2.Gen.(int_range 0 100000)
-    (fun seed ->
-      let rng = Prng.Rng.create seed in
-      let space = random_space rng in
-      let pool =
-        Array.init (5 + Prng.Rng.int rng 40) (fun _ -> Param.Space.random_config space rng)
-      in
-      let obs =
-        Array.init
-          (4 + Prng.Rng.int rng 20)
-          (fun _ -> (Param.Space.random_config space rng, Prng.Rng.float rng *. 100.))
-      in
-      let extra_bad =
-        Array.init (Prng.Rng.int rng 4) (fun _ -> Param.Space.random_config space rng)
-      in
-      let bandwidth =
-        if Prng.Rng.int rng 2 = 0 then Hiperbot.Density.Fixed_fraction 0.1
-        else Hiperbot.Density.Silverman
-      in
+    ~print:(fun (space, pool, obs, extra_bad, _, alpha) ->
+      Printf.sprintf "%s pool=%d obs=%d extra_bad=%d alpha=%.3f" (Gen.space_to_string space)
+        (Array.length pool) (Array.length obs) (Array.length extra_bad) alpha)
+    gen
+    (fun (space, pool, obs, extra_bad, bandwidth, alpha) ->
       let options =
         {
-          Hiperbot.Surrogate.alpha = 0.1 +. (0.4 *. Prng.Rng.float rng);
+          Hiperbot.Surrogate.alpha;
           density = { Hiperbot.Density.default_options with bandwidth };
         }
       in
@@ -199,7 +190,7 @@ let test_density_floor_unified () =
 
 (* ---- campaign-level parity ---- *)
 
-let objective3 c = float_of_int ((Param.Config.hash c land 0xFFFF) + 1)
+let objective3 = Gen.hash_objective
 
 let tuner_options =
   { Hiperbot.Tuner.default_options with n_init = 4; batch_size = 2 }

@@ -519,6 +519,90 @@ let test_tuner_no_early_stop_when_improving () =
   check Alcotest.bool "ran the full budget" true (Array.length result.Hiperbot.Tuner.history = 12);
   check Alcotest.bool "not stopped early" false result.Hiperbot.Tuner.stopped_early
 
+let test_tuner_early_stop_batch_interaction () =
+  (* Regression: the no-improvement counter counts evaluations, not
+     refit rounds. With a constant objective, early_stop = 4, and
+     n_init = 3, every batch size must stop after exactly 3 + 4
+     evaluations — a larger batch is cut short mid-batch, not allowed
+     to finish and then counted as one stale "round". *)
+  List.iter
+    (fun batch_size ->
+      let count = ref 0 in
+      let objective _ =
+        incr count;
+        7.
+      in
+      let options =
+        { Hiperbot.Tuner.default_options with n_init = 3; batch_size; early_stop = Some 4 }
+      in
+      let result =
+        Hiperbot.Tuner.run ~options ~rng:(Prng.Rng.create 116) ~space:space2 ~objective
+          ~budget:50 ()
+      in
+      check Alcotest.bool
+        (Printf.sprintf "batch_size=%d: stopped early" batch_size)
+        true result.Hiperbot.Tuner.stopped_early;
+      check Alcotest.int
+        (Printf.sprintf "batch_size=%d: exactly n_init + early_stop evaluations" batch_size)
+        7 !count)
+    [ 1; 2; 3; 5 ]
+
+(* ---- Importance edge cases (eqs. 13-14) ---- *)
+
+let test_importance_one_choice_param () =
+  (* A single-choice parameter has identical one-bin good and bad
+     histograms: its JS divergence must be exactly 0, never NaN. *)
+  let space =
+    Param.Space.make
+      [ Param.Spec.categorical "fixed" [ "only" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ] ]
+  in
+  let rng = Prng.Rng.create 21 in
+  let obs =
+    Array.init 16 (fun i ->
+        (Param.Space.random_config space rng, 1. +. float_of_int (i mod 5)))
+  in
+  let ranking = Hiperbot.Importance.of_observations space obs in
+  Array.iter
+    (fun (name, score) ->
+      check Alcotest.bool (name ^ " finite") true (Float.is_finite score);
+      if name = "fixed" then check (Alcotest.float 0.) "one-bin divergence is 0" 0. score)
+    ranking
+
+let test_importance_extreme_alpha () =
+  (* alpha small enough that the quantile cut would leave the good set
+     empty: the split promotes the minima instead, so every score must
+     come back finite. alpha outside (0,1) is a named error. *)
+  let rng = Prng.Rng.create 22 in
+  let obs =
+    Array.init 20 (fun i -> (Param.Space.random_config space2 rng, 1. +. float_of_int i))
+  in
+  let options = { Hiperbot.Surrogate.default_options with alpha = 0.001 } in
+  let ranking = Hiperbot.Importance.of_observations ~options space2 obs in
+  check Alcotest.int "one score per parameter" (Array.length (Param.Space.specs space2))
+    (Array.length ranking);
+  Array.iter
+    (fun (name, score) -> check Alcotest.bool (name ^ " finite") true (Float.is_finite score))
+    ranking;
+  List.iter
+    (fun alpha ->
+      let options = { Hiperbot.Surrogate.default_options with alpha } in
+      match Hiperbot.Importance.of_observations ~options space2 obs with
+      | _ -> Alcotest.failf "alpha=%g must be rejected" alpha
+      | exception Invalid_argument _ -> ())
+    [ 0.; 1.; -0.5; Float.nan ]
+
+let test_importance_all_equal_objectives () =
+  (* Every observation identical: the good/bad split degenerates, but
+     the ranking must still be finite (all divergences 0 or near 0). *)
+  let rng = Prng.Rng.create 23 in
+  let obs = Array.init 12 (fun _ -> (Param.Space.random_config space2 rng, 4.2)) in
+  let ranking = Hiperbot.Importance.of_observations space2 obs in
+  Array.iter
+    (fun (name, score) ->
+      check Alcotest.bool (name ^ " finite") true (Float.is_finite score);
+      check Alcotest.bool (name ^ " non-negative") true (score >= 0.))
+    ranking
+
 let suite =
   let name, cases = suite in
   ( name,
@@ -529,6 +613,10 @@ let suite =
         Alcotest.test_case "tuner: batch mode" `Quick test_tuner_batch_mode;
         Alcotest.test_case "tuner: early stop fires" `Quick test_tuner_early_stop;
         Alcotest.test_case "tuner: early stop quiescent while improving" `Quick test_tuner_no_early_stop_when_improving;
+        Alcotest.test_case "tuner: early stop counts evaluations across batch sizes" `Quick test_tuner_early_stop_batch_interaction;
+        Alcotest.test_case "importance: one-choice parameter scores 0" `Quick test_importance_one_choice_param;
+        Alcotest.test_case "importance: extreme alpha stays finite or errors" `Quick test_importance_extreme_alpha;
+        Alcotest.test_case "importance: all-equal objectives finite" `Quick test_importance_all_equal_objectives;
       ] )
 
 (* ---- Resilient tuning (failed evaluations) ---- *)

@@ -22,5 +22,6 @@ let () =
       Test_runlog.suite;
       Test_resilience.suite;
       Test_telemetry.suite;
+      Test_async.suite;
       Test_integration.suite;
     ]

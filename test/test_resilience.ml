@@ -40,7 +40,7 @@ let test_policy_validate () =
 
 (* ---- Evaluator ---- *)
 
-let policy3 = { Resilience.Policy.default with max_attempts = 3 }
+let policy3 = Gen.policy3
 
 let test_evaluator_transient_then_success () =
   let calls = ref [] in
@@ -104,10 +104,8 @@ let test_evaluator_contains_exceptions () =
 
 (* ---- Fault injection ---- *)
 
-let small_space =
-  Param.Space.make
-    [ Param.Spec.ordinal_ints "a" [ 1; 2; 4; 8; 16; 32; 64; 128 ];
-      Param.Spec.ordinal_ints "b" [ 1; 2; 3; 4; 5; 6; 7; 8 ] ]
+(* the shared 8 x 8 ordinal space lives in [Gen] now *)
+let small_space = Gen.wide_space
 
 let test_faults_deterministic () =
   let spec = Hpcsim.Faults.standard ~seed:99 ~rate:0.3 in
@@ -226,26 +224,9 @@ let test_faulty_campaign_hypre () = check_faulty_campaign ~dataset:"hypre" ~seed
 
 (* ---- Interrupt-then-resume determinism ---- *)
 
-let status_of_outcome = function
-  | Resilience.Outcome.Value y -> Dataset.Runlog.Ok y
-  | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
-  | Resilience.Outcome.Permanent _ -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
-  | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+let status_of_outcome = Gen.status_of_outcome
 
-let results_identical (a : Hiperbot.Tuner.result) (b : Hiperbot.Tuner.result) =
-  let history_eq (c1, y1) (c2, y2) = Param.Config.equal c1 c2 && Float.equal y1 y2 in
-  let failure_eq (c1, o1) (c2, o2) =
-    Param.Config.equal c1 c2 && Resilience.Outcome.kind o1 = Resilience.Outcome.kind o2
-  in
-  Array.length a.Hiperbot.Tuner.history = Array.length b.Hiperbot.Tuner.history
-  && Array.for_all2 history_eq a.Hiperbot.Tuner.history b.Hiperbot.Tuner.history
-  && a.Hiperbot.Tuner.trajectory = b.Hiperbot.Tuner.trajectory
-  && Param.Config.equal a.Hiperbot.Tuner.best_config b.Hiperbot.Tuner.best_config
-  && Float.equal a.Hiperbot.Tuner.best_value b.Hiperbot.Tuner.best_value
-  && Array.length a.Hiperbot.Tuner.failures = Array.length b.Hiperbot.Tuner.failures
-  && Array.for_all2 failure_eq a.Hiperbot.Tuner.failures b.Hiperbot.Tuner.failures
-  && a.Hiperbot.Tuner.n_attempts = b.Hiperbot.Tuner.n_attempts
-  && Float.equal a.Hiperbot.Tuner.retry_cost b.Hiperbot.Tuner.retry_cost
+let results_identical = Gen.results_identical
 
 (* Run an uninterrupted faulty campaign of [budget] evaluations while
    recording every verdict; then pretend the process died after

@@ -35,6 +35,10 @@ let all_events : Telemetry.Event.t list =
       };
     Compile { pool_size = 1620; n_params = 6; dur_ms = 0.125 };
     Rank { pool_size = 1620; k = 2; selected = 2; workers = 4; schedule = "dynamic:64"; dur_ms = 1.5 };
+    Submit { index = 0; in_flight = 1; sim_time = 0. };
+    Submit { index = 5; in_flight = 4; sim_time = 12.25 };
+    Complete { index = 3; in_flight = 3; sim_time = 14.5; kind = "ok" };
+    Complete { index = 4; in_flight = 0; sim_time = 20.; kind = "transient" };
     Attempt { attempt = 2; kind = "transient"; backoff = 0.1 };
     Eval
       {
@@ -147,14 +151,8 @@ let test_memory_sink_and_clock () =
 
 (* ---- tracing never changes the campaign ---- *)
 
-let space2 =
-  Param.Space.make
-    [ Param.Spec.categorical "c" [ "a"; "b"; "x" ]; Param.Spec.ordinal_ints "o" [ 1; 2; 3; 4 ] ]
-
-let objective2 c =
-  (* c=a fast, others slow; o breaks ties. *)
-  let base = if Param.Value.to_index c.(0) = 0 then 1. else 10. in
-  base +. (0.1 *. float_of_int (Param.Value.to_index c.(1)))
+let space2 = Gen.cat_ord_space
+let objective2 = Gen.cat_ord_objective
 
 let run_once telemetry seed =
   Hiperbot.Tuner.run ?telemetry ~options:{ Hiperbot.Tuner.default_options with n_init = 5 }
@@ -175,7 +173,7 @@ let test_trace_on_equals_trace_off () =
 
 (* ---- full campaign trace structure (kripke, faults, JSONL) ---- *)
 
-let policy3 = { Resilience.Policy.default with max_attempts = 3 }
+let policy3 = Gen.policy3
 
 let count pred events =
   Array.fold_left (fun acc (_, ev) -> if pred ev then acc + 1 else acc) 0 events
@@ -260,11 +258,7 @@ let test_kripke_campaign_trace () =
 
 (* ---- resume with tracing is still bit-identical ---- *)
 
-let status_of_outcome = function
-  | Resilience.Outcome.Value y -> Dataset.Runlog.Ok y
-  | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
-  | Resilience.Outcome.Permanent _ -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
-  | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+let status_of_outcome = Gen.status_of_outcome
 
 let test_resume_with_trace_parity () =
   let t = (Hpcsim.Registry.find "kripke").Hpcsim.Registry.table () in
@@ -319,6 +313,24 @@ let test_resume_with_trace_parity () =
   check Alcotest.int "replayed prefix traced" interrupt_after replayed;
   check Alcotest.int "live suffix traced" (budget - interrupt_after) live
 
+(* Golden test: the `trace' subcommand's summary rendering of a
+   checked-in fixture trace must match the checked-in expected text.
+   Catches accidental format drift in [Summary.render]. *)
+let test_summary_golden () =
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fixture name = Filename.concat (Filename.dirname Sys.executable_name) (Filename.concat "fixtures" name) in
+  let tf = Telemetry.Tracefile.load (fixture "trace_small.jsonl") in
+  check Alcotest.int "fixture parses fully" 25 (Array.length tf.Telemetry.Tracefile.events);
+  let actual = Telemetry.Summary.render (Telemetry.Summary.of_trace tf) in
+  let expected = read (fixture "trace_summary.expected") in
+  if actual <> expected then
+    Alcotest.failf "summary rendering drifted from golden file:\n--- expected ---\n%s--- actual ---\n%s---" expected actual
+
 let suite =
   let tc = Alcotest.test_case in
   ( "telemetry",
@@ -331,4 +343,5 @@ let suite =
       tc "trace on = trace off" `Quick test_trace_on_equals_trace_off;
       tc "kripke campaign trace" `Quick test_kripke_campaign_trace;
       tc "resume with trace parity" `Quick test_resume_with_trace_parity;
+      tc "summary golden file" `Quick test_summary_golden;
     ] )
