@@ -1,7 +1,7 @@
 # Development entry points. `make check` is what CI runs: build,
 # formatting (when ocamlformat is installed), and the full test suite.
 
-.PHONY: all build test fmt check clean bench bench-build bench-async trace-demo
+.PHONY: all build test fmt check clean bench bench-build bench-async bench-transfer trace-demo
 
 all: build
 
@@ -25,6 +25,13 @@ bench: bench-build
 # synchronous engine plus recall-within-noise for k > 1.
 bench-async: bench-build
 	dune exec bench/main.exe -- --experiment async
+
+# Transfer learning on the Kripke and HYPRE source->target pairs;
+# writes BENCH_transfer.json and asserts transfer recall beats the
+# no-prior baseline on kripke. Set HIPERBOT_TRANSFER_BUDGET for a
+# quick smoke run (skips the assertion).
+bench-transfer: bench-build
+	dune exec bench/main.exe -- --experiment transfer
 
 # The formatting gate is skipped when ocamlformat is not on PATH so
 # `make check` works in minimal containers; install ocamlformat to

@@ -23,6 +23,11 @@ let experiments =
         describe = "sync vs async campaign engine, k in-flight (writes BENCH_async.json)";
         run = Async_bench.run;
       };
+      {
+        Experiments.id = "transfer";
+        describe = "transfer vs no-prior vs random on source->target pairs (writes BENCH_transfer.json)";
+        run = Transfer_bench.run;
+      };
     ]
 
 let list_experiments () =

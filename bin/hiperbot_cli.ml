@@ -28,6 +28,80 @@ let budget_arg default =
   let doc = "Evaluation budget (number of objective evaluations)." in
   Arg.(value & opt int default & info [ "b"; "budget" ] ~docv:"N" ~doc)
 
+(* ---- transfer-learning flags (shared by tune and transfer) ---- *)
+
+(* "NAME:2.5" -> ("NAME", 2.5); a suffix that is not a float is part
+   of the name, so plain paths with colons still work. *)
+let split_weight s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      match float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some w -> (String.sub s 0 i, w)
+      | None -> (s, 1.0))
+  | None -> (s, 1.0)
+
+let weighting_arg =
+  let doc =
+    "Prior weighting mode: $(b,constant) uses the given weights as-is; $(b,js) scales each \
+     source's weight by its Jensen-Shannon agreement with the pooled-source consensus."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("constant", Hiperbot.Transfer.Constant_weights); ("js", Hiperbot.Transfer.Js_guided) ])
+        Hiperbot.Transfer.Constant_weights
+    & info [ "transfer-weighting" ] ~docv:"MODE" ~doc)
+
+let decay_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "constant" -> Ok Hiperbot.Transfer.Constant
+    | spec -> (
+        match String.index_opt spec ':' with
+        | Some i -> (
+            let kind = String.sub spec 0 i in
+            let num = float_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) in
+            match (kind, num) with
+            | "exp", Some h when Float.is_finite h && h > 0. ->
+                Ok (Hiperbot.Transfer.Exponential { half_life = h })
+            | "recip", Some n0 when Float.is_finite n0 && n0 > 0. ->
+                Ok (Hiperbot.Transfer.Reciprocal { n0 })
+            | _ -> Error (`Msg (Printf.sprintf "invalid decay spec %S" s)))
+        | None -> Error (`Msg (Printf.sprintf "invalid decay spec %S (try constant, exp:H, recip:N)" s)))
+  in
+  let print ppf = function
+    | Hiperbot.Transfer.Constant -> Format.pp_print_string ppf "constant"
+    | Hiperbot.Transfer.Exponential { half_life } -> Format.fprintf ppf "exp:%g" half_life
+    | Hiperbot.Transfer.Reciprocal { n0 } -> Format.fprintf ppf "recip:%g" n0
+    | Hiperbot.Transfer.Custom _ -> Format.pp_print_string ppf "<custom>"
+  in
+  Arg.conv (parse, print)
+
+let decay_arg =
+  let doc =
+    "Prior decay schedule: $(b,constant) keeps the prior at full strength; $(b,exp:H) halves the \
+     prior weight every H target observations; $(b,recip:N) scales it by N/(N+n)."
+  in
+  Arg.(value & opt decay_conv Hiperbot.Transfer.Constant & info [ "transfer-decay" ] ~docv:"SPEC" ~doc)
+
+(* Load `--transfer-from FILE[:WEIGHT]` run logs into transfer sources
+   for [space]; every failure becomes a clean CLI error. *)
+let load_transfer_sources ~space files =
+  try
+    Ok
+      (List.map
+         (fun spec ->
+           let path, w = split_weight spec in
+           let log = Dataset.Runlog.load ~recover:true path in
+           if Param.Space.specs log.Dataset.Runlog.space <> Param.Space.specs space then
+             failwith (Printf.sprintf "transfer source %s: space does not match the target" path);
+           let hist = Dataset.Runlog.history log in
+           if Array.length hist = 0 then
+             failwith (Printf.sprintf "transfer source %s: no successful evaluations" path);
+           (hist, w))
+         files)
+  with Failure msg | Sys_error msg -> Error msg
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -145,8 +219,18 @@ let status_of_outcome = function
   | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
 
 let tune_cmd =
+  let transfer_from_arg =
+    let doc =
+      "Load a source run log (written by `tune --save') as a transfer prior, optionally weighted \
+       ($(docv) is FILE or FILE:WEIGHT; weight defaults to 1). Repeatable: each log becomes one \
+       prior source. Composes with --faults, --resume, --async, --trace, and --jobs. Hiperbot \
+       method only."
+    in
+    Arg.(value & opt_all string [] & info [ "transfer-from" ] ~docv:"FILE[:W]" ~doc)
+  in
   let run dataset seed budget method_ alpha n_init proposal verbose trace_file trace_summary save
-      resume faults fault_seed retries timeout jobs async =
+      resume faults fault_seed retries timeout jobs async transfer_from transfer_weighting
+      transfer_decay =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
@@ -154,6 +238,27 @@ let tune_cmd =
         let objective = Dataset.Table.objective_fn table in
         let rng = Prng.Rng.create seed in
         let resilient = resume || faults > 0. || async <> None in
+        (* Resolve --transfer-from eagerly so a bad source log fails
+           before any tuning starts; the resulting prior rides in the
+           options, so every engine path (plain, resilient, resume,
+           async) picks it up without further wiring. *)
+        let transfer_prior =
+          match transfer_from with
+          | [] -> Ok None
+          | files -> (
+              match load_transfer_sources ~space files with
+              | Error e -> Error e
+              | Ok sources -> (
+                  try
+                    Ok
+                      (Some
+                         (Hiperbot.Tuner.prior_of
+                            ~decay:(Hiperbot.Transfer.decay_of_schedule transfer_decay)
+                            (Hiperbot.Transfer.prior_of_sources
+                               ~options:{ Hiperbot.Surrogate.default_options with alpha }
+                               ~weighting:transfer_weighting space sources)))
+                  with Invalid_argument msg -> Error msg))
+        in
         if resilient && method_ <> `Hiperbot then
           `Error (false, "--resume, --faults, and --async are only supported with --method hiperbot")
         else if (match async with Some k -> k < 1 | None -> false) then
@@ -169,6 +274,10 @@ let tune_cmd =
           `Error (false, "--jobs is only supported with --method hiperbot")
         else if (trace_file <> None || trace_summary) && method_ <> `Hiperbot then
           `Error (false, "--trace and --trace-summary are only supported with --method hiperbot")
+        else if transfer_from <> [] && method_ <> `Hiperbot then
+          `Error (false, "--transfer-from is only supported with --method hiperbot")
+        else if Result.is_error transfer_prior then
+          `Error (false, Result.get_error transfer_prior)
         else begin
           let summary = if trace_summary then Some (Telemetry.Summary.create ()) else None in
           let telemetry =
@@ -214,6 +323,7 @@ let tune_cmd =
               n_init;
               strategy;
               surrogate = { Hiperbot.Surrogate.default_options with alpha };
+              prior = (match transfer_prior with Ok p -> p | Error _ -> None);
             }
           in
           if resilient then begin
@@ -380,38 +490,67 @@ let tune_cmd =
       ret
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
        $ proposal_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg $ resume_arg
-       $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg $ async_arg))
+       $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg $ async_arg
+       $ transfer_from_arg $ weighting_arg $ decay_arg))
 
 (* ---- transfer ---- *)
 
 let transfer_cmd =
   let source_arg =
-    let doc = "Source-domain dataset (all rows become the prior)." in
-    Arg.(required & opt (some string) None & info [ "source" ] ~docv:"NAME" ~doc)
+    let doc =
+      "Source-domain dataset whose rows become a prior, optionally weighted ($(docv) is NAME or \
+       NAME:WEIGHT; weight defaults to --weight). Repeatable for multi-source transfer."
+    in
+    Arg.(non_empty & opt_all string [] & info [ "source" ] ~docv:"NAME[:W]" ~doc)
   in
   let target_arg =
-    let doc = "Target-domain dataset (tuned with the source as prior)." in
+    let doc = "Target-domain dataset (tuned with the sources as priors)." in
     Arg.(required & opt (some string) None & info [ "target" ] ~docv:"NAME" ~doc)
   in
   let weight_arg =
-    let doc = "Prior weight w (paper eqs. 9-10)." in
+    let doc = "Default prior weight w (paper eqs. 9-10) for sources without their own :WEIGHT." in
     Arg.(value & opt float 1.0 & info [ "w"; "weight" ] ~docv:"W" ~doc)
   in
-  let run source target seed budget weight =
-    match (find_table source, find_table target) with
+  let run sources target seed budget weight weighting decay =
+    let named =
+      List.map
+        (fun s ->
+          match split_weight s with
+          | name, w when String.contains s ':' -> (name, w)
+          | name, _ -> (name, weight))
+        sources
+    in
+    let tables =
+      List.fold_left
+        (fun acc (name, w) ->
+          match (acc, find_table name) with
+          | Error e, _ -> Error e
+          | Ok _, Error e -> Error e
+          | Ok l, Ok t -> Ok ((t, w) :: l))
+        (Ok []) named
+    in
+    match (tables, find_table target) with
     | Error e, _ | _, Error e -> `Error (false, e)
-    | Ok src, Ok trgt ->
+    | Ok rev_sources, Ok trgt ->
+        let src_tables = List.rev rev_sources in
         let space = Dataset.Table.space trgt in
-        if Param.Space.specs (Dataset.Table.space src) <> Param.Space.specs space then
-          `Error (false, "source and target datasets have different parameter spaces")
+        if
+          List.exists
+            (fun (src, _) -> Param.Space.specs (Dataset.Table.space src) <> Param.Space.specs space)
+            src_tables
+        then `Error (false, "source and target datasets have different parameter spaces")
         else begin
           let source_obs =
-            Array.init (Dataset.Table.size src) (fun i ->
-                (Dataset.Table.config src i, Dataset.Table.objective src i))
+            List.map
+              (fun (src, w) ->
+                ( Array.init (Dataset.Table.size src) (fun i ->
+                      (Dataset.Table.config src i, Dataset.Table.objective src i)),
+                  w ))
+              src_tables
           in
           let rng = Prng.Rng.create seed in
           let result =
-            Hiperbot.Transfer.run ~weight ~rng ~space ~source:source_obs
+            Hiperbot.Transfer.run_multi ~weighting ~schedule:decay ~rng ~space ~sources:source_obs
               ~objective:(Dataset.Table.objective_fn trgt) ~budget ()
           in
           Printf.printf "best after %d evaluations: %.4g\n"
@@ -427,8 +566,11 @@ let transfer_cmd =
         end
   in
   Cmd.v
-    (Cmd.info "transfer" ~doc:"Transfer-learn from a source dataset onto a target dataset.")
-    Term.(ret (const run $ source_arg $ target_arg $ seed_arg $ budget_arg 278 $ weight_arg))
+    (Cmd.info "transfer" ~doc:"Transfer-learn from source dataset(s) onto a target dataset.")
+    Term.(
+      ret
+        (const run $ source_arg $ target_arg $ seed_arg $ budget_arg 278 $ weight_arg
+       $ weighting_arg $ decay_arg))
 
 (* ---- tune-csv ---- *)
 

@@ -46,8 +46,18 @@ val sample : t -> Prng.Rng.t -> Param.Value.t
 
 val merge_prior : prior:t -> w:float -> t -> t
 (** Weighted prior mix (paper eqs. 9-10): the prior's observations
-    count [w] times. Merging with a [Uniform] on either side returns
-    the other density unchanged (a uniform carries no observations). *)
+    count [w] times. [w] must be finite and non-negative; [w = 0.]
+    returns the target unchanged, so a zero-weight prior is exactly
+    the no-prior surrogate.
+
+    When both sides are fitted from observations the merge happens in
+    count space (weighted histogram/KDE union). When either side is
+    [Uniform] there are no counts to merge, so the result is a
+    probability-space mixture [(pdf target + w * pdf prior) / (1 + w)]
+    — the target keeps unit mass and the prior enters at mass [w],
+    recovering the target as [w -> 0] and the prior as [w -> infinity].
+    Repeated merges accumulate mixture components, which is how
+    multi-source transfer folds several priors into one factor. *)
 
 val js_divergence : Param.Spec.t -> t -> t -> float
 (** Jensen-Shannon divergence between two densities of the same

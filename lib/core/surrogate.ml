@@ -13,7 +13,7 @@ type t = {
 }
 
 let fit ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options) ?prior
-    ?(extra_bad = [||]) space observations =
+    ?(priors = []) ?(extra_bad = [||]) space observations =
   let t0 = Telemetry.Trace.now telemetry in
   if Array.length observations = 0 then invalid_arg "Surrogate.fit: no observations";
   Array.iter
@@ -27,29 +27,29 @@ let fit ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options) ?pr
       if not (Param.Space.validate space c) then invalid_arg "Surrogate.fit: invalid configuration";
       if not (Float.is_finite y) then invalid_arg "Surrogate.fit: non-finite objective value")
     observations;
-  (match prior with
-  | Some (p, w) ->
+  (* [?prior] is the single-source historical interface; it is the
+     head of the prior list, so a lone [?prior] folds through exactly
+     one [merge_prior] with the same arguments as before. *)
+  let priors = (match prior with Some p -> [ p ] | None -> []) @ priors in
+  List.iter
+    (fun (p, w) ->
       if p.space != space && Param.Space.specs p.space <> Param.Space.specs space then
         invalid_arg "Surrogate.fit: prior fitted on a different space";
       (* [w < 0.] alone waves NaN through (every comparison with NaN
          is false) and accepts infinity, which later poisons the
          merged densities. *)
       if not (Float.is_finite w) || w < 0. then
-        invalid_arg "Surrogate.fit: prior weight must be finite and non-negative"
-  | None -> ());
+        invalid_arg "Surrogate.fit: prior weight must be finite and non-negative")
+    priors;
   let ys = Array.map snd observations in
   let threshold, good_idx, bad_idx = Stats.Quantile.split_at_quantile ys options.alpha in
   let n_params = Param.Space.n_params space in
   let values_of idx i = Array.map (fun j -> (fst observations.(j)).(i)) idx in
-  let fit_side values prior_side i =
+  let fit_side values side i =
     let spec = Param.Space.spec space i in
     let d = Density.fit ~options:options.density spec values in
-    match prior_side with
-    | None -> d
-    | Some (p, w) -> Density.merge_prior ~prior:(p i) ~w d
+    List.fold_left (fun d (p, w) -> Density.merge_prior ~prior:(side p).(i) ~w d) d priors
   in
-  let prior_good = Option.map (fun (p, w) -> ((fun i -> p.good.(i)), w)) prior in
-  let prior_bad = Option.map (fun (p, w) -> ((fun i -> p.bad.(i)), w)) prior in
   let bad_values i =
     Array.append (values_of bad_idx i) (Array.map (fun c -> c.(i)) extra_bad)
   in
@@ -58,8 +58,8 @@ let fit ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options) ?pr
       space;
       options;
       threshold;
-      good = Array.init n_params (fun i -> fit_side (values_of good_idx i) prior_good i);
-      bad = Array.init n_params (fun i -> fit_side (bad_values i) prior_bad i);
+      good = Array.init n_params (fun i -> fit_side (values_of good_idx i) (fun p -> p.good) i);
+      bad = Array.init n_params (fun i -> fit_side (bad_values i) (fun p -> p.bad) i);
       n_good = Array.length good_idx;
       n_bad = Array.length bad_idx + Array.length extra_bad;
     }
@@ -74,6 +74,8 @@ let fit ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options) ?pr
            n_extra_bad = Array.length extra_bad;
            alpha = options.alpha;
            threshold;
+           n_priors = List.length priors;
+           prior_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0. priors;
            dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
          });
   t

@@ -20,19 +20,25 @@ val fit :
   ?telemetry:Telemetry.Trace.t ->
   ?options:options ->
   ?prior:t * float ->
+  ?priors:(t * float) list ->
   ?extra_bad:Param.Config.t array ->
   Param.Space.t ->
   (Param.Config.t * float) array ->
   t
 (** [fit space observations] estimates the surrogate. At least one
     observation is required, every objective value must be finite, and
-    the prior weight (when given) must be finite and non-negative.
+    every prior weight must be finite and non-negative.
     [prior] mixes a surrogate fitted on a source domain into both
     densities with the given weight (transfer learning, paper
-    eqs. 9-10); the prior must be over the same space.
+    eqs. 9-10); [priors] generalizes it to several source domains,
+    folded into each density in list order via {!Density.merge_prior}.
+    When both are given, [prior] is merged first. Every prior must be
+    over the same space. A single [?prior] and the one-element
+    [?priors] list are the same computation.
 
     [telemetry] receives one [Refit] span per call (observation count,
-    good/bad split sizes, α, threshold, wall time).
+    good/bad split sizes, α, threshold, prior source count and total
+    effective prior weight, wall time).
 
     [extra_bad] are configurations with no objective value at all —
     crashed or invalid runs. They join the bad density unconditionally

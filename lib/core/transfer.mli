@@ -1,9 +1,48 @@
 (** Transfer learning (paper §III-E, §VII).
 
-    A surrogate is fitted on all source-domain observations and mixed
-    into the target-domain surrogate as a weighted prior on both the
-    good and bad densities (eqs. 9-10). The tuning loop on the target
-    domain is otherwise unchanged. *)
+    A surrogate is fitted on each source domain's observations and
+    mixed into the target-domain surrogate as a weighted prior on both
+    the good and bad densities (eqs. 9-10) — several sources fold in
+    sequence via {!Density.merge_prior}. The tuning loop on the target
+    domain is otherwise unchanged, and every engine composes: the
+    plain loop ({!run}, {!run_multi}), fault-injected campaigns
+    ({!run_with_policy}), interrupt/resume ({!resume}), and the
+    asynchronous engine ({!run_async}). Telemetry [Refit] spans label
+    prior provenance (source count and total effective weight).
+
+    Every entry point validates its sources the same way: each prior
+    weight must be finite and non-negative, and each source must be
+    non-empty. *)
+
+type weighting =
+  | Constant_weights  (** use the caller's weights as given *)
+  | Js_guided
+      (** scale each source's weight by its agreement with the
+          pooled-source consensus: one minus the mean per-parameter JS
+          divergence (normalized by its ln 2 bound) between the
+          source's good density and the good density fitted on all
+          sources pooled. Contrarian sources are attenuated. With a
+          single source the multiplier is exactly 1, so this mode is
+          then bit-identical to [Constant_weights]. *)
+
+(** Decay schedule: how prior weight anneals as target evidence
+    accumulates. The multiplier is a function of the refit's target
+    observation count [n] and scales every source's weight. *)
+type schedule =
+  | Constant  (** multiplier 1 forever — today's fixed-weight behaviour *)
+  | Exponential of { half_life : float }
+      (** [0.5 ** (n / half_life)]; [half_life] must be finite and
+          positive *)
+  | Reciprocal of { n0 : float }
+      (** [n0 / (n0 + n)] — harmonic annealing; [n0] must be finite
+          and positive *)
+  | Custom of (int -> float)
+      (** arbitrary; must return finite non-negative multipliers *)
+
+val decay_of_schedule : schedule -> int -> float
+(** The multiplier function of a schedule. [Constant] returns
+    {!Tuner.constant_decay}, whose multiplier is bit-exact. Raises
+    [Invalid_argument] on out-of-range schedule parameters. *)
 
 val prior_of_source :
   ?options:Surrogate.options ->
@@ -13,10 +52,21 @@ val prior_of_source :
 (** Fit the source surrogate that will serve as prior. The space must
     be the (shared) parameter space of source and target. *)
 
+val prior_of_sources :
+  ?options:Surrogate.options ->
+  ?weighting:weighting ->
+  Param.Space.t ->
+  ((Param.Config.t * float) array * float) list ->
+  (Surrogate.t * float) list
+(** Fit one surrogate per source and apply the weighting mode
+    (default [Constant_weights]) to the given base weights. The result
+    plugs directly into {!Tuner.prior_of}. *)
+
 val run :
   ?telemetry:Telemetry.Trace.t ->
   ?options:Tuner.options ->
   ?weight:float ->
+  ?schedule:schedule ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
@@ -29,7 +79,81 @@ val run :
     target objective with the source data as prior. [weight] (the
     paper's [w], default 1.0) scales the prior's influence: each
     source observation counts as [weight] target observations in the
-    density estimates; it must be finite and non-negative. The
+    density estimates; it must be finite and non-negative. [schedule]
+    (default [Constant]) anneals the weight with target evidence. The
     surrogate fit on the source uses the same alpha/density options as
     the target surrogate ([options.surrogate]). [telemetry] is passed
-    through to the underlying {!Tuner.run}. *)
+    through to the underlying {!Tuner.run}. Equivalent to {!run_multi}
+    with the one-element source list. *)
+
+val run_multi :
+  ?telemetry:Telemetry.Trace.t ->
+  ?options:Tuner.options ->
+  ?weighting:weighting ->
+  ?schedule:schedule ->
+  ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  sources:((Param.Config.t * float) array * float) list ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Tuner.result
+(** Multi-source transfer: each [(observations, weight)] source is
+    fitted and merged into every refit in list order. *)
+
+val run_with_policy :
+  ?telemetry:Telemetry.Trace.t ->
+  ?options:Tuner.options ->
+  ?policy:Resilience.Policy.t ->
+  ?weighting:weighting ->
+  ?schedule:schedule ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  sources:((Param.Config.t * float) array * float) list ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (Tuner.result, Tuner.run_error) Stdlib.result
+(** Multi-source transfer over the fault-tolerant engine
+    ({!Tuner.run_with_policy}): priors survive retries and failed
+    evaluations exactly as they do successful ones. *)
+
+val resume :
+  ?telemetry:Telemetry.Trace.t ->
+  ?options:Tuner.options ->
+  ?policy:Resilience.Policy.t ->
+  ?weighting:weighting ->
+  ?schedule:schedule ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  log:Dataset.Runlog.t ->
+  sources:((Param.Config.t * float) array * float) list ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (Tuner.result, Tuner.run_error) Stdlib.result
+(** Resume an interrupted transfer campaign from its run log
+    ({!Tuner.resume}). With the same sources, weighting, and schedule
+    as the interrupted run, the resumed campaign retraces it
+    bit-for-bit and continues. *)
+
+val run_async :
+  ?telemetry:Telemetry.Trace.t ->
+  ?options:Tuner.options ->
+  ?policy:Resilience.Policy.t ->
+  ?weighting:weighting ->
+  ?schedule:schedule ->
+  ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?duration:(Param.Config.t -> Resilience.Evaluator.verdict -> float) ->
+  k:int ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  sources:((Param.Config.t * float) array * float) list ->
+  objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
+  budget:int ->
+  unit ->
+  (Tuner.result, Tuner.run_error) Stdlib.result
+(** Multi-source transfer over the asynchronous engine
+    ({!Tuner.run_async}) with up to [k] evaluations in flight. At
+    [k = 1] this is bit-identical to {!run_with_policy}. *)

@@ -1,8 +1,17 @@
+type prior = {
+  sources : (Surrogate.t * float) array;
+  decay : int -> float;
+}
+
+let constant_decay _ = 1.
+
+let prior_of ?(decay = constant_decay) sources = { sources = Array.of_list sources; decay }
+
 type options = {
   n_init : int;
   surrogate : Surrogate.options;
   strategy : Strategy.t;
-  prior : (Surrogate.t * float) option;
+  prior : prior option;
   batch_size : int;
   early_stop : int option;
 }
@@ -35,6 +44,19 @@ type run_error = {
 }
 
 let max_init_redraws = 50
+
+(* Effective prior list for a refit over [n_obs] target observations:
+   each source's base weight scaled by the decay schedule's multiplier.
+   The constant schedule multiplies by 1., which is bit-exact, so a
+   constant-decay prior reproduces an undecayed campaign exactly. *)
+let priors_at ~options n_obs =
+  match options.prior with
+  | None -> []
+  | Some { sources; decay } ->
+      let m = decay n_obs in
+      if not (Float.is_finite m) || m < 0. then
+        invalid_arg "Tuner.run: prior decay multiplier must be finite and non-negative";
+      Array.to_list (Array.map (fun (p, w) -> (p, w *. m)) sources)
 
 (* Validation and per-campaign candidate-pool setup shared by the
    synchronous core and the asynchronous engine: checks the options,
@@ -228,7 +250,8 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
     if Array.length obs = 0 then continue := false
     else begin
       let surrogate =
-        Surrogate.fit ~telemetry ~options:options.surrogate ?prior:options.prior
+        Surrogate.fit ~telemetry ~options:options.surrogate
+          ~priors:(priors_at ~options (Array.length obs))
           ~extra_bad:(Array.of_list (List.rev_map fst !failures))
           space obs
       in
@@ -550,8 +573,9 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
         Array.append (Array.of_list (List.rev_map fst !failures)) pending
       in
       let surrogate =
-        Surrogate.fit ~telemetry ~options:options.surrogate ?prior:options.prior ~extra_bad
-          space obs
+        Surrogate.fit ~telemetry ~options:options.surrogate
+          ~priors:(priors_at ~options (Array.length obs))
+          ~extra_bad space obs
       in
       final_surrogate := Some surrogate;
       match

@@ -8,11 +8,13 @@
        fires.
 
     The [prior] option turns the same loop into the transfer-learning
-    variant (§III-E): a surrogate fitted on source-domain data is
-    mixed into every refit with weight [prior_weight]. [batch_size]
-    amortizes one refit over several evaluations (e.g. to run several
-    configurations in parallel on a cluster); [early_stop] implements
-    the paper's sample-quality termination condition.
+    variant (§III-E): surrogates fitted on source-domain data are
+    mixed into every refit, each with its own weight, optionally
+    annealed by a decay schedule as target evidence accumulates (see
+    {!Transfer} for the high-level engine). [batch_size] amortizes one
+    refit over several evaluations (e.g. to run several configurations
+    in parallel on a cluster); [early_stop] implements the paper's
+    sample-quality termination condition.
 
     The resilient entry points ({!run_resilient}, {!run_with_policy},
     {!resume}) absorb evaluation failures into the surrogate's bad
@@ -22,11 +24,31 @@
     — permanent failures are never retried), and counted against the
     budget exactly once regardless of how many attempts it took. *)
 
+type prior = {
+  sources : (Surrogate.t * float) array;
+      (** source-domain surrogates with their base weights, merged
+          into every refit in array order (paper eqs. 9-10) *)
+  decay : int -> float;
+      (** weight multiplier as a function of the refit's target
+          observation count (warm-start included); must return finite
+          non-negative values. {!constant_decay} keeps priors at full
+          strength forever. *)
+}
+
+val constant_decay : int -> float
+(** [fun _ -> 1.] — the undecayed schedule. Its multiplier is exact
+    ([w *. 1. = w] bit-for-bit), so a constant-decay prior reproduces
+    a fixed-weight campaign bit-identically. *)
+
+val prior_of : ?decay:(int -> float) -> (Surrogate.t * float) list -> prior
+(** Build a prior from source surrogates and weights (decay defaults
+    to {!constant_decay}). *)
+
 type options = {
   n_init : int;  (** random initial samples (paper: 20) *)
   surrogate : Surrogate.options;
   strategy : Strategy.t;
-  prior : (Surrogate.t * float) option;  (** transfer prior and its weight *)
+  prior : prior option;  (** transfer prior sources and decay schedule *)
   batch_size : int;  (** evaluations per surrogate refit (default 1) *)
   early_stop : int option;
       (** stop after this many consecutive guided evaluations without

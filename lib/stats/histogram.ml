@@ -1,8 +1,15 @@
 type t = { smoothing : float; counts : float array; mutable total : float }
 
+(* [x < 0.] alone lets NaN through (every comparison with NaN is
+   false) and accepts infinity; both would silently poison every
+   probability computed downstream instead of failing here. *)
+let check_finite_nonneg what x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg (what ^ " must be finite and non-negative")
+
 let create ?(smoothing = 1.0) ~n_categories () =
   if n_categories <= 0 then invalid_arg "Histogram.create: need at least one category";
-  if smoothing < 0. then invalid_arg "Histogram.create: negative smoothing";
+  check_finite_nonneg "Histogram.create: smoothing" smoothing;
   { smoothing; counts = Array.make n_categories 0.; total = 0. }
 
 let n_categories t = Array.length t.counts
@@ -12,7 +19,7 @@ let check_category t c =
 
 let observe_weighted t c w =
   check_category t c;
-  if w < 0. then invalid_arg "Histogram.observe_weighted: negative weight";
+  check_finite_nonneg "Histogram.observe_weighted: weight" w;
   t.counts.(c) <- t.counts.(c) +. w;
   t.total <- t.total +. w
 
@@ -35,7 +42,7 @@ let log_probs t = Array.init (Array.length t.counts) (fun c -> log (prob t c))
 let merge_weighted ~prior ~w t =
   if Array.length prior.counts <> Array.length t.counts then
     invalid_arg "Histogram.merge_weighted: category count mismatch";
-  if w < 0. then invalid_arg "Histogram.merge_weighted: negative weight";
+  check_finite_nonneg "Histogram.merge_weighted: weight" w;
   let counts = Array.mapi (fun i c -> (w *. prior.counts.(i)) +. c) t.counts in
   { smoothing = t.smoothing; counts; total = (w *. prior.total) +. t.total }
 

@@ -33,13 +33,20 @@ let create_weighted ?bandwidth pairs =
   if Array.length pairs = 0 then invalid_arg "Kde.create_weighted: empty data";
   let centers = Array.map fst pairs in
   let weights = Array.map snd pairs in
-  Array.iter (fun w -> if w < 0. then invalid_arg "Kde.create_weighted: negative weight") weights;
+  (* [w < 0.] alone lets NaN through (NaN comparisons are all false);
+     a single NaN weight would poison every density lookup. *)
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w < 0. then
+        invalid_arg "Kde.create_weighted: weight must be finite and non-negative")
+    weights;
   let total_weight = Array.fold_left ( +. ) 0. weights in
   if total_weight <= 0. then invalid_arg "Kde.create_weighted: weights sum to zero";
   let bandwidth =
     match bandwidth with
     | Some b ->
-        if b <= 0. then invalid_arg "Kde.create_weighted: non-positive bandwidth";
+        if not (Float.is_finite b) || b <= 0. then
+          invalid_arg "Kde.create_weighted: bandwidth must be finite and positive";
         b
     | None -> default_bandwidth centers
   in
@@ -69,8 +76,13 @@ let sample t rng =
   let i = Prng.Rng.categorical rng t.weights in
   Prng.Rng.gaussian rng ~mu:t.centers.(i) ~sigma:t.bandwidth
 
+(* The merged estimate deliberately evaluates the prior's centers with
+   the TARGET's bandwidth (see the .mli): both domains share one
+   fixed-bandwidth estimator, per the paper's bandwidth choice, and
+   the target's data decides it. *)
 let merge_weighted ~prior ~w t =
-  if w < 0. then invalid_arg "Kde.merge_weighted: negative weight";
+  if not (Float.is_finite w) || w < 0. then
+    invalid_arg "Kde.merge_weighted: weight must be finite and non-negative";
   let scaled_prior = Array.map2 (fun c wt -> (c, w *. wt)) prior.centers prior.weights in
   let target = Array.map2 (fun c wt -> (c, wt)) t.centers t.weights in
   create_weighted ~bandwidth:t.bandwidth (Array.append scaled_prior target)

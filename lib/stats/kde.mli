@@ -15,8 +15,15 @@ val create : ?bandwidth:float -> float array -> t
     Raises [Invalid_argument] on empty input. *)
 
 val create_weighted : ?bandwidth:float -> (float * float) array -> t
-(** [(sample, weight)] pairs; weights must be non-negative with a
-    positive sum. *)
+(** [(sample, weight)] pairs; weights must be finite and non-negative
+    with a positive sum, and an explicit [bandwidth] must be finite
+    and positive. *)
+
+val min_bandwidth : float
+(** The bandwidth floor ([1e-6]) shared by every KDE constructor,
+    including {!Hiperbot.Density}'s [Fixed_fraction] rule: degenerate
+    data (point masses, zero-width ranges) is clamped here instead of
+    producing a zero or denormal bandwidth. *)
 
 val silverman_bandwidth : float array -> float
 (** Silverman's rule of thumb: [0.9 * min(sigma, IQR/1.34) * n^(-1/5)],
@@ -56,5 +63,14 @@ val sample : t -> Prng.Rng.t -> float
 
 val merge_weighted : prior:t -> w:float -> t -> t
 (** Weighted-prior mix: the result's sample set is the union, with the
-    prior's weights scaled by [w] (paper eqs. 9–10). Bandwidth is
-    taken from the target estimate. *)
+    prior's weights scaled by [w] (paper eqs. 9–10); [w] must be
+    finite and non-negative.
+
+    The prior's centers are deliberately re-evaluated with the
+    {e target's} bandwidth, not the prior's own: the paper's estimator
+    uses one fixed bandwidth per parameter, and after the merge the
+    target domain's data owns it. A prior fitted with a much narrower
+    bandwidth therefore loses its extra resolution on merge — the
+    alternative (a two-component mixture keeping both bandwidths)
+    would break the single-estimator invariant the compiled scorer's
+    per-grid-cell tables rely on. *)

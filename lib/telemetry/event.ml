@@ -8,6 +8,8 @@ type t =
       n_extra_bad : int;
       alpha : float;
       threshold : float;
+      n_priors : int;
+      prior_weight : float;
       dur_ms : float;
     }
   | Compile of { pool_size : int; n_params : int; dur_ms : float }
@@ -69,7 +71,8 @@ let to_fields ev =
       ]
   | Init_draw { index; redraws; duplicate } ->
       [ ("index", int_ index); ("redraws", int_ redraws); ("duplicate", Jsonl.Bool duplicate) ]
-  | Refit { n_obs; n_good; n_bad; n_extra_bad; alpha; threshold; dur_ms } ->
+  | Refit { n_obs; n_good; n_bad; n_extra_bad; alpha; threshold; n_priors; prior_weight; dur_ms }
+    ->
       [
         ("n_obs", int_ n_obs);
         ("n_good", int_ n_good);
@@ -77,6 +80,8 @@ let to_fields ev =
         ("n_extra_bad", int_ n_extra_bad);
         ("alpha", num alpha);
         ("threshold", num threshold);
+        ("n_priors", int_ n_priors);
+        ("prior_weight", num prior_weight);
         ("dur_ms", num dur_ms);
       ]
   | Compile { pool_size; n_params; dur_ms } ->
@@ -177,6 +182,8 @@ let of_fields fields =
   | "init_draw" ->
       Init_draw { index = i "index"; redraws = i "redraws"; duplicate = b "duplicate" }
   | "refit" ->
+      (* Prior-provenance fields postdate the v1 trace schema; default
+         them so pre-transfer traces still decode. *)
       Refit
         {
           n_obs = i "n_obs";
@@ -185,6 +192,9 @@ let of_fields fields =
           n_extra_bad = i "n_extra_bad";
           alpha = f "alpha";
           threshold = f "threshold";
+          n_priors =
+            (match fo "n_priors" with Some p -> int_of_float p | None -> 0);
+          prior_weight = (match fo "prior_weight" with Some w -> w | None -> 0.);
           dur_ms = f "dur_ms";
         }
   | "compile" ->

@@ -29,6 +29,10 @@ type t =
       n_extra_bad : int;  (** failed configurations joining the bad side *)
       alpha : float;  (** the quantile threshold parameter of this refit *)
       threshold : float;  (** the α-quantile objective value (eq. 5 split) *)
+      n_priors : int;  (** transfer prior sources merged into this fit *)
+      prior_weight : float;
+          (** total effective prior weight (post-decay sum across
+              sources); 0 for a prior-free fit *)
       dur_ms : float;
     }
   | Compile of { pool_size : int; n_params : int; dur_ms : float }

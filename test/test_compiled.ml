@@ -35,23 +35,40 @@ let prop_compiled_matches_naive =
     let* bandwidth =
       oneofl [ Hiperbot.Density.Fixed_fraction 0.1; Hiperbot.Density.Silverman ]
     in
+    let* smoothing = oneofl [ 0.; 0.5; 1. ] in
+    let* n_priors = int_range 0 2 in
+    let* prior_obs =
+      flatten_l (List.init n_priors (fun _ -> Gen.observations_gen ~min_n:4 ~max_n:12 space))
+    in
+    let* prior_weights =
+      flatten_l (List.init n_priors (fun _ -> oneofl [ 0.; 0.5; 1.; 5.; 50. ]))
+    in
     let+ alpha = float_range 0.1 0.5 in
-    (space, pool, obs, extra_bad, bandwidth, alpha)
+    (space, pool, obs, extra_bad, bandwidth, smoothing, List.combine prior_obs prior_weights, alpha)
   in
   QCheck2.Test.make ~name:"surrogate: compiled log_ratio/score equal naive within 1 ulp"
     ~count:60
-    ~print:(fun (space, pool, obs, extra_bad, _, alpha) ->
-      Printf.sprintf "%s pool=%d obs=%d extra_bad=%d alpha=%.3f" (Gen.space_to_string space)
-        (Array.length pool) (Array.length obs) (Array.length extra_bad) alpha)
+    ~print:(fun (space, pool, obs, extra_bad, _, smoothing, priors, alpha) ->
+      Printf.sprintf "%s pool=%d obs=%d extra_bad=%d smoothing=%g priors=[%s] alpha=%.3f"
+        (Gen.space_to_string space) (Array.length pool) (Array.length obs)
+        (Array.length extra_bad) smoothing
+        (String.concat ";"
+           (List.map (fun (o, w) -> Printf.sprintf "%d@%g" (Array.length o) w) priors))
+        alpha)
     gen
-    (fun (space, pool, obs, extra_bad, bandwidth, alpha) ->
+    (fun (space, pool, obs, extra_bad, bandwidth, smoothing, prior_sources, alpha) ->
       let options =
         {
           Hiperbot.Surrogate.alpha;
-          density = { Hiperbot.Density.default_options with bandwidth };
+          density = { Hiperbot.Density.smoothing; bandwidth };
         }
       in
-      let surrogate = Hiperbot.Surrogate.fit ~options ~extra_bad space obs in
+      let priors =
+        List.map
+          (fun (o, w) -> (Hiperbot.Surrogate.fit ~options space o, w))
+          prior_sources
+      in
+      let surrogate = Hiperbot.Surrogate.fit ~options ~priors ~extra_bad space obs in
       let encoded = Hiperbot.Surrogate.Pool.encode space pool in
       let compiled = Hiperbot.Surrogate.compile surrogate encoded in
       Array.for_all

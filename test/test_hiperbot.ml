@@ -50,11 +50,40 @@ let test_density_merge_prior () =
   check feq "w=0 keeps target" (Hiperbot.Density.pdf target (Param.Value.Categorical 0))
     (Hiperbot.Density.pdf unweighted (Param.Value.Categorical 0))
 
-let test_density_merge_uniform_identity () =
+(* The Uniform-involved merges mix in probability space at weight w:
+   (pdf target + w * pdf prior) / (1 + w). Historically a Uniform on
+   either side was returned/dropped wholesale, ignoring w entirely —
+   a fitted prior merged into a Uniform target applied at full
+   strength even at w = 0. *)
+let test_density_merge_uniform_respects_weight () =
   let target = Hiperbot.Density.fit cat_spec [| Param.Value.Categorical 0 |] in
+  let p_t i = Hiperbot.Density.pdf target (Param.Value.Categorical i) in
+  (* Uniform prior into a fitted target: exact mixture value. *)
   let merged = Hiperbot.Density.merge_prior ~prior:(Hiperbot.Density.uniform cat_spec) ~w:5. target in
-  check feq "uniform prior is identity" (Hiperbot.Density.pdf target (Param.Value.Categorical 0))
-    (Hiperbot.Density.pdf merged (Param.Value.Categorical 0))
+  let p_m i = Hiperbot.Density.pdf merged (Param.Value.Categorical i) in
+  check feq "uniform prior mixes at weight w" ((p_t 0 +. (5. /. 3.)) /. 6.) (p_m 0);
+  check feq "mixture still sums to 1" 1. (p_m 0 +. p_m 1 +. p_m 2);
+  (* w = 0 recovers the target exactly. *)
+  let w0 = Hiperbot.Density.merge_prior ~prior:(Hiperbot.Density.uniform cat_spec) ~w:0. target in
+  check feq "w=0 uniform prior is identity" (p_t 0)
+    (Hiperbot.Density.pdf w0 (Param.Value.Categorical 0));
+  (* Fitted prior into a Uniform target: w scales the prior's pull,
+     and w = 0 keeps the uniform target untouched. *)
+  let prior = Hiperbot.Density.fit cat_spec [| Param.Value.Categorical 2; Param.Value.Categorical 2 |] in
+  let into_uniform w =
+    Hiperbot.Density.pdf
+      (Hiperbot.Density.merge_prior ~prior ~w (Hiperbot.Density.uniform cat_spec))
+      (Param.Value.Categorical 2)
+  in
+  check feq "w=0 into uniform target is uniform" (1. /. 3.) (into_uniform 0.);
+  check Alcotest.bool "larger w pulls harder toward the prior" true
+    (into_uniform 5. > into_uniform 0.5 && into_uniform 0.5 > into_uniform 0.);
+  (* Log tables agree with pdf on Blend densities too. *)
+  let values = Array.init 3 (fun i -> Param.Value.Categorical i) in
+  Array.iteri
+    (fun i lp ->
+      check feq "log table = log pdf on blends" (log (p_m i)) lp)
+    (Hiperbot.Density.log_pdf_table merged values)
 
 let test_density_js () =
   let a = Hiperbot.Density.fit cat_spec (Array.make 10 (Param.Value.Categorical 0)) in
@@ -408,7 +437,7 @@ let suite =
       tc "density: empty is uniform" `Quick test_density_empty_is_uniform;
       tc "density: samples valid" `Quick test_density_sample_valid;
       tc "density: merge prior" `Quick test_density_merge_prior;
-      tc "density: uniform prior identity" `Quick test_density_merge_uniform_identity;
+      tc "density: uniform merge respects weight" `Quick test_density_merge_uniform_respects_weight;
       tc "density: js divergence" `Quick test_density_js;
       tc "surrogate: split" `Quick test_surrogate_split;
       tc "surrogate: scores good region" `Quick test_surrogate_scores_good_region;

@@ -23,5 +23,6 @@ let () =
       Test_resilience.suite;
       Test_telemetry.suite;
       Test_async.suite;
+      Test_transfer.suite;
       Test_integration.suite;
     ]

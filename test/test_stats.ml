@@ -126,6 +126,45 @@ let test_histogram_out_of_range () =
   Alcotest.check_raises "category out of range" (Invalid_argument "Histogram: category out of range")
     (fun () -> Stats.Histogram.observe h 3)
 
+(* NaN slips through [x < 0.] checks (every NaN comparison is false),
+   and infinity is non-negative: both must be rejected explicitly at
+   every weighted entry point, or they silently poison the densities. *)
+let test_histogram_rejects_non_finite () =
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises "create: bad smoothing"
+        (Invalid_argument "Histogram.create: smoothing must be finite and non-negative")
+        (fun () -> ignore (Stats.Histogram.create ~smoothing:bad ~n_categories:3 ()));
+      let h = Stats.Histogram.create ~n_categories:3 () in
+      Alcotest.check_raises "observe_weighted: bad weight"
+        (Invalid_argument "Histogram.observe_weighted: weight must be finite and non-negative")
+        (fun () -> Stats.Histogram.observe_weighted h 0 bad);
+      Alcotest.check_raises "merge_weighted: bad weight"
+        (Invalid_argument "Histogram.merge_weighted: weight must be finite and non-negative")
+        (fun () -> ignore (Stats.Histogram.merge_weighted ~prior:h ~w:bad h)))
+    [ Float.nan; Float.infinity; -1. ]
+
+let test_kde_rejects_non_finite () =
+  let kde = Stats.Kde.create [| 0.; 1.; 2. |] in
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises "create_weighted: bad weight"
+        (Invalid_argument "Kde.create_weighted: weight must be finite and non-negative")
+        (fun () -> ignore (Stats.Kde.create_weighted [| (0., 1.); (1., bad) |]));
+      Alcotest.check_raises "merge_weighted: bad weight"
+        (Invalid_argument "Kde.merge_weighted: weight must be finite and non-negative")
+        (fun () -> ignore (Stats.Kde.merge_weighted ~prior:kde ~w:bad kde)))
+    [ Float.nan; Float.infinity; -1. ];
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises "create_weighted: bad bandwidth"
+        (Invalid_argument "Kde.create_weighted: bandwidth must be finite and positive")
+        (fun () -> ignore (Stats.Kde.create_weighted ~bandwidth:bad [| (0., 1.) |])))
+    [ Float.nan; Float.infinity; 0.; -2. ];
+  Alcotest.check_raises "create_weighted: all-zero weights"
+    (Invalid_argument "Kde.create_weighted: weights sum to zero")
+    (fun () -> ignore (Stats.Kde.create_weighted [| (0., 0.); (1., 0.) |]))
+
 (* ---- KDE ---- *)
 
 let test_kde_integrates_to_one () =
@@ -249,6 +288,8 @@ let suite =
       tc "histogram without smoothing" `Quick test_histogram_no_smoothing;
       tc "histogram weighted merge" `Quick test_histogram_weighted_merge;
       tc "histogram out of range" `Quick test_histogram_out_of_range;
+      tc "histogram rejects non-finite" `Quick test_histogram_rejects_non_finite;
+      tc "kde rejects non-finite" `Quick test_kde_rejects_non_finite;
       tc "kde integrates to 1" `Quick test_kde_integrates_to_one;
       tc "kde peaks at data" `Quick test_kde_peaks_at_data;
       tc "kde weighted" `Quick test_kde_weighted;

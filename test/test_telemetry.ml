@@ -31,6 +31,8 @@ let all_events : Telemetry.Event.t list =
         n_extra_bad = 1;
         alpha = 0.2;
         threshold = 14.5;
+        n_priors = 2;
+        prior_weight = 7.5;
         dur_ms = 0.75;
       };
     Compile { pool_size = 1620; n_params = 6; dur_ms = 0.125 };
