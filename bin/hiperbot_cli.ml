@@ -40,6 +40,50 @@ let split_weight s =
       | None -> (s, 1.0))
   | None -> (s, 1.0)
 
+(* Reject duplicate source names and non-finite weights before
+   anything is loaded or fitted: both are command-line mistakes (the
+   same log listed twice doubles its prior mass silently; a nan/inf
+   weight would only surface deep inside the surrogate merge). *)
+let check_source_specs specs =
+  let seen = Hashtbl.create 8 in
+  try
+    List.iter
+      (fun spec ->
+        let name, w = split_weight spec in
+        if not (Float.is_finite w) then
+          failwith (Printf.sprintf "transfer source %s: weight is not finite" name);
+        if Hashtbl.mem seen name then
+          failwith (Printf.sprintf "transfer source %s: given more than once" name);
+        Hashtbl.add seen name ())
+      specs;
+    Ok ()
+  with Failure msg -> Error msg
+
+let gate_thresh_arg =
+  let doc =
+    "Safeguarded-transfer trust threshold in (0, 1): a source prior whose rank agreement with \
+     the unbiased init observations stays below $(docv) is attenuated, then dropped for the \
+     rest of the campaign. Defaults to the library's calibrated threshold."
+  in
+  Arg.(value & opt (some float) None & info [ "transfer-gate" ] ~docv:"THRESH" ~doc)
+
+let no_gate_arg =
+  let doc = "Disable safeguarded-transfer gating: keep every source prior all campaign." in
+  Arg.(value & flag & info [ "no-transfer-gate" ] ~doc)
+
+(* Resolve the two gate flags into [Some options] (gate on) / [None]
+   (gate off); gating is on by default whenever transfer sources are
+   in play. *)
+let resolve_gate thresh no_gate =
+  match (thresh, no_gate) with
+  | Some _, true -> Error "--transfer-gate and --no-transfer-gate cannot be combined"
+  | None, true -> Ok None
+  | None, false -> Ok (Some Hiperbot.Gate.default_options)
+  | Some t, false ->
+      if Float.is_finite t && t > 0. && t < 1. then
+        Ok (Some { Hiperbot.Gate.default_options with Hiperbot.Gate.threshold = t })
+      else Error "--transfer-gate THRESH must lie strictly between 0 and 1"
+
 let weighting_arg =
   let doc =
     "Prior weighting mode: $(b,constant) uses the given weights as-is; $(b,js) scales each \
@@ -230,7 +274,7 @@ let tune_cmd =
   in
   let run dataset seed budget method_ alpha n_init proposal verbose trace_file trace_summary save
       resume faults fault_seed retries timeout jobs async transfer_from transfer_weighting
-      transfer_decay =
+      transfer_decay transfer_gate no_transfer_gate =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
@@ -238,26 +282,31 @@ let tune_cmd =
         let objective = Dataset.Table.objective_fn table in
         let rng = Prng.Rng.create seed in
         let resilient = resume || faults > 0. || async <> None in
+        let gate_opts = resolve_gate transfer_gate no_transfer_gate in
         (* Resolve --transfer-from eagerly so a bad source log fails
            before any tuning starts; the resulting prior rides in the
            options, so every engine path (plain, resilient, resume,
            async) picks it up without further wiring. *)
         let transfer_prior =
-          match transfer_from with
-          | [] -> Ok None
-          | files -> (
-              match load_transfer_sources ~space files with
+          match (transfer_from, gate_opts) with
+          | [], _ | _, Error _ -> Ok None
+          | files, Ok gate -> (
+              match check_source_specs files with
               | Error e -> Error e
-              | Ok sources -> (
-                  try
-                    Ok
-                      (Some
-                         (Hiperbot.Tuner.prior_of
-                            ~decay:(Hiperbot.Transfer.decay_of_schedule transfer_decay)
-                            (Hiperbot.Transfer.prior_of_sources
-                               ~options:{ Hiperbot.Surrogate.default_options with alpha }
-                               ~weighting:transfer_weighting space sources)))
-                  with Invalid_argument msg -> Error msg))
+              | Ok () -> (
+                  match load_transfer_sources ~space files with
+                  | Error e -> Error e
+                  | Ok sources -> (
+                      try
+                        Ok
+                          (Some
+                             (Hiperbot.Tuner.prior_of
+                                ~decay:(Hiperbot.Transfer.decay_of_schedule transfer_decay)
+                                ?gate
+                                (Hiperbot.Transfer.prior_of_sources
+                                   ~options:{ Hiperbot.Surrogate.default_options with alpha }
+                                   ~weighting:transfer_weighting space sources)))
+                      with Invalid_argument msg -> Error msg)))
         in
         if resilient && method_ <> `Hiperbot then
           `Error (false, "--resume, --faults, and --async are only supported with --method hiperbot")
@@ -276,6 +325,9 @@ let tune_cmd =
           `Error (false, "--trace and --trace-summary are only supported with --method hiperbot")
         else if transfer_from <> [] && method_ <> `Hiperbot then
           `Error (false, "--transfer-from is only supported with --method hiperbot")
+        else if (transfer_gate <> None || no_transfer_gate) && transfer_from = [] then
+          `Error (false, "--transfer-gate and --no-transfer-gate require --transfer-from")
+        else if Result.is_error gate_opts then `Error (false, Result.get_error gate_opts)
         else if Result.is_error transfer_prior then
           `Error (false, Result.get_error transfer_prior)
         else begin
@@ -385,6 +437,14 @@ let tune_cmd =
                           (Param.Space.to_string space config)
                 in
                 let options = hiperbot_options () in
+                (* Gate decisions join the run log as #gate lines, so
+                   an interrupted gated campaign resumes with its
+                   trust verdicts verified against the record. *)
+                let on_gate g =
+                  match writer with
+                  | Some w -> Dataset.Runlog.writer_record_gate w g
+                  | None -> ()
+                in
                 let tuner_result =
                   with_jobs jobs (fun pool ->
                       match existing_log with
@@ -397,20 +457,21 @@ let tune_cmd =
                           match async with
                           | Some k ->
                               Hiperbot.Tuner.resume_async ~telemetry ~options ~policy ~on_outcome
-                                ?pool ~k ~log ~objective:outcome_objective ~budget ()
+                                ~on_gate ?pool ~k ~log ~objective:outcome_objective ~budget ()
                           | None ->
-                              Hiperbot.Tuner.resume ~telemetry ~options ~policy ~on_outcome ?pool
-                                ~log ~objective:outcome_objective ~budget ()
+                              Hiperbot.Tuner.resume ~telemetry ~options ~policy ~on_outcome
+                                ~on_gate ?pool ~log ~objective:outcome_objective ~budget ()
                         end
                       | None -> (
                           match async with
                           | Some k ->
                               Hiperbot.Tuner.run_async ~telemetry ~options ~policy ~on_outcome
-                                ?pool ~k ~rng ~space ~objective:outcome_objective ~budget ()
+                                ~on_gate ?pool ~k ~rng ~space ~objective:outcome_objective ~budget
+                                ()
                           | None ->
                               Hiperbot.Tuner.run_with_policy ~telemetry ~options ~policy
-                                ~on_outcome ?pool ~rng ~space ~objective:outcome_objective ~budget
-                                ()))
+                                ~on_outcome ~on_gate ?pool ~rng ~space
+                                ~objective:outcome_objective ~budget ()))
                 in
                 (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
                 finish_trace ();
@@ -465,10 +526,15 @@ let tune_cmd =
               | `Gbt -> Baselines.Gbt_tuner.run ~rng ~space ~objective ~budget ()
               | `Hiperbot ->
                   let options = hiperbot_options () in
+                  let on_gate g =
+                    match writer with
+                    | Some w -> Dataset.Runlog.writer_record_gate w g
+                    | None -> ()
+                  in
                   print_tuner_result
                     (with_jobs jobs (fun pool ->
-                         Hiperbot.Tuner.run ~telemetry ~options ~on_evaluation ?pool ~rng ~space
-                           ~objective ~budget ()))
+                         Hiperbot.Tuner.run ~telemetry ~options ~on_evaluation ~on_gate ?pool ~rng
+                           ~space ~objective ~budget ()))
             in
             (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
             finish_trace ();
@@ -491,7 +557,7 @@ let tune_cmd =
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
        $ proposal_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg $ resume_arg
        $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg $ async_arg
-       $ transfer_from_arg $ weighting_arg $ decay_arg))
+       $ transfer_from_arg $ weighting_arg $ decay_arg $ gate_thresh_arg $ no_gate_arg))
 
 (* ---- transfer ---- *)
 
@@ -511,7 +577,7 @@ let transfer_cmd =
     let doc = "Default prior weight w (paper eqs. 9-10) for sources without their own :WEIGHT." in
     Arg.(value & opt float 1.0 & info [ "w"; "weight" ] ~docv:"W" ~doc)
   in
-  let run sources target seed budget weight weighting decay =
+  let run sources target seed budget weight weighting decay transfer_gate no_transfer_gate =
     let named =
       List.map
         (fun s ->
@@ -529,6 +595,9 @@ let transfer_cmd =
           | Ok l, Ok t -> Ok ((t, w) :: l))
         (Ok []) named
     in
+    match (check_source_specs sources, resolve_gate transfer_gate no_transfer_gate) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok (), Ok gate -> (
     match (tables, find_table target) with
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok rev_sources, Ok trgt ->
@@ -549,9 +618,20 @@ let transfer_cmd =
               src_tables
           in
           let rng = Prng.Rng.create seed in
+          let names = Array.of_list (List.map fst named) in
+          let on_gate (g : Dataset.Runlog.gate) =
+            if g.Dataset.Runlog.g_source < 0 then
+              Printf.printf "gate: every source dropped at refit %d; continuing without priors\n"
+                g.Dataset.Runlog.g_refit
+            else
+              Printf.printf "gate: %s source %s at refit %d (trust %.3f)\n"
+                g.Dataset.Runlog.g_action
+                names.(g.Dataset.Runlog.g_source)
+                g.Dataset.Runlog.g_refit g.Dataset.Runlog.g_trust
+          in
           let result =
-            Hiperbot.Transfer.run_multi ~weighting ~schedule:decay ~rng ~space ~sources:source_obs
-              ~objective:(Dataset.Table.objective_fn trgt) ~budget ()
+            Hiperbot.Transfer.run_multi ~gate ~on_gate ~weighting ~schedule:decay ~rng ~space
+              ~sources:source_obs ~objective:(Dataset.Table.objective_fn trgt) ~budget ()
           in
           Printf.printf "best after %d evaluations: %.4g\n"
             (Array.length result.Hiperbot.Tuner.history)
@@ -563,14 +643,14 @@ let transfer_cmd =
             (Metrics.Recall.recall good result.Hiperbot.Tuner.history)
             good.Metrics.Recall.count;
           `Ok ()
-        end
+        end)
   in
   Cmd.v
     (Cmd.info "transfer" ~doc:"Transfer-learn from source dataset(s) onto a target dataset.")
     Term.(
       ret
         (const run $ source_arg $ target_arg $ seed_arg $ budget_arg 278 $ weight_arg
-       $ weighting_arg $ decay_arg))
+       $ weighting_arg $ decay_arg $ gate_thresh_arg $ no_gate_arg))
 
 (* ---- tune-csv ---- *)
 

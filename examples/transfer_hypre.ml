@@ -2,6 +2,14 @@
    16-node HYPRE study as a prior to tune the 64-node problem with a
    small evaluation budget.
 
+   HYPRE is also the cautionary half of the case study: the 16-node
+   prior ranks the 64-node space poorly, so an ungated campaign spends
+   its budget where the source — not the target — says the good
+   configurations are. The safeguarded gate (on by default) watches
+   each source's rank agreement with the unbiased init observations,
+   attenuates it as trust falls, and drops it outright, falling back
+   to the plain no-prior surrogate.
+
      dune exec examples/transfer_hypre.exe *)
 
 let () =
@@ -18,19 +26,33 @@ let () =
   Printf.printf "source: %d rows at 16 nodes; target: %d rows at 64 nodes; budget %d\n\n"
     (Dataset.Table.size src) (Dataset.Table.size trgt) budget;
 
-  let with_prior =
-    Hiperbot.Transfer.run ~rng:(Prng.Rng.create 3) ~space ~source ~objective ~budget ()
+  (* Narrate the gate's decisions as they happen. *)
+  let on_gate (g : Dataset.Runlog.gate) =
+    match g.Dataset.Runlog.g_action with
+    | "fallback" ->
+        Printf.printf "  [gate] refit %d: every source dropped, falling back to no-prior fit\n"
+          g.Dataset.Runlog.g_refit
+    | action ->
+        Printf.printf "  [gate] refit %d: source %d %s (trust %.3f)\n" g.Dataset.Runlog.g_refit
+          g.Dataset.Runlog.g_source action g.Dataset.Runlog.g_trust
   in
-  let without_prior =
-    Hiperbot.Tuner.run ~rng:(Prng.Rng.create 3) ~space ~objective ~budget ()
+  let gated =
+    Hiperbot.Transfer.run ~on_gate ~rng:(Prng.Rng.create 3) ~space ~source ~objective ~budget ()
   in
+  let ungated =
+    Hiperbot.Transfer.run ~gate:None ~rng:(Prng.Rng.create 3) ~space ~source ~objective ~budget ()
+  in
+  let no_prior = Hiperbot.Tuner.run ~rng:(Prng.Rng.create 3) ~space ~objective ~budget () in
+
   let good = Metrics.Recall.tolerance_good_set trgt 0.10 in
-  Printf.printf "target exhaustive best: %.4g s\n" (Dataset.Table.best_value trgt);
-  Printf.printf "with source prior:    best %.4g s, 10%%-tolerance recall %.2f\n"
-    with_prior.Hiperbot.Tuner.best_value
-    (Metrics.Recall.recall good with_prior.Hiperbot.Tuner.history);
-  Printf.printf "without prior:        best %.4g s, 10%%-tolerance recall %.2f\n"
-    without_prior.Hiperbot.Tuner.best_value
-    (Metrics.Recall.recall good without_prior.Hiperbot.Tuner.history);
+  let report label (r : Hiperbot.Tuner.result) =
+    Printf.printf "%-24s best %.4g s, 10%%-tolerance recall %.2f\n" label
+      r.Hiperbot.Tuner.best_value
+      (Metrics.Recall.recall good r.Hiperbot.Tuner.history)
+  in
+  Printf.printf "\ntarget exhaustive best: %.4g s\n" (Dataset.Table.best_value trgt);
+  report "gated prior (default):" gated;
+  report "ungated prior:" ungated;
+  report "no prior:" no_prior;
   Printf.printf "(%d configurations are within 10%% of the target best)\n"
     good.Metrics.Recall.count

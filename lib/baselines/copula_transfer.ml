@@ -1,0 +1,182 @@
+(* Gaussian-copula few-shot transfer.
+
+   The generative model is fitted on the top-alpha slice of the source
+   history: each parameter's marginal is the empirical distribution of
+   its values within that slice, and the dependence between parameters
+   is a Gaussian copula estimated from the Pearson correlation of the
+   slice's normal scores. Sampling draws a correlated normal vector,
+   pushes each coordinate through the normal CDF to a uniform, and
+   inverts the empirical marginal — so samples both respect each
+   parameter's good-region distribution and reproduce the joint
+   structure (e.g. "large tile sizes only pay off with unrolling on"). *)
+
+type marginal = {
+  m_sorted : float array;  (* sorted numeric values of the good slice *)
+}
+
+type t = {
+  space : Param.Space.t;
+  marginals : marginal array;
+  chol : Linalg.Mat.t;  (* lower Cholesky factor of the score correlation *)
+}
+
+let numeric_of_value v =
+  match (v : Param.Value.t) with
+  | Param.Value.Categorical _ | Param.Value.Ordinal _ -> float_of_int (Param.Value.to_index v)
+  | Param.Value.Continuous x -> x
+
+let value_of_numeric spec x =
+  match Param.Spec.domain spec with
+  | Param.Spec.Continuous { lo; hi } -> Param.Value.Continuous (Float.min hi (Float.max lo x))
+  | Param.Spec.Categorical _ | Param.Spec.Ordinal _ ->
+      let n = Option.get (Param.Spec.n_choices spec) in
+      let i = int_of_float (Float.round x) in
+      Param.Spec.value_of_index spec (min (n - 1) (max 0 i))
+
+(* Correlation matrices estimated from few samples are routinely only
+   positive semi-definite; escalate a diagonal jitter until the
+   Cholesky succeeds, degrading to independence (the identity factor)
+   if even a heavy ridge fails. *)
+let cholesky_with_jitter m =
+  let n = Linalg.Mat.rows m in
+  let attempt eps =
+    let j = Linalg.Mat.copy m in
+    for i = 0 to n - 1 do
+      Linalg.Mat.set j i i (Linalg.Mat.get j i i +. eps)
+    done;
+    try Some (Linalg.Mat.cholesky j) with Failure _ -> None
+  in
+  let rec first = function
+    | [] -> Linalg.Mat.identity n
+    | eps :: rest -> ( match attempt eps with Some l -> l | None -> first rest)
+  in
+  first [ 0.; 1e-9; 1e-6; 1e-3; 1e-1 ]
+
+let fit ?(alpha = 0.2) ~space ~source () =
+  if Array.length source = 0 then invalid_arg "Copula_transfer.fit: empty source history";
+  if not (Float.is_finite alpha) || alpha <= 0. || alpha > 1. then
+    invalid_arg "Copula_transfer.fit: alpha must lie in (0, 1]";
+  Array.iter
+    (fun (c, y) ->
+      if not (Param.Space.validate space c) then
+        invalid_arg "Copula_transfer.fit: invalid source configuration";
+      if not (Float.is_finite y) then
+        invalid_arg "Copula_transfer.fit: non-finite source objective")
+    source;
+  let n = Array.length source in
+  let by_value = Array.copy source in
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) by_value;
+  let n_good = max 2 (min n (int_of_float (ceil (alpha *. float_of_int n)))) in
+  let n_good = min n n_good in
+  let good = Array.sub by_value 0 n_good in
+  let n_params = Param.Space.n_params space in
+  (* Per-parameter numeric columns of the good slice. *)
+  let columns =
+    Array.init n_params (fun p -> Array.map (fun (c, _) -> numeric_of_value c.(p)) good)
+  in
+  let marginals =
+    Array.map
+      (fun col ->
+        let sorted = Array.copy col in
+        Array.sort Float.compare sorted;
+        { m_sorted = sorted })
+      columns
+  in
+  (* Normal scores: fractional (tie-averaged) ranks mapped through the
+     normal quantile at r / (n + 1). *)
+  let scores =
+    Array.map
+      (fun col ->
+        let r = Stats.Correlation.ranks col in
+        Array.map (fun rank -> Stats.Normal.ppf (rank /. float_of_int (n_good + 1))) r)
+      columns
+  in
+  let corr =
+    Linalg.Mat.init n_params n_params (fun i j ->
+        if i = j then 1.
+        else if n_good < 2 then 0.
+        else
+          let r = Stats.Correlation.pearson scores.(i) scores.(j) in
+          Float.min 1. (Float.max (-1.) r))
+  in
+  { space; marginals; chol = cholesky_with_jitter corr }
+
+let sample t rng =
+  let n_params = Param.Space.n_params t.space in
+  (* Explicit loop: the per-parameter draw order is part of the
+     deterministic rng contract. *)
+  let xi = Array.make n_params 0. in
+  for p = 0 to n_params - 1 do
+    xi.(p) <- Prng.Rng.normal rng
+  done;
+  let z = Linalg.Mat.mat_vec t.chol xi in
+  Array.init n_params (fun p ->
+      let u = Stats.Normal.cdf z.(p) in
+      (* cdf of a finite score is strictly inside (0, 1), but clamp
+         against underflow at the extreme tails anyway. *)
+      let u = Float.min (1. -. epsilon_float) (Float.max epsilon_float u) in
+      let x = Stats.Quantile.quantile_sorted t.marginals.(p).m_sorted u in
+      value_of_numeric (Param.Space.spec t.space p) x)
+
+let max_redraws = 50
+
+let run ?alpha ?candidates ~rng ~space ~source ~objective ~budget () =
+  if budget < 1 then invalid_arg "Copula_transfer.run: budget must be at least 1";
+  (match candidates with
+  | Some c when Array.length c = 0 -> invalid_arg "Copula_transfer.run: empty candidate set"
+  | _ -> ());
+  let model = fit ?alpha ~space ~source () in
+  let seen = Param.Config.Table.create budget in
+  let n_evals =
+    match candidates with
+    | Some c -> min budget (Array.length c)
+    | None -> (
+        match Param.Space.cardinality space with
+        | Some total -> min budget total
+        | None -> budget)
+  in
+  (* With a candidate pool (e.g. the measured rows of a study), snap
+     each copula draw to the nearest not-yet-evaluated candidate so
+     every evaluation has a defined objective. *)
+  let snap config =
+    match candidates with
+    | None -> config
+    | Some pool ->
+        let best = ref None in
+        Array.iter
+          (fun cand ->
+            if not (Param.Config.Table.mem seen cand) then begin
+              let d = Param.Space.distance space config cand in
+              match !best with
+              | Some (_, bd) when bd <= d -> ()
+              | _ -> best := Some (cand, d)
+            end)
+          pool;
+        fst (Option.get !best)
+  in
+  let fresh () =
+    let rec attempt i =
+      let c = snap (sample model rng) in
+      if not (Param.Config.Table.mem seen c) then c
+      else if i < max_redraws then attempt (i + 1)
+      else begin
+        (* The copula keeps proposing already-evaluated configurations
+           (a sharply peaked model on a small space): fall back to
+           uniform draws, which terminate because the space is not yet
+           exhausted. *)
+        let rec uniform () =
+          let c = snap (Param.Space.random_config space rng) in
+          if Param.Config.Table.mem seen c then uniform () else c
+        in
+        uniform ()
+      end
+    in
+    attempt 0
+  in
+  let history =
+    Array.init n_evals (fun _ ->
+        let c = fresh () in
+        Param.Config.Table.replace seen c ();
+        (c, objective c))
+  in
+  Outcome.of_history history

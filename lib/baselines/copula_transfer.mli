@@ -1,0 +1,54 @@
+(** Gaussian-copula few-shot transfer (after Randall et al., and the
+    safeguarded-transfer comparison baseline of this reproduction).
+
+    Instead of mixing a source surrogate into the target's density
+    ratio (the HiPerBOt prior of {!Hiperbot.Transfer}), the copula
+    baseline fits a {e generative} model of the source's good region —
+    empirical per-parameter marginals of the top-[alpha] slice coupled
+    by a Gaussian copula over their normal scores — and spends the
+    target budget sampling from it. It needs no target-side refits,
+    which makes it a natural few-shot baseline: strong when source and
+    target agree, and (unlike the gated prior) with no mechanism to
+    recover when they do not. *)
+
+type t
+(** A fitted copula model. *)
+
+val fit :
+  ?alpha:float ->
+  space:Param.Space.t ->
+  source:(Param.Config.t * float) array ->
+  unit ->
+  t
+(** Fit on the top-[alpha] (default 0.2, the surrogate's good split)
+    slice of the source history, minimizing the objective. At least
+    two observations join the slice whenever the history has them.
+    Raises [Invalid_argument] on an empty history, invalid
+    configurations, non-finite objectives, or [alpha] outside
+    (0, 1]. Rank-deficient score correlations fall back to a jittered
+    Cholesky, then to independence. *)
+
+val sample : t -> Prng.Rng.t -> Param.Config.t
+(** Draw one configuration: correlated normal scores through the
+    normal CDF, then each parameter's empirical inverse CDF (discrete
+    parameters round to the nearest valid index, continuous ones clamp
+    to their range). Always returns a valid configuration of the
+    fitted space. *)
+
+val run :
+  ?alpha:float ->
+  ?candidates:Param.Config.t array ->
+  rng:Prng.Rng.t ->
+  space:Param.Space.t ->
+  source:(Param.Config.t * float) array ->
+  objective:(Param.Config.t -> float) ->
+  budget:int ->
+  unit ->
+  Outcome.t
+(** Fit on [source], then evaluate [budget] distinct sampled
+    configurations (fewer if the space or candidate pool is smaller).
+    [candidates] restricts evaluation to an explicit pool — each
+    sample snaps to its nearest not-yet-evaluated candidate by
+    {!Param.Space.distance} — for studies where the objective is only
+    defined on measured rows. Persistent duplicate proposals fall back
+    to uniform draws so the run always terminates. *)

@@ -67,42 +67,48 @@ let prior_of_sources ?options ?(weighting = Constant_weights) space sources =
       List.map (fun (s, w) -> (s, w *. js_agreement space pooled s)) fitted
 
 (* Shared option plumbing: fit the source surrogates once, install
-   them (with the decay schedule) as the campaign prior, and hand the
-   options to whichever engine the caller picked. The surrogate fit on
-   each source uses the same alpha/density options as the target
-   surrogate. *)
-let with_prior ~options ~weighting ~schedule ~space sources =
+   them (with the decay schedule and the safety gate) as the campaign
+   prior, and hand the options to whichever engine the caller picked.
+   The surrogate fit on each source uses the same alpha/density
+   options as the target surrogate. *)
+let with_prior ~options ~weighting ~schedule ~gate ~space sources =
   let priors = prior_of_sources ~options:options.Tuner.surrogate ?weighting space sources in
   {
     options with
-    Tuner.prior = Some (Tuner.prior_of ~decay:(decay_of_schedule schedule) priors);
+    Tuner.prior = Some (Tuner.prior_of ~decay:(decay_of_schedule schedule) ?gate priors);
   }
 
 let run ?(telemetry = Telemetry.Trace.disabled) ?(options = Tuner.default_options) ?(weight = 1.0)
-    ?(schedule = Constant) ?on_evaluation ~rng ~space ~source ~objective ~budget () =
+    ?(schedule = Constant) ?(gate = Some Gate.default_options) ?on_evaluation ?on_gate ~rng ~space
+    ~source ~objective ~budget () =
   let options =
-    with_prior ~options ~weighting:None ~schedule ~space [ (source, weight) ]
+    with_prior ~options ~weighting:None ~schedule ~gate ~space [ (source, weight) ]
   in
-  Tuner.run ~telemetry ~options ?on_evaluation ~rng ~space ~objective ~budget ()
+  Tuner.run ~telemetry ~options ?on_evaluation ?on_gate ~rng ~space ~objective ~budget ()
 
 let run_multi ?(telemetry = Telemetry.Trace.disabled) ?(options = Tuner.default_options)
-    ?weighting ?(schedule = Constant) ?on_evaluation ~rng ~space ~sources ~objective ~budget () =
-  let options = with_prior ~options ~weighting ~schedule ~space sources in
-  Tuner.run ~telemetry ~options ?on_evaluation ~rng ~space ~objective ~budget ()
+    ?weighting ?(schedule = Constant) ?(gate = Some Gate.default_options) ?on_evaluation ?on_gate
+    ~rng ~space ~sources ~objective ~budget () =
+  let options = with_prior ~options ~weighting ~schedule ~gate ~space sources in
+  Tuner.run ~telemetry ~options ?on_evaluation ?on_gate ~rng ~space ~objective ~budget ()
 
 let run_with_policy ?telemetry ?(options = Tuner.default_options) ?policy ?weighting
-    ?(schedule = Constant) ?on_outcome ~rng ~space ~sources ~objective ~budget () =
-  let options = with_prior ~options ~weighting ~schedule ~space sources in
-  Tuner.run_with_policy ?telemetry ~options ?policy ?on_outcome ~rng ~space ~objective ~budget ()
+    ?(schedule = Constant) ?(gate = Some Gate.default_options) ?on_outcome ?on_gate ~rng ~space
+    ~sources ~objective ~budget () =
+  let options = with_prior ~options ~weighting ~schedule ~gate ~space sources in
+  Tuner.run_with_policy ?telemetry ~options ?policy ?on_outcome ?on_gate ~rng ~space ~objective
+    ~budget ()
 
 let resume ?telemetry ?(options = Tuner.default_options) ?policy ?weighting
-    ?(schedule = Constant) ?on_outcome ~log ~sources ~objective ~budget () =
+    ?(schedule = Constant) ?(gate = Some Gate.default_options) ?on_outcome ?on_gate ~log ~sources
+    ~objective ~budget () =
   let space = log.Dataset.Runlog.space in
-  let options = with_prior ~options ~weighting ~schedule ~space sources in
-  Tuner.resume ?telemetry ~options ?policy ?on_outcome ~log ~objective ~budget ()
+  let options = with_prior ~options ~weighting ~schedule ~gate ~space sources in
+  Tuner.resume ?telemetry ~options ?policy ?on_outcome ?on_gate ~log ~objective ~budget ()
 
 let run_async ?telemetry ?(options = Tuner.default_options) ?policy ?weighting
-    ?(schedule = Constant) ?on_outcome ?duration ~k ~rng ~space ~sources ~objective ~budget () =
-  let options = with_prior ~options ~weighting ~schedule ~space sources in
-  Tuner.run_async ?telemetry ~options ?policy ?on_outcome ?duration ~k ~rng ~space ~objective
-    ~budget ()
+    ?(schedule = Constant) ?(gate = Some Gate.default_options) ?on_outcome ?on_gate ?duration ~k
+    ~rng ~space ~sources ~objective ~budget () =
+  let options = with_prior ~options ~weighting ~schedule ~gate ~space sources in
+  Tuner.run_async ?telemetry ~options ?policy ?on_outcome ?on_gate ?duration ~k ~rng ~space
+    ~objective ~budget ()

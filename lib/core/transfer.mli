@@ -12,7 +12,18 @@
 
     Every entry point validates its sources the same way: each prior
     weight must be finite and non-negative, and each source must be
-    non-empty. *)
+    non-empty.
+
+    {b Safeguarded transfer.} Every campaign entry point takes
+    [?gate : Gate.options option], default [Some Gate.default_options]
+    — transfer is gated unless the caller opts out. The gate monitors
+    each source's agreement with the accumulating target evidence at
+    every refit and attenuates, then drops, sources whose trust decays
+    (see {!Gate}); when every source is dropped the campaign continues
+    bit-identically to a no-prior campaign from that refit onward.
+    Pass [~gate:None] to reproduce ungated (PR-era) transfer
+    bit-exactly, or [~gate:(Some opts)] to tune the thresholds.
+    [?on_gate] observes gate decisions for run-log persistence. *)
 
 type weighting =
   | Constant_weights  (** use the caller's weights as given *)
@@ -67,7 +78,9 @@ val run :
   ?options:Tuner.options ->
   ?weight:float ->
   ?schedule:schedule ->
+  ?gate:Gate.options option ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
   source:(Param.Config.t * float) array ->
@@ -91,7 +104,9 @@ val run_multi :
   ?options:Tuner.options ->
   ?weighting:weighting ->
   ?schedule:schedule ->
+  ?gate:Gate.options option ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
   sources:((Param.Config.t * float) array * float) list ->
@@ -108,7 +123,9 @@ val run_with_policy :
   ?policy:Resilience.Policy.t ->
   ?weighting:weighting ->
   ?schedule:schedule ->
+  ?gate:Gate.options option ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   rng:Prng.Rng.t ->
   space:Param.Space.t ->
   sources:((Param.Config.t * float) array * float) list ->
@@ -126,7 +143,9 @@ val resume :
   ?policy:Resilience.Policy.t ->
   ?weighting:weighting ->
   ?schedule:schedule ->
+  ?gate:Gate.options option ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   log:Dataset.Runlog.t ->
   sources:((Param.Config.t * float) array * float) list ->
   objective:(attempt:int -> Param.Config.t -> Resilience.Outcome.t) ->
@@ -144,7 +163,9 @@ val run_async :
   ?policy:Resilience.Policy.t ->
   ?weighting:weighting ->
   ?schedule:schedule ->
+  ?gate:Gate.options option ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   ?duration:(Param.Config.t -> Resilience.Evaluator.verdict -> float) ->
   k:int ->
   rng:Prng.Rng.t ->

@@ -1,11 +1,14 @@
 type prior = {
   sources : (Surrogate.t * float) array;
   decay : int -> float;
+  gate : Gate.options option;
 }
 
 let constant_decay _ = 1.
 
-let prior_of ?(decay = constant_decay) sources = { sources = Array.of_list sources; decay }
+let prior_of ?(decay = constant_decay) ?gate sources =
+  (match gate with Some g -> Gate.validate_options g | None -> ());
+  { sources = Array.of_list sources; decay; gate }
 
 type options = {
   n_init : int;
@@ -52,11 +55,102 @@ let max_init_redraws = 50
 let priors_at ~options n_obs =
   match options.prior with
   | None -> []
-  | Some { sources; decay } ->
+  | Some { sources; decay; _ } ->
       let m = decay n_obs in
       if not (Float.is_finite m) || m < 0. then
         invalid_arg "Tuner.run: prior decay multiplier must be finite and non-negative";
       Array.to_list (Array.map (fun (p, w) -> (p, w *. m)) sources)
+
+(* ---- safeguarded transfer: gate plumbing ---- *)
+
+let gate_state_of ~options =
+  match options.prior with
+  | Some { gate = Some g; sources; _ } when Array.length sources > 0 ->
+      Some (Gate.create ~options:g ~n_sources:(Array.length sources))
+  | _ -> None
+
+let gate_divergence_msg =
+  "Tuner.resume: recorded gate decisions diverge from the recomputed ones (were the gate \
+   options, sources, or schedule changed?)"
+
+let runlog_gate_of (d : Gate.decision) =
+  {
+    Dataset.Runlog.g_refit = d.Gate.d_refit;
+    g_source = d.Gate.d_source;
+    g_action = Gate.action_to_string d.Gate.d_action;
+    g_trust = d.Gate.d_trust;
+    g_below = d.Gate.d_below;
+  }
+
+(* A resumed campaign recomputes the whole gate-decision stream
+   deterministically (replay re-runs every refit), so the recorded
+   decisions serve as a divergence check: prefix-verify against them,
+   then forward only the genuinely new decisions to [on_gate] — a
+   resumed run never re-appends decisions its log already holds.
+   The check is driven by recomputed decisions, so a campaign that
+   recomputes none (gating disabled or prior removed) would never
+   look at the record — catch that contradiction eagerly instead of
+   silently continuing a different campaign. *)
+let gate_emitter ?on_gate ?gate ~recorded () =
+  if Array.length recorded > 0 && Option.is_none gate then
+    failwith
+      "Tuner.resume: the run log records gate decisions but this campaign has gating disabled \
+       (restore the original prior and gate options, or start fresh without --resume)";
+  let next = ref 0 in
+  fun (d : Gate.decision) ->
+    let g = runlog_gate_of d in
+    if !next < Array.length recorded then begin
+      if not (Dataset.Runlog.gate_equal recorded.(!next) g) then failwith gate_divergence_msg;
+      incr next
+    end
+    else match on_gate with Some f -> f g | None -> ()
+
+(* One surrogate refit, gated when the campaign's prior asks for it:
+   update the trust state against the campaign's unbiased anchor
+   observations (warm start + random inits), then fit the surrogate on
+   the surviving priors. With no gate (or below the gate's min_obs)
+   this performs exactly the ungated fit call; once every source has
+   been dropped it performs exactly the no-prior fit call — the
+   bit-identical fallback the containment guarantee rests on. *)
+let fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor ~extra_bad obs =
+  let n_obs = Array.length obs in
+  match gate with
+  | None ->
+      Surrogate.fit ~telemetry ~options:options.surrogate ~priors:(priors_at ~options n_obs)
+        ~extra_bad space obs
+  | Some state when Gate.all_dropped state ->
+      Surrogate.fit ~telemetry ~options:options.surrogate ~extra_bad space obs
+  | Some state ->
+      let step = Gate.apply state ~anchor:(anchor ()) ~n_obs (priors_at ~options n_obs) in
+      if Telemetry.Trace.enabled telemetry then begin
+        List.iter
+          (fun (s : Gate.snapshot) ->
+            Telemetry.Trace.emit telemetry
+              (Telemetry.Event.Trust
+                 {
+                   refit = s.Gate.s_refit;
+                   source = s.Gate.s_source;
+                   agreement = s.Gate.s_agreement;
+                   trust = s.Gate.s_trust;
+                   weight = s.Gate.s_weight;
+                   state = Gate.status_to_string s.Gate.s_status;
+                 }))
+          step.Gate.step_snapshots;
+        List.iter
+          (fun (d : Gate.decision) ->
+            Telemetry.Trace.emit telemetry
+              (Telemetry.Event.Gate
+                 {
+                   refit = d.Gate.d_refit;
+                   source = d.Gate.d_source;
+                   action = Gate.action_to_string d.Gate.d_action;
+                   trust = d.Gate.d_trust;
+                 }))
+          step.Gate.step_decisions
+      end;
+      List.iter emit_gate step.Gate.step_decisions;
+      Surrogate.fit ~telemetry ~options:options.surrogate ~priors:step.Gate.step_priors ~extra_bad
+        space obs
 
 (* Validation and per-campaign candidate-pool setup shared by the
    synchronous core and the asynchronous engine: checks the options,
@@ -113,10 +207,12 @@ let campaign_setup ~options ~candidates ~space ~budget =
    resumed campaign retraces the interrupted one bit-for-bit and then
    continues. *)
 let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
-    ?(warm_start = [||]) ?candidates ?on_outcome ?(replay = [||]) ?pool:workers ?schedule ~rng
-    ~space ~eval ~budget () =
+    ?(warm_start = [||]) ?candidates ?on_outcome ?on_gate ?(recorded_gates = [||])
+    ?(replay = [||]) ?pool:workers ?schedule ~rng ~space ~eval ~budget () =
   let campaign_t0 = Telemetry.Trace.now telemetry in
   let pool, encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  let gate = gate_state_of ~options in
+  let emit_gate = gate_emitter ?on_gate ?gate ~recorded:recorded_gates () in
   let evaluated = Param.Config.Table.create (budget + Array.length warm_start) in
   Array.iter
     (fun (c, _) ->
@@ -233,6 +329,13 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
     if not duplicate then evaluate c
   done;
   since_improvement := 0;
+  (* The unbiased anchor evidence the gate judges sources on: warm-
+     start data plus the random-init observations — the history so
+     far, fixed for the rest of the campaign. *)
+  let anchor =
+    let a = lazy (Array.append warm_start (Array.of_list (List.rev !history))) in
+    fun () -> Lazy.force a
+  in
   (* Phase 2: surrogate-guided iteration, [batch_size] evaluations per
      refit, optionally stopping when guided samples go stale. A batch
      member whose verdict is a failure (including Timeout stragglers)
@@ -250,10 +353,9 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
     if Array.length obs = 0 then continue := false
     else begin
       let surrogate =
-        Surrogate.fit ~telemetry ~options:options.surrogate
-          ~priors:(priors_at ~options (Array.length obs))
+        fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor
           ~extra_bad:(Array.of_list (List.rev_map fst !failures))
-          space obs
+          obs
       in
       final_surrogate := Some surrogate;
       let k = min options.batch_size (budget - !n_evaluated) in
@@ -303,8 +405,8 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
 let verdict_of_outcome outcome =
   { Resilience.Evaluator.outcome; attempts = 1; retry_cost = 0. }
 
-let run ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?pool ?schedule ~rng ~space
-    ~objective ~budget () =
+let run ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?on_gate ?pool ?schedule ~rng
+    ~space ~objective ~budget () =
   let eval c = verdict_of_outcome (Resilience.Outcome.Value (objective c)) in
   let on_outcome =
     Option.map
@@ -315,26 +417,26 @@ let run ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?pool ?schedu
       on_evaluation
   in
   match
-    run_core ?telemetry ?options ?warm_start ?candidates ?on_outcome ?pool ?schedule ~rng ~space
-      ~eval ~budget ()
+    run_core ?telemetry ?options ?warm_start ?candidates ?on_outcome ?on_gate ?pool ?schedule
+      ~rng ~space ~eval ~budget ()
   with
   | Stdlib.Ok r -> r
   | Stdlib.Error _ -> assert false (* a total objective cannot fail *)
 
-let run_resilient ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?on_failure ?pool
-    ?schedule ~rng ~space ~objective ~budget () =
+let run_resilient ?telemetry ?options ?warm_start ?candidates ?on_evaluation ?on_failure ?on_gate
+    ?pool ?schedule ~rng ~space ~objective ~budget () =
   let eval c = verdict_of_outcome (Resilience.Outcome.of_option (objective c)) in
   let on_outcome i c v =
     match v.Resilience.Evaluator.outcome with
     | Resilience.Outcome.Value y -> (match on_evaluation with Some f -> f i c y | None -> ())
     | _ -> ( match on_failure with Some f -> f i c | None -> ())
   in
-  run_core ?telemetry ?options ?warm_start ?candidates ~on_outcome ?pool ?schedule ~rng ~space
-    ~eval ~budget ()
+  run_core ?telemetry ?options ?warm_start ?candidates ~on_outcome ?on_gate ?pool ?schedule ~rng
+    ~space ~eval ~budget ()
 
 let run_with_policy ?(telemetry = Telemetry.Trace.disabled) ?options
-    ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome ?replay ?pool
-    ?schedule ~rng ~space ~objective ~budget () =
+    ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome ?on_gate
+    ?recorded_gates ?replay ?pool ?schedule ~rng ~space ~objective ~budget () =
   (* The resilience layer stays dependency-free: it exposes a generic
      per-attempt probe, and the telemetry wiring lives here. *)
   let probe =
@@ -347,8 +449,8 @@ let run_with_policy ?(telemetry = Telemetry.Trace.disabled) ?options
     else None
   in
   let eval c = Resilience.Evaluator.evaluate ?probe ~policy ~objective c in
-  run_core ~telemetry ?options ?warm_start ?candidates ?on_outcome ?replay ?pool ?schedule ~rng
-    ~space ~eval ~budget ()
+  run_core ~telemetry ?options ?warm_start ?candidates ?on_outcome ?on_gate ?recorded_gates
+    ?replay ?pool ?schedule ~rng ~space ~eval ~budget ()
 
 let replay_of_log ~policy log =
   Array.mapi
@@ -375,13 +477,14 @@ let replay_of_log ~policy log =
     log.Dataset.Runlog.entries
 
 let resume ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates
-    ?on_outcome ?pool ?schedule ~log ~objective ~budget () =
+    ?on_outcome ?on_gate ?pool ?schedule ~log ~objective ~budget () =
   let replay = replay_of_log ~policy log in
   if Array.length replay > budget then
     invalid_arg "Tuner.resume: budget is smaller than the recorded evaluation count";
   let rng = Prng.Rng.create log.Dataset.Runlog.seed in
-  run_with_policy ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool
-    ?schedule ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()
+  run_with_policy ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ?on_gate
+    ~recorded_gates:log.Dataset.Runlog.gates ~replay ?pool ?schedule ~rng
+    ~space:log.Dataset.Runlog.space ~objective ~budget ()
 
 (* ---- asynchronous campaign engine ---- *)
 
@@ -422,12 +525,14 @@ let divergence_msg =
    objective changed?)"
 
 let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
-    ?(policy = Resilience.Policy.default) ?(warm_start = [||]) ?candidates ?on_outcome
-    ?(replay = [||]) ?pool:workers ?schedule ?(duration = default_duration) ~k ~rng ~space
-    ~objective ~budget () =
+    ?(policy = Resilience.Policy.default) ?(warm_start = [||]) ?candidates ?on_outcome ?on_gate
+    ?(recorded_gates = [||]) ?(replay = [||]) ?pool:workers ?schedule
+    ?(duration = default_duration) ~k ~rng ~space ~objective ~budget () =
   let campaign_t0 = Telemetry.Trace.now telemetry in
   if k < 1 then invalid_arg "Tuner.run_async: k must be at least 1";
   let pool, encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  let gate = gate_state_of ~options in
+  let emit_gate = gate_emitter ?on_gate ?gate ~recorded:recorded_gates () in
   (* [seen] deduplicates at submission time: a configuration joins it
      when submitted (or warm-started), so in-flight configurations are
      excluded from init draws and guided selection exactly like
@@ -556,6 +661,13 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
     end
   in
   let observations () = Array.append warm_start (Array.of_list (List.rev !history)) in
+  (* The gate's unbiased anchor evidence: warm-start data plus the
+     random-init completions that have landed so far (guided
+     completions are excluded — they are prior-biased). With k = 1
+     every init completes before the first guided selection, so this
+     matches the synchronous core's anchor exactly. *)
+  let anchor_rev = ref [] in
+  let anchor () = Array.append warm_start (Array.of_list (List.rev !anchor_rev)) in
   (* Guided selection with the pending set treated as constant-liar
      observations: in-flight configurations join the surrogate's bad
      density (after the failures, preserving the synchronous fit input
@@ -572,11 +684,7 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
       let extra_bad =
         Array.append (Array.of_list (List.rev_map fst !failures)) pending
       in
-      let surrogate =
-        Surrogate.fit ~telemetry ~options:options.surrogate
-          ~priors:(priors_at ~options (Array.length obs))
-          ~extra_bad space obs
-      in
+      let surrogate = fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor ~extra_bad obs in
       final_surrogate := Some surrogate;
       match
         Strategy.select_many ~telemetry ?workers ?schedule ?encoded options.strategy ~k:1 ~rng
@@ -654,6 +762,7 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
     (match verdict.Resilience.Evaluator.outcome with
     | Resilience.Outcome.Value y ->
         history := (slot.slot_config, y) :: !history;
+        if not slot.slot_guided then anchor_rev := (slot.slot_config, y) :: !anchor_rev;
         (match !best with
         | Some (_, by) when by <= y -> if slot.slot_guided then incr since_improvement
         | Some _ | None ->
@@ -721,10 +830,11 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
         }
 
 let resume_async ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start
-    ?candidates ?on_outcome ?pool ?schedule ?duration ~k ~log ~objective ~budget () =
+    ?candidates ?on_outcome ?on_gate ?pool ?schedule ?duration ~k ~log ~objective ~budget () =
   let replay = replay_of_log ~policy log in
   if Array.length replay > budget then
     invalid_arg "Tuner.resume: budget is smaller than the recorded evaluation count";
   let rng = Prng.Rng.create log.Dataset.Runlog.seed in
-  run_async ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ~replay ?pool
-    ?schedule ?duration ~k ~rng ~space:log.Dataset.Runlog.space ~objective ~budget ()
+  run_async ?telemetry ?options ~policy ?warm_start ?candidates ?on_outcome ?on_gate
+    ~recorded_gates:log.Dataset.Runlog.gates ~replay ?pool ?schedule ?duration ~k ~rng
+    ~space:log.Dataset.Runlog.space ~objective ~budget ()

@@ -33,6 +33,11 @@ type prior = {
           observation count (warm-start included); must return finite
           non-negative values. {!constant_decay} keeps priors at full
           strength forever. *)
+  gate : Gate.options option;
+      (** safeguarded transfer: when set, every refit scores each
+          source's agreement with the target evidence and attenuates /
+          drops sources whose trust decays (see {!Gate}). [None]
+          reproduces ungated transfer bit-exactly. *)
 }
 
 val constant_decay : int -> float
@@ -40,9 +45,10 @@ val constant_decay : int -> float
     ([w *. 1. = w] bit-for-bit), so a constant-decay prior reproduces
     a fixed-weight campaign bit-identically. *)
 
-val prior_of : ?decay:(int -> float) -> (Surrogate.t * float) list -> prior
+val prior_of : ?decay:(int -> float) -> ?gate:Gate.options -> (Surrogate.t * float) list -> prior
 (** Build a prior from source surrogates and weights (decay defaults
-    to {!constant_decay}). *)
+    to {!constant_decay}; gate defaults to none — ungated). Raises
+    [Invalid_argument] on out-of-range gate options. *)
 
 type options = {
   n_init : int;  (** random initial samples (paper: 20) *)
@@ -99,6 +105,7 @@ val run :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   ?pool:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
   rng:Prng.Rng.t ->
@@ -149,6 +156,7 @@ val run_resilient :
   ?candidates:Param.Config.t array ->
   ?on_evaluation:(int -> Param.Config.t -> float -> unit) ->
   ?on_failure:(int -> Param.Config.t -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   ?pool:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
   rng:Prng.Rng.t ->
@@ -173,6 +181,8 @@ val run_with_policy :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
+  ?recorded_gates:Dataset.Runlog.gate array ->
   ?replay:(Param.Config.t * Resilience.Evaluator.verdict) array ->
   ?pool:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
@@ -200,7 +210,15 @@ val run_with_policy :
     [objective] (and do not fire [on_outcome]); the tuner still
     performs the same rng draws and selection, so the run continues
     exactly where the recorded one stopped. Raises [Failure] if a
-    replayed configuration does not match the recorded one. *)
+    replayed configuration does not match the recorded one.
+
+    [on_gate] fires once per transfer-gate decision (a source
+    attenuated, restored, or dropped; the pooled-prior fallback) in
+    the shape {!Dataset.Runlog.gate} expects, so run-log writers can
+    persist the decisions as they happen. [recorded_gates] is the
+    resume-side counterpart: the recomputed decision stream is
+    verified against this prefix (raising [Failure] on divergence)
+    without re-firing [on_gate] for decisions the log already holds. *)
 
 val resume :
   ?telemetry:Telemetry.Trace.t ->
@@ -209,6 +227,7 @@ val resume :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   ?pool:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
   log:Dataset.Runlog.t ->
@@ -226,7 +245,13 @@ val resume :
     the resume guarantee the tests assert. Raises [Invalid_argument]
     if the log already holds more than [budget] entries and [Failure]
     if the log's entries are not dense from index 0 or diverge from
-    the replayed trajectory. *)
+    the replayed trajectory.
+
+    Gated campaigns resume bit-exactly too: the gate state is not
+    stored — it is a pure function of the refit sequence, which replay
+    reproduces — and the log's recorded [#gate] decisions are verified
+    as a prefix of the recomputed stream ([Failure] on mismatch), with
+    [on_gate] firing only for decisions beyond the recorded prefix. *)
 
 val default_duration : Param.Config.t -> Resilience.Evaluator.verdict -> float
 (** The simulated duration {!run_async} assigns a completed verdict
@@ -242,6 +267,8 @@ val run_async :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
+  ?recorded_gates:Dataset.Runlog.gate array ->
   ?replay:(Param.Config.t * Resilience.Evaluator.verdict) array ->
   ?pool:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
@@ -300,6 +327,7 @@ val resume_async :
   ?warm_start:(Param.Config.t * float) array ->
   ?candidates:Param.Config.t array ->
   ?on_outcome:(int -> Param.Config.t -> Resilience.Evaluator.verdict -> unit) ->
+  ?on_gate:(Dataset.Runlog.gate -> unit) ->
   ?pool:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
   ?duration:(Param.Config.t -> Resilience.Evaluator.verdict -> float) ->

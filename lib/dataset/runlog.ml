@@ -1,9 +1,33 @@
 type failure_kind = Crash | Transient | Permanent | Timeout
 type status = Ok of float | Failed of failure_kind
 type entry = { index : int; config : Param.Config.t; status : status; attempts : int }
-type t = { name : string; seed : int; space : Param.Space.t; entries : entry array }
 
-let create ~name ~seed ~space entries =
+type gate = { g_refit : int; g_source : int; g_action : string; g_trust : float; g_below : int }
+
+type t = {
+  name : string;
+  seed : int;
+  space : Param.Space.t;
+  entries : entry array;
+  gates : gate array;
+}
+
+let gate_actions = [ "attenuate"; "restore"; "drop"; "fallback" ]
+
+let validate_gate g =
+  if g.g_refit < 0 then invalid_arg "Runlog: gate refit must be non-negative";
+  if g.g_source < -1 then invalid_arg "Runlog: gate source must be >= -1";
+  if not (List.mem g.g_action gate_actions) then
+    invalid_arg (Printf.sprintf "Runlog: unknown gate action %S" g.g_action);
+  if not (Float.is_finite g.g_trust) then invalid_arg "Runlog: gate trust must be finite";
+  if g.g_below < 0 then invalid_arg "Runlog: gate below-count must be non-negative"
+
+let gate_equal a b =
+  a.g_refit = b.g_refit && a.g_source = b.g_source && a.g_action = b.g_action
+  && Float.equal a.g_trust b.g_trust
+  && a.g_below = b.g_below
+
+let create ?(gates = []) ~name ~seed ~space entries =
   let entries = Array.of_list entries in
   Array.sort (fun a b -> compare a.index b.index) entries;
   Array.iteri
@@ -13,7 +37,12 @@ let create ~name ~seed ~space entries =
       if e.attempts < 1 then invalid_arg "Runlog.create: attempts must be at least 1";
       if i > 0 && entries.(i - 1).index = e.index then invalid_arg "Runlog.create: duplicate index")
     entries;
-  { name; seed; space; entries }
+  (* Gate decisions keep their given (chronological) order: resume
+     verification matches them as a prefix against the recomputed
+     decision stream, so reordering here would manufacture divergence. *)
+  let gates = Array.of_list gates in
+  Array.iter validate_gate gates;
+  { name; seed; space; entries; gates }
 
 type recorder = { r_name : string; r_seed : int; r_space : Param.Space.t; mutable acc : entry list }
 
@@ -106,12 +135,21 @@ let entry_row ~version ~specs e =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Trust values are serialized as hex floats so a resumed campaign
+   verifies its recomputed gate decisions against bit-exact recorded
+   ones — "%.17g" round-trips too, but hex is unambiguous about it. *)
+let gate_row g =
+  Printf.sprintf "#gate %d,%d,%s,%h,%d\n" g.g_refit g.g_source g.g_action g.g_trust g.g_below
+
 let to_string ?(version = 2) t =
   if version <> 1 && version <> 2 then invalid_arg "Runlog.to_string: unknown format version";
   let specs = Param.Space.specs t.space in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (header_string ~version ~name:t.name ~seed:t.seed ~specs);
   Array.iter (fun e -> Buffer.add_string buf (entry_row ~version ~specs e)) t.entries;
+  (* v1 predates gating; like the attempts column, gate lines are
+     dropped from a v1 rendering. *)
+  if version >= 2 then Array.iter (fun g -> Buffer.add_string buf (gate_row g)) t.gates;
   Buffer.contents buf
 
 let parse_spec_header line =
@@ -226,22 +264,56 @@ let of_string ?(recover = false) text =
     in
     { index; config; status; attempts }
   in
+  let is_gate_line line = String.length line >= 6 && String.sub line 0 6 = "#gate " in
+  let parse_gate_row line =
+    (* "#gate refit,source,action,trust,below" — trust is a hex float *)
+    match String.split_on_char ',' (String.sub line 6 (String.length line - 6)) with
+    | [ refit; source; action; trust; below ] ->
+        let int_of what s =
+          match int_of_string_opt (String.trim s) with
+          | Some i -> i
+          | None -> failwith (Printf.sprintf "Runlog: malformed gate %s" what)
+        in
+        let trust =
+          match float_of_string_opt (String.trim trust) with
+          | Some t -> t
+          | None -> failwith "Runlog: malformed gate trust"
+        in
+        let g =
+          {
+            g_refit = int_of "refit" refit;
+            g_source = int_of "source" source;
+            g_action = String.trim action;
+            g_trust = trust;
+            g_below = int_of "below" below;
+          }
+        in
+        (match validate_gate g with
+        | () -> g
+        | exception Invalid_argument msg -> failwith msg)
+    | _ -> failwith "Runlog: malformed #gate line"
+  in
   match body with
   | [] -> failwith "Runlog: missing column header"
   | _header :: rows ->
       (* With [recover], a parse failure on the *final* row — the
          signature of a crash mid-write — drops that row; failures
-         anywhere else still abort. *)
+         anywhere else still abort. Gate decision lines interleave
+         with evaluation rows in write order; each stream keeps its
+         own chronological order. *)
       let n_rows = List.length rows in
-      let entries =
-        List.mapi (fun i line -> (i, line)) rows
-        |> List.filter_map (fun (i, line) ->
-               match parse_row line with
-               | entry -> Some entry
-               | exception Failure msg ->
-                   if recover && i = n_rows - 1 then None else failwith msg)
-      in
-      create ~name:!name ~seed:!seed ~space entries
+      let entries = ref [] in
+      let gates = ref [] in
+      List.iteri
+        (fun i line ->
+          match
+            if is_gate_line line then gates := parse_gate_row line :: !gates
+            else entries := parse_row line :: !entries
+          with
+          | () -> ()
+          | exception Failure msg -> if not (recover && i = n_rows - 1) then failwith msg)
+        rows;
+      create ~gates:(List.rev !gates) ~name:!name ~seed:!seed ~space (List.rev !entries)
 
 let save t path =
   let oc = open_out path in
@@ -257,7 +329,12 @@ let load ?recover path = of_string ?recover (read_file path)
 
 (* ---- incremental writer ---- *)
 
-type writer = { w_oc : out_channel; w_specs : Param.Spec.t array; mutable w_closed : bool }
+type writer = {
+  w_oc : out_channel;
+  w_path : string;
+  w_specs : Param.Spec.t array;
+  mutable w_closed : bool;
+}
 
 let writer_create ~path ~name ~seed ~space =
   let specs = Param.Space.specs space in
@@ -265,7 +342,7 @@ let writer_create ~path ~name ~seed ~space =
   let oc = open_out path in
   output_string oc header;
   flush oc;
-  { w_oc = oc; w_specs = specs; w_closed = false }
+  { w_oc = oc; w_path = path; w_specs = specs; w_closed = false }
 
 let writer_resume ~path t =
   (* Rewrite the (recovered) log from scratch: this truncates any
@@ -275,15 +352,34 @@ let writer_resume ~path t =
   let oc = open_out path in
   output_string oc (to_string t);
   flush oc;
-  { w_oc = oc; w_specs = specs; w_closed = false }
+  { w_oc = oc; w_path = path; w_specs = specs; w_closed = false }
 
 let writer_record w entry =
   if w.w_closed then invalid_arg "Runlog: record on a closed writer";
   output_string w.w_oc (entry_row ~version:2 ~specs:w.w_specs entry);
   flush w.w_oc
 
+let writer_record_gate w g =
+  if w.w_closed then invalid_arg "Runlog: record on a closed writer";
+  validate_gate g;
+  output_string w.w_oc (gate_row g);
+  flush w.w_oc
+
 let writer_close w =
   if not w.w_closed then begin
     w.w_closed <- true;
-    close_out w.w_oc
+    close_out w.w_oc;
+    (* Mid-run files interleave #gate lines with evaluation rows in
+       write order (each line must hit the disk the moment it exists),
+       and a resumed writer's rewrite-then-append produces yet another
+       layout. Canonicalize on close — entries sorted by index, gate
+       lines last — so a completed log's bytes never depend on how
+       many times the campaign was interrupted. The temp-file rename
+       keeps even a crash mid-close from corrupting the log. *)
+    match of_string (read_file w.w_path) with
+    | log ->
+        let tmp = w.w_path ^ ".tmp" in
+        save log tmp;
+        Sys.rename tmp w.w_path
+    | exception _ -> ()
   end

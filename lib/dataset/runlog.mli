@@ -42,17 +42,35 @@ type entry = {
   attempts : int;  (** retry-policy attempts consumed (1 when not retried) *)
 }
 
+type gate = {
+  g_refit : int;  (** trust-update ordinal within the campaign *)
+  g_source : int;  (** transfer source index; -1 for the pooled fallback *)
+  g_action : string;  (** "attenuate", "restore", "drop", or "fallback" *)
+  g_trust : float;  (** trust at the transition, persisted bit-exactly *)
+  g_below : int;  (** consecutive below-threshold refits *)
+}
+(** One persisted transfer-gate decision ([#gate] line). Resume
+    recomputes the decision stream deterministically and verifies it
+    against the recorded prefix, so a resumed campaign's gate state is
+    bit-identical to the uninterrupted one's. *)
+
+val gate_equal : gate -> gate -> bool
+(** Field-wise equality; trust compares with [Float.equal]
+    (bit-meaningful, NaN-safe). *)
+
 type t = {
   name : string;
   seed : int;
   space : Param.Space.t;
   entries : entry array;  (** in evaluation order *)
+  gates : gate array;  (** gate decisions in emission (chronological) order *)
 }
 
-val create : name:string -> seed:int -> space:Param.Space.t -> entry list -> t
+val create : ?gates:gate list -> name:string -> seed:int -> space:Param.Space.t -> entry list -> t
 (** Entries are sorted by index; indices must be distinct, configs
     valid for the space, and attempts >= 1 ([Invalid_argument]
-    otherwise). *)
+    otherwise). [gates] (default none) keep their given order and are
+    validated (known action, finite trust, non-negative counters). *)
 
 type recorder
 
@@ -88,14 +106,19 @@ val failure_kind_to_string : failure_kind -> string
 
 val to_string : ?version:int -> t -> string
 (** Serialize to the format above; [version] is 2 (default) or 1.
-    Version 1 is lossy: every failure kind collapses to [failed] and
-    attempt counts are dropped. Continuous parameters are not
-    supported (the reproduction's spaces are finite); raises
-    [Invalid_argument] on a continuous spec or an unknown version. *)
+    Version 1 is lossy: every failure kind collapses to [failed],
+    attempt counts are dropped, and gate lines are omitted. Gate
+    decisions render as [#gate refit,source,action,trust,below] lines
+    after the evaluation rows (trust in hex-float form for bit-exact
+    round-trips). Continuous parameters are not supported (the
+    reproduction's spaces are finite); raises [Invalid_argument] on a
+    continuous spec or an unknown version. *)
 
 val of_string : ?recover:bool -> string -> t
-(** Parse v1 or v2 text. Raises [Failure] on malformed input. With
-    [~recover:true] (default false) a malformed {e final} row — the
+(** Parse v1 or v2 text. [#gate] lines may interleave with evaluation
+    rows anywhere after the column header; each stream keeps its own
+    order. Raises [Failure] on malformed input. With [~recover:true]
+    (default false) a malformed {e final} row or gate line — the
     residue of a crash mid-write — is dropped instead; malformed rows
     anywhere else still raise. *)
 
@@ -128,5 +151,14 @@ val writer_record : writer -> entry -> unit
 (** Append one entry and flush. Raises [Invalid_argument] on a closed
     writer. *)
 
+val writer_record_gate : writer -> gate -> unit
+(** Append one [#gate] decision line and flush — interleaved with the
+    evaluation rows in whatever order the campaign produces them.
+    Raises [Invalid_argument] on a closed writer or an invalid gate. *)
+
 val writer_close : writer -> unit
-(** Close the underlying channel; idempotent. *)
+(** Close the underlying channel and rewrite the file in canonical
+    form — entries sorted by index, [#gate] lines last, via an atomic
+    temp-file rename — so a completed log is byte-identical whether
+    the campaign ran straight through or was interrupted and resumed
+    any number of times. Idempotent. *)

@@ -1,0 +1,85 @@
+(* Complementary error function: the Chebyshev-fitted rational
+   approximation from Numerical Recipes (erfcc), fractional error
+   below 1.2e-7 everywhere. That floor, not the quantile polynomial,
+   bounds the accuracy of the refined [ppf]. *)
+let erfc x =
+  let z = Float.abs x in
+  let t = 1. /. (1. +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t *. (1.48851587 +. t *. (-0.82215223 +. (t *. 0.17087277)))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0. then ans else 2. -. ans
+
+let sqrt2 = sqrt 2.
+let inv_sqrt_2pi = 1. /. sqrt (8. *. atan 1.)
+let pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
+let cdf x = 0.5 *. erfc (-.x /. sqrt2)
+
+(* Coefficients of Acklam's piecewise rational approximation to the
+   standard normal quantile (relative error ~1.15e-9). *)
+let a0 = -3.969683028665376e+01
+let a1 = 2.209460984245205e+02
+let a2 = -2.759285104469687e+02
+let a3 = 1.383577518672690e+02
+let a4 = -3.066479806614716e+01
+let a5 = 2.506628277459239e+00
+let b0 = -5.447609879822406e+01
+let b1 = 1.615858368580409e+02
+let b2 = -1.556989798598866e+02
+let b3 = 6.680131188771972e+01
+let b4 = -1.328068155288572e+01
+let c0 = -7.784894002430293e-03
+let c1 = -3.223964580411365e-01
+let c2 = -2.400758277161838e+00
+let c3 = -2.549732539343734e+00
+let c4 = 4.374664141464968e+00
+let c5 = 2.938163982698783e+00
+let d0 = 7.784695709041462e-03
+let d1 = 3.224671290700398e-01
+let d2 = 2.445134137142996e+00
+let d3 = 3.754408661907416e+00
+
+let ppf p =
+  if not (Float.is_finite p) || p <= 0. || p >= 1. then
+    invalid_arg "Normal.ppf: p must lie strictly between 0 and 1";
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2. *. log p) in
+      let num = ((((c0 *. q +. c1) *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5 in
+      let den = (((d0 *. q +. d1) *. q +. d2) *. q +. d3) *. q +. 1. in
+      num /. den
+    end
+    else if p <= 1. -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      let num = (((((a0 *. r +. a1) *. r +. a2) *. r +. a3) *. r +. a4) *. r +. a5) *. q in
+      let den = ((((b0 *. r +. b1) *. r +. b2) *. r +. b3) *. r +. b4) *. r +. 1. in
+      num /. den
+    end
+    else begin
+      let q = sqrt (-2. *. log (1. -. p)) in
+      let num = ((((c0 *. q +. c1) *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5 in
+      let den = (((d0 *. q +. d1) *. q +. d2) *. q +. d3) *. q +. 1. in
+      -.num /. den
+    end
+  in
+  (* One Halley step on f(x) = cdf x - p absorbs the residuals of both
+     approximations. *)
+  let e = cdf x -. p in
+  let u = e /. pdf x in
+  x -. (u /. (1. +. (x *. u /. 2.)))

@@ -1,0 +1,23 @@
+(** The standard normal distribution.
+
+    Copula-based transfer (see [Baselines.Copula_transfer]) needs the
+    normal CDF (to push correlated normal scores back to uniforms) and
+    its inverse (to turn marginal ranks into normal scores). Both are
+    classic rational approximations with no external dependencies. *)
+
+val pdf : float -> float
+(** Standard normal density. *)
+
+val cdf : float -> float
+(** Standard normal distribution function, absolute error below
+    ~1.2e-7 (Numerical Recipes' Chebyshev-fitted [erfc]). *)
+
+val ppf : float -> float
+(** Inverse CDF (quantile function): Acklam's rational approximation
+    refined by one Halley step against {!cdf}. Raises
+    [Invalid_argument] unless the argument lies strictly between 0
+    and 1. [cdf (ppf p)] matches [p] to ~1e-9 over the bulk of the
+    distribution. *)
+
+val erfc : float -> float
+(** Complementary error function (exposed for tests). *)

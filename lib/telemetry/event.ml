@@ -21,6 +21,15 @@ type t =
       schedule : string;
       dur_ms : float;
     }
+  | Trust of {
+      refit : int;
+      source : int;
+      agreement : float;
+      trust : float;
+      weight : float;
+      state : string;
+    }
+  | Gate of { refit : int; source : int; action : string; trust : float }
   | Submit of { index : int; in_flight : int; sim_time : float }
   | Complete of { index : int; in_flight : int; sim_time : float; kind : string }
   | Attempt of { attempt : int; kind : string; backoff : float }
@@ -47,6 +56,8 @@ let name = function
   | Refit _ -> "refit"
   | Compile _ -> "compile"
   | Rank _ -> "rank"
+  | Trust _ -> "trust"
+  | Gate _ -> "gate"
   | Submit _ -> "submit"
   | Complete _ -> "complete"
   | Attempt _ -> "attempt"
@@ -94,6 +105,22 @@ let to_fields ev =
         ("workers", int_ workers);
         ("schedule", Jsonl.String schedule);
         ("dur_ms", num dur_ms);
+      ]
+  | Trust { refit; source; agreement; trust; weight; state } ->
+      [
+        ("refit", int_ refit);
+        ("source", int_ source);
+        ("agreement", num agreement);
+        ("trust", num trust);
+        ("weight", num weight);
+        ("state", Jsonl.String state);
+      ]
+  | Gate { refit; source; action; trust } ->
+      [
+        ("refit", int_ refit);
+        ("source", int_ source);
+        ("action", Jsonl.String action);
+        ("trust", num trust);
       ]
   | Submit { index; in_flight; sim_time } ->
       [ ("index", int_ index); ("in_flight", int_ in_flight); ("sim_time", num sim_time) ]
@@ -208,6 +235,29 @@ let of_fields fields =
           workers = i "workers";
           schedule = s "schedule";
           dur_ms = f "dur_ms";
+        }
+  | "trust" ->
+      (* Like the Refit prior fields, the non-key fields default so a
+         trace from a leaner writer still decodes. *)
+      Trust
+        {
+          refit = i "refit";
+          source = i "source";
+          agreement = (match fo "agreement" with Some a -> a | None -> 0.);
+          trust = (match fo "trust" with Some t -> t | None -> 0.);
+          weight = (match fo "weight" with Some w -> w | None -> 0.);
+          state =
+            (match List.assoc_opt "state" fields with
+            | Some (Jsonl.String s) -> s
+            | _ -> "active");
+        }
+  | "gate" ->
+      Gate
+        {
+          refit = i "refit";
+          source = i "source";
+          action = s "action";
+          trust = (match fo "trust" with Some t -> t | None -> 0.);
         }
   | "submit" ->
       Submit { index = i "index"; in_flight = i "in_flight"; sim_time = f "sim_time" }

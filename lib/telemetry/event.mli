@@ -44,6 +44,21 @@ type t =
       schedule : string;  (** "seq", "static", "dynamicN", or "guided" *)
       dur_ms : float;
     }
+  | Trust of {
+      refit : int;  (** trust-update ordinal (refits past the gate's min_obs) *)
+      source : int;  (** transfer source index *)
+      agreement : float;
+          (** raw rank agreement with the unbiased anchor observations, [0, 1] *)
+      trust : float;  (** exponentially smoothed trust after this update *)
+      weight : float;  (** effective prior weight handed to this refit *)
+      state : string;  (** "active", "attenuated", or "dropped" *)
+    }
+  | Gate of {
+      refit : int;
+      source : int;  (** source index; -1 for the pooled-prior fallback *)
+      action : string;  (** "attenuate", "restore", "drop", or "fallback" *)
+      trust : float;  (** trust at the moment of the transition *)
+    }
   | Submit of {
       index : int;  (** 0-based submission ordinal *)
       in_flight : int;  (** in-flight depth after this submission *)

@@ -1,3 +1,10 @@
+type source_state = {
+  mutable src_trust : float;
+  mutable src_weight : float;
+  mutable src_state : string;
+  mutable src_drop_refit : int option;
+}
+
 type t = {
   mutable campaign_start : float option;
   mutable campaign_wall_ms : float option;
@@ -19,6 +26,9 @@ type t = {
   mutable last_alpha : float option;
   mutable best : float option;
   mutable stopped_early : bool;
+  sources : (int, source_state) Hashtbl.t;
+  mutable gate_decisions : int;
+  mutable fallback_refit : int option;
 }
 
 let create () =
@@ -43,7 +53,18 @@ let create () =
     last_alpha = None;
     best = None;
     stopped_early = false;
+    sources = Hashtbl.create 4;
+    gate_decisions = 0;
+    fallback_refit = None;
   }
+
+let source_state t i =
+  match Hashtbl.find_opt t.sources i with
+  | Some s -> s
+  | None ->
+      let s = { src_trust = 1.; src_weight = 0.; src_state = "active"; src_drop_refit = None } in
+      Hashtbl.replace t.sources i s;
+      s
 
 let observe t ~ts (ev : Event.t) =
   match ev with
@@ -57,6 +78,23 @@ let observe t ~ts (ev : Event.t) =
       t.last_alpha <- Some alpha
   | Compile { dur_ms; _ } -> t.compile_ms <- dur_ms :: t.compile_ms
   | Rank { dur_ms; _ } -> t.rank_ms <- dur_ms :: t.rank_ms
+  | Trust { source; trust; weight; state; _ } ->
+      let s = source_state t source in
+      s.src_trust <- trust;
+      s.src_weight <- weight;
+      s.src_state <- state
+  | Gate { refit; source; action; trust } ->
+      t.gate_decisions <- t.gate_decisions + 1;
+      if action = "fallback" then t.fallback_refit <- Some refit
+      else begin
+        let s = source_state t source in
+        s.src_state <- (match action with "drop" -> "dropped" | "restore" -> "active" | _ -> "attenuated");
+        s.src_trust <- trust;
+        if action = "drop" then begin
+          s.src_drop_refit <- Some refit;
+          s.src_weight <- 0.
+        end
+      end
   | Submit { in_flight; _ } ->
       t.submits <- t.submits + 1;
       if in_flight > t.max_in_flight then t.max_in_flight <- in_flight
@@ -96,6 +134,13 @@ let submits t = t.submits
 let max_in_flight t = t.max_in_flight
 let sim_makespan t = t.sim_makespan
 
+let trust_sources t =
+  Hashtbl.fold (fun i s acc -> (i, s.src_trust, s.src_weight, s.src_state) :: acc) t.sources []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let gate_decisions t = t.gate_decisions
+let fallback_refit t = t.fallback_refit
+
 let sum = List.fold_left ( +. ) 0.
 
 let pq p xs =
@@ -132,6 +177,26 @@ let render t =
        t.failures t.attempts
        (if t.replayed > 0 then Printf.sprintf ", %d replayed" t.replayed else "")
        (if t.retry_cost > 0. then Printf.sprintf ", retry cost %.3f" t.retry_cost else ""));
+  if Hashtbl.length t.sources > 0 then begin
+    let dropped =
+      Hashtbl.fold (fun _ s n -> if s.src_state = "dropped" then n + 1 else n) t.sources 0
+    in
+    Buffer.add_string b
+      (Printf.sprintf "  transfer   %d sources, %d dropped, %d gate decisions%s\n"
+         (Hashtbl.length t.sources) dropped t.gate_decisions
+         (match t.fallback_refit with
+         | Some r -> Printf.sprintf " (no-prior fallback at refit %d)" r
+         | None -> ""));
+    List.iter
+      (fun (i, trust, weight, state) ->
+        let s = Hashtbl.find t.sources i in
+        Buffer.add_string b
+          (Printf.sprintf "    source %-3d trust %.3f  weight %.4g  %s%s\n" i trust weight state
+             (match s.src_drop_refit with
+             | Some r -> Printf.sprintf " (refit %d)" r
+             | None -> "")))
+      (trust_sources t)
+  end;
   if t.submits > 0 then
     Buffer.add_string b
       (Printf.sprintf "  async      %d submits, max in-flight %d%s\n" t.submits t.max_in_flight

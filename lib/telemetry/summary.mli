@@ -23,6 +23,19 @@ val evals : t -> int
 val failures : t -> int
 val init_draws : t -> int
 
+val trust_sources : t -> (int * float * float * string) list
+(** Last observed [(source, trust, weight, state)] per transfer
+    source, sorted by source index — empty when the campaign emitted
+    no [Trust]/[Gate] events (no gated prior), which keeps the
+    per-source lines out of {!render} for ordinary campaigns. *)
+
+val gate_decisions : t -> int
+(** [Gate] events seen (attenuate/restore/drop/fallback transitions). *)
+
+val fallback_refit : t -> int option
+(** Refit ordinal of the pooled-prior fallback, if the campaign's
+    whole prior was gated away. *)
+
 val submits : t -> int
 (** [Submit] events seen — 0 for synchronous campaigns, which makes
     the async line of {!render} conditional. *)

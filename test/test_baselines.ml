@@ -134,6 +134,118 @@ let test_gp_tuner_runs () =
     o.Baselines.Outcome.history;
   check Alcotest.bool "beats the worst" true (o.Baselines.Outcome.best_value <= 1.5)
 
+(* ---- Gaussian-copula transfer ---- *)
+
+(* Two ordinals with a correlated good corner: the objective falls as
+   both indices rise, so the top-alpha slice the copula fits is the
+   high-high corner and its marginals are strongly coupled. *)
+let copula_space =
+  Param.Space.make
+    [
+      Param.Spec.ordinal_ints "p" [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      Param.Spec.ordinal_ints "q" [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    ]
+
+let copula_objective config =
+  float_of_int (14 - (Param.Value.to_index config.(0) + Param.Value.to_index config.(1)))
+
+let copula_source () =
+  Array.map (fun c -> (c, copula_objective c)) (Param.Space.enumerate copula_space)
+
+let test_copula_sample_valid_and_deterministic () =
+  let model = Baselines.Copula_transfer.fit ~space:copula_space ~source:(copula_source ()) () in
+  let draw seed =
+    let rng = Prng.Rng.create seed in
+    Array.init 100 (fun _ -> Baselines.Copula_transfer.sample model rng)
+  in
+  let a = draw 11 and b = draw 11 and c = draw 12 in
+  Array.iter
+    (fun cfg -> check Alcotest.bool "sample valid" true (Param.Space.validate copula_space cfg))
+    a;
+  check Alcotest.bool "same rng seed, same draws" true
+    (Array.for_all2 Param.Config.equal a b);
+  check Alcotest.bool "different seeds diverge" false (Array.for_all2 Param.Config.equal a c)
+
+let test_copula_concentrates_on_good_region () =
+  (* Sampling from the fitted copula must land far below the uniform
+     mean objective (7.0 for this space) — the whole point of the
+     generative baseline. *)
+  let model = Baselines.Copula_transfer.fit ~space:copula_space ~source:(copula_source ()) () in
+  let rng = Prng.Rng.create 21 in
+  let n = 300 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. copula_objective (Baselines.Copula_transfer.sample model rng)
+  done;
+  check Alcotest.bool "mean sampled objective well under uniform" true
+    (!total /. float_of_int n < 5.)
+
+let test_copula_run_budget_and_pool () =
+  let source = copula_source () in
+  let o =
+    Baselines.Copula_transfer.run ~rng:(Prng.Rng.create 31) ~space:copula_space ~source
+      ~objective:copula_objective ~budget:10 ()
+  in
+  check Alcotest.int "budget respected" 10 (Array.length o.Baselines.Outcome.history);
+  let seen = Param.Config.Table.create 10 in
+  Array.iter
+    (fun (c, _) ->
+      if Param.Config.Table.mem seen c then Alcotest.fail "duplicate evaluation";
+      Param.Config.Table.replace seen c ())
+    o.Baselines.Outcome.history;
+  let exhaust =
+    Baselines.Copula_transfer.run ~rng:(Prng.Rng.create 32) ~space:copula_space ~source
+      ~objective:copula_objective ~budget:999 ()
+  in
+  check Alcotest.int "capped at space size" 64 (Array.length exhaust.Baselines.Outcome.history);
+  check feq "exhausting finds the optimum" 0. exhaust.Baselines.Outcome.best_value;
+  (* An explicit candidate pool confines evaluation to measured rows. *)
+  let pool = Array.init 6 (fun i -> Param.Space.config_of_rank copula_space (i * 9)) in
+  let pooled =
+    Baselines.Copula_transfer.run ~candidates:pool ~rng:(Prng.Rng.create 33) ~space:copula_space
+      ~source ~objective:copula_objective ~budget:10 ()
+  in
+  check Alcotest.int "pool caps the run" 6 (Array.length pooled.Baselines.Outcome.history);
+  Array.iter
+    (fun (c, _) ->
+      check Alcotest.bool "every evaluation drawn from the pool" true
+        (Array.exists (Param.Config.equal c) pool))
+    pooled.Baselines.Outcome.history
+
+let test_copula_single_row_source () =
+  (* A one-observation source degenerates to a point mass; sampling must
+     still produce valid configurations instead of dividing by a zero
+     variance. *)
+  let source = [| (Param.Space.config_of_rank copula_space 27, 3.) |] in
+  let model = Baselines.Copula_transfer.fit ~space:copula_space ~source () in
+  let rng = Prng.Rng.create 41 in
+  for _ = 1 to 20 do
+    check Alcotest.bool "degenerate sample valid" true
+      (Param.Space.validate copula_space (Baselines.Copula_transfer.sample model rng))
+  done
+
+let test_copula_validation () =
+  let source = copula_source () in
+  let fit_raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  fit_raises "Copula_transfer.fit: empty source history" (fun () ->
+      ignore (Baselines.Copula_transfer.fit ~space:copula_space ~source:[||] ()));
+  fit_raises "Copula_transfer.fit: alpha must lie in (0, 1]" (fun () ->
+      ignore (Baselines.Copula_transfer.fit ~alpha:0. ~space:copula_space ~source ()));
+  fit_raises "Copula_transfer.fit: alpha must lie in (0, 1]" (fun () ->
+      ignore (Baselines.Copula_transfer.fit ~alpha:1.5 ~space:copula_space ~source ()));
+  fit_raises "Copula_transfer.fit: non-finite source objective" (fun () ->
+      ignore
+        (Baselines.Copula_transfer.fit ~space:copula_space
+           ~source:[| (Param.Space.config_of_rank copula_space 0, Float.nan) |] ()));
+  fit_raises "Copula_transfer.run: budget must be at least 1" (fun () ->
+      ignore
+        (Baselines.Copula_transfer.run ~rng:(Prng.Rng.create 1) ~space:copula_space ~source
+           ~objective:copula_objective ~budget:0 ()));
+  fit_raises "Copula_transfer.run: empty candidate set" (fun () ->
+      ignore
+        (Baselines.Copula_transfer.run ~candidates:[||] ~rng:(Prng.Rng.create 1)
+           ~space:copula_space ~source ~objective:copula_objective ~budget:1 ()))
+
 let suite =
   let tc = Alcotest.test_case in
   ( "baselines",
@@ -150,4 +262,9 @@ let suite =
       tc "perfnet: runs and learns" `Quick test_perfnet_runs_and_learns;
       tc "perfnet: validation" `Quick test_perfnet_validation;
       tc "gp tuner: runs" `Quick test_gp_tuner_runs;
+      tc "copula: valid deterministic samples" `Quick test_copula_sample_valid_and_deterministic;
+      tc "copula: concentrates on good region" `Quick test_copula_concentrates_on_good_region;
+      tc "copula: budget, pool, exhaustion" `Quick test_copula_run_budget_and_pool;
+      tc "copula: single-row source" `Quick test_copula_single_row_source;
+      tc "copula: validation" `Quick test_copula_validation;
     ] )

@@ -332,6 +332,115 @@ let test_writer_resume_truncates_partial_tail () =
       check Alcotest.int "appended entry attempts" 2
         final.Dataset.Runlog.entries.(1).Dataset.Runlog.attempts)
 
+(* ---- Gate decision lines ---- *)
+
+let sample_gates =
+  [
+    (* 0.1 is not dyadic — it exercises the hex-float (%h) serializer's
+       bit-exactness, which "%.3f"-style rendering would destroy. *)
+    { Dataset.Runlog.g_refit = 0; g_source = 1; g_action = "attenuate"; g_trust = 0.1; g_below = 1 };
+    { Dataset.Runlog.g_refit = 2; g_source = 1; g_action = "drop"; g_trust = 0.55; g_below = 2 };
+    { Dataset.Runlog.g_refit = 2; g_source = -1; g_action = "fallback"; g_trust = 0.; g_below = 0 };
+  ]
+
+let gates_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Dataset.Runlog.gate_equal a b
+
+let test_gate_roundtrip () =
+  let base = sample_log () in
+  let log =
+    Dataset.Runlog.create ~gates:sample_gates ~name:base.Dataset.Runlog.name
+      ~seed:base.Dataset.Runlog.seed ~space
+      (Array.to_list base.Dataset.Runlog.entries)
+  in
+  let parsed = Dataset.Runlog.of_string (Dataset.Runlog.to_string log) in
+  check Alcotest.bool "entries survive alongside gates" true (logs_equal log parsed);
+  check Alcotest.bool "gates round-trip bit-exactly, in order" true
+    (gates_equal log.Dataset.Runlog.gates parsed.Dataset.Runlog.gates);
+  (* A v2 log without gate lines (every pre-gating trace) decodes with
+     an empty gates array, and a v1 rendering drops the gate stream. *)
+  let plain = Dataset.Runlog.of_string (Dataset.Runlog.to_string base) in
+  check Alcotest.int "gate-free v2 text decodes to no gates" 0
+    (Array.length plain.Dataset.Runlog.gates);
+  let v1 = Dataset.Runlog.of_string (Dataset.Runlog.to_string ~version:1 log) in
+  check Alcotest.int "v1 rendering drops gates" 0 (Array.length v1.Dataset.Runlog.gates);
+  Alcotest.check_raises "unknown action rejected"
+    (Invalid_argument "Runlog: unknown gate action \"explode\"") (fun () ->
+      ignore
+        (Dataset.Runlog.create
+           ~gates:[ { Dataset.Runlog.g_refit = 0; g_source = 0; g_action = "explode"; g_trust = 0.; g_below = 0 } ]
+           ~name:"x" ~seed:0 ~space []))
+
+let test_gate_truncation_recover () =
+  let base = sample_log () in
+  let log =
+    Dataset.Runlog.create ~gates:sample_gates ~name:"chopped" ~seed:8 ~space
+      (Array.to_list base.Dataset.Runlog.entries)
+  in
+  (* to_string puts the gate stream last, so a crash mid-gate-write is a
+     truncated final #gate line. *)
+  let text = Dataset.Runlog.to_string log in
+  let truncated = String.sub text 0 (String.length text - 12) in
+  (match Dataset.Runlog.of_string truncated with
+  | _ -> Alcotest.fail "strict parse must reject a truncated #gate line"
+  | exception Failure _ -> ());
+  let recovered = Dataset.Runlog.of_string ~recover:true truncated in
+  check Alcotest.int "recovery drops only the torn gate line" 2
+    (Array.length recovered.Dataset.Runlog.gates);
+  check Alcotest.bool "surviving gates intact" true
+    (gates_equal
+       (Array.sub log.Dataset.Runlog.gates 0 2)
+       recovered.Dataset.Runlog.gates);
+  check Alcotest.int "entries untouched by gate recovery" 5
+    (Array.length recovered.Dataset.Runlog.entries)
+
+let test_writer_gates () =
+  let path = Filename.temp_file "runlog_gates" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Dataset.Runlog.writer_create ~path ~name:"gated" ~seed:9 ~space in
+      let g0, g1, g2 =
+        match sample_gates with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 2.0; attempts = 1 };
+      Dataset.Runlog.writer_record_gate w g0;
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 1; config = config 1 1; status = Dataset.Runlog.Ok 1.0; attempts = 1 };
+      Dataset.Runlog.writer_record_gate w g1;
+      (* Flush-per-record covers gate lines too: both streams must be on
+         disk before the writer closes. *)
+      let mid = Dataset.Runlog.load path in
+      check Alcotest.int "gates visible before close" 2 (Array.length mid.Dataset.Runlog.gates);
+      Dataset.Runlog.writer_close w;
+      let final = Dataset.Runlog.load path in
+      check Alcotest.bool "interleaved writes keep gate order" true
+        (gates_equal [| g0; g1 |] final.Dataset.Runlog.gates);
+      (* Resuming rewrites the clean file with the gate stream intact and
+         keeps appending to it. *)
+      let w2 = Dataset.Runlog.writer_resume ~path final in
+      Dataset.Runlog.writer_record_gate w2 g2;
+      Dataset.Runlog.writer_close w2;
+      let resumed = Dataset.Runlog.load path in
+      check Alcotest.bool "resume preserves and extends gates" true
+        (gates_equal [| g0; g1; g2 |] resumed.Dataset.Runlog.gates);
+      check Alcotest.int "entries preserved across resume" 2
+        (Array.length resumed.Dataset.Runlog.entries);
+      (* Closing canonicalizes: however the lines were interleaved or
+         appended while live, a closed file's bytes are exactly the
+         canonical rendering — the invariant that keeps a resumed
+         campaign's completed log byte-identical to an uninterrupted
+         one. *)
+      let ic = open_in_bin path in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check Alcotest.bool "closed file is canonical bytes" true
+        (String.equal bytes (Dataset.Runlog.to_string resumed)))
+
 let suite =
   let tc = Alcotest.test_case in
   ( "runlog",
@@ -347,6 +456,9 @@ let suite =
       tc "only-failures log roundtrip" `Quick test_only_failures_roundtrip;
       tc "writer flushes per entry" `Quick test_writer_flush_per_entry;
       tc "writer resume truncates partial tail" `Quick test_writer_resume_truncates_partial_tail;
+      tc "gate lines roundtrip" `Quick test_gate_roundtrip;
+      tc "torn gate line recovers" `Quick test_gate_truncation_recover;
+      tc "writer records and resumes gates" `Quick test_writer_gates;
       QCheck_alcotest.to_alcotest prop_v2_roundtrip;
       QCheck_alcotest.to_alcotest prop_v1_roundtrip;
       QCheck_alcotest.to_alcotest prop_truncation_recovery;

@@ -266,6 +266,42 @@ let test_running_empty () =
   check feq "empty mean" 0. (Stats.Running.mean r);
   check feq "empty variance" 0. (Stats.Running.variance r)
 
+(* ---- Standard normal (copula support) ---- *)
+
+let test_normal_erfc_and_cdf () =
+  let near tol msg expect got = check (Alcotest.float tol) msg expect got in
+  near 1e-7 "erfc 0" 1. (Stats.Normal.erfc 0.);
+  near 1e-7 "erfc 1" 0.15729920705 (Stats.Normal.erfc 1.);
+  near 1e-7 "erfc symmetry" 2.
+    (Stats.Normal.erfc 0.7 +. Stats.Normal.erfc (-0.7));
+  near 1e-7 "cdf 0" 0.5 (Stats.Normal.cdf 0.);
+  near 1e-7 "cdf 1.96" 0.9750021049 (Stats.Normal.cdf 1.96);
+  near 1e-7 "cdf -1.96" 0.0249978951 (Stats.Normal.cdf (-1.96));
+  check Alcotest.bool "cdf tails" true
+    (Stats.Normal.cdf (-10.) < 1e-20 && Stats.Normal.cdf 10. > 1. -. 1e-9);
+  near 1e-9 "pdf 0" 0.3989422804014327 (Stats.Normal.pdf 0.)
+
+let test_normal_ppf_roundtrip () =
+  (* The Halley-refined inverse must agree with the forward CDF far
+     better than either approximation alone. *)
+  let ps = [ 1e-6; 0.001; 0.025; 0.2; 0.5; 0.8; 0.975; 0.999; 1. -. 1e-6 ] in
+  List.iter
+    (fun p ->
+      let z = Stats.Normal.ppf p in
+      check (Alcotest.float 1e-7) (Printf.sprintf "cdf (ppf %g)" p) p (Stats.Normal.cdf z))
+    ps;
+  check (Alcotest.float 1e-7) "median" 0. (Stats.Normal.ppf 0.5);
+  check (Alcotest.float 1e-6) "ppf 0.975" 1.959964 (Stats.Normal.ppf 0.975);
+  let raises p =
+    Alcotest.check_raises (Printf.sprintf "ppf %g rejected" p)
+      (Invalid_argument "Normal.ppf: p must lie strictly between 0 and 1") (fun () ->
+        ignore (Stats.Normal.ppf p))
+  in
+  raises 0.;
+  raises 1.;
+  raises (-0.5);
+  raises Float.nan
+
 let suite =
   let tc = Alcotest.test_case in
   ( "stats",
@@ -296,6 +332,8 @@ let suite =
       tc "kde sample near data" `Quick test_kde_sample_near_data;
       tc "kde merge prior" `Quick test_kde_merge;
       tc "silverman positive" `Quick test_silverman_positive;
+      tc "normal erfc/cdf accuracy" `Quick test_normal_erfc_and_cdf;
+      tc "normal ppf roundtrip" `Quick test_normal_ppf_roundtrip;
       tc "kl/js basics" `Quick test_kl_js_basics;
       tc "kl infinite on disjoint" `Quick test_kl_infinite;
       tc "js of pdfs" `Quick test_js_of_pdfs;

@@ -35,6 +35,12 @@ let all_events : Telemetry.Event.t list =
         prior_weight = 7.5;
         dur_ms = 0.75;
       };
+    Trust
+      { refit = 3; source = 0; agreement = 0.55; trust = 0.625; weight = 1.25; state = "active" };
+    Trust
+      { refit = 4; source = 1; agreement = 0.; trust = 0.25; weight = 0.; state = "dropped" };
+    Gate { refit = 4; source = 1; action = "drop"; trust = 0.25 };
+    Gate { refit = 4; source = -1; action = "fallback"; trust = 0. };
     Compile { pool_size = 1620; n_params = 6; dur_ms = 0.125 };
     Rank { pool_size = 1620; k = 2; selected = 2; workers = 4; schedule = "dynamic:64"; dur_ms = 1.5 };
     Submit { index = 0; in_flight = 1; sim_time = 0. };
@@ -315,6 +321,73 @@ let test_resume_with_trace_parity () =
   check Alcotest.int "replayed prefix traced" interrupt_after replayed;
   check Alcotest.int "live suffix traced" (budget - interrupt_after) live
 
+(* ---- gate telemetry: tolerant decoding and summary rendering ---- *)
+
+let test_trust_decodes_with_defaults () =
+  (* A trace written by an older (or trimmed) producer may carry only
+     the key fields; the rest default instead of failing the load. *)
+  let fields =
+    [
+      ("ev", Telemetry.Jsonl.String "trust");
+      ("refit", Telemetry.Jsonl.Number 2.);
+      ("source", Telemetry.Jsonl.Number 1.);
+    ]
+  in
+  (match Telemetry.Event.of_fields fields with
+  | Telemetry.Event.Trust { refit; source; agreement; trust; weight; state } ->
+      check Alcotest.int "refit kept" 2 refit;
+      check Alcotest.int "source kept" 1 source;
+      check (Alcotest.float 0.) "agreement defaults" 0. agreement;
+      check Alcotest.bool "trust/weight default finite" true
+        (Float.is_finite trust && Float.is_finite weight);
+      check Alcotest.bool "state defaults non-empty" true (String.length state > 0)
+  | _ -> Alcotest.fail "minimal trust event must decode as Trust");
+  match
+    Telemetry.Event.of_fields
+      [
+        ("ev", Telemetry.Jsonl.String "gate");
+        ("refit", Telemetry.Jsonl.Number 3.);
+        ("source", Telemetry.Jsonl.Number (-1.));
+        ("action", Telemetry.Jsonl.String "fallback");
+      ]
+  with
+  | Telemetry.Event.Gate { refit = 3; source = -1; action = "fallback"; trust = 0. } -> ()
+  | _ -> Alcotest.fail "minimal gate event must decode as Gate"
+
+let test_summary_gate_lines () =
+  let s = Telemetry.Summary.create () in
+  let feed ts ev = Telemetry.Summary.observe s ~ts ev in
+  feed 0. (Telemetry.Event.Trust
+             { refit = 0; source = 0; agreement = 0.9; trust = 0.95; weight = 2.0; state = "active" });
+  feed 1. (Telemetry.Event.Trust
+             { refit = 0; source = 1; agreement = 0.1; trust = 0.55; weight = 0.7; state = "attenuated" });
+  feed 2. (Telemetry.Event.Gate { refit = 0; source = 1; action = "attenuate"; trust = 0.55 });
+  feed 3. (Telemetry.Event.Trust
+             { refit = 1; source = 1; agreement = 0.1; trust = 0.3; weight = 0.; state = "dropped" });
+  feed 4. (Telemetry.Event.Gate { refit = 1; source = 1; action = "drop"; trust = 0.3 });
+  check Alcotest.int "gate decisions counted" 2 (Telemetry.Summary.gate_decisions s);
+  check Alcotest.bool "no fallback recorded" true (Telemetry.Summary.fallback_refit s = None);
+  (match Telemetry.Summary.trust_sources s with
+  | [ (0, t0, w0, st0); (1, t1, _, st1) ] ->
+      check (Alcotest.float 1e-12) "source 0 last trust" 0.95 t0;
+      check (Alcotest.float 1e-12) "source 0 last weight" 2.0 w0;
+      check Alcotest.string "source 0 state" "active" st0;
+      check (Alcotest.float 1e-12) "source 1 last trust" 0.3 t1;
+      check Alcotest.string "source 1 state" "dropped" st1
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 sources, got %d" (List.length l)));
+  let rendered = Telemetry.Summary.render s in
+  check Alcotest.bool "per-source lines rendered" true
+    (contains_substring rendered "source 0" && contains_substring rendered "dropped");
+  feed 5. (Telemetry.Event.Gate { refit = 1; source = -1; action = "fallback"; trust = 0. });
+  check Alcotest.bool "fallback refit recorded" true
+    (Telemetry.Summary.fallback_refit s = Some 1);
+  (* An ungated campaign keeps its summary free of gate lines. *)
+  let bare = Telemetry.Summary.create () in
+  Telemetry.Summary.observe bare ~ts:0.
+    (Telemetry.Event.Init_draw { index = 0; redraws = 0; duplicate = false });
+  check Alcotest.bool "no transfer block without gate events" false
+    (contains_substring (Telemetry.Summary.render bare) "transfer")
+
 (* Golden test: the `trace' subcommand's summary rendering of a
    checked-in fixture trace must match the checked-in expected text.
    Catches accidental format drift in [Summary.render]. *)
@@ -345,5 +418,7 @@ let suite =
       tc "trace on = trace off" `Quick test_trace_on_equals_trace_off;
       tc "kripke campaign trace" `Quick test_kripke_campaign_trace;
       tc "resume with trace parity" `Quick test_resume_with_trace_parity;
+      tc "trust/gate decode with defaults" `Quick test_trust_decodes_with_defaults;
+      tc "summary gate lines" `Quick test_summary_gate_lines;
       tc "summary golden file" `Quick test_summary_golden;
     ] )
