@@ -1,7 +1,7 @@
 # Development entry points. `make check` is what CI runs: build,
 # formatting (when ocamlformat is installed), and the full test suite.
 
-.PHONY: all build test fmt check clean bench bench-build bench-async bench-transfer trace-demo
+.PHONY: all build test fmt check clean bench bench-build bench-select bench-async bench-transfer trace-demo
 
 all: build
 
@@ -14,11 +14,17 @@ test:
 bench-build:
 	dune build bench/main.exe
 
-# Naive-vs-compiled candidate ranking; writes BENCH_select.json in the
-# current directory (machine-readable timings plus the bit-identical
-# parallel/sequential check).
+# Naive-vs-compiled candidate ranking on kripke plus the large-pool
+# protocol (10^5/10^6/10^7 synthetic pools: incremental refit vs the
+# full-rebuild reference, streaming top-k, memory columns); writes
+# BENCH_select.json in the current directory. Set
+# HIPERBOT_SELECT_BUDGET to a pool-size cap for a quick smoke run
+# (skips the larger pools and their performance floors; every
+# bit-identity assertion still runs).
 bench: bench-build
 	dune exec bench/main.exe -- --experiment select
+
+bench-select: bench
 
 # Sync-vs-async campaign engine on kripke (k in-flight evaluations);
 # writes BENCH_async.json and asserts k=1 bit-parity with the

@@ -206,6 +206,15 @@ let proposal_arg =
   let doc = "Use the Proposal selection strategy with $(docv) sampled candidates instead of exhaustive Ranking." in
   Arg.(value & opt (some int) None & info [ "proposal" ] ~docv:"K" ~doc)
 
+let sampled_arg =
+  let doc =
+    "Keep the Ranking strategy but rank only $(docv) candidates drawn from the good density per \
+     guided step instead of scanning the whole pool — O($(docv)) per suggestion regardless of \
+     the pool size. Deterministic from --seed, but not bit-identical to the exhaustive scan. \
+     Hiperbot method only; incompatible with --proposal."
+  in
+  Arg.(value & opt (some int) None & info [ "sampled-candidates" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Print every evaluation, not just improvements." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
@@ -272,9 +281,9 @@ let tune_cmd =
     in
     Arg.(value & opt_all string [] & info [ "transfer-from" ] ~docv:"FILE[:W]" ~doc)
   in
-  let run dataset seed budget method_ alpha n_init proposal verbose trace_file trace_summary save
-      resume faults fault_seed retries timeout jobs async transfer_from transfer_weighting
-      transfer_decay transfer_gate no_transfer_gate =
+  let run dataset seed budget method_ alpha n_init proposal sampled verbose trace_file
+      trace_summary save resume faults fault_seed retries timeout jobs async transfer_from
+      transfer_weighting transfer_decay transfer_gate no_transfer_gate =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
@@ -318,6 +327,12 @@ let tune_cmd =
         else if retries < 1 then `Error (false, "--retries must be at least 1")
         else if (match timeout with Some t -> t <= 0. | None -> false) then
           `Error (false, "--timeout must be positive")
+        else if (match sampled with Some n -> n < 1 | None -> false) then
+          `Error (false, "--sampled-candidates N must be at least 1")
+        else if sampled <> None && proposal <> None then
+          `Error (false, "--sampled-candidates is incompatible with --proposal")
+        else if sampled <> None && method_ <> `Hiperbot then
+          `Error (false, "--sampled-candidates is only supported with --method hiperbot")
         else if jobs < 1 then `Error (false, "--jobs must be at least 1")
         else if jobs > 1 && method_ <> `Hiperbot then
           `Error (false, "--jobs is only supported with --method hiperbot")
@@ -376,6 +391,7 @@ let tune_cmd =
               strategy;
               surrogate = { Hiperbot.Surrogate.default_options with alpha };
               prior = (match transfer_prior with Ok p -> p | Error _ -> None);
+              sampled_candidates = sampled;
             }
           in
           if resilient then begin
@@ -555,9 +571,10 @@ let tune_cmd =
     Term.(
       ret
         (const run $ dataset_arg $ seed_arg $ budget_arg 150 $ method_arg $ alpha_arg $ n_init_arg
-       $ proposal_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg $ resume_arg
-       $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg $ async_arg
-       $ transfer_from_arg $ weighting_arg $ decay_arg $ gate_thresh_arg $ no_gate_arg))
+       $ proposal_arg $ sampled_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg
+       $ resume_arg $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg
+       $ async_arg $ transfer_from_arg $ weighting_arg $ decay_arg $ gate_thresh_arg
+       $ no_gate_arg))
 
 (* ---- transfer ---- *)
 

@@ -50,6 +50,70 @@ module Topk = struct
   let to_list_desc t = List.rev_map (fun e -> e.value) t.entries
 end
 
+(* Streaming bounded top-k over (score, pool index) pairs: a min-heap
+   of at most k entries keyed lexicographically by (score, -index),
+   so the root is always the WORST kept entry under Topk's total
+   order (score descending, ties toward the smaller index) and each
+   offer is one comparison against it. Unlike {!Topk} it never holds
+   candidate values, only indices — the ranking scan materializes
+   configurations for the final k survivors alone, which is what lets
+   a 10^7-row virtual pool rank without allocating per candidate. The
+   kept set is the exact top-k under a total order (indices are
+   distinct), so the result is offer-order independent and equal to
+   {!Topk}'s, tie order included. *)
+module Topk_stream = struct
+  (* [full]/[worst_score]/[worst_tie] mirror the heap root once k
+     entries are held, so the hot-loop admission check is two compares
+     against plain fields — no option/tuple from a peek, no boxed
+     float crossing a call boundary. They are refreshed on every heap
+     mutation, which happens O(k log n) times per scan, not per
+     offer. *)
+  type t = {
+    k : int;
+    heap : int Simulate.Heap.t;
+    mutable full : bool;
+    mutable worst_score : float;
+    mutable worst_tie : int;
+  }
+
+  let create k =
+    if k < 1 then invalid_arg "Topk_stream.create: k must be at least 1";
+    { k; heap = Simulate.Heap.create (); full = false; worst_score = neg_infinity; worst_tie = 0 }
+
+  let refresh_worst t =
+    match Simulate.Heap.peek_tie t.heap with
+    | Some (score, tie, _) ->
+        t.worst_score <- score;
+        t.worst_tie <- tie
+    | None -> assert false
+
+  let offer t score index =
+    if not t.full then begin
+      Simulate.Heap.push_tie t.heap score (-index) index;
+      if Simulate.Heap.length t.heap = t.k then begin
+        t.full <- true;
+        refresh_worst t
+      end
+    end
+    else if score > t.worst_score || (score = t.worst_score && -index > t.worst_tie) then begin
+      ignore (Simulate.Heap.pop_tie t.heap);
+      Simulate.Heap.push_tie t.heap score (-index) index;
+      refresh_worst t
+    end
+
+  let to_desc t =
+    let rec drain acc =
+      match Simulate.Heap.pop_tie t.heap with
+      | None -> acc
+      | Some (score, _, index) -> drain ((score, index) :: acc)
+    in
+    let result = drain [] in
+    t.full <- false;
+    t.worst_score <- neg_infinity;
+    t.worst_tie <- 0;
+    result
+end
+
 (* Immutable best-first entry lists for the parallel reduction: the
    merge of two k-truncated lists is the k-truncation of their union,
    so the fold is associative with [] as identity and the reduction is
@@ -72,6 +136,24 @@ let ranking_encoded ~surrogate ~pool ~encoded =
       e
   | None -> Surrogate.Pool.encode (Surrogate.space surrogate) pool
 
+(* Below this pool size the scoring scan is cheaper than the fixed
+   cost of fanning tasks out to a domain pool (~tens of µs), so
+   [?workers] is ignored and the scan runs sequentially — BENCH_select
+   showed every parallel configuration 4-5x SLOWER than sequential at
+   pool 1620. The crossover sits well under 10^5 rows on commodity
+   cores; 32768 leaves margin on the sequential side. Tests override
+   it with [?parallel_threshold:0] to force the parallel path on
+   small pools. *)
+let default_parallel_threshold = 32768
+
+(* Fixed scan granule: chunk boundaries depend only on the pool size,
+   never on the worker count or schedule, so per-chunk top-k partials
+   merge to the same result for every parallel configuration — and
+   the sequential path reuses the same granule, making parallel
+   bit-identity a matter of merge associativity alone. 4096 rows *
+   8 bytes keeps the score buffer inside L1/L2. *)
+let scan_chunk = 4096
+
 let schedule_label workers schedule =
   match workers with
   | None -> "seq"
@@ -81,50 +163,202 @@ let schedule_label workers schedule =
       | Some (Parallel.Pool.Dynamic c) -> Printf.sprintf "dynamic:%d" c
       | Some Parallel.Pool.Guided -> "guided")
 
-let select_many_ranking ?(telemetry = Telemetry.Trace.disabled) ?workers ?schedule ?encoded ~k
-    ~surrogate ~pool ~evaluated () =
-  let enc = ranking_encoded ~surrogate ~pool ~encoded in
-  let compiled = Surrogate.compile ~telemetry surrogate enc in
-  let t0 = Telemetry.Trace.now telemetry in
-  let n = Array.length pool in
-  (* Invert the evaluated-set check: hashing every candidate per refit
-     would dominate the compiled scan, so instead hash only the (much
-     smaller) evaluated set into a per-refit exclusion mask via the
-     pool's config->index table. The mask is written before the scan
-     and only read during it, so the parallel loop touches no shared
-     mutable state at all. *)
-  let excluded = Bytes.make n '\000' in
-  Param.Config.Table.iter
-    (fun c () -> List.iter (fun i -> Bytes.set excluded i '\001') (Surrogate.Pool.indices_of enc c))
-    evaluated;
-  let keep i = Bytes.unsafe_get excluded i = '\000' in
-  let selected =
-    match workers with
-    | None ->
-        let top = Topk.create k in
-        for i = 0 to n - 1 do
-          if keep i then Topk.offer_indexed top pool.(i) (Surrogate.Compiled.log_ratio compiled i) i
-        done;
-        Topk.to_list_desc top
-    | Some w ->
-        (* Each worker folds its own best-first list and the per-worker
-           partials merge deterministically. *)
-        let best =
-          Parallel.Pool.parallel_for_reduce w ?schedule ~lo:0 ~hi:n ~init:[]
-            ~combine:(fun a b -> merge_desc k a b)
-            (fun i ->
-              if not (keep i) then []
-              else
-                [
-                  {
-                    Topk.value = pool.(i);
-                    score = Surrogate.Compiled.log_ratio compiled i;
-                    index = i;
-                  };
-                ])
-        in
-        List.map (fun e -> e.Topk.value) best
+(* Score rows [lo, hi) through the compiled table into [buf] and fold
+   the unexcluded ones into [top]. The admission pre-check repeats
+   {!Topk_stream.offer}'s comparison inline against plain record
+   fields so the overwhelming majority of rows — everything that
+   cannot enter the top-k — never crosses a (float-boxing) call
+   boundary; the scan allocates nothing per row. *)
+let scan_range compiled keep buf top ~lo ~hi =
+  Surrogate.Compiled.scores_into compiled ~lo ~hi buf;
+  for j = 0 to hi - lo - 1 do
+    let i = lo + j in
+    if keep i then begin
+      let s = Array.unsafe_get buf j in
+      if
+        (not top.Topk_stream.full)
+        || s > top.Topk_stream.worst_score
+        || (s = top.Topk_stream.worst_score && -i > top.Topk_stream.worst_tie)
+      then Topk_stream.offer top s i
+    end
+  done
+
+(* Exact branch-and-bound scan of a virtual pool's digit tree. A
+   node at depth p fixes digits 0..p; its subtree's scores are all
+   bounded by the node's left-to-right prefix sum plus the sum of
+   per-parameter table maxima over the remaining digits, so any
+   subtree whose bound is STRICTLY below the worst kept score can be
+   skipped without visiting a row. Strict comparison keeps the scan
+   exact under the (score desc, index asc) total order: a row tying
+   the final k-th score is never pruned, and every skipped row scores
+   strictly below the k-th — pruning changes which rows are offered,
+   never which k survive, so the result is bit-identical to the full
+   scan (admitted scores are the same left-to-right prefix sums
+   {!Surrogate.Compiled.log_ratio} computes). Both comparisons fail
+   on NaN bounds/thresholds, so poisoned table entries disable
+   pruning rather than mis-pruning.
+
+   [shared] is the parallel scan's cross-chunk threshold: each chunk
+   publishes its local worst (a lower bound on the final k-th score,
+   since a chunk's k-th is at most the global k-th) and prunes
+   against the best bound any chunk has published. The shared value
+   evolves racily, but every pruned row still scores strictly below
+   the final k-th, so the merged result is exact — identical to the
+   sequential scan — for every domain count, schedule, and timing. *)
+let scan_radix compiled keep top ?shared ~radices ~lo ~hi () =
+  let table = Surrogate.Compiled.table compiled in
+  let off = Surrogate.Compiled.offsets compiled in
+  let np = Array.length radices in
+  if np = 0 then begin
+    if lo <= 0 && hi > 0 && keep 0 then Topk_stream.offer top 0. 0
+  end
+  else begin
+    let strides = Array.make np 1 in
+    for p = np - 2 downto 0 do
+      strides.(p) <- strides.(p + 1) * radices.(p + 1)
+    done;
+    (* suffix_max.(p) = max achievable sum of table entries over
+       parameters p..np-1. *)
+    let suffix_max = Array.make (np + 1) 0. in
+    for p = np - 1 downto 0 do
+      let m = ref neg_infinity in
+      for d = 0 to radices.(p) - 1 do
+        let v = Bigarray.Array1.unsafe_get table (off.(p) + d) in
+        if v > !m then m := v
+      done;
+      suffix_max.(p) <- !m +. suffix_max.(p + 1)
+    done;
+    let threshold () =
+      let local = if top.Topk_stream.full then top.Topk_stream.worst_score else neg_infinity in
+      match shared with None -> local | Some a -> Stdlib.max local (Atomic.get a)
+    in
+    let publish () =
+      match shared with
+      | None -> ()
+      | Some a ->
+          if top.Topk_stream.full then begin
+            let w = top.Topk_stream.worst_score in
+            let rec bump () =
+              let cur = Atomic.get a in
+              if w > cur && not (Atomic.compare_and_set a cur w) then bump ()
+            in
+            bump ()
+          end
+    in
+    let rec go p base acc =
+      let toff = Array.unsafe_get off p in
+      if p = np - 1 then begin
+        let d_lo = Stdlib.max 0 (lo - base) in
+        let d_hi = Stdlib.min radices.(p) (hi - base) in
+        (* A stale (lower) threshold only admits extra offers, which
+           re-check; exactness is unaffected. *)
+        let thr = threshold () in
+        for d = d_lo to d_hi - 1 do
+          let i = base + d in
+          if keep i then begin
+            let s = acc +. Bigarray.Array1.unsafe_get table (toff + d) in
+            if (not top.Topk_stream.full) || s >= thr then begin
+              Topk_stream.offer top s i;
+              publish ()
+            end
+          end
+        done
+      end
+      else begin
+        let stride = Array.unsafe_get strides p in
+        let bound_tail = Array.unsafe_get suffix_max (p + 1) in
+        for d = 0 to radices.(p) - 1 do
+          let b = base + (d * stride) in
+          if b < hi && b + stride > lo then begin
+            let v = acc +. Bigarray.Array1.unsafe_get table (toff + d) in
+            if not (v +. bound_tail < threshold ()) then go (p + 1) b v
+          end
+        done
+      end
+    in
+    go 0 0 0.
+  end
+
+let scan_indices compiled keep top ?shared ~n ~lo ~hi buf =
+  match Surrogate.Pool.radices (Surrogate.Compiled.pool compiled) with
+  | Some radices -> scan_radix compiled keep top ?shared ~radices ~lo ~hi ()
+  | None ->
+      let buf =
+        match buf with Some b -> b | None -> Array.make (Stdlib.min n scan_chunk) 0.
+      in
+      let at = ref lo in
+      while !at < hi do
+        let chunk_hi = Stdlib.min hi (!at + scan_chunk) in
+        scan_range compiled keep buf top ~lo:!at ~hi:chunk_hi;
+        at := chunk_hi
+      done
+
+let select_indices_seq compiled keep ~k ~n =
+  let top = Topk_stream.create k in
+  scan_indices compiled keep top ~n ~lo:0 ~hi:n None;
+  Topk_stream.to_desc top
+
+let select_indices_par compiled keep ~k ~n ~workers ?schedule () =
+  let n_chunks = (n + scan_chunk - 1) / scan_chunk in
+  let shared =
+    match Surrogate.Pool.radices (Surrogate.Compiled.pool compiled) with
+    | Some _ -> Some (Atomic.make neg_infinity)
+    | None -> None
   in
+  let best =
+    Parallel.Pool.parallel_for_reduce workers ?schedule ~lo:0 ~hi:n_chunks ~init:[]
+      ~combine:(fun a b -> merge_desc k a b)
+      (fun ci ->
+        let lo = ci * scan_chunk in
+        let hi = Stdlib.min n (lo + scan_chunk) in
+        let top = Topk_stream.create k in
+        scan_indices compiled keep top ?shared ~n ~lo ~hi None;
+        List.map
+          (fun (score, index) -> { Topk.value = index; score; index })
+          (Topk_stream.to_desc top))
+  in
+  List.map (fun e -> (e.Topk.score, e.Topk.index)) best
+
+(* Exhaustive ranking over an encoded pool: stream every row's
+   compiled score through a bounded heap, never materializing a
+   per-candidate score array. The evaluated-set check is inverted
+   into a per-refit exclusion mask (hashing every candidate per refit
+   would dominate the scan; the evaluated side is small). The mask is
+   written before the scan and only read during it, so the parallel
+   loop touches no shared mutable state. *)
+let select_ranking_exhaustive ~telemetry ~workers ~schedule ~parallel_threshold ~compiled ~k
+    ~surrogate ~encoded ~evaluated =
+  let compiled =
+    match compiled with
+    | Some c ->
+        if not (Surrogate.Compiled.pool c == encoded) then
+          invalid_arg "Strategy.select_many: compiled scorer does not wrap the encoded pool";
+        c
+    | None -> Surrogate.compile ~telemetry surrogate encoded
+  in
+  let t0 = Telemetry.Trace.now telemetry in
+  let n = Surrogate.Pool.length encoded in
+  let keep =
+    (* Nothing evaluated yet (the first guided refit after seeding can
+       hit this via resume, and benches do): skip allocating and
+       zeroing an n-byte mask entirely. *)
+    if Param.Config.Table.length evaluated = 0 then fun _ -> true
+    else begin
+      let excluded = Bytes.make n '\000' in
+      Param.Config.Table.iter
+        (fun c () ->
+          List.iter (fun i -> Bytes.set excluded i '\001') (Surrogate.Pool.indices_of encoded c))
+        evaluated;
+      fun i -> Bytes.unsafe_get excluded i = '\000'
+    end
+  in
+  let workers = match workers with Some w when n >= parallel_threshold -> Some w | _ -> None in
+  let ranked =
+    match workers with
+    | None -> select_indices_seq compiled keep ~k ~n
+    | Some w -> select_indices_par compiled keep ~k ~n ~workers:w ?schedule ()
+  in
+  let selected = List.map (fun (_, i) -> Surrogate.Pool.config encoded i) ranked in
   if Telemetry.Trace.enabled telemetry then
     Telemetry.Trace.emit telemetry
       (Telemetry.Event.Rank
@@ -137,6 +371,54 @@ let select_many_ranking ?(telemetry = Telemetry.Trace.disabled) ?workers ?schedu
            dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
          });
   selected
+
+(* Sampled-candidate mode: instead of scanning the pool, draw exactly
+   [n] candidates from pg through the caller's rng and rank the
+   distinct unevaluated ones by the naive scorer. The rng consumption
+   is a function of the surrogate and [n] alone (every draw costs the
+   same rng stream whether or not it is kept), so runs are
+   reproducible from the seed like every other path. Duplicate draws
+   and already-evaluated configurations are skipped, so fewer than
+   [k] results can come back even on a non-exhausted pool. *)
+let select_ranking_sampled ~telemetry ~n ~k ~rng ~surrogate ~evaluated =
+  if n < 1 then invalid_arg "Strategy.select_many: sampled candidate count must be at least 1";
+  let t0 = Telemetry.Trace.now telemetry in
+  let top = Topk.create k in
+  let drawn = Param.Config.Table.create n in
+  for _ = 1 to n do
+    let c = Surrogate.sample_good surrogate rng in
+    if not (Param.Config.Table.mem evaluated c || Param.Config.Table.mem drawn c) then begin
+      Param.Config.Table.replace drawn c ();
+      (* Insertion-counter ties: among equal scores the earliest draw
+         ranks first. *)
+      Topk.offer top c (Surrogate.log_ratio surrogate c)
+    end
+  done;
+  let selected = Topk.to_list_desc top in
+  if Telemetry.Trace.enabled telemetry then
+    Telemetry.Trace.emit telemetry
+      (Telemetry.Event.Rank
+         {
+           pool_size = n;
+           k;
+           selected = List.length selected;
+           workers = 1;
+           schedule = "sampled";
+           dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
+         });
+  selected
+
+let select_many_encoded ?(telemetry = Telemetry.Trace.disabled) ?workers ?schedule
+    ?(parallel_threshold = default_parallel_threshold) ?(candidates = `Exhaustive) ?compiled
+    ~k ~rng ~surrogate ~encoded ~evaluated () =
+  if k < 1 then invalid_arg "Strategy.select_many: k must be at least 1";
+  if parallel_threshold < 0 then
+    invalid_arg "Strategy.select_many: negative parallel_threshold";
+  match candidates with
+  | `Exhaustive ->
+      select_ranking_exhaustive ~telemetry ~workers ~schedule ~parallel_threshold ~compiled ~k
+        ~surrogate ~encoded ~evaluated
+  | `Sampled n -> select_ranking_sampled ~telemetry ~n ~k ~rng ~surrogate ~evaluated
 
 let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
   let chosen = Param.Config.Table.create k in
@@ -167,18 +449,23 @@ let select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates =
   in
   pick [] k
 
-let select_many ?telemetry ?workers ?schedule ?encoded t ~k ~rng ~surrogate ~pool ~evaluated =
+let select_many ?telemetry ?workers ?schedule ?parallel_threshold ?candidates ?encoded t ~k ~rng
+    ~surrogate ~pool ~evaluated =
   if k < 1 then invalid_arg "Strategy.select_many: k must be at least 1";
   match t with
   | Ranking ->
-      select_many_ranking ?telemetry ?workers ?schedule ?encoded ~k ~surrogate ~pool ~evaluated ()
+      let encoded = ranking_encoded ~surrogate ~pool ~encoded in
+      select_many_encoded ?telemetry ?workers ?schedule ?parallel_threshold ?candidates ~k ~rng
+        ~surrogate ~encoded ~evaluated ()
   | Proposal { n_candidates } ->
       if n_candidates <= 0 then invalid_arg "Strategy.select: non-positive candidate count";
       select_many_proposal ~k ~rng ~surrogate ~evaluated ~n_candidates
 
-let select ?telemetry ?workers ?schedule ?encoded t ~rng ~surrogate ~pool ~evaluated =
+let select ?telemetry ?workers ?schedule ?parallel_threshold ?candidates ?encoded t ~rng
+    ~surrogate ~pool ~evaluated =
   match
-    select_many ?telemetry ?workers ?schedule ?encoded t ~k:1 ~rng ~surrogate ~pool ~evaluated
+    select_many ?telemetry ?workers ?schedule ?parallel_threshold ?candidates ?encoded t ~k:1
+      ~rng ~surrogate ~pool ~evaluated
   with
   | [] -> None
   | best :: _ -> Some best

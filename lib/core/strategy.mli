@@ -5,10 +5,11 @@
     paper's default for the discrete HPC spaces. Ranking always runs
     through the compiled scorer ({!Surrogate.compile}): the candidate
     pool is index-encoded (once per campaign when the caller passes
-    [?encoded]) and each refit reduces scoring to [n_params] array
-    reads and adds per candidate. Scores are bit-identical to the
-    naive {!Surrogate.score}, so switching paths never changes a
-    selection.
+    [?encoded]) and each refit streams compiled scores through a
+    bounded heap ({!Topk_stream}) — no per-candidate score array is
+    ever materialized, so a 10^7-row virtual pool ranks in O(k) space.
+    Scores are bit-identical to the naive {!Surrogate.score}, so
+    switching paths never changes a selection.
 
     [Proposal] samples candidates from the good density pg (applicable
     to continuous or huge spaces) and picks the best-scoring draw;
@@ -48,10 +49,43 @@ module Topk : sig
   (** Best first. *)
 end
 
+(** Streaming bounded top-k over (score, index) pairs: a min-heap of
+    at most [k] entries keyed by (score, -index), so the root is the
+    worst kept entry under {!Topk}'s total order and each offer is
+    one comparison against it. Holds indices only — no candidate
+    values, no per-candidate allocation. Because indices are
+    distinct, the kept set is the exact top-k under a total order:
+    the result equals {!Topk}'s for the same offers, tie order
+    included, independent of offer order. *)
+module Topk_stream : sig
+  type t
+
+  val create : int -> t
+  (** Requires [k >= 1]. *)
+
+  val offer : t -> float -> int -> unit
+  (** [offer t score index]. Indices must be distinct across offers. *)
+
+  val to_desc : t -> (float * int) list
+  (** Best first (score descending, ties toward the smaller index).
+      Drains the heap: the accumulator is empty afterwards. *)
+end
+
+val default_parallel_threshold : int
+(** Pool size below which the ranking scan ignores [?workers] and
+    runs sequentially (32768). Fanning chunks out to a domain pool
+    costs tens of microseconds — more than the whole scan on small
+    pools (BENCH_select measured every parallel configuration 4-5x
+    slower than sequential at pool 1620). The parallel and sequential
+    paths select bit-identically, so the cutover is invisible except
+    in the Rank span's worker count. *)
+
 val select :
   ?telemetry:Telemetry.Trace.t ->
   ?workers:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
+  ?parallel_threshold:int ->
+  ?candidates:[ `Exhaustive | `Sampled of int ] ->
   ?encoded:Surrogate.Pool.t ->
   t ->
   rng:Prng.Rng.t ->
@@ -64,13 +98,15 @@ val select :
 
     [pool] is the enumerated space for [Ranking] (ignored by
     [Proposal]); [evaluated] is the already-evaluated set (values are
-    unused; the table is a set). See {!select_many} for [workers],
-    [schedule], and [encoded]. *)
+    unused; the table is a set). See {!select_many} for the other
+    options. *)
 
 val select_many :
   ?telemetry:Telemetry.Trace.t ->
   ?workers:Parallel.Pool.t ->
   ?schedule:Parallel.Pool.schedule ->
+  ?parallel_threshold:int ->
+  ?candidates:[ `Exhaustive | `Sampled of int ] ->
   ?encoded:Surrogate.Pool.t ->
   t ->
   k:int ->
@@ -85,16 +121,50 @@ val select_many :
     parallel). Fewer than [k] are returned when the pool runs out.
     Requires [k >= 1].
 
-    [Ranking] options: [workers] parallelizes the scoring scan across
-    the domain pool with per-worker {!Topk} accumulators; because ties
-    break on the pool index, the result is bit-identical to the
-    sequential scan for every [schedule] and worker count. [encoded]
-    supplies the index-encoded pool (built once per campaign with
-    {!Surrogate.Pool.encode}); it must wrap the same [pool] array,
-    otherwise [Invalid_argument] is raised. When absent the pool is
-    encoded on the fly.
+    [Ranking] options: [workers] parallelizes the scoring scan in
+    fixed-size chunks across the domain pool with per-chunk
+    {!Topk_stream} accumulators merged associatively; because chunk
+    boundaries depend only on the pool size and ties break on the
+    pool index, the result is bit-identical to the sequential scan
+    for every [schedule] and worker count. Pools smaller than
+    [parallel_threshold] (default {!default_parallel_threshold})
+    always scan sequentially. [encoded] supplies the index-encoded
+    pool (built once per campaign with {!Surrogate.Pool.encode}); it
+    must wrap the same [pool] array, otherwise [Invalid_argument] is
+    raised. When absent the pool is encoded on the fly.
+    [candidates] defaults to [`Exhaustive] (scan the whole pool);
+    [`Sampled n] instead draws exactly [n] candidates from the good
+    density pg through [rng] and ranks the distinct unevaluated draws
+    with the naive scorer — per-suggest cost O(n), independent of the
+    pool size. The rng consumption depends only on the surrogate and
+    [n], so sampled runs replay bit-identically from the seed; unlike
+    exhaustive mode the batch may come back short (or empty) when the
+    draws collapse onto evaluated configurations, and the Rank span
+    records schedule ["sampled"] with [pool_size = n].
 
     [telemetry] receives a [Compile] span (table build) and a [Rank]
     span (the scoring scan, with worker count and schedule label) per
     [Ranking] call; tracing never affects which candidates are
     selected. *)
+
+val select_many_encoded :
+  ?telemetry:Telemetry.Trace.t ->
+  ?workers:Parallel.Pool.t ->
+  ?schedule:Parallel.Pool.schedule ->
+  ?parallel_threshold:int ->
+  ?candidates:[ `Exhaustive | `Sampled of int ] ->
+  ?compiled:Surrogate.Compiled.t ->
+  k:int ->
+  rng:Prng.Rng.t ->
+  surrogate:Surrogate.t ->
+  encoded:Surrogate.Pool.t ->
+  evaluated:unit Param.Config.Table.t ->
+  unit ->
+  Param.Config.t list
+(** {!select_many}'s Ranking path over an encoded pool directly — the
+    entry point for virtual pools ({!Surrogate.Pool.of_space}), which
+    have no materialized configuration array to pass. [compiled]
+    supplies a prebuilt scorer (e.g. from {!Surrogate.Refit.update});
+    it must wrap [encoded] or [Invalid_argument] is raised, and when
+    present no [Compile] span is emitted here (the refit engine
+    already emitted it). All other options as in {!select_many}. *)

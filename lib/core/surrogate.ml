@@ -146,7 +146,14 @@ let sample_good t rng = Array.map (fun d -> Density.sample d rng) t.good
    once per refit: an index-encoded pool (built once per campaign,
    the per-parameter slot tables are surrogate-independent) plus a
    per-refit [log pg - log pb] table per parameter turns scoring into
-   n_params array reads and adds. *)
+   n_params reads and adds.
+
+   Storage is sized for million-config pools: codes live in a flat
+   off-heap [Bigarray] (uint16 when every slot count fits, native int
+   otherwise — 2 bytes/parameter for every real space), and a finite
+   all-discrete space can skip materialization entirely with a
+   [Radix] (virtual) pool whose row [i] IS [Space.config_of_rank i];
+   a 10^7-config virtual pool costs a handful of words. *)
 
 module Pool = struct
   type slots =
@@ -155,12 +162,29 @@ module Pool = struct
         (** continuous parameter: sorted distinct values present in
             the pool; slot = position in this grid *)
 
+  let slot_count = function Choices n -> n | Grid g -> Array.length g
+
+  type codes =
+    | C16 of (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+    | CNat of (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type backing =
+    | Boxed of {
+        configs : Param.Config.t array;
+        codes : codes;  (* row-major: (i * n_params) + p *)
+        index : int Param.Config.Table.t;  (* config -> every pool position *)
+      }
+    | Radix of { radices : int array }
+        (* virtual pool over a finite all-discrete space: row [i] is
+           [Param.Space.config_of_rank space i], i.e. exactly
+           [Space.enumerate] order, never materialized *)
+
   type t = {
     space : Param.Space.t;
-    configs : Param.Config.t array;
     slots : slots array;
-    codes : int array;  (* row-major: codes.((i * n_params) + p) *)
-    index : int Param.Config.Table.t;  (* config -> every pool position *)
+    n_params : int;
+    n : int;
+    backing : backing;
   }
 
   (* Position of [x] in the sorted distinct-value grid. Every encoded
@@ -191,6 +215,20 @@ module Pool = struct
       grid
     end
 
+  let make_codes slots len =
+    (* uint16 covers slot codes 0..65535; the rare wider parameter
+       falls back to native ints (never int32, whose Bigarray reads
+       would box). *)
+    let widest = Array.fold_left (fun m s -> Stdlib.max m (slot_count s)) 0 slots in
+    if widest <= 65536 then
+      C16 (Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout len)
+    else CNat (Bigarray.Array1.create Bigarray.int Bigarray.c_layout len)
+
+  let codes_set codes i v =
+    match codes with
+    | C16 a -> Bigarray.Array1.unsafe_set a i v
+    | CNat a -> Bigarray.Array1.unsafe_set a i v
+
   let encode space configs =
     Array.iter
       (fun c ->
@@ -208,15 +246,15 @@ module Pool = struct
           | None ->
               Grid (sorted_distinct (Array.map (fun c -> Param.Value.to_float_raw c.(p)) configs)))
     in
-    let codes = Array.make (Array.length configs * n_params) 0 in
+    let codes = make_codes slots (Array.length configs * n_params) in
     Array.iteri
       (fun i c ->
         let base = i * n_params in
         if all_discrete then
-          Array.blit (Param.Space.index_encode space c) 0 codes base n_params
+          Array.iteri (fun p v -> codes_set codes (base + p) v) (Param.Space.index_encode space c)
         else
           for p = 0 to n_params - 1 do
-            codes.(base + p) <-
+            codes_set codes (base + p)
               (match slots.(p) with
               | Choices _ -> Param.Value.to_index c.(p)
               | Grid grid -> find_slot grid (Param.Value.to_float_raw c.(p)))
@@ -224,57 +262,215 @@ module Pool = struct
       configs;
     let index = Param.Config.Table.create (Array.length configs) in
     Array.iteri (fun i c -> Param.Config.Table.add index c i) configs;
-    { space; configs; slots; codes; index }
+    {
+      space;
+      slots;
+      n_params;
+      n = Array.length configs;
+      backing = Boxed { configs; codes; index };
+    }
 
-  let length t = Array.length t.configs
-  let config t i = t.configs.(i)
-  let configs t = t.configs
+  let of_space space =
+    match Param.Space.cardinality space with
+    | None -> invalid_arg "Surrogate.Pool.of_space: space is not finite"
+    | Some total ->
+        let radices =
+          Array.map
+            (fun spec ->
+              match Param.Spec.n_choices spec with Some n -> n | None -> assert false)
+            (Param.Space.specs space)
+        in
+        {
+          space;
+          slots = Array.map (fun n -> Choices n) radices;
+          n_params = Param.Space.n_params space;
+          n = total;
+          backing = Radix { radices };
+        }
+
+  let length t = t.n
+  let is_virtual t = match t.backing with Radix _ -> true | Boxed _ -> false
+
+  let config t i =
+    match t.backing with
+    | Boxed { configs; _ } -> configs.(i)
+    | Radix _ ->
+        if i < 0 || i >= t.n then invalid_arg "Surrogate.Pool.config: index out of range";
+        Param.Space.config_of_rank t.space i
+
+  let configs t =
+    match t.backing with
+    | Boxed { configs; _ } -> configs
+    | Radix _ ->
+        invalid_arg "Surrogate.Pool.configs: virtual pool has no materialized configuration array"
+
   let space t = t.space
-  let indices_of t c = Param.Config.Table.find_all t.index c
+
+  let indices_of t c =
+    match t.backing with
+    | Boxed { index; _ } -> Param.Config.Table.find_all index c
+    | Radix _ ->
+        (* A virtual pool holds every valid configuration exactly
+           once, at its enumeration rank. *)
+        if Param.Space.validate t.space c then [ Param.Space.config_rank t.space c ] else []
+
+  let codes_bytes t =
+    match t.backing with
+    | Boxed { codes = C16 a; _ } -> 2 * Bigarray.Array1.dim a
+    | Boxed { codes = CNat a; _ } -> (Sys.word_size / 8) * Bigarray.Array1.dim a
+    | Radix _ -> 0
+
+  let radices t = match t.backing with Radix { radices } -> Some radices | Boxed _ -> None
 end
 
 module Compiled = struct
+  type table = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
   type t = {
     pool : Pool.t;
-    tables : float array array;  (* per parameter, per slot: log pg - log pb *)
+    table : table;  (* concatenated per-parameter [log pg - log pb] slot tables *)
+    offsets : int array;  (* offsets.(p) = start of parameter p's slots in [table] *)
     n_params : int;
   }
 
   let pool t = t.pool
-  let length t = Array.length t.pool.Pool.configs
-  let config t i = t.pool.Pool.configs.(i)
+  let length t = t.pool.Pool.n
+  let config t i = Pool.config t.pool i
+  let table_bytes t = 8 * Bigarray.Array1.dim t.table
+  let table t = t.table
+  let offsets t = t.offsets
+
+  (* Decode a virtual row's digits (most-significant parameter first,
+     matching Space.config_rank). *)
+  let decode_digits radices digits rank =
+    let rem = ref rank in
+    for p = Array.length radices - 1 downto 0 do
+      digits.(p) <- !rem mod radices.(p);
+      rem := !rem / radices.(p)
+    done
 
   let log_ratio t i =
-    let codes = t.pool.Pool.codes in
-    let base = i * t.n_params in
+    let off = t.offsets in
     let acc = ref 0. in
-    for p = 0 to t.n_params - 1 do
-      acc := !acc +. Array.unsafe_get t.tables.(p) (Array.unsafe_get codes (base + p))
-    done;
+    (match t.pool.Pool.backing with
+    | Pool.Boxed { codes = Pool.C16 a; _ } ->
+        let base = i * t.n_params in
+        for p = 0 to t.n_params - 1 do
+          acc :=
+            !acc
+            +. Bigarray.Array1.unsafe_get t.table
+                 (Array.unsafe_get off p + Bigarray.Array1.unsafe_get a (base + p))
+        done
+    | Pool.Boxed { codes = Pool.CNat a; _ } ->
+        let base = i * t.n_params in
+        for p = 0 to t.n_params - 1 do
+          acc :=
+            !acc
+            +. Bigarray.Array1.unsafe_get t.table
+                 (Array.unsafe_get off p + Bigarray.Array1.unsafe_get a (base + p))
+        done
+    | Pool.Radix { radices } ->
+        let digits = Array.make t.n_params 0 in
+        decode_digits radices digits i;
+        for p = 0 to t.n_params - 1 do
+          acc :=
+            !acc
+            +. Bigarray.Array1.unsafe_get t.table (Array.unsafe_get off p + digits.(p))
+        done);
     !acc
 
   let score t i = exp (log_ratio t i)
+
+  (* Batched scoring of rows [lo, hi) into [out.(0 .. hi-lo-1)] — the
+     streaming ranker's inner kernel. Every row's score is the same
+     left-to-right per-parameter sum [log_ratio] computes, so the two
+     entry points agree bit-for-bit. The virtual path runs the
+     mixed-radix odometer: incrementing a row only changes digits from
+     some position [p] onward, so only the left-to-right prefix sums
+     from [p] are recomputed — identical float operations, amortized
+     O(1) adds per row instead of [n_params] divisions and adds. *)
+  let scores_into t ~lo ~hi (out : float array) =
+    if lo < 0 || hi < lo || hi > t.pool.Pool.n then
+      invalid_arg "Surrogate.Compiled.scores_into: range out of bounds";
+    if Array.length out < hi - lo then
+      invalid_arg "Surrogate.Compiled.scores_into: output buffer too small";
+    let np = t.n_params in
+    let off = t.offsets in
+    match t.pool.Pool.backing with
+    | Pool.Boxed { codes = Pool.C16 a; _ } ->
+        for i = lo to hi - 1 do
+          let base = i * np in
+          let acc = ref 0. in
+          for p = 0 to np - 1 do
+            acc :=
+              !acc
+              +. Bigarray.Array1.unsafe_get t.table
+                   (Array.unsafe_get off p + Bigarray.Array1.unsafe_get a (base + p))
+          done;
+          Array.unsafe_set out (i - lo) !acc
+        done
+    | Pool.Boxed { codes = Pool.CNat a; _ } ->
+        for i = lo to hi - 1 do
+          let base = i * np in
+          let acc = ref 0. in
+          for p = 0 to np - 1 do
+            acc :=
+              !acc
+              +. Bigarray.Array1.unsafe_get t.table
+                   (Array.unsafe_get off p + Bigarray.Array1.unsafe_get a (base + p))
+          done;
+          Array.unsafe_set out (i - lo) !acc
+        done
+    | Pool.Radix { radices } ->
+        if hi > lo then
+          if np = 0 then Array.fill out 0 (hi - lo) 0.
+          else begin
+            let digits = Array.make np 0 in
+            decode_digits radices digits lo;
+            let prefix = Array.make np 0. in
+            let recompute from =
+              for q = from to np - 1 do
+                let e =
+                  Bigarray.Array1.unsafe_get t.table (Array.unsafe_get off q + digits.(q))
+                in
+                prefix.(q) <- (if q = 0 then e else prefix.(q - 1) +. e)
+              done
+            in
+            recompute 0;
+            out.(0) <- prefix.(np - 1);
+            for i = 1 to hi - lo - 1 do
+              let p = ref (np - 1) in
+              while digits.(!p) = radices.(!p) - 1 do
+                digits.(!p) <- 0;
+                decr p
+              done;
+              digits.(!p) <- digits.(!p) + 1;
+              recompute !p;
+              Array.unsafe_set out i prefix.(np - 1)
+            done
+          end
 end
 
-let compile ?(telemetry = Telemetry.Trace.disabled) t pool =
-  let t0 = Telemetry.Trace.now telemetry in
-  if
-    pool.Pool.space != t.space
-    && Param.Space.specs pool.Pool.space <> Param.Space.specs t.space
-  then invalid_arg "Surrogate.compile: pool encoded over a different space";
-  let n_params = Param.Space.n_params t.space in
-  let tables =
-    Array.init n_params (fun p ->
-        let values =
-          match pool.Pool.slots.(p) with
-          | Pool.Choices n ->
-              Array.init n (fun j -> Param.Spec.value_of_index (Param.Space.spec t.space p) j)
-          | Pool.Grid grid -> Array.map (fun x -> Param.Value.Continuous x) grid
-        in
-        let lg = Density.log_pdf_table t.good.(p) values in
-        let lb = Density.log_pdf_table t.bad.(p) values in
-        Array.map2 (fun a b -> a -. b) lg lb)
-  in
+let check_pool_space t pool =
+  if pool.Pool.space != t.space && Param.Space.specs pool.Pool.space <> Param.Space.specs t.space
+  then invalid_arg "Surrogate.compile: pool encoded over a different space"
+
+let slot_values space slots p =
+  match slots.(p) with
+  | Pool.Choices n -> Array.init n (fun j -> Param.Spec.value_of_index (Param.Space.spec space p) j)
+  | Pool.Grid grid -> Array.map (fun x -> Param.Value.Continuous x) grid
+
+let table_offsets slots =
+  let n_params = Array.length slots in
+  let offsets = Array.make n_params 0 in
+  let total = ref 0 in
+  for p = 0 to n_params - 1 do
+    offsets.(p) <- !total;
+    total := !total + Pool.slot_count slots.(p)
+  done;
+  (offsets, !total)
+
+let emit_compile telemetry t0 pool n_params =
   if Telemetry.Trace.enabled telemetry then
     Telemetry.Trace.emit telemetry
       (Telemetry.Event.Compile
@@ -282,8 +478,126 @@ let compile ?(telemetry = Telemetry.Trace.disabled) t pool =
            pool_size = Pool.length pool;
            n_params;
            dur_ms = (Telemetry.Trace.now telemetry -. t0) *. 1000.;
-         });
-  { Compiled.pool; tables; n_params }
+         })
+
+let compile ?(telemetry = Telemetry.Trace.disabled) t pool =
+  let t0 = Telemetry.Trace.now telemetry in
+  check_pool_space t pool;
+  let n_params = Param.Space.n_params t.space in
+  let offsets, total = table_offsets pool.Pool.slots in
+  let table = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout total in
+  for p = 0 to n_params - 1 do
+    let values = slot_values t.space pool.Pool.slots p in
+    let lg = Density.log_pdf_table t.good.(p) values in
+    let lb = Density.log_pdf_table t.bad.(p) values in
+    let off = offsets.(p) in
+    for j = 0 to Array.length values - 1 do
+      table.{off + j} <- lg.(j) -. lb.(j)
+    done
+  done;
+  emit_compile telemetry t0 pool n_params;
+  { Compiled.pool; table; offsets; n_params }
+
+(* ---- Incremental refit engine ----
+
+   A campaign refits on an observation history that grows by one (or
+   one batch) between consecutive refits. The quantile split keeps
+   both index lists in ascending observation order, so each side's
+   per-parameter value arrays evolve append-only except when an old
+   observation crosses the alpha boundary — which means each side's
+   density is usually either structurally unchanged (the new point
+   landed on the other side) or extended by appended samples. The
+   engine keeps one Density.Table cache per parameter per side and
+   rewrites a parameter's slice of the combined score table only when
+   a side actually changed; tables are bit-identical to [compile]'s
+   because the caches are ([Density.Table]'s contract). A periodic
+   resync (every [resync_every] updates) drops every cache and takes
+   the full reference rebuild, bounding any divergence a future cache
+   bug could introduce at zero observable cost (the rebuild produces
+   the same bits). *)
+module Refit = struct
+  type surrogate = t
+  type deltas = { unchanged : int; appended : int; rebuilt : int }
+
+  type nonrec t = {
+    pool : Pool.t;
+    options : options;
+    resync_every : int;
+    mutable updates : int;
+    good_caches : Density.Table.cache array;
+    bad_caches : Density.Table.cache array;
+    table : Compiled.table;
+    offsets : int array;
+    mutable last_deltas : deltas;
+  }
+
+  let default_resync_every = 64
+
+  let create ?(options = default_options) ?(resync_every = default_resync_every) pool =
+    if resync_every < 0 then invalid_arg "Surrogate.Refit.create: negative resync_every";
+    let n_params = pool.Pool.n_params in
+    let offsets, total = table_offsets pool.Pool.slots in
+    let grid p = Density.Table.create (slot_values pool.Pool.space pool.Pool.slots p) in
+    {
+      pool;
+      options;
+      resync_every;
+      updates = 0;
+      good_caches = Array.init n_params grid;
+      bad_caches = Array.init n_params grid;
+      table = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout total;
+      offsets;
+      last_deltas = { unchanged = 0; appended = 0; rebuilt = 0 };
+    }
+
+  let pool t = t.pool
+  let last_deltas t = t.last_deltas
+
+  let reset_caches t =
+    let reset caches =
+      Array.iteri
+        (fun p c -> caches.(p) <- Density.Table.create (Density.Table.grid c))
+        caches
+    in
+    reset t.good_caches;
+    reset t.bad_caches
+
+  let update ?(telemetry = Telemetry.Trace.disabled) ?priors ?extra_bad t observations =
+    if t.resync_every > 0 && t.updates > 0 && t.updates mod t.resync_every = 0 then
+      reset_caches t;
+    t.updates <- t.updates + 1;
+    let s =
+      fit ~telemetry ~options:t.options ?priors ?extra_bad (Pool.space t.pool) observations
+    in
+    let t0 = Telemetry.Trace.now telemetry in
+    let unchanged = ref 0 and appended = ref 0 and rebuilt = ref 0 in
+    let tally = function
+      | Density.Table.Unchanged -> incr unchanged
+      | Density.Table.Appended _ -> incr appended
+      | Density.Table.Rebuilt -> incr rebuilt
+    in
+    for p = 0 to t.pool.Pool.n_params - 1 do
+      let gtab, gstat = Density.Table.update t.good_caches.(p) s.good.(p) in
+      let btab, bstat = Density.Table.update t.bad_caches.(p) s.bad.(p) in
+      tally gstat;
+      tally bstat;
+      (* Both sides structurally unchanged means both log tables are
+         the stored arrays the current slice was written from — skip
+         the write. A first update always rebuilds (empty caches). *)
+      (match (gstat, bstat) with
+      | Density.Table.Unchanged, Density.Table.Unchanged -> ()
+      | _ ->
+          let off = t.offsets.(p) in
+          for j = 0 to Array.length gtab - 1 do
+            t.table.{off + j} <- gtab.(j) -. btab.(j)
+          done)
+    done;
+    t.last_deltas <- { unchanged = !unchanged; appended = !appended; rebuilt = !rebuilt };
+    emit_compile telemetry t0 t.pool t.pool.Pool.n_params;
+    ( s,
+      { Compiled.pool = t.pool; table = t.table; offsets = t.offsets; n_params = t.pool.Pool.n_params }
+    )
+end
 
 let param_js_divergence t i =
   check_param t i;

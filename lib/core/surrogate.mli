@@ -90,7 +90,17 @@ val param_js_divergence : t -> int -> float
     parameters, the position in the sorted distinct-value grid for
     continuous ones). The encoding depends only on the space and the
     pool — not on any fitted surrogate — so it is built once per
-    campaign and reused across refits. *)
+    campaign and reused across refits.
+
+    Codes are stored in a flat off-heap [Bigarray] (2 bytes per
+    parameter when every slot count fits in 16 bits, a native word
+    otherwise), so a 10^6-config pool costs a few MB and is shared
+    across worker domains without copying. A finite all-discrete
+    space can avoid materialization entirely via {!of_space}: the
+    resulting {e virtual} pool's row [i] is
+    [Param.Space.config_of_rank space i] (exactly
+    [Param.Space.enumerate] order) decoded on demand, so a
+    10^7-config pool costs O(1) memory. *)
 module Pool : sig
   type t
 
@@ -98,25 +108,49 @@ module Pool : sig
   (** Encode a candidate pool. Every configuration must be valid for
       the space. *)
 
+  val of_space : Param.Space.t -> t
+  (** The virtual pool holding every configuration of a finite
+      all-discrete space in [Param.Space.enumerate] order, without
+      materializing any of them. Raises [Invalid_argument] for
+      continuous spaces. *)
+
   val length : t -> int
+  val is_virtual : t -> bool
+
   val config : t -> int -> Param.Config.t
+  (** Row [i]; decoded on demand (freshly allocated) for virtual
+      pools. *)
+
   val configs : t -> Param.Config.t array
   (** The original configuration array, physically the one passed to
-      {!encode}. *)
+      {!encode}. Raises [Invalid_argument] on a virtual pool, which
+      has no materialized array. *)
 
   val space : t -> Param.Space.t
 
   val indices_of : t -> Param.Config.t -> int list
   (** Every pool position holding this configuration ([[]] when
       absent) — lets the evaluated-set scan hash the small evaluated
-      side instead of every candidate on each refit. *)
+      side instead of every candidate on each refit. On a virtual
+      pool this is the configuration's enumeration rank. *)
+
+  val codes_bytes : t -> int
+  (** Off-heap bytes held by the encoded code matrix (0 for virtual
+      pools) — the bench's memory column. *)
+
+  val radices : t -> int array option
+  (** [Some radices] for a virtual pool — the per-parameter choice
+      counts, most-significant first, defining the mixed-radix row
+      numbering ([None] for encoded pools). Exposed for the ranking
+      scan's branch-and-bound walk over the digit tree. *)
 end
 
 (** A compiled scorer: one [log pg - log pb] lookup table per
     parameter (histogram normalization folded in once, KDE evaluated
-    once per grid cell), so scoring a pool element is [n_params] array
-    reads and adds over its int-encoded row. Scores equal the naive
-    {!score}/{!log_ratio} bit-for-bit. *)
+    once per grid cell), so scoring a pool element is [n_params]
+    reads and adds over its int-encoded row. The tables are
+    concatenated in one flat float64 [Bigarray]. Scores equal the
+    naive {!score}/{!log_ratio} bit-for-bit. *)
 module Compiled : sig
   type t
 
@@ -131,6 +165,31 @@ module Compiled : sig
   val score : t -> int -> float
   (** [exp (log_ratio c i)] — equals the naive {!score}
       bit-for-bit. *)
+
+  val scores_into : t -> lo:int -> hi:int -> float array -> unit
+  (** [scores_into t ~lo ~hi out] writes [log_ratio t i] for rows
+      [lo <= i < hi] into [out.(i - lo)] — the streaming ranker's
+      batched kernel, bit-identical to per-row {!log_ratio}. On a
+      virtual pool the scan runs a mixed-radix odometer with
+      left-to-right prefix sums: only the prefix from the lowest
+      changed digit is recomputed per row (the same float operations
+      a full per-row sum performs), avoiding per-row rank decoding.
+      Requires [0 <= lo <= hi <= length] and
+      [Array.length out >= hi - lo]. *)
+
+  val table_bytes : t -> int
+  (** Off-heap bytes held by the score table. *)
+
+  val table : t -> (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** The concatenated per-parameter slot tables — read-only raw view
+      for the ranking scan's inner loop. Entry [offsets.(p) + slot] is
+      parameter [p]'s [log pg - log pb] at that slot. For a scorer
+      returned by {!Refit.update} the buffer is reused in place by the
+      next update. *)
+
+  val offsets : t -> int array
+  (** [offsets.(p)] is the start of parameter [p]'s slots in
+      {!table}. Callers must not mutate. *)
 end
 
 val compile : ?telemetry:Telemetry.Trace.t -> t -> Pool.t -> Compiled.t
@@ -139,3 +198,52 @@ val compile : ?telemetry:Telemetry.Trace.t -> t -> Pool.t -> Compiled.t
     per distinct value — amortized over the whole pool on every
     ranking pass. The pool must be encoded over the surrogate's
     space. [telemetry] receives one [Compile] span per call. *)
+
+(** The incremental refit engine: a per-campaign stateful wrapper
+    around {!fit} + {!compile} that reuses per-parameter log-density
+    tables across consecutive refits. Because the quantile split
+    keeps each side's observation indices in ascending order,
+    append-only history growth leaves most per-parameter densities
+    either structurally unchanged (the new point landed on the other
+    side of the alpha boundary) or extended by appended samples; the
+    engine recomputes only the changed parameters' table slices (see
+    {!Density.Table}) and is bit-identical to the full rebuild at
+    every step. Membership flips at the quantile boundary, prior
+    weight changes (decay schedules, gate attenuation), bandwidth
+    changes, and async pending-set churn are all detected
+    structurally and fall back to the reference rebuild for exactly
+    the affected parameter sides. *)
+module Refit : sig
+  type surrogate = t
+  (** Alias for the enclosing surrogate type, shadowed by the
+      engine's own [t] below. *)
+
+  type t
+
+  type deltas = { unchanged : int; appended : int; rebuilt : int }
+  (** Per-side-table outcome counts of the last [update] (the three
+      sum to [2 * n_params]). *)
+
+  val create : ?options:options -> ?resync_every:int -> Pool.t -> t
+  (** [resync_every] (default 64, 0 = never): every that-many updates
+      the caches are dropped and the refit takes the full reference
+      rebuild — a bit-identical belt-and-braces resync. *)
+
+  val pool : t -> Pool.t
+
+  val update :
+    ?telemetry:Telemetry.Trace.t ->
+    ?priors:(surrogate * float) list ->
+    ?extra_bad:Param.Config.t array ->
+    t ->
+    (Param.Config.t * float) array ->
+    surrogate * Compiled.t
+  (** Refit on the given observation history and return the surrogate
+      plus a compiled scorer over the engine's pool, bit-identical to
+      [compile (fit ...) pool]. Arguments mirror {!fit}. Emits one
+      [Refit] and one [Compile] span, like the reference path. The
+      returned scorer aliases the engine's table: it is valid until
+      the next [update] on the same engine. *)
+
+  val last_deltas : t -> deltas
+end

@@ -17,6 +17,7 @@ type options = {
   prior : prior option;
   batch_size : int;
   early_stop : int option;
+  sampled_candidates : int option;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     prior = None;
     batch_size = 1;
     early_stop = None;
+    sampled_candidates = None;
   }
 
 type result = {
@@ -111,15 +113,31 @@ let gate_emitter ?on_gate ?gate ~recorded () =
    the surviving priors. With no gate (or below the gate's min_obs)
    this performs exactly the ungated fit call; once every source has
    been dropped it performs exactly the no-prior fit call — the
-   bit-identical fallback the containment guarantee rests on. *)
-let fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor ~extra_bad obs =
+   bit-identical fallback the containment guarantee rests on.
+
+   With [refit] (Ranking campaigns, whose candidate pool is encoded
+   once at setup) the fit routes through the incremental refit engine:
+   the surrogate is still the reference [Surrogate.fit] result, and
+   the returned compiled scorer — bit-identical to compiling from
+   scratch — is handed to selection so the per-iteration table build
+   only touches the parameter sides that actually changed. Gate
+   attenuation, decay schedules, and pending-set churn all land on
+   the engine's structural rebuild fallback, so routing every variant
+   through it is safe. ([Surrogate.fit]'s [priors] defaults to [[]],
+   so passing [[]] explicitly is the same call.) *)
+let fit_gated ~telemetry ~options ~gate ~emit_gate ~refit ~space ~anchor ~extra_bad obs =
   let n_obs = Array.length obs in
+  let refit_with priors =
+    match refit with
+    | Some engine ->
+        let s, c = Surrogate.Refit.update ~telemetry ~priors ~extra_bad engine obs in
+        (s, Some c)
+    | None ->
+        (Surrogate.fit ~telemetry ~options:options.surrogate ~priors ~extra_bad space obs, None)
+  in
   match gate with
-  | None ->
-      Surrogate.fit ~telemetry ~options:options.surrogate ~priors:(priors_at ~options n_obs)
-        ~extra_bad space obs
-  | Some state when Gate.all_dropped state ->
-      Surrogate.fit ~telemetry ~options:options.surrogate ~extra_bad space obs
+  | None -> refit_with (priors_at ~options n_obs)
+  | Some state when Gate.all_dropped state -> refit_with []
   | Some state ->
       let step = Gate.apply state ~anchor:(anchor ()) ~n_obs (priors_at ~options n_obs) in
       if Telemetry.Trace.enabled telemetry then begin
@@ -149,15 +167,18 @@ let fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor ~extra_bad obs
           step.Gate.step_decisions
       end;
       List.iter emit_gate step.Gate.step_decisions;
-      Surrogate.fit ~telemetry ~options:options.surrogate ~priors:step.Gate.step_priors ~extra_bad
-        space obs
+      refit_with step.Gate.step_priors
 
 (* Validation and per-campaign candidate-pool setup shared by the
-   synchronous core and the asynchronous engine: checks the options,
-   materializes the candidate pool, index-encodes it once (the
-   encoding depends only on the space and the pool, so every refit's
-   compiled scorer reuses it), and caps [n_init] by the budget and
-   pool size. *)
+   synchronous core and the asynchronous engine: checks the options
+   and index-encodes the candidate pool once (the encoding depends
+   only on the space and the pool, so every refit's compiled scorer
+   reuses it). An enumerated Ranking space becomes a {e virtual} pool
+   ({!Surrogate.Pool.of_space}) — row i is decoded on demand in
+   [Param.Space.enumerate] order, so a 10^7-configuration space costs
+   O(1) memory instead of materializing every configuration up front.
+   [n_init] is capped by the budget and the explicit candidate
+   count. *)
 let campaign_setup ~options ~candidates ~space ~budget =
   if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
   if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
@@ -165,6 +186,14 @@ let campaign_setup ~options ~candidates ~space ~budget =
   (match options.early_stop with
   | Some k when k < 1 -> invalid_arg "Tuner.run: early_stop must be at least 1"
   | Some _ | None -> ());
+  (match options.sampled_candidates with
+  | Some n when n < 1 -> invalid_arg "Tuner.run: sampled_candidates must be at least 1"
+  | Some _ ->
+      (match options.strategy with
+      | Strategy.Ranking -> ()
+      | Strategy.Proposal _ ->
+          invalid_arg "Tuner.run: sampled_candidates requires the Ranking strategy")
+  | None -> ());
   (match candidates with
   | Some c ->
       if Array.length c = 0 then invalid_arg "Tuner.run: empty candidate set";
@@ -178,25 +207,63 @@ let campaign_setup ~options ~candidates ~space ~budget =
             invalid_arg "Tuner.run: invalid candidate configuration")
         c
   | None -> ());
-  let pool =
+  let encoded =
     match (candidates, options.strategy) with
-    | Some c, _ -> c
+    | Some c, _ -> Some (Surrogate.Pool.encode space c)
     | None, Strategy.Ranking ->
         if not (Param.Space.is_finite space) then
           invalid_arg "Tuner.run: Ranking strategy requires a finite space";
-        Param.Space.enumerate space
-    | None, Strategy.Proposal _ -> [||]
-  in
-  let encoded =
-    match options.strategy with
-    | Strategy.Ranking when Array.length pool > 0 -> Some (Surrogate.Pool.encode space pool)
-    | Strategy.Ranking | Strategy.Proposal _ -> None
+        Some (Surrogate.Pool.of_space space)
+    | None, Strategy.Proposal _ -> None
   in
   let n_init =
     let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
     min options.n_init cap
   in
-  (pool, encoded, n_init)
+  (encoded, n_init)
+
+(* Once a finite pool is fully covered, every draw is a duplicate:
+   each would spin [max_init_redraws] hash probes for nothing, so
+   initialization exits early instead. The coverage scan decodes pool
+   rows on demand (it works identically for virtual pools), only runs
+   when the submitted/evaluated count could plausibly cover the pool,
+   and its positive answer is latched. *)
+let pool_coverage_check ~encoded ~table =
+  let covered = ref false in
+  fun () ->
+    match encoded with
+    | None -> false
+    | Some e ->
+        let n = Surrogate.Pool.length e in
+        !covered
+        || Param.Config.Table.length table >= n
+           && (let rec all i =
+                 i >= n
+                 || (Param.Config.Table.mem table (Surrogate.Pool.config e i) && all (i + 1))
+               in
+               all 0)
+           && begin
+                covered := true;
+                true
+              end
+
+(* Guided selection: Ranking campaigns always rank over the encoded
+   pool, reusing the refit engine's compiled scorer, with
+   [options.sampled_candidates] switching the exhaustive scan to
+   pg-sampled candidate draws; Proposal samples from pg and never
+   looks at a pool. *)
+let select_batch ~telemetry ~options ?workers ?schedule ~encoded ~compiled ~k ~rng ~surrogate
+    ~evaluated () =
+  match (options.strategy, encoded) with
+  | Strategy.Ranking, Some e ->
+      let candidates =
+        match options.sampled_candidates with Some n -> `Sampled n | None -> `Exhaustive
+      in
+      Strategy.select_many_encoded ~telemetry ?workers ?schedule ~candidates ?compiled ~k ~rng
+        ~surrogate ~encoded:e ~evaluated ()
+  | Strategy.Ranking, None -> assert false (* campaign_setup always encodes for Ranking *)
+  | (Strategy.Proposal _ as strategy), _ ->
+      Strategy.select_many ~telemetry strategy ~k ~rng ~surrogate ~pool:[||] ~evaluated
 
 (* The outcome-driven core every public entry point funnels into.
    [eval] produces one final verdict per configuration (retries happen
@@ -210,7 +277,8 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
     ?(warm_start = [||]) ?candidates ?on_outcome ?on_gate ?(recorded_gates = [||])
     ?(replay = [||]) ?pool:workers ?schedule ~rng ~space ~eval ~budget () =
   let campaign_t0 = Telemetry.Trace.now telemetry in
-  let pool, encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  let encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  let refit = Option.map (Surrogate.Refit.create ~options:options.surrogate) encoded in
   let gate = gate_state_of ~options in
   let emit_gate = gate_emitter ?on_gate ?gate ~recorded:recorded_gates () in
   let evaluated = Param.Config.Table.create (budget + Array.length warm_start) in
@@ -292,22 +360,7 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
     in
     attempt 0
   in
-  (* Once a finite pool is fully covered, every draw is a duplicate:
-     each would spin [max_init_redraws] hash probes for nothing, so
-     initialization exits early instead (the coverage scan only runs
-     when the evaluated count could plausibly cover the pool, and its
-     positive answer is latched). *)
-  let pool_covered = ref false in
-  let pool_exhausted () =
-    Array.length pool > 0
-    && (!pool_covered
-       || Param.Config.Table.length evaluated >= Array.length pool
-          && Array.for_all (fun c -> Param.Config.Table.mem evaluated c) pool
-          && begin
-               pool_covered := true;
-               true
-             end)
-  in
+  let pool_exhausted = pool_coverage_check ~encoded ~table:evaluated in
   if Telemetry.Trace.enabled telemetry then
     Telemetry.Trace.emit telemetry
       (Telemetry.Event.Campaign_start
@@ -352,16 +405,16 @@ let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options
     let obs = observations () in
     if Array.length obs = 0 then continue := false
     else begin
-      let surrogate =
-        fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor
+      let surrogate, compiled =
+        fit_gated ~telemetry ~options ~gate ~emit_gate ~refit ~space ~anchor
           ~extra_bad:(Array.of_list (List.rev_map fst !failures))
           obs
       in
       final_surrogate := Some surrogate;
       let k = min options.batch_size (budget - !n_evaluated) in
       match
-        Strategy.select_many ~telemetry ?workers ?schedule ?encoded options.strategy ~k ~rng
-          ~surrogate ~pool ~evaluated
+        select_batch ~telemetry ~options ?workers ?schedule ~encoded ~compiled ~k ~rng ~surrogate
+          ~evaluated ()
       with
       | [] -> continue := false
       | batch ->
@@ -530,7 +583,8 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
     ?(duration = default_duration) ~k ~rng ~space ~objective ~budget () =
   let campaign_t0 = Telemetry.Trace.now telemetry in
   if k < 1 then invalid_arg "Tuner.run_async: k must be at least 1";
-  let pool, encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  let encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
+  let refit = Option.map (Surrogate.Refit.create ~options:options.surrogate) encoded in
   let gate = gate_state_of ~options in
   let emit_gate = gate_emitter ?on_gate ?gate ~recorded:recorded_gates () in
   (* [seen] deduplicates at submission time: a configuration joins it
@@ -623,17 +677,7 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
     in
     attempt 0
   in
-  let pool_covered = ref false in
-  let pool_exhausted () =
-    Array.length pool > 0
-    && (!pool_covered
-       || Param.Config.Table.length seen >= Array.length pool
-          && Array.for_all (fun c -> Param.Config.Table.mem seen c) pool
-          && begin
-               pool_covered := true;
-               true
-             end)
-  in
+  let pool_exhausted = pool_coverage_check ~encoded ~table:seen in
   if Telemetry.Trace.enabled telemetry then
     Telemetry.Trace.emit telemetry
       (Telemetry.Event.Campaign_start
@@ -684,11 +728,13 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
       let extra_bad =
         Array.append (Array.of_list (List.rev_map fst !failures)) pending
       in
-      let surrogate = fit_gated ~telemetry ~options ~gate ~emit_gate ~space ~anchor ~extra_bad obs in
+      let surrogate, compiled =
+        fit_gated ~telemetry ~options ~gate ~emit_gate ~refit ~space ~anchor ~extra_bad obs
+      in
       final_surrogate := Some surrogate;
       match
-        Strategy.select_many ~telemetry ?workers ?schedule ?encoded options.strategy ~k:1 ~rng
-          ~surrogate ~pool ~evaluated:seen
+        select_batch ~telemetry ~options ?workers ?schedule ~encoded ~compiled ~k:1 ~rng
+          ~surrogate ~evaluated:seen ()
       with
       | [] -> `Exhausted
       | c :: _ -> `Config c

@@ -60,11 +60,21 @@ type options = {
       (** stop after this many consecutive guided evaluations without
           improving the best observed objective (default [None]:
           run the full budget) *)
+  sampled_candidates : int option;
+      (** [Some n]: instead of exhaustively ranking the whole pool,
+          each guided step draws exactly [n] candidates from the good
+          density pg through the campaign rng and ranks the distinct
+          unevaluated draws — per-suggest cost O(n) independent of the
+          pool size (see {!Strategy.select_many}'s [`Sampled]).
+          Deterministic and resumable like the exhaustive path, but
+          {e not} bit-identical to it (it consumes rng draws and may
+          propose a different batch). Requires the [Ranking] strategy.
+          Default [None]: exhaustive. *)
 }
 
 val default_options : options
 (** n_init 20, surrogate defaults (alpha 0.2), [Ranking], no prior,
-    batch 1, no early stop. *)
+    batch 1, no early stop, exhaustive ranking. *)
 
 type result = {
   history : (Param.Config.t * float) array;
@@ -136,8 +146,14 @@ val run :
 
     With the [Ranking] strategy the space must be finite (unless
     [candidates] is given); if the budget exceeds the candidate count
-    the run stops early when every configuration has been
-    evaluated.
+    the run stops early when every configuration has been evaluated.
+    The enumerated pool is {e virtual} ({!Surrogate.Pool.of_space}):
+    rows are decoded on demand during the ranking scan, so campaign
+    memory is O(1) in the pool size and million-configuration spaces
+    are ranked from a few MB of score tables. Each refit runs through
+    the incremental engine ({!Surrogate.Refit}), which only rebuilds
+    the per-parameter tables that changed — the selections stay
+    bit-identical to the full-rebuild path.
 
     [telemetry] (here and on every other entry point) streams the
     campaign's structured events — [Campaign_start], one [Init_draw]

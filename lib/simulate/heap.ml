@@ -1,9 +1,15 @@
-type 'a entry = { key : float; value : 'a }
+type 'a entry = { key : float; tie : int; value : 'a }
 type 'a t = { mutable data : 'a entry array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
+
+(* Lexicographic (key, tie) order. Every plain [push] uses tie = 0, so
+   for those entries the comparison degenerates to the strict float
+   comparison the heap always used — equal-key order stays unspecified
+   and existing callers are unaffected. *)
+let less a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
 
 let grow t entry =
   let capacity = Array.length t.data in
@@ -21,7 +27,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.data.(i).key < t.data.(parent).key then begin
+    if less t.data.(i) t.data.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -31,21 +37,23 @@ let rec sift_down t i =
   let left = (2 * i) + 1 in
   if left < t.size then begin
     let right = left + 1 in
-    let smallest = if right < t.size && t.data.(right).key < t.data.(left).key then right else left in
-    if t.data.(smallest).key < t.data.(i).key then begin
+    let smallest = if right < t.size && less t.data.(right) t.data.(left) then right else left in
+    if less t.data.(smallest) t.data.(i) then begin
       swap t i smallest;
       sift_down t smallest
     end
   end
 
-let push t key value =
-  let entry = { key; value } in
+let push_tie t key tie value =
+  let entry = { key; tie; value } in
   grow t entry;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let pop t =
+let push t key value = push_tie t key 0 value
+
+let pop_tie t =
   if t.size = 0 then None
   else begin
     let root = t.data.(0) in
@@ -54,8 +62,14 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
-    Some (root.key, root.value)
+    Some (root.key, root.tie, root.value)
   end
+
+let pop t =
+  match pop_tie t with None -> None | Some (key, _, value) -> Some (key, value)
+
+let peek_tie t =
+  if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).tie, t.data.(0).value)
 
 let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
 

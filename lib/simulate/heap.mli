@@ -1,16 +1,30 @@
 (** Binary min-heap keyed by float priority — the event queue of the
-    discrete-event {!Engine}. *)
+    discrete-event {!Engine}, and the bounded top-k accumulator of the
+    streaming ranker in [Hiperbot.Strategy]. *)
 
 type 'a t
 
 val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
 val push : 'a t -> float -> 'a -> unit
+(** [push t key v] inserts with the default tie rank 0 — equivalent to
+    [push_tie t key 0 v]. *)
+
+val push_tie : 'a t -> float -> int -> 'a -> unit
+(** [push_tie t key tie v] inserts an entry ordered by [(key, tie)]
+    lexicographically: ties on the float key are broken toward the
+    smaller integer rank. Entries equal on both pop in unspecified
+    relative order. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the minimum-key entry. Entries with equal keys
-    pop in unspecified relative order. *)
+(** Remove and return the minimum-[(key, tie)] entry. Entries with
+    equal keys and ties pop in unspecified relative order. *)
+
+val pop_tie : 'a t -> (float * int * 'a) option
+(** Like {!pop} but also returns the entry's tie rank. *)
 
 val peek : 'a t -> (float * 'a) option
+val peek_tie : 'a t -> (float * int * 'a) option
 val clear : 'a t -> unit

@@ -113,7 +113,10 @@ let test_parallel_select_matches_sequential () =
           List.iter
             (fun schedule ->
               let got =
-                Hiperbot.Strategy.select_many ~workers ~schedule ~encoded
+                (* ~parallel_threshold:0: the pool is far below the
+                   default threshold, which would silently force the
+                   sequential path and test nothing. *)
+                Hiperbot.Strategy.select_many ~workers ~schedule ~parallel_threshold:0 ~encoded
                   Hiperbot.Strategy.Ranking ~k:7 ~rng ~surrogate ~pool ~evaluated
               in
               check Alcotest.bool
@@ -172,8 +175,8 @@ let test_all_equal_scores_select_pool_order () =
       List.iter
         (fun schedule ->
           let got =
-            Hiperbot.Strategy.select_many ~workers ~schedule Hiperbot.Strategy.Ranking ~k:4 ~rng
-              ~surrogate ~pool ~evaluated
+            Hiperbot.Strategy.select_many ~workers ~schedule ~parallel_threshold:0
+              Hiperbot.Strategy.Ranking ~k:4 ~rng ~surrogate ~pool ~evaluated
           in
           check Alcotest.bool
             (Printf.sprintf "parallel %s: first k in pool order" (schedule_label schedule))
@@ -265,6 +268,190 @@ let test_parallel_resume_replays_bit_for_bit () =
           check Alcotest.bool "resumed campaign = uninterrupted campaign" true (same_result a b)
       | _ -> Alcotest.fail "campaign unexpectedly produced no best configuration")
 
+(* ---- streaming top-k == materialized top-k ---- *)
+
+(* Scores are drawn from a 5-value set so duplicates are common: the
+   streaming heap must reproduce the association-list Topk exactly,
+   tie order included, and must not depend on the offer order. *)
+let prop_stream_topk_matches_topk =
+  let gen =
+    let open QCheck2.Gen in
+    let* k = int_range 1 8 in
+    let* n = int_range 1 60 in
+    let+ scores = flatten_l (List.init n (fun _ -> oneofl [ -1.; 0.; 0.5; 1.; 2. ])) in
+    (k, Array.of_list scores)
+  in
+  QCheck2.Test.make ~name:"strategy: Topk_stream equals Topk, tie order included" ~count:200
+    ~print:(fun (k, scores) ->
+      Printf.sprintf "k=%d scores=[%s]" k
+        (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%g") scores))))
+    gen
+    (fun (k, scores) ->
+      let reference = Hiperbot.Strategy.Topk.create k in
+      Array.iteri (fun i s -> Hiperbot.Strategy.Topk.offer_indexed reference i s i) scores;
+      let expected = Hiperbot.Strategy.Topk.to_list_desc reference in
+      let stream = Hiperbot.Strategy.Topk_stream.create k in
+      Array.iteri (fun i s -> Hiperbot.Strategy.Topk_stream.offer stream s i) scores;
+      let got = List.map snd (Hiperbot.Strategy.Topk_stream.to_desc stream) in
+      let stream_rev = Hiperbot.Strategy.Topk_stream.create k in
+      for i = Array.length scores - 1 downto 0 do
+        Hiperbot.Strategy.Topk_stream.offer stream_rev scores.(i) i
+      done;
+      let got_rev = List.map snd (Hiperbot.Strategy.Topk_stream.to_desc stream_rev) in
+      got = expected && got_rev = expected)
+
+(* ---- incremental refit == full rebuild ---- *)
+
+(* Replay a growing observation history (crossing the alpha-quantile
+   boundary at every step) through two Refit engines — one that never
+   resyncs (worst case for cache drift) and one that resyncs every
+   update (the rebuild path) — and demand that every compiled table
+   entry equals the from-scratch fit+compile bit-for-bit, with the
+   extra_bad set churning every third step the way the async engine's
+   pending set does. *)
+let prop_incremental_refit_matches_full =
+  let gen =
+    let open QCheck2.Gen in
+    let* space = Gen.space_gen ~max_params:3 () in
+    let* pool = Gen.configs_gen ~min_n:4 ~max_n:24 space in
+    let* obs = Gen.observations_gen ~min_n:6 ~max_n:22 space in
+    let* extra_bad = Gen.configs_gen ~min_n:1 ~max_n:4 space in
+    let* n_priors = int_range 0 2 in
+    let* prior_obs =
+      flatten_l (List.init n_priors (fun _ -> Gen.observations_gen ~min_n:4 ~max_n:10 space))
+    in
+    let* prior_weights =
+      flatten_l (List.init n_priors (fun _ -> oneofl [ 0.5; 1.; 5. ]))
+    in
+    let+ alpha = float_range 0.15 0.5 in
+    (space, pool, obs, extra_bad, List.combine prior_obs prior_weights, alpha)
+  in
+  QCheck2.Test.make
+    ~name:"surrogate: incremental refit equals full rebuild bit-for-bit across a campaign"
+    ~count:30
+    ~print:(fun (space, pool, obs, extra_bad, priors, alpha) ->
+      Printf.sprintf "%s pool=%d obs=%d extra_bad=%d priors=%d alpha=%.3f"
+        (Gen.space_to_string space) (Array.length pool) (Array.length obs)
+        (Array.length extra_bad) (List.length priors) alpha)
+    gen
+    (fun (space, pool, obs, extra_bad, prior_sources, alpha) ->
+      let options = { Hiperbot.Surrogate.default_options with alpha } in
+      let priors =
+        List.map (fun (o, w) -> (Hiperbot.Surrogate.fit ~options space o, w)) prior_sources
+      in
+      let encoded = Hiperbot.Surrogate.Pool.encode space pool in
+      let engine = Hiperbot.Surrogate.Refit.create ~options ~resync_every:0 encoded in
+      let engine_rs = Hiperbot.Surrogate.Refit.create ~options ~resync_every:1 encoded in
+      let n_pool = Array.length pool in
+      let n_params = Array.length (Param.Space.specs space) in
+      let ok = ref true in
+      for len = 1 to Array.length obs do
+        let prefix = Array.sub obs 0 len in
+        let eb = if len mod 3 = 0 then extra_bad else [||] in
+        let s_ref = Hiperbot.Surrogate.fit ~options ~priors ~extra_bad:eb space prefix in
+        let c_ref = Hiperbot.Surrogate.compile s_ref encoded in
+        let s_inc, c_inc = Hiperbot.Surrogate.Refit.update ~priors ~extra_bad:eb engine prefix in
+        let _, c_rs = Hiperbot.Surrogate.Refit.update ~priors ~extra_bad:eb engine_rs prefix in
+        for i = 0 to n_pool - 1 do
+          let bits c = Int64.bits_of_float (Hiperbot.Surrogate.Compiled.log_ratio c i) in
+          if bits c_ref <> bits c_inc || bits c_ref <> bits c_rs then ok := false
+        done;
+        let d = Hiperbot.Surrogate.Refit.last_deltas engine in
+        if
+          d.Hiperbot.Surrogate.Refit.unchanged + d.Hiperbot.Surrogate.Refit.appended
+          + d.Hiperbot.Surrogate.Refit.rebuilt
+          <> 2 * n_params
+        then ok := false;
+        (* Selection through the engine's scorer must match selection
+           through the from-scratch scorer, tie order included. *)
+        let select surrogate compiled =
+          let evaluated = Param.Config.Table.create 1 in
+          Hiperbot.Strategy.select_many_encoded ~compiled ~k:3 ~rng:(Prng.Rng.create 1)
+            ~surrogate ~encoded ~evaluated ()
+        in
+        if not (same_configs (select s_ref c_ref) (select s_inc c_inc)) then ok := false
+      done;
+      !ok)
+
+(* ---- virtual pools ---- *)
+
+let test_virtual_pool_matches_materialized () =
+  let pool = Param.Space.enumerate space3 in
+  let virt = Hiperbot.Surrogate.Pool.of_space space3 in
+  let enc = Hiperbot.Surrogate.Pool.encode space3 pool in
+  check Alcotest.int "virtual length = enumerate length" (Array.length pool)
+    (Hiperbot.Surrogate.Pool.length virt);
+  check Alcotest.bool "virtual flag" true (Hiperbot.Surrogate.Pool.is_virtual virt);
+  check Alcotest.bool "materialized flag" false (Hiperbot.Surrogate.Pool.is_virtual enc);
+  Array.iteri
+    (fun i c ->
+      if not (Param.Config.equal c (Hiperbot.Surrogate.Pool.config virt i)) then
+        Alcotest.failf "virtual row %d does not decode to enumerate order" i;
+      check (Alcotest.list Alcotest.int) "indices_of = enumeration rank" [ i ]
+        (Hiperbot.Surrogate.Pool.indices_of virt c))
+    pool;
+  let surrogate = Hiperbot.Surrogate.fit space3 obs3 in
+  let cv = Hiperbot.Surrogate.compile surrogate virt in
+  let cm = Hiperbot.Surrogate.compile surrogate enc in
+  Array.iteri
+    (fun i _ ->
+      if
+        Int64.bits_of_float (Hiperbot.Surrogate.Compiled.log_ratio cv i)
+        <> Int64.bits_of_float (Hiperbot.Surrogate.Compiled.log_ratio cm i)
+      then Alcotest.failf "virtual compiled score differs at row %d" i)
+    pool;
+  let evaluated = Param.Config.Table.create 8 in
+  Array.iteri (fun i c -> if i mod 7 = 0 then Param.Config.Table.replace evaluated c ()) pool;
+  let rng = Prng.Rng.create 2 in
+  let sel p = Hiperbot.Strategy.select_many_encoded ~k:5 ~rng ~surrogate ~encoded:p ~evaluated () in
+  check Alcotest.bool "virtual selection = materialized selection" true
+    (same_configs (sel enc) (sel virt));
+  Parallel.Pool.with_pool ~num_domains:3 (fun workers ->
+      check Alcotest.bool "parallel virtual selection = sequential" true
+        (same_configs (sel enc)
+           (Hiperbot.Strategy.select_many_encoded ~workers ~parallel_threshold:0 ~k:5 ~rng
+              ~surrogate ~encoded:virt ~evaluated ())))
+
+(* ---- sampled-candidate mode ---- *)
+
+let test_sampled_mode_deterministic () =
+  let surrogate = Hiperbot.Surrogate.fit space3 obs3 in
+  let enc = Hiperbot.Surrogate.Pool.of_space space3 in
+  let pool = Param.Space.enumerate space3 in
+  let evaluated = Param.Config.Table.create 4 in
+  Array.iteri (fun i c -> if i mod 4 = 0 then Param.Config.Table.replace evaluated c ()) pool;
+  let select rng ev =
+    Hiperbot.Strategy.select_many_encoded ~candidates:(`Sampled 60) ~k:5 ~rng ~surrogate
+      ~encoded:enc ~evaluated:ev ()
+  in
+  let rng1 = Prng.Rng.create 9 and rng2 = Prng.Rng.create 9 in
+  let b1 = select rng1 evaluated and b2 = select rng2 evaluated in
+  check Alcotest.bool "same seed, same batch" true (same_configs b1 b2);
+  check Alcotest.bool "batch within k" true (List.length b1 <= 5);
+  let distinct = Param.Config.Table.create 8 in
+  List.iter
+    (fun c ->
+      check Alcotest.bool "never proposes an evaluated config" false
+        (Param.Config.Table.mem evaluated c);
+      check Alcotest.bool "batch members distinct" false (Param.Config.Table.mem distinct c);
+      Param.Config.Table.replace distinct c ())
+    b1;
+  (* The rng consumption contract: exactly n draws whatever the
+     evaluated set holds, so campaigns replay from the seed. *)
+  let rng3 = Prng.Rng.create 9 in
+  ignore (select rng3 (Param.Config.Table.create 1));
+  check Alcotest.int "rng consumption independent of the evaluated set"
+    (Prng.Rng.int rng1 1_000_000) (Prng.Rng.int rng3 1_000_000);
+  let options =
+    { Hiperbot.Tuner.default_options with n_init = 4; sampled_candidates = Some 24 }
+  in
+  let run () =
+    Hiperbot.Tuner.run ~options ~rng:(Prng.Rng.create 11) ~space:space3 ~objective:objective3
+      ~budget:18 ()
+  in
+  check Alcotest.bool "sampled campaign replays bit-identically" true
+    (same_result (run ()) (run ()))
+
 (* ---- initialization early-exit ---- *)
 
 (* When the warm start already covers every candidate, phase 1 must
@@ -304,5 +491,11 @@ let suite =
         test_parallel_resume_replays_bit_for_bit;
       Alcotest.test_case "covered pool exits init without rng draws" `Quick
         test_init_exits_early_when_pool_covered;
+      Alcotest.test_case "virtual pool = materialized pool" `Quick
+        test_virtual_pool_matches_materialized;
+      Alcotest.test_case "sampled candidates deterministic from seed" `Quick
+        test_sampled_mode_deterministic;
       QCheck_alcotest.to_alcotest prop_compiled_matches_naive;
+      QCheck_alcotest.to_alcotest prop_stream_topk_matches_topk;
+      QCheck_alcotest.to_alcotest prop_incremental_refit_matches_full;
     ] )
