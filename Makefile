@@ -1,7 +1,7 @@
 # Development entry points. `make check` is what CI runs: build,
 # formatting (when ocamlformat is installed), and the full test suite.
 
-.PHONY: all build test fmt check clean bench bench-build bench-select bench-async bench-transfer trace-demo
+.PHONY: all build test fmt check clean bench bench-build bench-select bench-async bench-transfer bench-fidelity trace-demo
 
 all: build
 
@@ -38,6 +38,15 @@ bench-async: bench-build
 # quick smoke run (skips the assertion).
 bench-transfer: bench-build
 	dune exec bench/main.exe -- --experiment transfer
+
+# Multi-fidelity successive halving vs the flat full-fidelity tuner on
+# kripke and hypre; writes BENCH_fidelity.json and asserts the
+# successive-halving discovery recall matches the flat tuner at <=60%
+# of its simulated cost, plus single-rung bit-parity with the async
+# engine. Set HIPERBOT_FIDELITY_BUDGET for a quick smoke run (skips
+# the recall/cost assertions; the bit-parity assertion still runs).
+bench-fidelity: bench-build
+	dune exec bench/main.exe -- --experiment fidelity
 
 # The formatting gate is skipped when ocamlformat is not on PATH so
 # `make check` works in minimal containers; install ocamlformat to

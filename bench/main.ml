@@ -28,6 +28,12 @@ let experiments =
         describe = "transfer vs no-prior vs random on source->target pairs (writes BENCH_transfer.json)";
         run = Transfer_bench.run;
       };
+      {
+        Experiments.id = "fidelity";
+        describe =
+          "successive halving vs flat full-fidelity tuning (writes BENCH_fidelity.json)";
+        run = Fidelity_bench.run;
+      };
     ]
 
 let list_experiments () =

@@ -259,6 +259,28 @@ let async_arg =
   let doc = "Run the asynchronous campaign engine with up to $(docv) evaluations in flight: the surrogate refits on every completion and pending configurations are penalized as constant liars. $(docv) = 1 retraces the synchronous engine bit-for-bit. Composes with --faults, --retries, --timeout, --save/--resume, --trace, and --jobs. Hiperbot method only." in
   Arg.(value & opt (some int) None & info [ "async" ] ~docv:"K" ~doc)
 
+let fidelity_arg =
+  let doc =
+    "Run the multi-fidelity successive-halving scheduler over the last $(docv) levels of the \
+     dataset's fidelity ladder (node count for kripke/hypre, problem size for lulesh): each \
+     bracket evaluates a cohort of --n-init configurations at the cheapest rung and promotes the \
+     best ceil(n/eta) per rung closure, so most of the budget is spent at a fraction of the \
+     full-fidelity cost. $(docv) = 1 degrades to the flat full-fidelity campaign. Composes with \
+     --async, --save/--resume, --trace, and --jobs. Hiperbot method only."
+  in
+  Arg.(value & opt (some int) None & info [ "fidelity" ] ~docv:"R" ~doc)
+
+let brackets_arg =
+  let doc = "Successive-halving brackets to run (requires --fidelity; default 4)." in
+  Arg.(value & opt (some int) None & info [ "brackets" ] ~docv:"B" ~doc)
+
+let eta_arg =
+  let doc =
+    "Promotion ratio: each rung closure keeps the best ceil(n/$(docv)) of its n results \
+     (requires --fidelity; default 3)."
+  in
+  Arg.(value & opt (some float) None & info [ "eta" ] ~docv:"F" ~doc)
+
 (* Run [f (Some pool)] on a [jobs]-domain pool, or [f None] when a
    single job needs no pool at all. *)
 let with_jobs jobs f =
@@ -283,10 +305,11 @@ let tune_cmd =
   in
   let run dataset seed budget method_ alpha n_init proposal sampled verbose trace_file
       trace_summary save resume faults fault_seed retries timeout jobs async transfer_from
-      transfer_weighting transfer_decay transfer_gate no_transfer_gate =
+      transfer_weighting transfer_decay transfer_gate no_transfer_gate fidelity brackets eta =
     match find_table dataset with
     | Error e -> `Error (false, e)
     | Ok table ->
+        let fidelity_ladder = (Hpcsim.Registry.find dataset).Hpcsim.Registry.fidelity in
         let space = Dataset.Table.space table in
         let objective = Dataset.Table.objective_fn table in
         let rng = Prng.Rng.create seed in
@@ -345,6 +368,38 @@ let tune_cmd =
         else if Result.is_error gate_opts then `Error (false, Result.get_error gate_opts)
         else if Result.is_error transfer_prior then
           `Error (false, Result.get_error transfer_prior)
+        else if (match fidelity with Some r -> r < 1 | None -> false) then
+          `Error (false, "--fidelity R must be at least 1")
+        else if fidelity <> None && method_ <> `Hiperbot then
+          `Error (false, "--fidelity is only supported with --method hiperbot")
+        else if fidelity <> None && proposal <> None then
+          `Error (false, "--fidelity is incompatible with --proposal")
+        else if fidelity <> None && transfer_from <> [] then
+          `Error (false, "--fidelity is incompatible with --transfer-from")
+        else if fidelity <> None && faults > 0. then
+          `Error (false, "--fidelity is incompatible with --faults")
+        else if fidelity = None && (brackets <> None || eta <> None) then
+          `Error (false, "--brackets and --eta require --fidelity")
+        else if (match brackets with Some b -> b < 1 | None -> false) then
+          `Error (false, "--brackets must be at least 1")
+        else if (match eta with Some e -> (not (Float.is_finite e)) || e <= 1. | None -> false)
+        then `Error (false, "--eta must be finite and greater than 1")
+        else if fidelity <> None && fidelity_ladder = None then
+          `Error
+            ( false,
+              Printf.sprintf "dataset %s has no fidelity ladder (fidelity-capable: kripke, \
+                              hypre, lulesh)" dataset )
+        else if
+          match (fidelity, fidelity_ladder) with
+          | Some r, Some f -> r > Array.length f.Hpcsim.Registry.levels
+          | _ -> false
+        then
+          `Error
+            ( false,
+              Printf.sprintf "--fidelity R exceeds the dataset's ladder depth (%d levels)"
+                (match fidelity_ladder with
+                | Some f -> Array.length f.Hpcsim.Registry.levels
+                | None -> 0) )
         else begin
           let summary = if trace_summary then Some (Telemetry.Summary.create ()) else None in
           let telemetry =
@@ -394,7 +449,130 @@ let tune_cmd =
               sampled_candidates = sampled;
             }
           in
-          if resilient then begin
+          if fidelity <> None then begin
+            (* Multi-fidelity path: successive-halving brackets over the
+               dataset's natural fidelity ladder, rung state persisted as
+               #fid / #rung run-log lines for bit-exact resume. *)
+            let r = Option.get fidelity in
+            let fid = Option.get fidelity_ladder in
+            let n_levels = Array.length fid.Hpcsim.Registry.levels in
+            let offset = n_levels - r in
+            let costs = Array.init r (fun i -> fid.Hpcsim.Registry.cost (offset + i)) in
+            let plan =
+              {
+                Hiperbot.Fidelity.costs;
+                eta = Option.value eta ~default:3.;
+                cohort = n_init;
+                brackets = Option.value brackets ~default:4;
+                low_weight = 0.25;
+                cost_budget = None;
+              }
+            in
+            let fid_objective ~rung config =
+              fid.Hpcsim.Registry.objective_at (offset + rung) config
+            in
+            let k = Option.value async ~default:1 in
+            let existing_log =
+              match save with
+              | Some path when resume && Sys.file_exists path ->
+                  Some (Dataset.Runlog.load ~recover:true path)
+              | _ -> None
+            in
+            match existing_log with
+            | Some log
+              when Param.Space.specs log.Dataset.Runlog.space <> Param.Space.specs space ->
+                `Error (false, "run log space does not match the dataset")
+            | _ -> begin
+                let writer =
+                  match (save, existing_log) with
+                  | Some path, Some log -> Some (Dataset.Runlog.writer_resume ~path log)
+                  | Some path, None ->
+                      Some
+                        (Dataset.Runlog.writer_create ~path ~name:("tune:" ^ dataset) ~seed
+                           ~space)
+                  | None, _ -> None
+                in
+                let on_eval i config y =
+                  (match writer with
+                  | Some w ->
+                      Dataset.Runlog.writer_record w
+                        {
+                          Dataset.Runlog.index = i;
+                          config;
+                          status = Dataset.Runlog.Ok y;
+                          attempts = 1;
+                        }
+                  | None -> ());
+                  print_evaluation i config y
+                in
+                let on_fid (f : Dataset.Runlog.fid) =
+                  (match writer with
+                  | Some w -> Dataset.Runlog.writer_record_fid w f
+                  | None -> ());
+                  if verbose then
+                    Printf.printf "  b%d/r%d  %10.4g  %s\n" f.Dataset.Runlog.f_bracket
+                      f.Dataset.Runlog.f_rung f.Dataset.Runlog.f_value
+                      (Param.Space.to_string space f.Dataset.Runlog.f_config)
+                in
+                let on_rung (rg : Dataset.Runlog.rung) =
+                  (match writer with
+                  | Some w -> Dataset.Runlog.writer_record_rung w rg
+                  | None -> ());
+                  Printf.printf "bracket %d rung %d closed: %d evaluated, %d promoted (best %.4g)\n"
+                    rg.Dataset.Runlog.r_bracket rg.Dataset.Runlog.r_rung
+                    rg.Dataset.Runlog.r_evaluated rg.Dataset.Runlog.r_promoted
+                    rg.Dataset.Runlog.r_best
+                in
+                let options = hiperbot_options () in
+                let fid_result =
+                  with_jobs jobs (fun pool ->
+                      match existing_log with
+                      | Some log ->
+                          if log.Dataset.Runlog.seed <> seed then
+                            Printf.printf "resuming with the log's seed %d (ignoring --seed %d)\n"
+                              log.Dataset.Runlog.seed seed;
+                          Printf.printf "resuming after %d recorded evaluations\n"
+                            (Array.length log.Dataset.Runlog.entries);
+                          Hiperbot.Fidelity.resume ~telemetry ~options ~on_eval ~on_fid ~on_rung
+                            ?pool ~plan ~k ~log ~objective:fid_objective ~budget ()
+                      | None ->
+                          Hiperbot.Fidelity.run ~telemetry ~options ~on_eval ~on_fid ~on_rung
+                            ?pool ~plan ~k ~rng ~space ~objective:fid_objective ~budget ())
+                in
+                (match writer with Some w -> Dataset.Runlog.writer_close w | None -> ());
+                finish_trace ();
+                match fid_result with
+                | Stdlib.Error err ->
+                    `Error
+                      ( false,
+                        Printf.sprintf
+                          "no full-fidelity evaluation completed (%d low-fidelity evaluations \
+                           spent); raise --budget or lower --fidelity"
+                          err.Hiperbot.Tuner.error_attempts )
+                | Stdlib.Ok fres ->
+                    let outcome = print_tuner_result fres.Hiperbot.Fidelity.run in
+                    let rungs =
+                      String.concat "/"
+                        (Array.to_list
+                           (Array.map string_of_int fres.Hiperbot.Fidelity.rung_evals))
+                    in
+                    Printf.printf
+                      "fidelity: %d brackets, %s evaluations per rung, total cost %.4g \
+                       full-fidelity-equivalents\n"
+                      fres.Hiperbot.Fidelity.n_brackets rungs fres.Hiperbot.Fidelity.total_cost;
+                    Printf.printf "best after %d evaluations: %.4g\n"
+                      (Array.length outcome.Baselines.Outcome.history)
+                      outcome.Baselines.Outcome.best_value;
+                    Printf.printf "  %s\n"
+                      (Param.Space.to_string space outcome.Baselines.Outcome.best_config);
+                    Printf.printf "exhaustive best: %.4g\n" (Dataset.Table.best_value table);
+                    (match save with
+                    | Some path -> Printf.printf "run log written to %s\n" path
+                    | None -> ());
+                    `Ok ()
+              end
+          end
+          else if resilient then begin
             (* Resilient path: outcome-taxonomy objective, retry policy,
                flush-per-entry v2 run log, optional resume. *)
             let policy =
@@ -574,7 +752,7 @@ let tune_cmd =
        $ proposal_arg $ sampled_arg $ verbose_arg $ trace_file_arg $ trace_summary_arg $ save_arg
        $ resume_arg $ faults_arg $ fault_seed_arg $ retries_arg $ timeout_arg $ jobs_arg
        $ async_arg $ transfer_from_arg $ weighting_arg $ decay_arg $ gate_thresh_arg
-       $ no_gate_arg))
+       $ no_gate_arg $ fidelity_arg $ brackets_arg $ eta_arg))
 
 (* ---- transfer ---- *)
 

@@ -4,12 +4,24 @@ type entry = { index : int; config : Param.Config.t; status : status; attempts :
 
 type gate = { g_refit : int; g_source : int; g_action : string; g_trust : float; g_below : int }
 
+type fid = { f_bracket : int; f_rung : int; f_value : float; f_config : Param.Config.t }
+
+type rung = {
+  r_bracket : int;
+  r_rung : int;
+  r_evaluated : int;
+  r_promoted : int;
+  r_best : float;
+}
+
 type t = {
   name : string;
   seed : int;
   space : Param.Space.t;
   entries : entry array;
   gates : gate array;
+  fids : fid array;
+  rungs : rung array;
 }
 
 let gate_actions = [ "attenuate"; "restore"; "drop"; "fallback" ]
@@ -27,7 +39,30 @@ let gate_equal a b =
   && Float.equal a.g_trust b.g_trust
   && a.g_below = b.g_below
 
-let create ?(gates = []) ~name ~seed ~space entries =
+let validate_fid f =
+  if f.f_bracket < 0 then invalid_arg "Runlog: fid bracket must be non-negative";
+  if f.f_rung < 0 then invalid_arg "Runlog: fid rung must be non-negative";
+  if not (Float.is_finite f.f_value) then invalid_arg "Runlog: fid value must be finite"
+
+let fid_equal a b =
+  a.f_bracket = b.f_bracket && a.f_rung = b.f_rung
+  && Float.equal a.f_value b.f_value
+  && a.f_config = b.f_config
+
+let validate_rung r =
+  if r.r_bracket < 0 then invalid_arg "Runlog: rung bracket must be non-negative";
+  if r.r_rung < 0 then invalid_arg "Runlog: rung index must be non-negative";
+  if r.r_evaluated < 1 then invalid_arg "Runlog: rung evaluated-count must be positive";
+  if r.r_promoted < 0 || r.r_promoted > r.r_evaluated then
+    invalid_arg "Runlog: rung promoted-count must lie in [0, evaluated]";
+  if not (Float.is_finite r.r_best) then invalid_arg "Runlog: rung best must be finite"
+
+let rung_equal a b =
+  a.r_bracket = b.r_bracket && a.r_rung = b.r_rung && a.r_evaluated = b.r_evaluated
+  && a.r_promoted = b.r_promoted
+  && Float.equal a.r_best b.r_best
+
+let create ?(gates = []) ?(fids = []) ?(rungs = []) ~name ~seed ~space entries =
   let entries = Array.of_list entries in
   Array.sort (fun a b -> compare a.index b.index) entries;
   Array.iteri
@@ -42,7 +77,18 @@ let create ?(gates = []) ~name ~seed ~space entries =
      decision stream, so reordering here would manufacture divergence. *)
   let gates = Array.of_list gates in
   Array.iter validate_gate gates;
-  { name; seed; space; entries; gates }
+  (* Fidelity streams follow the same rule as gates: chronological
+     order is the prefix that resume verification replays against. *)
+  let fids = Array.of_list fids in
+  Array.iter
+    (fun f ->
+      validate_fid f;
+      if not (Param.Space.validate space f.f_config) then
+        invalid_arg "Runlog.create: invalid fid configuration")
+    fids;
+  let rungs = Array.of_list rungs in
+  Array.iter validate_rung rungs;
+  { name; seed; space; entries; gates; fids; rungs }
 
 type recorder = { r_name : string; r_seed : int; r_space : Param.Space.t; mutable acc : entry list }
 
@@ -141,15 +187,33 @@ let entry_row ~version ~specs e =
 let gate_row g =
   Printf.sprintf "#gate %d,%d,%s,%h,%d\n" g.g_refit g.g_source g.g_action g.g_trust g.g_below
 
+(* Low-fidelity observations and rung-closure decisions carry their
+   objective values as hex floats for the same bit-exactness reason. *)
+let fid_row ~specs f =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "#fid %d,%d,%h" f.f_bracket f.f_rung f.f_value);
+  Array.iteri
+    (fun i v -> Buffer.add_string buf ("," ^ Param.Spec.value_to_string specs.(i) v))
+    f.f_config;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let rung_row r =
+  Printf.sprintf "#rung %d,%d,%d,%d,%h\n" r.r_bracket r.r_rung r.r_evaluated r.r_promoted r.r_best
+
 let to_string ?(version = 2) t =
   if version <> 1 && version <> 2 then invalid_arg "Runlog.to_string: unknown format version";
   let specs = Param.Space.specs t.space in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (header_string ~version ~name:t.name ~seed:t.seed ~specs);
   Array.iter (fun e -> Buffer.add_string buf (entry_row ~version ~specs e)) t.entries;
-  (* v1 predates gating; like the attempts column, gate lines are
-     dropped from a v1 rendering. *)
-  if version >= 2 then Array.iter (fun g -> Buffer.add_string buf (gate_row g)) t.gates;
+  (* v1 predates gating and fidelity; like the attempts column, those
+     lines are dropped from a v1 rendering. *)
+  if version >= 2 then begin
+    Array.iter (fun g -> Buffer.add_string buf (gate_row g)) t.gates;
+    Array.iter (fun f -> Buffer.add_string buf (fid_row ~specs f)) t.fids;
+    Array.iter (fun r -> Buffer.add_string buf (rung_row r)) t.rungs
+  end;
   Buffer.contents buf
 
 let parse_spec_header line =
@@ -293,27 +357,90 @@ let of_string ?(recover = false) text =
         | exception Invalid_argument msg -> failwith msg)
     | _ -> failwith "Runlog: malformed #gate line"
   in
+  let is_fid_line line = String.length line >= 5 && String.sub line 0 5 = "#fid " in
+  let parse_fid_row line =
+    (* "#fid bracket,rung,value,v1,v2,..." — value is a hex float *)
+    match String.split_on_char ',' (String.sub line 5 (String.length line - 5)) with
+    | bracket :: rung :: value :: config when List.length config = n_params ->
+        let int_of what s =
+          match int_of_string_opt (String.trim s) with
+          | Some i -> i
+          | None -> failwith (Printf.sprintf "Runlog: malformed fid %s" what)
+        in
+        let value =
+          match float_of_string_opt (String.trim value) with
+          | Some v -> v
+          | None -> failwith "Runlog: malformed fid value"
+        in
+        let config = Array.of_list config in
+        let f =
+          {
+            f_bracket = int_of "bracket" bracket;
+            f_rung = int_of "rung" rung;
+            f_value = value;
+            f_config = Array.init n_params (fun i -> value_of_string spec_arr.(i) config.(i));
+          }
+        in
+        (match validate_fid f with
+        | () -> f
+        | exception Invalid_argument msg -> failwith msg)
+    | _ -> failwith "Runlog: malformed #fid line"
+  in
+  let is_rung_line line = String.length line >= 6 && String.sub line 0 6 = "#rung " in
+  let parse_rung_row line =
+    (* "#rung bracket,rung,evaluated,promoted,best" — best is a hex float *)
+    match String.split_on_char ',' (String.sub line 6 (String.length line - 6)) with
+    | [ bracket; rung; evaluated; promoted; best ] ->
+        let int_of what s =
+          match int_of_string_opt (String.trim s) with
+          | Some i -> i
+          | None -> failwith (Printf.sprintf "Runlog: malformed rung %s" what)
+        in
+        let best =
+          match float_of_string_opt (String.trim best) with
+          | Some b -> b
+          | None -> failwith "Runlog: malformed rung best"
+        in
+        let r =
+          {
+            r_bracket = int_of "bracket" bracket;
+            r_rung = int_of "rung" rung;
+            r_evaluated = int_of "evaluated" evaluated;
+            r_promoted = int_of "promoted" promoted;
+            r_best = best;
+          }
+        in
+        (match validate_rung r with
+        | () -> r
+        | exception Invalid_argument msg -> failwith msg)
+    | _ -> failwith "Runlog: malformed #rung line"
+  in
   match body with
   | [] -> failwith "Runlog: missing column header"
   | _header :: rows ->
       (* With [recover], a parse failure on the *final* row — the
          signature of a crash mid-write — drops that row; failures
-         anywhere else still abort. Gate decision lines interleave
-         with evaluation rows in write order; each stream keeps its
-         own chronological order. *)
+         anywhere else still abort. Gate, fid and rung lines
+         interleave with evaluation rows in write order; each stream
+         keeps its own chronological order. *)
       let n_rows = List.length rows in
       let entries = ref [] in
       let gates = ref [] in
+      let fids = ref [] in
+      let rungs = ref [] in
       List.iteri
         (fun i line ->
           match
             if is_gate_line line then gates := parse_gate_row line :: !gates
+            else if is_fid_line line then fids := parse_fid_row line :: !fids
+            else if is_rung_line line then rungs := parse_rung_row line :: !rungs
             else entries := parse_row line :: !entries
           with
           | () -> ()
           | exception Failure msg -> if not (recover && i = n_rows - 1) then failwith msg)
         rows;
-      create ~gates:(List.rev !gates) ~name:!name ~seed:!seed ~space (List.rev !entries)
+      create ~gates:(List.rev !gates) ~fids:(List.rev !fids) ~rungs:(List.rev !rungs)
+        ~name:!name ~seed:!seed ~space (List.rev !entries)
 
 let save t path =
   let oc = open_out path in
@@ -363,6 +490,18 @@ let writer_record_gate w g =
   if w.w_closed then invalid_arg "Runlog: record on a closed writer";
   validate_gate g;
   output_string w.w_oc (gate_row g);
+  flush w.w_oc
+
+let writer_record_fid w f =
+  if w.w_closed then invalid_arg "Runlog: record on a closed writer";
+  validate_fid f;
+  output_string w.w_oc (fid_row ~specs:w.w_specs f);
+  flush w.w_oc
+
+let writer_record_rung w r =
+  if w.w_closed then invalid_arg "Runlog: record on a closed writer";
+  validate_rung r;
+  output_string w.w_oc (rung_row r);
   flush w.w_oc
 
 let writer_close w =

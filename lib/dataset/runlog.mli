@@ -58,19 +58,57 @@ val gate_equal : gate -> gate -> bool
 (** Field-wise equality; trust compares with [Float.equal]
     (bit-meaningful, NaN-safe). *)
 
+type fid = {
+  f_bracket : int;  (** successive-halving bracket ordinal *)
+  f_rung : int;  (** rung index within the bracket (0 = cheapest) *)
+  f_value : float;  (** low-fidelity objective, persisted bit-exactly *)
+  f_config : Param.Config.t;
+}
+(** One persisted low-fidelity observation ([#fid] line). Full-
+    fidelity evaluations are ordinary entries; everything below the
+    top rung is recorded here so a resumed bracket replays recorded
+    values instead of re-running cheap evaluations. *)
+
+val fid_equal : fid -> fid -> bool
+
+type rung = {
+  r_bracket : int;
+  r_rung : int;  (** the rung that closed *)
+  r_evaluated : int;  (** results the closure decision saw *)
+  r_promoted : int;  (** survivors promoted to the next rung *)
+  r_best : float;  (** best objective at closure, persisted bit-exactly *)
+}
+(** One persisted rung-closure (promotion) decision ([#rung] line).
+    Resume recomputes the closure stream deterministically and
+    verifies it against the recorded prefix — same contract as
+    {!gate}. *)
+
+val rung_equal : rung -> rung -> bool
+
 type t = {
   name : string;
   seed : int;
   space : Param.Space.t;
   entries : entry array;  (** in evaluation order *)
   gates : gate array;  (** gate decisions in emission (chronological) order *)
+  fids : fid array;  (** low-fidelity observations in completion order *)
+  rungs : rung array;  (** rung closures in decision order *)
 }
 
-val create : ?gates:gate list -> name:string -> seed:int -> space:Param.Space.t -> entry list -> t
+val create :
+  ?gates:gate list ->
+  ?fids:fid list ->
+  ?rungs:rung list ->
+  name:string ->
+  seed:int ->
+  space:Param.Space.t ->
+  entry list ->
+  t
 (** Entries are sorted by index; indices must be distinct, configs
     valid for the space, and attempts >= 1 ([Invalid_argument]
-    otherwise). [gates] (default none) keep their given order and are
-    validated (known action, finite trust, non-negative counters). *)
+    otherwise). [gates], [fids] and [rungs] (default none) keep their
+    given chronological order and are validated (known action, finite
+    values, counters in range, fid configs valid for the space). *)
 
 type recorder
 
@@ -107,20 +145,22 @@ val failure_kind_to_string : failure_kind -> string
 val to_string : ?version:int -> t -> string
 (** Serialize to the format above; [version] is 2 (default) or 1.
     Version 1 is lossy: every failure kind collapses to [failed],
-    attempt counts are dropped, and gate lines are omitted. Gate
-    decisions render as [#gate refit,source,action,trust,below] lines
-    after the evaluation rows (trust in hex-float form for bit-exact
+    attempt counts are dropped, and gate/fid/rung lines are omitted.
+    Gate decisions render as [#gate refit,source,action,trust,below],
+    low-fidelity observations as [#fid bracket,rung,value,v1,v2,...]
+    and rung closures as [#rung bracket,rung,evaluated,promoted,best]
+    lines after the evaluation rows (floats in hex form for bit-exact
     round-trips). Continuous parameters are not supported (the
     reproduction's spaces are finite); raises [Invalid_argument] on a
     continuous spec or an unknown version. *)
 
 val of_string : ?recover:bool -> string -> t
-(** Parse v1 or v2 text. [#gate] lines may interleave with evaluation
-    rows anywhere after the column header; each stream keeps its own
-    order. Raises [Failure] on malformed input. With [~recover:true]
-    (default false) a malformed {e final} row or gate line — the
-    residue of a crash mid-write — is dropped instead; malformed rows
-    anywhere else still raise. *)
+(** Parse v1 or v2 text. [#gate], [#fid] and [#rung] lines may
+    interleave with evaluation rows anywhere after the column header;
+    each stream keeps its own order. Raises [Failure] on malformed
+    input. With [~recover:true] (default false) a malformed {e final}
+    row or decision line — the residue of a crash mid-write — is
+    dropped instead; malformed rows anywhere else still raise. *)
 
 val save : t -> string -> unit
 (** Write to a file path (v2). *)
@@ -156,9 +196,18 @@ val writer_record_gate : writer -> gate -> unit
     evaluation rows in whatever order the campaign produces them.
     Raises [Invalid_argument] on a closed writer or an invalid gate. *)
 
+val writer_record_fid : writer -> fid -> unit
+(** Append one [#fid] observation line and flush. Raises
+    [Invalid_argument] on a closed writer or an invalid fid. *)
+
+val writer_record_rung : writer -> rung -> unit
+(** Append one [#rung] closure line and flush. Raises
+    [Invalid_argument] on a closed writer or an invalid rung. *)
+
 val writer_close : writer -> unit
 (** Close the underlying channel and rewrite the file in canonical
-    form — entries sorted by index, [#gate] lines last, via an atomic
+    form — entries sorted by index, then [#gate], [#fid] and [#rung]
+    lines (each stream in chronological order), via an atomic
     temp-file rename — so a completed log is byte-identical whether
     the campaign ran straight through or was interrupted and resumed
     any number of times. Idempotent. *)

@@ -27,7 +27,12 @@ let strategy_factor = [| 1.0; 1.012; 0.996; 1.004; 1.008 |]
 
 let idx sp config name = Param.Value.to_index config.(Param.Space.index_of_name sp name)
 
-let exec_time config =
+(* Mesh edge length of the full-size run; zones (and hence runtime)
+   scale with size^3. *)
+let full_size = 30
+
+let exec_time ?(size = full_size) config =
+  if size <= 0 then invalid_arg "Lulesh.exec_time: size must be positive";
   let i = idx space config in
   let level = i "level" in
   let factor = level_factor.(level) *. malloc_factor.(i "malloc") in
@@ -41,7 +46,20 @@ let exec_time config =
   let factor = factor *. (if i "noipo" = 1 then 1.02 else 1.0) in
   let factor = factor *. strategy_factor.(i "strategy") in
   let factor = factor *. (if i "functions" = 1 then 1.003 else 1.0) in
-  base_time_o3 *. factor *. Noise.factor ~seed:noise_seed ~sigma:noise_sigma config
+  if size = full_size then
+    base_time_o3 *. factor *. Noise.factor ~seed:noise_seed ~sigma:noise_sigma config
+  else begin
+    (* Reduced problem size: runtime shrinks with the zone count
+       (size^3) and short runs are noisier; the size-shifted noise
+       seed makes the small-mesh ranking correlate with — but not
+       exactly match — the full run, like a real scaled-down proxy. *)
+    let scale =
+      let s = float_of_int size /. float_of_int full_size in
+      s *. s *. s
+    in
+    base_time_o3 *. factor *. scale
+    *. Noise.factor ~seed:(noise_seed + (13 * size)) ~sigma:(noise_sigma *. 2.5) config
+  end
 
 let default_o3_config =
   let v name label =
@@ -57,4 +75,4 @@ let default_o3_config =
     Param.Value.Ordinal 0; v "noipo" "off"; v "strategy" "default"; v "functions" "off";
   |]
 
-let table () = Dataset.Table.create ~name:"lulesh" ~space ~objective:exec_time
+let table () = Dataset.Table.create ~name:"lulesh" ~space ~objective:(exec_time ~size:full_size)

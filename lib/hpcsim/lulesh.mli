@@ -23,8 +23,12 @@
 
 val space : Param.Space.t
 
-val exec_time : Param.Config.t -> float
-(** Execution time (s); single-node OpenMP run, no scale parameter. *)
+val exec_time : ?size:int -> Param.Config.t -> float
+(** Execution time (s); single-node OpenMP run. [size] is the mesh
+    edge length and the natural fidelity knob: it defaults to the
+    full-size 30 (bit-identical to the dataset objective), smaller
+    meshes run roughly [(size/30)^3] as long with noisier, imperfectly
+    correlated rankings. Raises [Invalid_argument] for [size <= 0]. *)
 
 val default_o3_config : Param.Config.t
 (** The [-O3]-with-defaults configuration (paper: 6.02 s). *)

@@ -6,10 +6,28 @@
     thousands of rows and are only materialized when an experiment
     needs them. *)
 
+type fidelity = {
+  knob : string;  (** the simulator's natural fidelity knob, e.g. "nodes" *)
+  levels : float array;
+      (** ascending knob settings; the last entry is full fidelity *)
+  cost : int -> float;
+      (** relative cost of one evaluation at a level index; the full
+          level costs 1.0 *)
+  objective_at : int -> Param.Config.t -> float;
+      (** objective evaluated at a level index; at the top level this
+          is bit-identical to the entry's table objective *)
+}
+(** A ladder of cheap approximate evaluations for multi-fidelity
+    scheduling ({!Hiperbot.Fidelity}): Kripke and HYPRE scale the
+    node count (weak scaling, so cost is node-hours), LULESH the mesh
+    size. Lower levels are noisier and rank configurations imperfectly
+    — exactly the trade successive halving exploits. *)
+
 type entry = {
   name : string;
   description : string;
   table : unit -> Dataset.Table.t;  (** memoized *)
+  fidelity : fidelity option;  (** present for kripke, hypre, lulesh *)
 }
 
 val all : entry list

@@ -1,6 +1,8 @@
 type interval = { lo : float; hi : float; point : float }
 
-let mean xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Bootstrap.mean: empty data";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
 
 let mean_ci ?(resamples = 2000) ?(confidence = 0.95) ~rng xs =
   if Array.length xs = 0 then invalid_arg "Bootstrap.mean_ci: empty data";

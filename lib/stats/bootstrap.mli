@@ -7,6 +7,10 @@
 
 type interval = { lo : float; hi : float; point : float }
 
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on empty data (the 0/0
+    NaN it used to return leaked into reports as a silent blank). *)
+
 val mean_ci : ?resamples:int -> ?confidence:float -> rng:Prng.Rng.t -> float array -> interval
 (** Percentile-bootstrap CI for the mean. [resamples] defaults to
     2000, [confidence] to 0.95 (must lie in (0, 1)). Raises

@@ -32,6 +32,8 @@ let quantile xs q =
 
 let percentile_rank xs v =
   if Array.length xs = 0 then invalid_arg "Quantile.percentile_rank: empty data";
+  check_finite "percentile_rank" xs;
+  if not (Float.is_finite v) then invalid_arg "Quantile.percentile_rank: non-finite value";
   let below = Array.fold_left (fun acc x -> if x < v then acc + 1 else acc) 0 xs in
   float_of_int below /. float_of_int (Array.length xs)
 

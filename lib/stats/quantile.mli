@@ -17,7 +17,9 @@ val quantile_sorted : float array -> float -> float
 
 val percentile_rank : float array -> float -> float
 (** [percentile_rank xs v] is the fraction of entries strictly below
-    [v]. *)
+    [v]. Raises [Invalid_argument] on empty data or when [v] or any
+    entry is non-finite (NaN compares false against everything and
+    would silently yield a 0-ish rank). *)
 
 val iqr : float array -> float
 (** Interquartile range. *)

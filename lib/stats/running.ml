@@ -9,6 +9,10 @@ type t = {
 let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
 
 let add t x =
+  (* Validate before mutating: a rejected sample must leave the
+     accumulator untouched, otherwise n drifts out of sync with the
+     moments and every later merge is wrong. *)
+  if not (Float.is_finite x) then invalid_arg "Running.add: non-finite value";
   t.n <- t.n + 1;
   let delta = x -. t.mean in
   t.mean <- t.mean +. (delta /. float_of_int t.n);
@@ -24,6 +28,15 @@ let min t = t.min
 let max t = t.max
 
 let merge a b =
+  (* add rejects non-finite samples, so a poisoned side can only come
+     from a future internal bug — still fail loudly rather than let
+     NaN moments propagate through Chan's update. *)
+  let check side t =
+    if t.n > 0 && not (Float.is_finite t.mean && Float.is_finite t.m2) then
+      invalid_arg (Printf.sprintf "Running.merge: %s accumulator holds non-finite moments" side)
+  in
+  check "left" a;
+  check "right" b;
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }
   else begin

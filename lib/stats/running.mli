@@ -7,7 +7,12 @@
 type t
 
 val create : unit -> t
+
 val add : t -> float -> unit
+(** Raises [Invalid_argument] on a non-finite sample, leaving the
+    accumulator untouched (NaN would poison mean/m2 while min/max
+    stayed at their infinities, an internally inconsistent state). *)
+
 val count : t -> int
 val mean : t -> float
 (** 0 when no samples have been added. *)
@@ -23,4 +28,7 @@ val max : t -> float
 (** [neg_infinity] when empty. *)
 
 val merge : t -> t -> t
-(** Combine two accumulators (Chan's parallel update). *)
+(** Combine two accumulators (Chan's parallel update); equivalent to
+    adding both sample streams sequentially into one accumulator.
+    Raises [Invalid_argument] if either side holds non-finite moments
+    (impossible through [add], which rejects such samples). *)

@@ -30,6 +30,8 @@ type t =
       state : string;
     }
   | Gate of { refit : int; source : int; action : string; trust : float }
+  | Promote of { bracket : int; rung : int; kept : int; total : int; best : float }
+  | Demote of { bracket : int; rung : int; dropped : int; total : int }
   | Submit of { index : int; in_flight : int; sim_time : float }
   | Complete of { index : int; in_flight : int; sim_time : float; kind : string }
   | Attempt of { attempt : int; kind : string; backoff : float }
@@ -58,6 +60,8 @@ let name = function
   | Rank _ -> "rank"
   | Trust _ -> "trust"
   | Gate _ -> "gate"
+  | Promote _ -> "promote"
+  | Demote _ -> "demote"
   | Submit _ -> "submit"
   | Complete _ -> "complete"
   | Attempt _ -> "attempt"
@@ -121,6 +125,21 @@ let to_fields ev =
         ("source", int_ source);
         ("action", Jsonl.String action);
         ("trust", num trust);
+      ]
+  | Promote { bracket; rung; kept; total; best } ->
+      [
+        ("bracket", int_ bracket);
+        ("rung", int_ rung);
+        ("kept", int_ kept);
+        ("total", int_ total);
+        ("best", num best);
+      ]
+  | Demote { bracket; rung; dropped; total } ->
+      [
+        ("bracket", int_ bracket);
+        ("rung", int_ rung);
+        ("dropped", int_ dropped);
+        ("total", int_ total);
       ]
   | Submit { index; in_flight; sim_time } ->
       [ ("index", int_ index); ("in_flight", int_ in_flight); ("sim_time", num sim_time) ]
@@ -259,6 +278,17 @@ let of_fields fields =
           action = s "action";
           trust = (match fo "trust" with Some t -> t | None -> 0.);
         }
+  | "promote" ->
+      Promote
+        {
+          bracket = i "bracket";
+          rung = i "rung";
+          kept = i "kept";
+          total = i "total";
+          best = (match fo "best" with Some v -> v | None -> Float.nan);
+        }
+  | "demote" ->
+      Demote { bracket = i "bracket"; rung = i "rung"; dropped = i "dropped"; total = i "total" }
   | "submit" ->
       Submit { index = i "index"; in_flight = i "in_flight"; sim_time = f "sim_time" }
   | "complete" ->

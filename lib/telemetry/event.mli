@@ -59,6 +59,19 @@ type t =
       action : string;  (** "attenuate", "restore", "drop", or "fallback" *)
       trust : float;  (** trust at the moment of the transition *)
     }
+  | Promote of {
+      bracket : int;  (** successive-halving bracket ordinal *)
+      rung : int;  (** the rung that closed *)
+      kept : int;  (** survivors promoted to the next rung *)
+      total : int;  (** results the closure decision saw *)
+      best : float;  (** best objective at the closing rung *)
+    }
+  | Demote of {
+      bracket : int;
+      rung : int;
+      dropped : int;  (** configurations abandoned at this closure *)
+      total : int;
+    }
   | Submit of {
       index : int;  (** 0-based submission ordinal *)
       in_flight : int;  (** in-flight depth after this submission *)

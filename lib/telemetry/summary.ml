@@ -29,6 +29,10 @@ type t = {
   sources : (int, source_state) Hashtbl.t;
   mutable gate_decisions : int;
   mutable fallback_refit : int option;
+  mutable promotions : int;
+  mutable demotions : int;
+  mutable rung_closures : int;
+  mutable max_bracket : int option;
 }
 
 let create () =
@@ -56,6 +60,10 @@ let create () =
     sources = Hashtbl.create 4;
     gate_decisions = 0;
     fallback_refit = None;
+    promotions = 0;
+    demotions = 0;
+    rung_closures = 0;
+    max_bracket = None;
   }
 
 let source_state t i =
@@ -95,6 +103,15 @@ let observe t ~ts (ev : Event.t) =
           s.src_weight <- 0.
         end
       end
+  | Promote { bracket; kept; _ } ->
+      t.rung_closures <- t.rung_closures + 1;
+      t.promotions <- t.promotions + kept;
+      t.max_bracket <-
+        Some (match t.max_bracket with None -> bracket | Some m -> Stdlib.max m bracket)
+  | Demote { bracket; dropped; _ } ->
+      t.demotions <- t.demotions + dropped;
+      t.max_bracket <-
+        Some (match t.max_bracket with None -> bracket | Some m -> Stdlib.max m bracket)
   | Submit { in_flight; _ } ->
       t.submits <- t.submits + 1;
       if in_flight > t.max_in_flight then t.max_in_flight <- in_flight
@@ -140,6 +157,9 @@ let trust_sources t =
 
 let gate_decisions t = t.gate_decisions
 let fallback_refit t = t.fallback_refit
+let promotions t = t.promotions
+let demotions t = t.demotions
+let rung_closures t = t.rung_closures
 
 let sum = List.fold_left ( +. ) 0.
 
@@ -197,6 +217,13 @@ let render t =
              | None -> "")))
       (trust_sources t)
   end;
+  if t.rung_closures > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "  fidelity   %d rung closures%s: %d promoted, %d demoted\n" t.rung_closures
+         (match t.max_bracket with
+         | Some m -> Printf.sprintf " over %d brackets" (m + 1)
+         | None -> "")
+         t.promotions t.demotions);
   if t.submits > 0 then
     Buffer.add_string b
       (Printf.sprintf "  async      %d submits, max in-flight %d%s\n" t.submits t.max_in_flight

@@ -36,6 +36,17 @@ val fallback_refit : t -> int option
 (** Refit ordinal of the pooled-prior fallback, if the campaign's
     whole prior was gated away. *)
 
+val promotions : t -> int
+(** Configurations promoted across all [Promote] events. *)
+
+val demotions : t -> int
+(** Configurations abandoned across all [Demote] events. *)
+
+val rung_closures : t -> int
+(** [Promote] events seen (one per successive-halving rung closure) —
+    0 for flat campaigns, which keeps the fidelity line out of
+    {!render}. *)
+
 val submits : t -> int
 (** [Submit] events seen — 0 for synchronous campaigns, which makes
     the async line of {!render} conditional. *)

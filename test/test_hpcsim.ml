@@ -332,3 +332,68 @@ let suite =
         Alcotest.test_case "kripke: pipeline depth tradeoff" `Quick test_kripke_pipeline_depth_tradeoff;
         Alcotest.test_case "kripke: dataset cap non-monotone" `Quick test_kripke_energy_cap_nonmonotone_in_dataset;
       ] )
+
+(* ---- Fidelity ladders ---- *)
+
+let test_registry_fidelity_ladders () =
+  List.iter
+    (fun name ->
+      match (Hpcsim.Registry.find name).Hpcsim.Registry.fidelity with
+      | None -> Alcotest.failf "%s should expose a fidelity ladder" name
+      | Some f ->
+          let n = Array.length f.Hpcsim.Registry.levels in
+          check Alcotest.bool "at least two levels" true (n >= 2);
+          for i = 1 to n - 1 do
+            check Alcotest.bool "levels ascend" true
+              (f.Hpcsim.Registry.levels.(i) > f.Hpcsim.Registry.levels.(i - 1));
+            check Alcotest.bool "cost ascends" true
+              (f.Hpcsim.Registry.cost i > f.Hpcsim.Registry.cost (i - 1))
+          done;
+          check (Alcotest.float 1e-12) "full level costs 1" 1. (f.Hpcsim.Registry.cost (n - 1)))
+    [ "kripke"; "hypre"; "lulesh" ];
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " has no ladder") true
+        ((Hpcsim.Registry.find name).Hpcsim.Registry.fidelity = None))
+    [ "openatom"; "kripke_energy"; "kripke_src" ]
+
+(* The top rung must be *bit-identical* to the dataset objective, or a
+   full-fidelity bracket would diverge from the flat tuner. *)
+let test_fidelity_top_level_matches_table () =
+  List.iter
+    (fun name ->
+      let e = Hpcsim.Registry.find name in
+      match e.Hpcsim.Registry.fidelity with
+      | None -> assert false
+      | Some f ->
+          let t = e.Hpcsim.Registry.table () in
+          let top = Array.length f.Hpcsim.Registry.levels - 1 in
+          for row = 0 to Stdlib.min 199 (Dataset.Table.size t - 1) do
+            let c = Dataset.Table.config t row in
+            let expect = Dataset.Table.lookup t c in
+            let got = f.Hpcsim.Registry.objective_at top c in
+            if not (Float.equal expect got) then
+              Alcotest.failf "%s row %d: table %h <> top rung %h" name row expect got
+          done)
+    [ "kripke"; "hypre"; "lulesh" ]
+
+let test_lulesh_size_knob () =
+  let c = Hpcsim.Lulesh.default_o3_config in
+  check (Alcotest.float 1e-12) "size 30 is the default path"
+    (Hpcsim.Lulesh.exec_time c) (Hpcsim.Lulesh.exec_time ~size:30 c);
+  let full = Hpcsim.Lulesh.exec_time c in
+  let small = Hpcsim.Lulesh.exec_time ~size:10 c in
+  check Alcotest.bool "small mesh runs much faster" true (small < 0.1 *. full);
+  Alcotest.check_raises "non-positive size rejected"
+    (Invalid_argument "Lulesh.exec_time: size must be positive") (fun () ->
+      ignore (Hpcsim.Lulesh.exec_time ~size:0 c))
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "registry fidelity ladders" `Quick test_registry_fidelity_ladders;
+        Alcotest.test_case "fidelity top level = table" `Quick test_fidelity_top_level_matches_table;
+        Alcotest.test_case "lulesh size knob" `Quick test_lulesh_size_knob;
+      ] )

@@ -120,6 +120,29 @@ let test_recall_counts_duplicates_once () =
   check Alcotest.bool "recall never exceeds 1" true
     (Metrics.Recall.recall good [| (config_of 1, 1.); (config_of 1, 1.); (config_of 2, 2.); (config_of 2, 2.) |] <= 1.)
 
+(* recall_prefix over an arbitrary history with duplicates must equal
+   the naive count of *distinct* good configs in the prefix — a config
+   evaluated twice is still one discovery. *)
+let prop_recall_prefix_dedupes =
+  QCheck2.Test.make ~name:"recall_prefix counts duplicated good configs once" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 20) (int_range 1 6)) (int_range 0 20))
+    (fun (values, prefix) ->
+      let history = Array.of_list (List.map (fun v -> (config_of v, float_of_int v)) values) in
+      let prefix = Stdlib.min prefix (Array.length history) in
+      let good = Metrics.Recall.percentile_good_set table 0.34 in
+      let distinct = Hashtbl.create 8 in
+      Array.iteri
+        (fun i (c, _) -> if i < prefix && good.Metrics.Recall.test c then Hashtbl.replace distinct c ())
+        history;
+      let expect = float_of_int (Hashtbl.length distinct) /. float_of_int good.Metrics.Recall.count in
+      Float.abs (Metrics.Recall.recall_prefix good history prefix -. expect) < 1e-12)
+
 let suite =
   let name, cases = suite in
-  (name, cases @ [ Alcotest.test_case "recall dedupes history" `Quick test_recall_counts_duplicates_once ])
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "recall dedupes history" `Quick test_recall_counts_duplicates_once;
+        QCheck_alcotest.to_alcotest prop_recall_prefix_dedupes;
+      ] )

@@ -464,3 +464,124 @@ let suite =
       QCheck_alcotest.to_alcotest prop_truncation_recovery;
       QCheck_alcotest.to_alcotest prop_truncation_strict_raises;
     ] )
+
+(* ---- Fidelity streams (#fid / #rung) ---- *)
+
+let sample_fids =
+  [
+    { Dataset.Runlog.f_bracket = 0; f_rung = 0; f_value = 0x1.8p1; f_config = config 0 0 };
+    { Dataset.Runlog.f_bracket = 0; f_rung = 0; f_value = 2.75; f_config = config 1 2 };
+    { Dataset.Runlog.f_bracket = 1; f_rung = 1; f_value = 1.0625; f_config = config 0 1 };
+  ]
+
+let sample_rungs =
+  [
+    { Dataset.Runlog.r_bracket = 0; r_rung = 0; r_evaluated = 4; r_promoted = 2; r_best = 2.75 };
+    { Dataset.Runlog.r_bracket = 1; r_rung = 0; r_evaluated = 3; r_promoted = 1; r_best = 1.0625 };
+  ]
+
+let fids_equal a b = Array.length a = Array.length b && Array.for_all2 Dataset.Runlog.fid_equal a b
+
+let rungs_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Dataset.Runlog.rung_equal a b
+
+let test_fid_rung_roundtrip () =
+  let base = sample_log () in
+  let log =
+    Dataset.Runlog.create ~gates:sample_gates ~fids:sample_fids ~rungs:sample_rungs
+      ~name:base.Dataset.Runlog.name ~seed:base.Dataset.Runlog.seed ~space
+      (Array.to_list base.Dataset.Runlog.entries)
+  in
+  let parsed = Dataset.Runlog.of_string (Dataset.Runlog.to_string log) in
+  check Alcotest.bool "entries survive alongside fidelity streams" true (logs_equal log parsed);
+  check Alcotest.bool "fids round-trip bit-exactly, in order" true
+    (fids_equal log.Dataset.Runlog.fids parsed.Dataset.Runlog.fids);
+  check Alcotest.bool "rungs round-trip bit-exactly, in order" true
+    (rungs_equal log.Dataset.Runlog.rungs parsed.Dataset.Runlog.rungs);
+  let plain = Dataset.Runlog.of_string (Dataset.Runlog.to_string base) in
+  check Alcotest.int "fid-free v2 text decodes to no fids" 0
+    (Array.length plain.Dataset.Runlog.fids);
+  let v1 = Dataset.Runlog.of_string (Dataset.Runlog.to_string ~version:1 log) in
+  check Alcotest.int "v1 rendering drops fids" 0 (Array.length v1.Dataset.Runlog.fids);
+  check Alcotest.int "v1 rendering drops rungs" 0 (Array.length v1.Dataset.Runlog.rungs);
+  Alcotest.check_raises "over-promotion rejected"
+    (Invalid_argument "Runlog: rung promoted-count must lie in [0, evaluated]") (fun () ->
+      ignore
+        (Dataset.Runlog.create
+           ~rungs:[ { Dataset.Runlog.r_bracket = 0; r_rung = 0; r_evaluated = 2; r_promoted = 3; r_best = 1. } ]
+           ~name:"x" ~seed:0 ~space []));
+  Alcotest.check_raises "non-finite fid value rejected"
+    (Invalid_argument "Runlog: fid value must be finite") (fun () ->
+      ignore
+        (Dataset.Runlog.create
+           ~fids:[ { Dataset.Runlog.f_bracket = 0; f_rung = 0; f_value = Float.nan; f_config = config 0 0 } ]
+           ~name:"x" ~seed:0 ~space []))
+
+let test_fid_truncation_recover () =
+  let base = sample_log () in
+  let log =
+    Dataset.Runlog.create ~fids:sample_fids ~rungs:sample_rungs ~name:"chopped" ~seed:8 ~space
+      (Array.to_list base.Dataset.Runlog.entries)
+  in
+  (* to_string puts the rung stream last: a crash mid-write leaves a
+     torn final #rung line. *)
+  let text = Dataset.Runlog.to_string log in
+  let truncated = String.sub text 0 (String.length text - 9) in
+  (match Dataset.Runlog.of_string truncated with
+  | _ -> Alcotest.fail "strict parse must reject a truncated #rung line"
+  | exception Failure _ -> ());
+  let recovered = Dataset.Runlog.of_string ~recover:true truncated in
+  check Alcotest.int "recovery drops only the torn rung line" 1
+    (Array.length recovered.Dataset.Runlog.rungs);
+  check Alcotest.bool "surviving fids intact" true
+    (fids_equal log.Dataset.Runlog.fids recovered.Dataset.Runlog.fids);
+  check Alcotest.int "entries untouched by rung recovery" 5
+    (Array.length recovered.Dataset.Runlog.entries)
+
+let test_writer_fid_rung () =
+  let path = Filename.temp_file "runlog_fid" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let f0, f1, f2 =
+        match sample_fids with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      let r0, r1 = match sample_rungs with [ a; b ] -> (a, b) | _ -> assert false in
+      let w = Dataset.Runlog.writer_create ~path ~name:"sh" ~seed:9 ~space in
+      Dataset.Runlog.writer_record_fid w f0;
+      Dataset.Runlog.writer_record_fid w f1;
+      Dataset.Runlog.writer_record_rung w r0;
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 0; config = config 1 1; status = Dataset.Runlog.Ok 1.5; attempts = 1 };
+      let mid = Dataset.Runlog.load path in
+      check Alcotest.int "fids visible before close" 2 (Array.length mid.Dataset.Runlog.fids);
+      check Alcotest.int "rungs visible before close" 1 (Array.length mid.Dataset.Runlog.rungs);
+      Dataset.Runlog.writer_close w;
+      let final = Dataset.Runlog.load path in
+      let w2 = Dataset.Runlog.writer_resume ~path final in
+      Dataset.Runlog.writer_record_fid w2 f2;
+      Dataset.Runlog.writer_record_rung w2 r1;
+      Dataset.Runlog.writer_close w2;
+      let resumed = Dataset.Runlog.load path in
+      check Alcotest.bool "resume preserves and extends fids" true
+        (fids_equal [| f0; f1; f2 |] resumed.Dataset.Runlog.fids);
+      check Alcotest.bool "resume preserves and extends rungs" true
+        (rungs_equal [| r0; r1 |] resumed.Dataset.Runlog.rungs);
+      let ic = open_in_bin path in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check Alcotest.bool "closed file is canonical bytes" true
+        (String.equal bytes (Dataset.Runlog.to_string resumed)))
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "fid/rung lines roundtrip" `Quick test_fid_rung_roundtrip;
+        Alcotest.test_case "torn rung line recovers" `Quick test_fid_truncation_recover;
+        Alcotest.test_case "writer records and resumes fids/rungs" `Quick test_writer_fid_rung;
+      ] )

@@ -392,3 +392,90 @@ let suite =
         Alcotest.test_case "bootstrap mean ci" `Quick test_bootstrap_mean_ci;
         Alcotest.test_case "bootstrap paired diff" `Quick test_bootstrap_paired_diff;
       ] )
+
+(* ---- Non-finite / edge-case regressions ---- *)
+
+let test_percentile_rank_rejects_non_finite () =
+  (* NaN compares false against every entry, so the old code returned
+     rank 0 for NaN instead of failing; non-finite entries likewise
+     made the "strictly below" count meaningless. *)
+  List.iter
+    (fun (label, bad) ->
+      Alcotest.check_raises label (Invalid_argument "Quantile.percentile_rank: non-finite value")
+        (fun () -> ignore (Stats.Quantile.percentile_rank [| 1.; 2.; 3. |] bad)))
+    [ ("nan value", Float.nan); ("inf value", Float.infinity); ("-inf value", Float.neg_infinity) ];
+  Alcotest.check_raises "non-finite entry"
+    (Invalid_argument "Quantile.percentile_rank: non-finite entry") (fun () ->
+      ignore (Stats.Quantile.percentile_rank [| 1.; Float.nan; 3. |] 2.))
+
+let test_running_add_rejects_non_finite () =
+  let r = Stats.Running.create () in
+  Stats.Running.add r 1.;
+  Stats.Running.add r 3.;
+  List.iter
+    (fun (label, bad) ->
+      Alcotest.check_raises label (Invalid_argument "Running.add: non-finite value") (fun () ->
+          Stats.Running.add r bad))
+    [ ("nan sample", Float.nan); ("inf sample", Float.infinity); ("-inf sample", Float.neg_infinity) ];
+  (* A rejected sample must leave the accumulator untouched — the old
+     code bumped n and poisoned mean/m2 before min/max ever saw x. *)
+  check Alcotest.int "count unchanged" 2 (Stats.Running.count r);
+  check feq "mean unchanged" 2. (Stats.Running.mean r);
+  check feq "min unchanged" 1. (Stats.Running.min r);
+  check feq "max unchanged" 3. (Stats.Running.max r)
+
+let test_running_merge_after_rejected_add () =
+  (* Merging with a side that survived a rejected add is well-defined
+     and identical to merging the clean streams. *)
+  let a = Stats.Running.create () and b = Stats.Running.create () in
+  Stats.Running.add a 2.;
+  Stats.Running.add a 4.;
+  (try Stats.Running.add b Float.nan with Invalid_argument _ -> ());
+  Stats.Running.add b 6.;
+  let merged = Stats.Running.merge a b in
+  check Alcotest.int "merged count" 3 (Stats.Running.count merged);
+  check feq_loose "merged mean" 4. (Stats.Running.mean merged);
+  check feq "merged min" 2. (Stats.Running.min merged);
+  check feq "merged max" 6. (Stats.Running.max merged)
+
+let test_bootstrap_mean_empty () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Bootstrap.mean: empty data")
+    (fun () -> ignore (Stats.Bootstrap.mean [||]))
+
+(* Running.merge must agree with feeding the concatenated stream into a
+   single accumulator, for every split point — including empty and
+   singleton sides. *)
+let prop_running_merge_matches_sequential =
+  QCheck2.Test.make ~name:"Running.merge = sequential add over any split" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 30) (float_range (-1e6) 1e6)) (float_range 0. 1.))
+    (fun (samples, split_frac) ->
+      let xs = Array.of_list samples in
+      let n = Array.length xs in
+      let split = int_of_float (split_frac *. float_of_int n) in
+      let a = Stats.Running.create () and b = Stats.Running.create () in
+      Array.iteri (fun i x -> Stats.Running.add (if i < split then a else b) x) xs;
+      let merged = Stats.Running.merge a b in
+      let seq = Stats.Running.create () in
+      Array.iter (Stats.Running.add seq) xs;
+      let close eps x y = Float.abs (x -. y) <= eps *. (1. +. Float.abs y) in
+      Stats.Running.count merged = Stats.Running.count seq
+      && close 1e-9 (Stats.Running.mean merged) (Stats.Running.mean seq)
+      && close 1e-6 (Stats.Running.variance merged) (Stats.Running.variance seq)
+      && Stats.Running.min merged = Stats.Running.min seq
+      && Stats.Running.max merged = Stats.Running.max seq)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "percentile rank rejects non-finite" `Quick
+          test_percentile_rank_rejects_non_finite;
+        Alcotest.test_case "running add rejects non-finite" `Quick
+          test_running_add_rejects_non_finite;
+        Alcotest.test_case "running merge after rejected add" `Quick
+          test_running_merge_after_rejected_add;
+        Alcotest.test_case "bootstrap mean empty" `Quick test_bootstrap_mean_empty;
+        QCheck_alcotest.to_alcotest prop_running_merge_matches_sequential;
+      ] )

@@ -41,6 +41,8 @@ let all_events : Telemetry.Event.t list =
       { refit = 4; source = 1; agreement = 0.; trust = 0.25; weight = 0.; state = "dropped" };
     Gate { refit = 4; source = 1; action = "drop"; trust = 0.25 };
     Gate { refit = 4; source = -1; action = "fallback"; trust = 0. };
+    Promote { bracket = 0; rung = 1; kept = 4; total = 12; best = 3.0625 };
+    Demote { bracket = 2; rung = 0; dropped = 8; total = 12 };
     Compile { pool_size = 1620; n_params = 6; dur_ms = 0.125 };
     Rank { pool_size = 1620; k = 2; selected = 2; workers = 4; schedule = "dynamic:64"; dur_ms = 1.5 };
     Submit { index = 0; in_flight = 1; sim_time = 0. };
@@ -388,6 +390,27 @@ let test_summary_gate_lines () =
   check Alcotest.bool "no transfer block without gate events" false
     (contains_substring (Telemetry.Summary.render bare) "transfer")
 
+let test_summary_fidelity_lines () =
+  let s = Telemetry.Summary.create () in
+  let feed ts ev = Telemetry.Summary.observe s ~ts ev in
+  feed 0. (Telemetry.Event.Promote { bracket = 0; rung = 0; kept = 4; total = 12; best = 2.5 });
+  feed 1. (Telemetry.Event.Demote { bracket = 0; rung = 0; dropped = 8; total = 12 });
+  feed 2. (Telemetry.Event.Promote { bracket = 1; rung = 0; kept = 2; total = 6; best = 2.25 });
+  feed 3. (Telemetry.Event.Demote { bracket = 1; rung = 0; dropped = 4; total = 6 });
+  check Alcotest.int "rung closures counted" 2 (Telemetry.Summary.rung_closures s);
+  check Alcotest.int "promotions counted" 6 (Telemetry.Summary.promotions s);
+  check Alcotest.int "demotions counted" 12 (Telemetry.Summary.demotions s);
+  let rendered = Telemetry.Summary.render s in
+  check Alcotest.bool "fidelity line rendered" true
+    (contains_substring rendered "fidelity"
+    && contains_substring rendered "2 rung closures over 2 brackets");
+  (* A flat campaign keeps its summary free of fidelity lines. *)
+  let bare = Telemetry.Summary.create () in
+  Telemetry.Summary.observe bare ~ts:0.
+    (Telemetry.Event.Init_draw { index = 0; redraws = 0; duplicate = false });
+  check Alcotest.bool "no fidelity block without promote events" false
+    (contains_substring (Telemetry.Summary.render bare) "fidelity")
+
 (* Golden test: the `trace' subcommand's summary rendering of a
    checked-in fixture trace must match the checked-in expected text.
    Catches accidental format drift in [Summary.render]. *)
@@ -420,5 +443,6 @@ let suite =
       tc "resume with trace parity" `Quick test_resume_with_trace_parity;
       tc "trust/gate decode with defaults" `Quick test_trust_decodes_with_defaults;
       tc "summary gate lines" `Quick test_summary_gate_lines;
+      tc "summary fidelity lines" `Quick test_summary_fidelity_lines;
       tc "summary golden file" `Quick test_summary_golden;
     ] )
