@@ -1,7 +1,7 @@
 (* hiperbot command-line interface.
 
    Subcommands: list, describe, tune, tune-csv, transfer, importance,
-   export, replay, trace, compare.
+   export, replay, trace, compare, serve.
    Every built-in dataset of the reproduction is addressable by name;
    `export` writes a dataset as CSV so external tools (or the
    `Dataset.Table.of_csv` loader) can round-trip it. *)
@@ -1034,6 +1034,53 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Inspect and summarize a saved campaign trace.")
     Term.(ret (const run $ log_arg))
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let dir_arg =
+    let doc =
+      "Session directory: every session persists to $(docv)/<name>.runlog and can be \
+       recovered after a crash by re-opening it with the same seed and space."
+    in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    let server = Hiperbot.Serve.create ?dir () in
+    let rec loop () =
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some line ->
+          print_endline (Hiperbot.Serve.handle server line);
+          flush stdout;
+          loop ()
+    in
+    loop ();
+    Hiperbot.Serve.close_all server;
+    `Ok ()
+  in
+  let doc = "Run the tuning server: one request line on stdin, one response line on stdout." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Multiplexes any number of concurrent tuning campaigns over a line protocol. \
+         Clients open sessions, ask for configurations and report measurements; the \
+         server never evaluates anything itself.";
+      `P "Protocol (one request per line; responses start with `ok' or `err'):";
+      `Pre
+        "  open <name> seed=<n> budget=<n> space=<spec;...> [k=<n>] [n_init=<n>] \
+         [batch=<n>] [early_stop=<n>]\n\
+        \  suggest <name>\n\
+        \  report <name> <id> ok:<value>|fail:<kind> [attempts=<n>]\n\
+        \  status <name>\n\
+        \  close <name>";
+      `P
+        "Specs use the run-log wire form, e.g. \
+         `space=level=cat:O0,O1,O2;unroll=ord:1,2,4'.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(ret (const run $ dir_arg))
+
 (* ---- compare ---- *)
 
 let compare_cmd =
@@ -1095,4 +1142,5 @@ let () =
             replay_cmd;
             trace_cmd;
             compare_cmd;
+            serve_cmd;
           ]))

@@ -1,16 +1,23 @@
-type prior = {
+(* The blocking campaign entry points, as thin drivers over the
+   reentrant {!Campaign} state machine. The machine owns every
+   campaign decision (init draws, gated refits, selection, replay
+   verification, bookkeeping, telemetry); the drivers own only what
+   varies per entry point — how verdicts are produced (inline
+   objective call, retry policy, worker domains) and, for the async
+   engine, the simulated clock that decides completion order. Bit-
+   compatibility with the historical recursive loops is therefore
+   structural rather than re-proven per engine. *)
+
+type prior = Campaign.prior = {
   sources : (Surrogate.t * float) array;
   decay : int -> float;
   gate : Gate.options option;
 }
 
-let constant_decay _ = 1.
+let constant_decay = Campaign.constant_decay
+let prior_of = Campaign.prior_of
 
-let prior_of ?(decay = constant_decay) ?gate sources =
-  (match gate with Some g -> Gate.validate_options g | None -> ());
-  { sources = Array.of_list sources; decay; gate }
-
-type options = {
+type options = Campaign.options = {
   n_init : int;
   surrogate : Surrogate.options;
   strategy : Strategy.t;
@@ -20,18 +27,9 @@ type options = {
   sampled_candidates : int option;
 }
 
-let default_options =
-  {
-    n_init = 20;
-    surrogate = Surrogate.default_options;
-    strategy = Strategy.default;
-    prior = None;
-    batch_size = 1;
-    early_stop = None;
-    sampled_candidates = None;
-  }
+let default_options = Campaign.default_options
 
-type result = {
+type result = Campaign.result = {
   history : (Param.Config.t * float) array;
   best_config : Param.Config.t;
   best_value : float;
@@ -43,417 +41,37 @@ type result = {
   retry_cost : float;
 }
 
-type run_error = {
+type run_error = Campaign.run_error = {
   error_failures : (Param.Config.t * Resilience.Outcome.t) array;
   error_attempts : int;
 }
 
-let max_init_redraws = 50
-
-(* Effective prior list for a refit over [n_obs] target observations:
-   each source's base weight scaled by the decay schedule's multiplier.
-   The constant schedule multiplies by 1., which is bit-exact, so a
-   constant-decay prior reproduces an undecayed campaign exactly. *)
-let priors_at ~options n_obs =
-  match options.prior with
-  | None -> []
-  | Some { sources; decay; _ } ->
-      let m = decay n_obs in
-      if not (Float.is_finite m) || m < 0. then
-        invalid_arg "Tuner.run: prior decay multiplier must be finite and non-negative";
-      Array.to_list (Array.map (fun (p, w) -> (p, w *. m)) sources)
-
-(* ---- safeguarded transfer: gate plumbing ---- *)
-
-let gate_state_of ~options =
-  match options.prior with
-  | Some { gate = Some g; sources; _ } when Array.length sources > 0 ->
-      Some (Gate.create ~options:g ~n_sources:(Array.length sources))
-  | _ -> None
-
-let gate_divergence_msg =
-  "Tuner.resume: recorded gate decisions diverge from the recomputed ones (were the gate \
-   options, sources, or schedule changed?)"
-
-let runlog_gate_of (d : Gate.decision) =
-  {
-    Dataset.Runlog.g_refit = d.Gate.d_refit;
-    g_source = d.Gate.d_source;
-    g_action = Gate.action_to_string d.Gate.d_action;
-    g_trust = d.Gate.d_trust;
-    g_below = d.Gate.d_below;
-  }
-
-(* A resumed campaign recomputes the whole gate-decision stream
-   deterministically (replay re-runs every refit), so the recorded
-   decisions serve as a divergence check: prefix-verify against them,
-   then forward only the genuinely new decisions to [on_gate] — a
-   resumed run never re-appends decisions its log already holds.
-   The check is driven by recomputed decisions, so a campaign that
-   recomputes none (gating disabled or prior removed) would never
-   look at the record — catch that contradiction eagerly instead of
-   silently continuing a different campaign. *)
-let gate_emitter ?on_gate ?gate ~recorded () =
-  if Array.length recorded > 0 && Option.is_none gate then
-    failwith
-      "Tuner.resume: the run log records gate decisions but this campaign has gating disabled \
-       (restore the original prior and gate options, or start fresh without --resume)";
-  let next = ref 0 in
-  fun (d : Gate.decision) ->
-    let g = runlog_gate_of d in
-    if !next < Array.length recorded then begin
-      if not (Dataset.Runlog.gate_equal recorded.(!next) g) then failwith gate_divergence_msg;
-      incr next
-    end
-    else match on_gate with Some f -> f g | None -> ()
-
-(* One surrogate refit, gated when the campaign's prior asks for it:
-   update the trust state against the campaign's unbiased anchor
-   observations (warm start + random inits), then fit the surrogate on
-   the surviving priors. With no gate (or below the gate's min_obs)
-   this performs exactly the ungated fit call; once every source has
-   been dropped it performs exactly the no-prior fit call — the
-   bit-identical fallback the containment guarantee rests on.
-
-   With [refit] (Ranking campaigns, whose candidate pool is encoded
-   once at setup) the fit routes through the incremental refit engine:
-   the surrogate is still the reference [Surrogate.fit] result, and
-   the returned compiled scorer — bit-identical to compiling from
-   scratch — is handed to selection so the per-iteration table build
-   only touches the parameter sides that actually changed. Gate
-   attenuation, decay schedules, and pending-set churn all land on
-   the engine's structural rebuild fallback, so routing every variant
-   through it is safe. ([Surrogate.fit]'s [priors] defaults to [[]],
-   so passing [[]] explicitly is the same call.) *)
-let fit_gated ~telemetry ~options ~gate ~emit_gate ~refit ~space ~anchor ~extra_bad obs =
-  let n_obs = Array.length obs in
-  let refit_with priors =
-    match refit with
-    | Some engine ->
-        let s, c = Surrogate.Refit.update ~telemetry ~priors ~extra_bad engine obs in
-        (s, Some c)
-    | None ->
-        (Surrogate.fit ~telemetry ~options:options.surrogate ~priors ~extra_bad space obs, None)
-  in
-  match gate with
-  | None -> refit_with (priors_at ~options n_obs)
-  | Some state when Gate.all_dropped state -> refit_with []
-  | Some state ->
-      let step = Gate.apply state ~anchor:(anchor ()) ~n_obs (priors_at ~options n_obs) in
-      if Telemetry.Trace.enabled telemetry then begin
-        List.iter
-          (fun (s : Gate.snapshot) ->
-            Telemetry.Trace.emit telemetry
-              (Telemetry.Event.Trust
-                 {
-                   refit = s.Gate.s_refit;
-                   source = s.Gate.s_source;
-                   agreement = s.Gate.s_agreement;
-                   trust = s.Gate.s_trust;
-                   weight = s.Gate.s_weight;
-                   state = Gate.status_to_string s.Gate.s_status;
-                 }))
-          step.Gate.step_snapshots;
-        List.iter
-          (fun (d : Gate.decision) ->
-            Telemetry.Trace.emit telemetry
-              (Telemetry.Event.Gate
-                 {
-                   refit = d.Gate.d_refit;
-                   source = d.Gate.d_source;
-                   action = Gate.action_to_string d.Gate.d_action;
-                   trust = d.Gate.d_trust;
-                 }))
-          step.Gate.step_decisions
-      end;
-      List.iter emit_gate step.Gate.step_decisions;
-      refit_with step.Gate.step_priors
-
-(* Validation and per-campaign candidate-pool setup shared by the
-   synchronous core and the asynchronous engine: checks the options
-   and index-encodes the candidate pool once (the encoding depends
-   only on the space and the pool, so every refit's compiled scorer
-   reuses it). An enumerated Ranking space becomes a {e virtual} pool
-   ({!Surrogate.Pool.of_space}) — row i is decoded on demand in
-   [Param.Space.enumerate] order, so a 10^7-configuration space costs
-   O(1) memory instead of materializing every configuration up front.
-   [n_init] is capped by the budget and the explicit candidate
-   count. *)
-let campaign_setup ~options ~candidates ~space ~budget =
-  if budget < 1 then invalid_arg "Tuner.run: budget must be at least 1";
-  if options.n_init < 1 then invalid_arg "Tuner.run: n_init must be at least 1";
-  if options.batch_size < 1 then invalid_arg "Tuner.run: batch_size must be at least 1";
-  (match options.early_stop with
-  | Some k when k < 1 -> invalid_arg "Tuner.run: early_stop must be at least 1"
-  | Some _ | None -> ());
-  (match options.sampled_candidates with
-  | Some n when n < 1 -> invalid_arg "Tuner.run: sampled_candidates must be at least 1"
-  | Some _ ->
-      (match options.strategy with
-      | Strategy.Ranking -> ()
-      | Strategy.Proposal _ ->
-          invalid_arg "Tuner.run: sampled_candidates requires the Ranking strategy")
-  | None -> ());
-  (match candidates with
-  | Some c ->
-      if Array.length c = 0 then invalid_arg "Tuner.run: empty candidate set";
-      (match options.strategy with
-      | Strategy.Ranking -> ()
-      | Strategy.Proposal _ ->
-          invalid_arg "Tuner.run: candidates require the Ranking strategy");
-      Array.iter
-        (fun config ->
-          if not (Param.Space.validate space config) then
-            invalid_arg "Tuner.run: invalid candidate configuration")
-        c
-  | None -> ());
-  let encoded =
-    match (candidates, options.strategy) with
-    | Some c, _ -> Some (Surrogate.Pool.encode space c)
-    | None, Strategy.Ranking ->
-        if not (Param.Space.is_finite space) then
-          invalid_arg "Tuner.run: Ranking strategy requires a finite space";
-        Some (Surrogate.Pool.of_space space)
-    | None, Strategy.Proposal _ -> None
-  in
-  let n_init =
-    let cap = match candidates with Some c -> min budget (Array.length c) | None -> budget in
-    min options.n_init cap
-  in
-  (encoded, n_init)
-
-(* Once a finite pool is fully covered, every draw is a duplicate:
-   each would spin [max_init_redraws] hash probes for nothing, so
-   initialization exits early instead. The coverage scan decodes pool
-   rows on demand (it works identically for virtual pools), only runs
-   when the submitted/evaluated count could plausibly cover the pool,
-   and its positive answer is latched. *)
-let pool_coverage_check ~encoded ~table =
-  let covered = ref false in
-  fun () ->
-    match encoded with
-    | None -> false
-    | Some e ->
-        let n = Surrogate.Pool.length e in
-        !covered
-        || Param.Config.Table.length table >= n
-           && (let rec all i =
-                 i >= n
-                 || (Param.Config.Table.mem table (Surrogate.Pool.config e i) && all (i + 1))
-               in
-               all 0)
-           && begin
-                covered := true;
-                true
-              end
-
-(* Guided selection: Ranking campaigns always rank over the encoded
-   pool, reusing the refit engine's compiled scorer, with
-   [options.sampled_candidates] switching the exhaustive scan to
-   pg-sampled candidate draws; Proposal samples from pg and never
-   looks at a pool. *)
-let select_batch ~telemetry ~options ?workers ?schedule ~encoded ~compiled ~k ~rng ~surrogate
-    ~evaluated () =
-  match (options.strategy, encoded) with
-  | Strategy.Ranking, Some e ->
-      let candidates =
-        match options.sampled_candidates with Some n -> `Sampled n | None -> `Exhaustive
-      in
-      Strategy.select_many_encoded ~telemetry ?workers ?schedule ~candidates ?compiled ~k ~rng
-        ~surrogate ~encoded:e ~evaluated ()
-  | Strategy.Ranking, None -> assert false (* campaign_setup always encodes for Ranking *)
-  | (Strategy.Proposal _ as strategy), _ ->
-      Strategy.select_many ~telemetry strategy ~k ~rng ~surrogate ~pool:[||] ~evaluated
-
-(* The outcome-driven core every public entry point funnels into.
-   [eval] produces one final verdict per configuration (retries happen
-   inside it, so a verdict consumes exactly one unit of budget no
-   matter how many attempts it took). [replay] short-circuits the
-   first evaluations with recorded verdicts: because everything else
-   — rng draws, selection, bookkeeping — runs exactly as live, a
-   resumed campaign retraces the interrupted one bit-for-bit and then
+(* The synchronous driver: one suggestion outstanding at a time,
+   evaluated and reported immediately. [replay] short-circuits the
+   first evaluations with recorded verdicts (the machine verifies the
+   configurations match the record): because everything else — rng
+   draws, selection, bookkeeping — runs exactly as live, a resumed
+   campaign retraces the interrupted one bit-for-bit and then
    continues. *)
-let run_core ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
-    ?(warm_start = [||]) ?candidates ?on_outcome ?on_gate ?(recorded_gates = [||])
-    ?(replay = [||]) ?pool:workers ?schedule ~rng ~space ~eval ~budget () =
-  let campaign_t0 = Telemetry.Trace.now telemetry in
-  let encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
-  let refit = Option.map (Surrogate.Refit.create ~options:options.surrogate) encoded in
-  let gate = gate_state_of ~options in
-  let emit_gate = gate_emitter ?on_gate ?gate ~recorded:recorded_gates () in
-  let evaluated = Param.Config.Table.create (budget + Array.length warm_start) in
-  Array.iter
-    (fun (c, _) ->
-      if not (Param.Space.validate space c) then invalid_arg "Tuner.run: invalid warm-start configuration";
-      Param.Config.Table.replace evaluated c ())
-    warm_start;
-  let history = ref [] in
-  let failures = ref [] in
-  let n_evaluated = ref 0 in
-  let n_attempts = ref 0 in
-  let retry_cost = ref 0. in
-  let best = ref None in
-  let trajectory = ref [] in
-  let since_improvement = ref 0 in
-  let evaluate config =
-    let idx = !n_evaluated in
-    let eval_t0 = Telemetry.Trace.now telemetry in
-    let verdict =
-      if idx < Array.length replay then begin
-        let recorded_config, v = replay.(idx) in
-        if not (Param.Config.equal recorded_config config) then
-          failwith
-            "Tuner.resume: run log diverges from the replayed trajectory (were the seed, \
-             options, or objective changed?)";
-        v
-      end
-      else begin
-        let v = eval config in
-        (match on_outcome with Some f -> f idx config v | None -> ());
-        v
-      end
-    in
-    Param.Config.Table.replace evaluated config ();
-    n_attempts := !n_attempts + verdict.Resilience.Evaluator.attempts;
-    retry_cost := !retry_cost +. verdict.Resilience.Evaluator.retry_cost;
-    (match verdict.Resilience.Evaluator.outcome with
-    | Resilience.Outcome.Value y ->
-        history := (config, y) :: !history;
-        (match !best with
-        | Some (_, by) when by <= y -> incr since_improvement
-        | Some _ | None ->
-            best := Some (config, y);
-            since_improvement := 0);
-        trajectory := snd (Option.get !best) :: !trajectory
-    | failure ->
-        failures := (config, failure) :: !failures;
-        incr since_improvement);
-    if Telemetry.Trace.enabled telemetry then begin
-      let outcome = verdict.Resilience.Evaluator.outcome in
-      Telemetry.Trace.emit telemetry
-        (Telemetry.Event.Eval
-           {
-             index = idx;
-             kind = Resilience.Outcome.kind outcome;
-             value = Resilience.Outcome.value outcome;
-             attempts = verdict.Resilience.Evaluator.attempts;
-             retry_cost = verdict.Resilience.Evaluator.retry_cost;
-             replayed = idx < Array.length replay;
-             dur_ms = (Telemetry.Trace.now telemetry -. eval_t0) *. 1000.;
-           })
-    end;
-    incr n_evaluated
+let run_core ?telemetry ?options ?warm_start ?candidates ?on_outcome ?on_gate ?recorded_gates
+    ?(replay = [||]) ?pool ?schedule ~rng ~space ~eval ~budget () =
+  let campaign =
+    Campaign.create ?telemetry ?options ?warm_start ?candidates ?on_outcome ?on_gate
+      ?recorded_gates ~replay ?pool ?schedule ~mode:Campaign.Sync ~rng ~space ~budget ()
   in
-  (* Phase 1: uniform random initialization, avoiding duplicates
-     (with already-warm-started configurations too) when the space
-     permits. *)
-  let random_candidate () =
-    match candidates with
-    | Some c -> c.(Prng.Rng.int rng (Array.length c))
-    | None -> Param.Space.random_config space rng
+  let rec loop () =
+    match Campaign.suggest campaign with
+    | Campaign.Finished -> Campaign.result campaign
+    | Campaign.Wait -> assert false (* the sync driver never leaves a suggestion pending *)
+    | Campaign.Suggest s ->
+        let idx = Campaign.n_evaluated campaign in
+        let verdict =
+          if idx < Array.length replay then snd replay.(idx) else eval s.Campaign.config
+        in
+        Campaign.report campaign ~id:s.Campaign.id verdict;
+        loop ()
   in
-  let draw_fresh () =
-    let rec attempt i =
-      let c = random_candidate () in
-      if (not (Param.Config.Table.mem evaluated c)) || i >= max_init_redraws then (c, i)
-      else attempt (i + 1)
-    in
-    attempt 0
-  in
-  let pool_exhausted = pool_coverage_check ~encoded ~table:evaluated in
-  if Telemetry.Trace.enabled telemetry then
-    Telemetry.Trace.emit telemetry
-      (Telemetry.Event.Campaign_start
-         {
-           budget;
-           n_init;
-           batch_size = options.batch_size;
-           n_warm = Array.length warm_start;
-           n_replay = Array.length replay;
-         });
-  let init_drawn = ref 0 in
-  while !init_drawn < n_init && not (pool_exhausted ()) do
-    let c, redraws = draw_fresh () in
-    let duplicate = Param.Config.Table.mem evaluated c in
-    if Telemetry.Trace.enabled telemetry then
-      Telemetry.Trace.emit telemetry
-        (Telemetry.Event.Init_draw { index = !init_drawn; redraws; duplicate });
-    incr init_drawn;
-    if not duplicate then evaluate c
-  done;
-  since_improvement := 0;
-  (* The unbiased anchor evidence the gate judges sources on: warm-
-     start data plus the random-init observations — the history so
-     far, fixed for the rest of the campaign. *)
-  let anchor =
-    let a = lazy (Array.append warm_start (Array.of_list (List.rev !history))) in
-    fun () -> Lazy.force a
-  in
-  (* Phase 2: surrogate-guided iteration, [batch_size] evaluations per
-     refit, optionally stopping when guided samples go stale. A batch
-     member whose verdict is a failure (including Timeout stragglers)
-     joins [failures] and the rest of the batch proceeds — one bad
-     member never stalls the campaign. *)
-  let observations () = Array.append warm_start (Array.of_list (List.rev !history)) in
-  let final_surrogate = ref None in
-  let stopped_early = ref false in
-  let stale () =
-    match options.early_stop with Some k -> !since_improvement >= k | None -> false
-  in
-  let continue = ref true in
-  while !continue && !n_evaluated < budget && not (stale ()) do
-    let obs = observations () in
-    if Array.length obs = 0 then continue := false
-    else begin
-      let surrogate, compiled =
-        fit_gated ~telemetry ~options ~gate ~emit_gate ~refit ~space ~anchor
-          ~extra_bad:(Array.of_list (List.rev_map fst !failures))
-          obs
-      in
-      final_surrogate := Some surrogate;
-      let k = min options.batch_size (budget - !n_evaluated) in
-      match
-        select_batch ~telemetry ~options ?workers ?schedule ~encoded ~compiled ~k ~rng ~surrogate
-          ~evaluated ()
-      with
-      | [] -> continue := false
-      | batch ->
-          List.iter
-            (fun c -> if !n_evaluated < budget && not (stale ()) then evaluate c)
-            batch
-    end
-  done;
-  if stale () then stopped_early := true;
-  if Telemetry.Trace.enabled telemetry then
-    Telemetry.Trace.emit telemetry
-      (Telemetry.Event.Campaign_end
-         {
-           evaluations = !n_evaluated;
-           failures = List.length !failures;
-           best = Option.map snd !best;
-           stopped_early = !stopped_early;
-           dur_ms = (Telemetry.Trace.now telemetry -. campaign_t0) *. 1000.;
-         });
-  match !best with
-  | None ->
-      Stdlib.Error
-        {
-          error_failures = Array.of_list (List.rev !failures);
-          error_attempts = !n_attempts;
-        }
-  | Some (best_config, best_value) ->
-      Stdlib.Ok
-        {
-          history = Array.of_list (List.rev !history);
-          best_config;
-          best_value;
-          trajectory = Array.of_list (List.rev !trajectory);
-          final_surrogate = !final_surrogate;
-          stopped_early = !stopped_early;
-          failures = Array.of_list (List.rev !failures);
-          n_attempts = !n_attempts;
-          retry_cost = !retry_cost;
-        }
+  loop ()
 
 let verdict_of_outcome outcome =
   { Resilience.Evaluator.outcome; attempts = 1; retry_cost = 0. }
@@ -505,29 +123,7 @@ let run_with_policy ?(telemetry = Telemetry.Trace.disabled) ?options
   run_core ~telemetry ?options ?warm_start ?candidates ?on_outcome ?on_gate ?recorded_gates
     ?replay ?pool ?schedule ~rng ~space ~eval ~budget ()
 
-let replay_of_log ~policy log =
-  Array.mapi
-    (fun i (e : Dataset.Runlog.entry) ->
-      if e.Dataset.Runlog.index <> i then
-        failwith "Tuner.resume: run log indices are not dense from 0";
-      let outcome =
-        match e.Dataset.Runlog.status with
-        | Dataset.Runlog.Ok y -> Resilience.Outcome.Value y
-        | Dataset.Runlog.Failed Dataset.Runlog.Crash ->
-            Resilience.Outcome.Permanent "recorded failure"
-        | Dataset.Runlog.Failed Dataset.Runlog.Transient ->
-            Resilience.Outcome.Transient "recorded failure"
-        | Dataset.Runlog.Failed Dataset.Runlog.Permanent ->
-            Resilience.Outcome.Permanent "recorded failure"
-        | Dataset.Runlog.Failed Dataset.Runlog.Timeout -> Resilience.Outcome.Timeout
-      in
-      ( e.Dataset.Runlog.config,
-        {
-          Resilience.Evaluator.outcome;
-          attempts = e.Dataset.Runlog.attempts;
-          retry_cost = Resilience.Policy.total_backoff policy ~attempts:e.Dataset.Runlog.attempts;
-        } ))
-    log.Dataset.Runlog.entries
+let replay_of_log = Campaign.replay_of_log
 
 let resume ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start ?candidates
     ?on_outcome ?on_gate ?pool ?schedule ~log ~objective ~budget () =
@@ -539,7 +135,7 @@ let resume ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start
     ~recorded_gates:log.Dataset.Runlog.gates ~replay ?pool ?schedule ~rng
     ~space:log.Dataset.Runlog.space ~objective ~budget ()
 
-(* ---- asynchronous campaign engine ---- *)
+(* ---- asynchronous campaign driver ---- *)
 
 let default_duration _config (v : Resilience.Evaluator.verdict) =
   let base =
@@ -555,10 +151,8 @@ let default_duration _config (v : Resilience.Evaluator.verdict) =
    captured inside the task and emitted at completion processing so
    telemetry sinks are only ever touched from the submitting domain. *)
 type async_slot = {
-  slot_config : Param.Config.t;
-  slot_seq : int;  (* submission ordinal; completion-time tie-break *)
+  slot_sug : Campaign.suggestion;
   slot_submitted : float;  (* simulated submission time *)
-  slot_guided : bool;  (* false for random-init submissions *)
   slot_run :
     unit -> Resilience.Evaluator.verdict * (int * string * float) list * bool * float;
   mutable slot_memo :
@@ -573,34 +167,18 @@ let slot_force slot =
       slot.slot_memo <- Some r;
       r
 
-let divergence_msg =
-  "Tuner.resume: run log diverges from the replayed trajectory (were the seed, options, or \
-   objective changed?)"
+let divergence_msg = Campaign.divergence_msg
 
-let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_options)
-    ?(policy = Resilience.Policy.default) ?(warm_start = [||]) ?candidates ?on_outcome ?on_gate
-    ?(recorded_gates = [||]) ?(replay = [||]) ?pool:workers ?schedule
-    ?(duration = default_duration) ~k ~rng ~space ~objective ~budget () =
-  let campaign_t0 = Telemetry.Trace.now telemetry in
+let run_async ?(telemetry = Telemetry.Trace.disabled) ?options
+    ?(policy = Resilience.Policy.default) ?warm_start ?candidates ?on_outcome ?on_gate
+    ?recorded_gates ?(replay = [||]) ?pool:workers ?schedule ?(duration = default_duration) ~k
+    ~rng ~space ~objective ~budget () =
   if k < 1 then invalid_arg "Tuner.run_async: k must be at least 1";
-  let encoded, n_init = campaign_setup ~options ~candidates ~space ~budget in
-  let refit = Option.map (Surrogate.Refit.create ~options:options.surrogate) encoded in
-  let gate = gate_state_of ~options in
-  let emit_gate = gate_emitter ?on_gate ?gate ~recorded:recorded_gates () in
-  (* [seen] deduplicates at submission time: a configuration joins it
-     when submitted (or warm-started), so in-flight configurations are
-     excluded from init draws and guided selection exactly like
-     completed ones — an exact duplicate of a pending point can never
-     be resubmitted. For [k = 1] a submission completes before the
-     next draw, so [seen] holds the same configurations the
-     synchronous core's [evaluated] table would. *)
-  let seen = Param.Config.Table.create (budget + Array.length warm_start) in
-  Array.iter
-    (fun (c, _) ->
-      if not (Param.Space.validate space c) then
-        invalid_arg "Tuner.run: invalid warm-start configuration";
-      Param.Config.Table.replace seen c ())
-    warm_start;
+  let campaign =
+    Campaign.create ~telemetry ?options ?warm_start ?candidates ?on_outcome ?on_gate
+      ?recorded_gates ~replay ?pool:workers ?schedule ~mode:(Campaign.Async k) ~rng ~space
+      ~budget ()
+  in
   (* Replay verdicts are keyed by configuration (configurations never
      resubmit within a campaign, so the key is unique); completion
      processing additionally checks the recorded completion order. *)
@@ -622,144 +200,29 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
         let v = Resilience.Evaluator.evaluate ?probe ~policy ~objective config in
         (v, List.rev !attempts, false, (Telemetry.Trace.now telemetry -. t0) *. 1000.)
   in
-  let history = ref [] in
-  let failures = ref [] in
-  let n_attempts = ref 0 in
-  let retry_cost = ref 0. in
-  let best = ref None in
-  let trajectory = ref [] in
-  let since_improvement = ref 0 in
-  let final_surrogate = ref None in
-  let submitted = ref 0 in
-  let completed = ref 0 in
   let in_flight = ref [] in
   let sim_time = ref 0. in
-  let stale () =
-    match options.early_stop with Some e -> !since_improvement >= e | None -> false
-  in
-  let submit_config ~guided ~at config =
-    Param.Config.Table.replace seen config ();
-    let seq = !submitted in
-    incr submitted;
-    let run =
-      match workers with
-      | Some w ->
-          let fut = Parallel.Pool.async w (eval_task config) in
-          fun () -> Parallel.Pool.await fut
-      | None -> eval_task config
-    in
-    let slot =
-      {
-        slot_config = config;
-        slot_seq = seq;
-        slot_submitted = at;
-        slot_guided = guided;
-        slot_run = run;
-        slot_memo = None;
-      }
-    in
-    in_flight := slot :: !in_flight;
-    if Telemetry.Trace.enabled telemetry then
-      Telemetry.Trace.emit telemetry
-        (Telemetry.Event.Submit
-           { index = seq; in_flight = List.length !in_flight; sim_time = at })
-  in
-  let random_candidate () =
-    match candidates with
-    | Some c -> c.(Prng.Rng.int rng (Array.length c))
-    | None -> Param.Space.random_config space rng
-  in
-  let draw_fresh () =
-    let rec attempt i =
-      let c = random_candidate () in
-      if (not (Param.Config.Table.mem seen c)) || i >= max_init_redraws then (c, i)
-      else attempt (i + 1)
-    in
-    attempt 0
-  in
-  let pool_exhausted = pool_coverage_check ~encoded ~table:seen in
-  if Telemetry.Trace.enabled telemetry then
-    Telemetry.Trace.emit telemetry
-      (Telemetry.Event.Campaign_start
-         {
-           budget;
-           n_init;
-           batch_size = k;
-           n_warm = Array.length warm_start;
-           n_replay = Array.length replay;
-         });
-  let init_drawn = ref 0 in
-  (* Draw the next fresh random-init configuration, consuming the same
-     rng stream (including duplicate draws, which burn an init slot
-     without submitting) as the synchronous core's init loop. *)
-  let rec next_init () =
-    if !init_drawn >= n_init || pool_exhausted () then None
-    else begin
-      let c, redraws = draw_fresh () in
-      let duplicate = Param.Config.Table.mem seen c in
-      if Telemetry.Trace.enabled telemetry then
-        Telemetry.Trace.emit telemetry
-          (Telemetry.Event.Init_draw { index = !init_drawn; redraws; duplicate });
-      incr init_drawn;
-      if duplicate then next_init () else Some c
-    end
-  in
-  let observations () = Array.append warm_start (Array.of_list (List.rev !history)) in
-  (* The gate's unbiased anchor evidence: warm-start data plus the
-     random-init completions that have landed so far (guided
-     completions are excluded — they are prior-biased). With k = 1
-     every init completes before the first guided selection, so this
-     matches the synchronous core's anchor exactly. *)
-  let anchor_rev = ref [] in
-  let anchor () = Array.append warm_start (Array.of_list (List.rev !anchor_rev)) in
-  (* Guided selection with the pending set treated as constant-liar
-     observations: in-flight configurations join the surrogate's bad
-     density (after the failures, preserving the synchronous fit input
-     order when the pending set is empty), so near-duplicates of
-     pending points score poorly, and the [seen] table excludes exact
-     duplicates outright. *)
-  let select_guided () =
-    let obs = observations () in
-    if Array.length obs = 0 then `Not_yet
-    else begin
-      let pending =
-        Array.of_list (List.rev_map (fun s -> s.slot_config) !in_flight)
-      in
-      let extra_bad =
-        Array.append (Array.of_list (List.rev_map fst !failures)) pending
-      in
-      let surrogate, compiled =
-        fit_gated ~telemetry ~options ~gate ~emit_gate ~refit ~space ~anchor ~extra_bad obs
-      in
-      final_surrogate := Some surrogate;
-      match
-        select_batch ~telemetry ~options ?workers ?schedule ~encoded ~compiled ~k:1 ~rng
-          ~surrogate ~evaluated:seen ()
-      with
-      | [] -> `Exhausted
-      | c :: _ -> `Config c
-    end
-  in
-  (* Keep slots full: init draws while they last, then one refit +
-     selection per submission. [`Not_yet] (no observations to fit on
-     yet) pauses filling until a completion lands; an exhausted pool
-     latches [no_more]. *)
-  let no_more = ref false in
+  (* Keep the machine's in-flight set full, turning each suggestion
+     into a slot whose evaluation starts immediately (on a worker
+     domain when a pool is given). The machine decides everything
+     else: [Wait] pauses filling until a completion lands, [Finished]
+     ends the campaign. *)
   let fill at =
     let filling = ref true in
-    while
-      !filling && (not !no_more)
-      && List.length !in_flight < k
-      && !submitted < budget
-      && not (stale ())
-    do
-      match next_init () with
-      | Some c -> submit_config ~guided:false ~at c
-      | None -> (
-          match select_guided () with
-          | `Config c -> submit_config ~guided:true ~at c
-          | `Exhausted -> no_more := true
-          | `Not_yet -> filling := false)
+    while !filling do
+      match Campaign.suggest ~at campaign with
+      | Campaign.Suggest s ->
+          let run =
+            match workers with
+            | Some w ->
+                let fut = Parallel.Pool.async w (eval_task s.Campaign.config) in
+                fun () -> Parallel.Pool.await fut
+            | None -> eval_task s.Campaign.config
+          in
+          in_flight :=
+            { slot_sug = s; slot_submitted = at; slot_run = run; slot_memo = None }
+            :: !in_flight
+      | Campaign.Wait | Campaign.Finished -> filling := false
     done
   in
   fill !sim_time;
@@ -772,7 +235,7 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
       List.rev_map
         (fun slot ->
           let v, _, _, _ = slot_force slot in
-          let d = duration slot.slot_config v in
+          let d = duration slot.slot_sug.Campaign.config v in
           if (not (Float.is_finite d)) || d < 0. then
             invalid_arg "Tuner.run_async: duration must be finite and non-negative";
           (slot, slot.slot_submitted +. d))
@@ -781,16 +244,19 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
     let slot, at =
       List.fold_left
         (fun ((bs, bt) as acc) ((s, t) as cand) ->
-          if t < bt || (t = bt && s.slot_seq < bs.slot_seq) then cand else acc)
+          if t < bt || (t = bt && s.slot_sug.Campaign.id < bs.slot_sug.Campaign.id) then cand
+          else acc)
         (List.hd timed) (List.tl timed)
     in
-    in_flight := List.filter (fun s -> s.slot_seq <> slot.slot_seq) !in_flight;
+    in_flight :=
+      List.filter (fun s -> s.slot_sug.Campaign.id <> slot.slot_sug.Campaign.id) !in_flight;
     sim_time := at;
     let verdict, attempts_log, replayed, eval_ms = slot_force slot in
-    let idx = !completed in
+    let idx = Campaign.n_evaluated campaign in
     if idx < Array.length replay then begin
       let recorded_config, _ = replay.(idx) in
-      if not (Param.Config.equal recorded_config slot.slot_config) then failwith divergence_msg
+      if not (Param.Config.equal recorded_config slot.slot_sug.Campaign.config) then
+        failwith divergence_msg
     end
     else if replayed then
       (* A recorded verdict completing beyond the recorded prefix
@@ -801,79 +267,10 @@ let run_async ?(telemetry = Telemetry.Trace.disabled) ?(options = default_option
         (fun (attempt, kind, backoff) ->
           Telemetry.Trace.emit telemetry (Telemetry.Event.Attempt { attempt; kind; backoff }))
         attempts_log;
-    (if not replayed then
-       match on_outcome with Some f -> f idx slot.slot_config verdict | None -> ());
-    n_attempts := !n_attempts + verdict.Resilience.Evaluator.attempts;
-    retry_cost := !retry_cost +. verdict.Resilience.Evaluator.retry_cost;
-    (match verdict.Resilience.Evaluator.outcome with
-    | Resilience.Outcome.Value y ->
-        history := (slot.slot_config, y) :: !history;
-        if not slot.slot_guided then anchor_rev := (slot.slot_config, y) :: !anchor_rev;
-        (match !best with
-        | Some (_, by) when by <= y -> if slot.slot_guided then incr since_improvement
-        | Some _ | None ->
-            best := Some (slot.slot_config, y);
-            since_improvement := 0);
-        trajectory := snd (Option.get !best) :: !trajectory
-    | failure ->
-        failures := (slot.slot_config, failure) :: !failures;
-        if slot.slot_guided then incr since_improvement);
-    if Telemetry.Trace.enabled telemetry then begin
-      let outcome = verdict.Resilience.Evaluator.outcome in
-      Telemetry.Trace.emit telemetry
-        (Telemetry.Event.Eval
-           {
-             index = idx;
-             kind = Resilience.Outcome.kind outcome;
-             value = Resilience.Outcome.value outcome;
-             attempts = verdict.Resilience.Evaluator.attempts;
-             retry_cost = verdict.Resilience.Evaluator.retry_cost;
-             replayed;
-             dur_ms = eval_ms;
-           });
-      Telemetry.Trace.emit telemetry
-        (Telemetry.Event.Complete
-           {
-             index = idx;
-             in_flight = List.length !in_flight;
-             sim_time = !sim_time;
-             kind = Resilience.Outcome.kind outcome;
-           })
-    end;
-    incr completed;
+    Campaign.report ~at ~eval_ms campaign ~id:slot.slot_sug.Campaign.id verdict;
     fill !sim_time
   done;
-  let stopped_early = stale () in
-  if Telemetry.Trace.enabled telemetry then
-    Telemetry.Trace.emit telemetry
-      (Telemetry.Event.Campaign_end
-         {
-           evaluations = !completed;
-           failures = List.length !failures;
-           best = Option.map snd !best;
-           stopped_early;
-           dur_ms = (Telemetry.Trace.now telemetry -. campaign_t0) *. 1000.;
-         });
-  match !best with
-  | None ->
-      Stdlib.Error
-        {
-          error_failures = Array.of_list (List.rev !failures);
-          error_attempts = !n_attempts;
-        }
-  | Some (best_config, best_value) ->
-      Stdlib.Ok
-        {
-          history = Array.of_list (List.rev !history);
-          best_config;
-          best_value;
-          trajectory = Array.of_list (List.rev !trajectory);
-          final_surrogate = !final_surrogate;
-          stopped_early;
-          failures = Array.of_list (List.rev !failures);
-          n_attempts = !n_attempts;
-          retry_cost = !retry_cost;
-        }
+  Campaign.result campaign
 
 let resume_async ?telemetry ?options ?(policy = Resilience.Policy.default) ?warm_start
     ?candidates ?on_outcome ?on_gate ?pool ?schedule ?duration ~k ~log ~objective ~budget () =

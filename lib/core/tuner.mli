@@ -24,7 +24,11 @@
     — permanent failures are never retried), and counted against the
     budget exactly once regardless of how many attempts it took. *)
 
-type prior = {
+(** Every entry point here is a thin driver over the reentrant
+    {!Campaign} state machine — the configuration and result types
+    are re-exported from it, so the two APIs interoperate freely. *)
+
+type prior = Campaign.prior = {
   sources : (Surrogate.t * float) array;
       (** source-domain surrogates with their base weights, merged
           into every refit in array order (paper eqs. 9-10) *)
@@ -50,7 +54,7 @@ val prior_of : ?decay:(int -> float) -> ?gate:Gate.options -> (Surrogate.t * flo
     to {!constant_decay}; gate defaults to none — ungated). Raises
     [Invalid_argument] on out-of-range gate options. *)
 
-type options = {
+type options = Campaign.options = {
   n_init : int;  (** random initial samples (paper: 20) *)
   surrogate : Surrogate.options;
   strategy : Strategy.t;
@@ -76,7 +80,7 @@ val default_options : options
 (** n_init 20, surrogate defaults (alpha 0.2), [Ranking], no prior,
     batch 1, no early stop, exhaustive ranking. *)
 
-type result = {
+type result = Campaign.result = {
   history : (Param.Config.t * float) array;
       (** every successful evaluation performed by this run, in order
           (initial samples first; warm-start observations are
@@ -101,7 +105,7 @@ type result = {
   retry_cost : float;  (** accumulated simulated backoff cost *)
 }
 
-type run_error = {
+type run_error = Campaign.run_error = {
   error_failures : (Param.Config.t * Resilience.Outcome.t) array;
       (** every failed configuration with its final outcome *)
   error_attempts : int;  (** total attempts spent before giving up *)

@@ -139,7 +139,10 @@ let failure_kind_of_string = function
   | "timeout" -> Some Timeout
   | _ -> None
 
-let spec_header spec =
+(* The spec codec doubles as the wire format of the serve protocol's
+   space descriptions, so it is exported ([spec_to_string] /
+   [spec_of_string]) rather than private to the #spec header lines. *)
+let spec_to_string spec =
   let name = Param.Spec.name spec in
   if String.contains name '=' || String.contains name ',' || String.contains name ':' then
     invalid_arg "Runlog: parameter names may not contain '=', ':' or ','";
@@ -149,11 +152,13 @@ let spec_header spec =
         (fun l ->
           if String.contains l ',' then invalid_arg "Runlog: labels may not contain ','")
         labels;
-      Printf.sprintf "#spec %s=cat:%s" name (String.concat "," (Array.to_list labels))
+      Printf.sprintf "%s=cat:%s" name (String.concat "," (Array.to_list labels))
   | Param.Spec.Ordinal levels ->
-      Printf.sprintf "#spec %s=ord:%s" name
+      Printf.sprintf "%s=ord:%s" name
         (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") levels)))
   | Param.Spec.Continuous _ -> invalid_arg "Runlog: continuous parameters are not supported"
+
+let spec_header spec = "#spec " ^ spec_to_string spec
 
 let header_string ~version ~name ~seed ~specs =
   let buf = Buffer.create 512 in
@@ -216,12 +221,13 @@ let to_string ?(version = 2) t =
   end;
   Buffer.contents buf
 
-let parse_spec_header line =
-  (* "#spec name=kind:v1,v2,..." *)
-  match String.index_opt line '=' with
+let spec_of_string s =
+  (* "name=kind:v1,v2,..." *)
+  match String.index_opt s '=' with
   | None -> failwith "Runlog: malformed #spec line"
   | Some eq ->
-      let name = String.sub line 6 (eq - 6) in
+      let line = s in
+      let name = String.sub line 0 eq in
       let rest = String.sub line (eq + 1) (String.length line - eq - 1) in
       let kind, values =
         match String.index_opt rest ':' with
@@ -241,6 +247,8 @@ let parse_spec_header line =
                  | None -> failwith "Runlog: malformed ordinal level")
                values)
       | _ -> failwith (Printf.sprintf "Runlog: unknown spec kind %S" kind))
+
+let parse_spec_header line = spec_of_string (String.sub line 6 (String.length line - 6))
 
 let value_of_string spec s =
   match Param.Spec.domain spec with

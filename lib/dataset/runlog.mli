@@ -142,6 +142,29 @@ val failure_kind_to_string : failure_kind -> string
 (** The status-column word: ["failed"], ["transient"], ["permanent"],
     or ["timeout"]. *)
 
+(** {2 Wire codec}
+
+    The textual parameter codec behind the [#spec] header lines and
+    CSV value cells, exported because the serve protocol speaks the
+    same format: a space travels as one [spec_to_string] rendering
+    per parameter, and configurations as comma-joined
+    {!Param.Spec.value_to_string} cells parsed back with
+    {!value_of_string}. *)
+
+val spec_to_string : Param.Spec.t -> string
+(** ["name=cat:a,b"] / ["name=ord:1,2,4"]. Raises [Invalid_argument]
+    on continuous specs or names/labels containing the delimiter
+    characters ('=', ':', ','). *)
+
+val spec_of_string : string -> Param.Spec.t
+(** Inverse of {!spec_to_string}. Raises [Failure] on malformed
+    input. *)
+
+val value_of_string : Param.Spec.t -> string -> Param.Value.t
+(** Parse one rendered value cell: categorical labels match by
+    equality, ordinal levels within a 1e-9 relative tolerance.
+    Raises [Failure] on unknown labels or unmatched levels. *)
+
 val to_string : ?version:int -> t -> string
 (** Serialize to the format above; [version] is 2 (default) or 1.
     Version 1 is lossy: every failure kind collapses to [failed],

@@ -1,0 +1,455 @@
+(* Conformance tests for the reentrant {!Campaign} state machine: a
+   hand-written step driver must replay both blocking engines
+   bit-for-bit over random spaces/seeds/fault plans, interrupt/resume
+   through [of_log] must land on the uninterrupted result from any cut
+   point, out-of-order and duplicate reports must be rejected without
+   corrupting the campaign, and the state the refactor made explicit
+   (caller arrays, interleaved and pool-sharing campaigns) must be
+   isolated per machine. *)
+
+let check = Alcotest.check
+let policy3 = Gen.policy3
+
+(* Compare the two possible outcomes of a resilient run. *)
+let run_outcomes_identical a b =
+  match (a, b) with
+  | Stdlib.Ok a, Stdlib.Ok b -> Gen.results_identical a b
+  | Stdlib.Error a, Stdlib.Error b ->
+      let failure_eq (c1, o1) (c2, o2) =
+        Param.Config.equal c1 c2 && Resilience.Outcome.kind o1 = Resilience.Outcome.kind o2
+      in
+      a.Hiperbot.Tuner.error_attempts = b.Hiperbot.Tuner.error_attempts
+      && Array.length a.Hiperbot.Tuner.error_failures
+         = Array.length b.Hiperbot.Tuner.error_failures
+      && Array.for_all2 failure_eq a.Hiperbot.Tuner.error_failures
+           b.Hiperbot.Tuner.error_failures
+  | _ -> false
+
+(* ---- step drivers (independent re-implementations of the engines'
+   driving discipline, so parity is checked against the machine's
+   public API rather than against Tuner's own plumbing) ---- *)
+
+(* Synchronous: evaluate and report each suggestion immediately. *)
+let drive_sync campaign eval =
+  let rec loop () =
+    match Hiperbot.Campaign.suggest campaign with
+    | Hiperbot.Campaign.Finished -> Hiperbot.Campaign.result campaign
+    | Hiperbot.Campaign.Wait ->
+        Alcotest.fail "sync campaign returned Wait with nothing pending"
+    | Hiperbot.Campaign.Suggest s ->
+        Hiperbot.Campaign.report campaign ~id:s.Hiperbot.Campaign.id
+          (eval s.Hiperbot.Campaign.config);
+        loop ()
+  in
+  loop ()
+
+(* Asynchronous: keep the in-flight set full and complete suggestions
+   in simulated-clock order (earliest completion first, ties to the
+   lower submission id) — the same discipline [Tuner.run_async]
+   implements, rebuilt from scratch on the step API. *)
+let drive_async campaign ~eval ~duration =
+  let in_flight = ref [] and sim_time = ref 0. in
+  let fill at =
+    let filling = ref true in
+    while !filling do
+      match Hiperbot.Campaign.suggest ~at campaign with
+      | Hiperbot.Campaign.Suggest s ->
+          in_flight := (s, at, eval s.Hiperbot.Campaign.config) :: !in_flight
+      | Hiperbot.Campaign.Wait | Hiperbot.Campaign.Finished -> filling := false
+    done
+  in
+  fill !sim_time;
+  while !in_flight <> [] do
+    let timed =
+      List.rev_map
+        (fun ((s, submitted, v) as slot) ->
+          (slot, submitted +. duration s.Hiperbot.Campaign.config v))
+        !in_flight
+    in
+    let (s, _, v), at =
+      List.fold_left
+        (fun (((bs, _, _), bt) as acc) (((cs, _, _), ct) as cand) ->
+          if
+            ct < bt
+            || (ct = bt && cs.Hiperbot.Campaign.id < bs.Hiperbot.Campaign.id)
+          then cand
+          else acc)
+        (List.hd timed) (List.tl timed)
+    in
+    in_flight :=
+      List.filter
+        (fun (s', _, _) -> s'.Hiperbot.Campaign.id <> s.Hiperbot.Campaign.id)
+        !in_flight;
+    sim_time := at;
+    Hiperbot.Campaign.report ~at campaign ~id:s.Hiperbot.Campaign.id v;
+    fill !sim_time
+  done;
+  Hiperbot.Campaign.result campaign
+
+(* ---- property: step-driven Sync machine = run_with_policy ---- *)
+
+let campaign_gen =
+  let open QCheck2.Gen in
+  let* space = Gen.space_gen ~max_params:3 ~allow_continuous:false () in
+  let* faults = Gen.fault_spec_gen in
+  let* seed = Gen.seed_gen in
+  let* n_init = int_range 1 6 in
+  let+ budget = int_range 1 16 in
+  (space, faults, seed, n_init, budget)
+
+let print_campaign (space, faults, seed, n_init, budget) =
+  Printf.sprintf "%s %s seed=%d n_init=%d budget=%d" (Gen.space_to_string space)
+    (Gen.fault_spec_to_string faults) seed n_init budget
+
+let prop_sync_conformance =
+  QCheck2.Test.make ~name:"campaign: step driver = run_with_policy bit-for-bit" ~count:60
+    ~print:print_campaign campaign_gen
+    (fun (space, faults, seed, n_init, budget) ->
+      let objective = Hpcsim.Faults.inject faults Gen.hash_objective in
+      let options = { Hiperbot.Tuner.default_options with n_init } in
+      let engine =
+        Hiperbot.Tuner.run_with_policy ~options ~policy:policy3 ~rng:(Prng.Rng.create seed)
+          ~space ~objective ~budget ()
+      in
+      let campaign =
+        Hiperbot.Campaign.create ~options ~mode:Hiperbot.Campaign.Sync
+          ~rng:(Prng.Rng.create seed) ~space ~budget ()
+      in
+      let stepped =
+        drive_sync campaign (Resilience.Evaluator.evaluate ~policy:policy3 ~objective)
+      in
+      run_outcomes_identical engine stepped)
+
+(* ---- property: step-driven Async machine = run_async, k in {1,4},
+   under scrambled completion orders ---- *)
+
+let async_gen =
+  let open QCheck2.Gen in
+  let* space = Gen.space_gen ~max_params:3 ~allow_continuous:false () in
+  let* faults = Gen.fault_spec_gen in
+  let* seed = Gen.seed_gen in
+  let* n_init = int_range 1 6 in
+  let* dur_salt = int_range 0 1_000_000 in
+  let+ budget = int_range 1 16 in
+  (space, faults, seed, n_init, dur_salt, budget)
+
+let print_async (space, faults, seed, n_init, dur_salt, budget) =
+  Printf.sprintf "%s %s seed=%d n_init=%d dur_salt=%d budget=%d" (Gen.space_to_string space)
+    (Gen.fault_spec_to_string faults) seed n_init dur_salt budget
+
+(* A deterministic duration that scrambles completion order per salt
+   (and charges retry cost, like the engine's default). *)
+let salted_duration salt config (v : Resilience.Evaluator.verdict) =
+  float_of_int ((Param.Config.hash config lxor salt) land 0xFF)
+  +. v.Resilience.Evaluator.retry_cost
+
+let prop_async_conformance k =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "campaign: step driver = run_async (k=%d) bit-for-bit" k)
+    ~count:40 ~print:print_async async_gen
+    (fun (space, faults, seed, n_init, dur_salt, budget) ->
+      let objective = Hpcsim.Faults.inject faults Gen.hash_objective in
+      let options = { Hiperbot.Tuner.default_options with n_init } in
+      let duration = salted_duration dur_salt in
+      let engine =
+        Hiperbot.Tuner.run_async ~options ~policy:policy3 ~duration ~k
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      let campaign =
+        Hiperbot.Campaign.create ~options ~mode:(Hiperbot.Campaign.Async k)
+          ~rng:(Prng.Rng.create seed) ~space ~budget ()
+      in
+      let stepped =
+        drive_async campaign
+          ~eval:(Resilience.Evaluator.evaluate ~policy:policy3 ~objective)
+          ~duration
+      in
+      run_outcomes_identical engine stepped)
+
+(* ---- property: of_log resume from any cut point lands on the
+   uninterrupted result ---- *)
+
+let resume_gen =
+  let open QCheck2.Gen in
+  let* space = Gen.space_gen ~max_params:3 ~allow_continuous:false () in
+  let* faults = Gen.fault_spec_gen in
+  let* seed = Gen.seed_gen in
+  let* n_init = int_range 1 6 in
+  let* budget = int_range 1 16 in
+  let+ cut_num = int_range 0 100 in
+  (space, faults, seed, n_init, budget, cut_num)
+
+let prop_resume_any_cut =
+  QCheck2.Test.make
+    ~name:"campaign: of_log resume from any cut point = uninterrupted run" ~count:60
+    ~print:(fun (space, faults, seed, n_init, budget, cut_num) ->
+      Printf.sprintf "%s %s seed=%d n_init=%d budget=%d cut_num=%d"
+        (Gen.space_to_string space) (Gen.fault_spec_to_string faults) seed n_init budget
+        cut_num)
+    resume_gen
+    (fun (space, faults, seed, n_init, budget, cut_num) ->
+      let objective = Hpcsim.Faults.inject faults Gen.hash_objective in
+      let options = { Hiperbot.Tuner.default_options with n_init } in
+      let recorded = ref [] in
+      let full =
+        Hiperbot.Tuner.run_with_policy ~options ~policy:policy3
+          ~on_outcome:(fun i c v -> recorded := (i, c, v) :: !recorded)
+          ~rng:(Prng.Rng.create seed) ~space ~objective ~budget ()
+      in
+      let recorded = List.rev !recorded in
+      (* Cut anywhere in [0, completed] — including the empty log and
+         the already-finished one. *)
+      let cut = cut_num mod (List.length recorded + 1) in
+      let entries =
+        List.filteri (fun i _ -> i < cut) recorded
+        |> List.map (fun (i, c, (v : Resilience.Evaluator.verdict)) ->
+               {
+                 Dataset.Runlog.index = i;
+                 config = c;
+                 status = Gen.status_of_outcome v.Resilience.Evaluator.outcome;
+                 attempts = v.Resilience.Evaluator.attempts;
+               })
+      in
+      let log = Dataset.Runlog.create ~name:"cut" ~seed ~space entries in
+      let campaign =
+        Hiperbot.Campaign.of_log ~options ~policy:policy3 ~mode:Hiperbot.Campaign.Sync ~log
+          ~budget ()
+      in
+      let resumed =
+        if Hiperbot.Campaign.is_finished campaign then Hiperbot.Campaign.result campaign
+        else drive_sync campaign (Resilience.Evaluator.evaluate ~policy:policy3 ~objective)
+      in
+      run_outcomes_identical full resumed)
+
+(* ---- report rejection: duplicates, unknown ids, finished ---- *)
+
+let rejects f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+let test_report_rejection () =
+  let campaign =
+    Hiperbot.Campaign.create ~mode:Hiperbot.Campaign.Sync ~rng:(Prng.Rng.create 7)
+      ~space:Gen.cat_ord_space ~budget:2 ()
+  in
+  let ok y = { Resilience.Evaluator.outcome = Resilience.Outcome.Value y; attempts = 1; retry_cost = 0. } in
+  check Alcotest.bool "report before any suggestion rejected" true
+    (rejects (fun () -> Hiperbot.Campaign.report campaign ~id:0 (ok 1.)));
+  let s =
+    match Hiperbot.Campaign.suggest campaign with
+    | Hiperbot.Campaign.Suggest s -> s
+    | _ -> Alcotest.fail "expected a suggestion"
+  in
+  check Alcotest.bool "unknown id rejected" true
+    (rejects (fun () -> Hiperbot.Campaign.report campaign ~id:99 (ok 1.)));
+  Hiperbot.Campaign.report campaign ~id:s.Hiperbot.Campaign.id (ok 1.);
+  check Alcotest.bool "duplicate report rejected" true
+    (rejects (fun () -> Hiperbot.Campaign.report campaign ~id:s.Hiperbot.Campaign.id (ok 1.)));
+  check Alcotest.int "rejections did not corrupt the count" 1
+    (Hiperbot.Campaign.n_evaluated campaign);
+  (* Drain the budget, then reports on the finished campaign. *)
+  let rec drain () =
+    match Hiperbot.Campaign.suggest campaign with
+    | Hiperbot.Campaign.Suggest s ->
+        Hiperbot.Campaign.report campaign ~id:s.Hiperbot.Campaign.id (ok 2.);
+        drain ()
+    | Hiperbot.Campaign.Wait -> Alcotest.fail "unexpected Wait"
+    | Hiperbot.Campaign.Finished -> ()
+  in
+  drain ();
+  check Alcotest.bool "finished campaign rejects reports" true
+    (rejects (fun () -> Hiperbot.Campaign.report campaign ~id:0 (ok 1.)));
+  check Alcotest.bool "result is available" true
+    (match Hiperbot.Campaign.result campaign with Stdlib.Ok _ -> true | _ -> false)
+
+(* Async out-of-order: reporting any currently-pending id is legal
+   (that is the point of the async engine); ids that were never
+   issued, or already reported, are not. *)
+let test_async_out_of_order () =
+  let campaign =
+    Hiperbot.Campaign.create
+      ~options:{ Hiperbot.Tuner.default_options with n_init = 4 }
+      ~mode:(Hiperbot.Campaign.Async 3) ~rng:(Prng.Rng.create 11) ~space:Gen.wide_space
+      ~budget:6 ()
+  in
+  let ok y = { Resilience.Evaluator.outcome = Resilience.Outcome.Value y; attempts = 1; retry_cost = 0. } in
+  let rec take acc =
+    if List.length acc >= 3 then List.rev acc
+    else
+      match Hiperbot.Campaign.suggest campaign with
+      | Hiperbot.Campaign.Suggest s -> take (s :: acc)
+      | _ -> Alcotest.fail "expected 3 suggestions in flight"
+  in
+  let sugs = take [] in
+  check Alcotest.int "three pending" 3 (Hiperbot.Campaign.n_pending campaign);
+  (* Report the newest first: out of submission order, but pending. *)
+  let newest = List.nth sugs 2 in
+  Hiperbot.Campaign.report campaign ~id:newest.Hiperbot.Campaign.id (ok 5.);
+  check Alcotest.bool "already-reported id rejected" true
+    (rejects (fun () ->
+         Hiperbot.Campaign.report campaign ~id:newest.Hiperbot.Campaign.id (ok 5.)));
+  check Alcotest.bool "never-issued id rejected" true
+    (rejects (fun () -> Hiperbot.Campaign.report campaign ~id:42 (ok 5.)));
+  check Alcotest.int "pending shrank by exactly one" 2
+    (Hiperbot.Campaign.n_pending campaign)
+
+(* ---- regression: caller arrays are copied at create time ----
+
+   The step API holds campaign inputs across turns, so [create] must
+   defend against callers mutating the arrays they passed in — the
+   recursive engines consumed them within one call and never noticed
+   the aliasing. *)
+let test_warm_start_aliasing () =
+  let space = Gen.wide_space in
+  let objective = Gen.hash_objective in
+  let ws () =
+    [|
+      (Param.Space.random_config space (Prng.Rng.create 3), 50.);
+      (Param.Space.random_config space (Prng.Rng.create 4), 60.);
+    |]
+  in
+  let options = { Hiperbot.Tuner.default_options with n_init = 2 } in
+  let eval c =
+    { Resilience.Evaluator.outcome = Resilience.Outcome.Value (objective c);
+      attempts = 1; retry_cost = 0. }
+  in
+  let control =
+    let campaign =
+      Hiperbot.Campaign.create ~options ~warm_start:(ws ()) ~mode:Hiperbot.Campaign.Sync
+        ~rng:(Prng.Rng.create 5) ~space ~budget:8 ()
+    in
+    drive_sync campaign eval
+  in
+  let mutated =
+    let arr = ws () in
+    let campaign =
+      Hiperbot.Campaign.create ~options ~warm_start:arr ~mode:Hiperbot.Campaign.Sync
+        ~rng:(Prng.Rng.create 5) ~space ~budget:8 ()
+    in
+    (* Clobber the caller's array mid-campaign: the machine must not
+       see it. *)
+    arr.(0) <- (fst arr.(0), Float.neg_infinity);
+    arr.(1) <- (fst arr.(1), Float.nan);
+    drive_sync campaign eval
+  in
+  check Alcotest.bool "mutating warm_start after create has no effect" true
+    (run_outcomes_identical control mutated)
+
+let test_candidates_aliasing () =
+  let space = Gen.cat_ord_space in
+  let objective = Gen.cat_ord_objective in
+  let candidates () = Param.Space.enumerate space in
+  let options = { Hiperbot.Tuner.default_options with n_init = 3 } in
+  let eval c =
+    { Resilience.Evaluator.outcome = Resilience.Outcome.Value (objective c);
+      attempts = 1; retry_cost = 0. }
+  in
+  let control =
+    let campaign =
+      Hiperbot.Campaign.create ~options ~candidates:(candidates ())
+        ~mode:Hiperbot.Campaign.Sync ~rng:(Prng.Rng.create 9) ~space ~budget:8 ()
+    in
+    drive_sync campaign eval
+  in
+  let mutated =
+    let arr = candidates () in
+    let campaign =
+      Hiperbot.Campaign.create ~options ~candidates:arr ~mode:Hiperbot.Campaign.Sync
+        ~rng:(Prng.Rng.create 9) ~space ~budget:8 ()
+    in
+    let swap = arr.(Array.length arr - 1) in
+    Array.fill arr 0 (Array.length arr) swap;
+    drive_sync campaign eval
+  in
+  check Alcotest.bool "mutating candidates after create has no effect" true
+    (run_outcomes_identical control mutated)
+
+(* ---- regression: interleaved campaigns = isolated campaigns ----
+
+   All per-campaign state lives in the machine record; two machines
+   advanced turn-about must behave exactly as if each ran alone. *)
+let test_interleaved_campaigns () =
+  let space = Gen.wide_space in
+  let eval c =
+    { Resilience.Evaluator.outcome = Resilience.Outcome.Value (Gen.hash_objective c);
+      attempts = 1; retry_cost = 0. }
+  in
+  let options = { Hiperbot.Tuner.default_options with n_init = 3 } in
+  let mk seed =
+    Hiperbot.Campaign.create ~options ~mode:Hiperbot.Campaign.Sync
+      ~rng:(Prng.Rng.create seed) ~space ~budget:10 ()
+  in
+  let isolated seed = drive_sync (mk seed) eval in
+  let iso1 = isolated 21 and iso2 = isolated 22 in
+  let c1 = mk 21 and c2 = mk 22 in
+  let step c =
+    match Hiperbot.Campaign.suggest c with
+    | Hiperbot.Campaign.Suggest s ->
+        Hiperbot.Campaign.report c ~id:s.Hiperbot.Campaign.id
+          (eval s.Hiperbot.Campaign.config);
+        true
+    | Hiperbot.Campaign.Wait -> Alcotest.fail "unexpected Wait"
+    | Hiperbot.Campaign.Finished -> false
+  in
+  let live1 = ref true and live2 = ref true in
+  while !live1 || !live2 do
+    if !live1 then live1 := step c1;
+    if !live2 then live2 := step c2
+  done;
+  check Alcotest.bool "interleaved campaign 1 = isolated" true
+    (run_outcomes_identical iso1 (Hiperbot.Campaign.result c1));
+  check Alcotest.bool "interleaved campaign 2 = isolated" true
+    (run_outcomes_identical iso2 (Hiperbot.Campaign.result c2))
+
+(* ---- shared encoded pool: concurrent campaigns on one pool =
+   isolated campaigns with private pools ---- *)
+let test_shared_pool_concurrent () =
+  let space = Gen.wide_space in
+  let eval c =
+    { Resilience.Evaluator.outcome = Resilience.Outcome.Value (Gen.hash_objective c);
+      attempts = 1; retry_cost = 0. }
+  in
+  let options = { Hiperbot.Tuner.default_options with n_init = 4 } in
+  let run_shared pool seed =
+    let campaign =
+      Hiperbot.Campaign.create ~options ~shared_pool:pool ~mode:Hiperbot.Campaign.Sync
+        ~rng:(Prng.Rng.create seed) ~space ~budget:12 ()
+    in
+    drive_sync campaign eval
+  in
+  let isolated seed =
+    let campaign =
+      Hiperbot.Campaign.create ~options ~mode:Hiperbot.Campaign.Sync
+        ~rng:(Prng.Rng.create seed) ~space ~budget:12 ()
+    in
+    drive_sync campaign eval
+  in
+  let pool = Hiperbot.Surrogate.Pool.of_space space in
+  let seeds = [| 31; 32; 33; 34 |] in
+  let domains =
+    Array.map (fun seed -> Domain.spawn (fun () -> run_shared pool seed)) seeds
+  in
+  let shared = Array.map Domain.join domains in
+  Array.iteri
+    (fun i seed ->
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: shared-pool campaign = isolated campaign" seed)
+        true
+        (run_outcomes_identical (isolated seed) shared.(i)))
+    seeds
+
+let suite =
+  ( "campaign",
+    [
+      Alcotest.test_case "report rejection (sync)" `Quick test_report_rejection;
+      Alcotest.test_case "report rejection (async out-of-order)" `Quick
+        test_async_out_of_order;
+      Alcotest.test_case "warm_start array aliasing" `Quick test_warm_start_aliasing;
+      Alcotest.test_case "candidates array aliasing" `Quick test_candidates_aliasing;
+      Alcotest.test_case "interleaved campaigns are isolated" `Quick
+        test_interleaved_campaigns;
+      Alcotest.test_case "shared pool across domains" `Quick test_shared_pool_concurrent;
+      QCheck_alcotest.to_alcotest prop_sync_conformance;
+      QCheck_alcotest.to_alcotest (prop_async_conformance 1);
+      QCheck_alcotest.to_alcotest (prop_async_conformance 4);
+      QCheck_alcotest.to_alcotest prop_resume_any_cut;
+    ] )
