@@ -1,7 +1,7 @@
 # Development entry points. `make check` is what CI runs: build,
 # formatting (when ocamlformat is installed), and the full test suite.
 
-.PHONY: all build test fmt check clean bench bench-build bench-select bench-async bench-transfer bench-fidelity bench-serve trace-demo
+.PHONY: all build test fmt check clean bench bench-build bench-select bench-async bench-transfer bench-fidelity bench-serve bench-moo trace-demo
 
 all: build
 
@@ -56,6 +56,16 @@ bench-fidelity: bench-build
 # run, at the smaller budget).
 bench-serve: bench-build
 	dune exec bench/main.exe -- --experiment serve
+
+# Multi-objective tuning on the Kripke time+energy surface: scalarised
+# moo campaigns vs random search vs two single-objective runs, scored
+# by Pareto hypervolume against a shared reference; writes
+# BENCH_moo.json and asserts the moo hypervolume is at least the
+# random-search and each single-objective hypervolume. Set
+# HIPERBOT_MOO_BUDGET for a quick smoke run (skips the hypervolume
+# assertions; front sanity checks still run).
+bench-moo: bench-build
+	dune exec bench/main.exe -- --experiment moo
 
 # The formatting gate is skipped when ocamlformat is not on PATH so
 # `make check` works in minimal containers; install ocamlformat to

@@ -39,6 +39,12 @@ let experiments =
           "successive halving vs flat full-fidelity tuning (writes BENCH_fidelity.json)";
         run = Fidelity_bench.run;
       };
+      {
+        Experiments.id = "moo";
+        describe =
+          "multi-objective Pareto hypervolume on Kripke time+energy (writes BENCH_moo.json)";
+        run = Moo_bench.run;
+      };
     ]
 
 let list_experiments () =

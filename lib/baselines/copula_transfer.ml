@@ -22,13 +22,14 @@ type t = {
 
 let numeric_of_value v =
   match (v : Param.Value.t) with
-  | Param.Value.Categorical _ | Param.Value.Ordinal _ -> float_of_int (Param.Value.to_index v)
+  | Param.Value.Categorical _ | Param.Value.Ordinal _ | Param.Value.Permutation _ ->
+      float_of_int (Param.Value.to_index v)
   | Param.Value.Continuous x -> x
 
 let value_of_numeric spec x =
   match Param.Spec.domain spec with
   | Param.Spec.Continuous { lo; hi } -> Param.Value.Continuous (Float.min hi (Float.max lo x))
-  | Param.Spec.Categorical _ | Param.Spec.Ordinal _ ->
+  | Param.Spec.Categorical _ | Param.Spec.Ordinal _ | Param.Spec.Permutation _ ->
       let n = Option.get (Param.Spec.n_choices spec) in
       let i = int_of_float (Float.round x) in
       Param.Spec.value_of_index spec (min (n - 1) (max 0 i))

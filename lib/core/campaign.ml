@@ -318,6 +318,8 @@ let replay_of_log ~policy log =
         | Dataset.Runlog.Failed Dataset.Runlog.Permanent ->
             Resilience.Outcome.Permanent "recorded failure"
         | Dataset.Runlog.Failed Dataset.Runlog.Timeout -> Resilience.Outcome.Timeout
+        | Dataset.Runlog.Failed Dataset.Runlog.Infeasible ->
+            Resilience.Outcome.Infeasible "recorded failure"
       in
       ( e.Dataset.Runlog.config,
         {

@@ -24,7 +24,7 @@ let rec spec_of = function
 let continuous_range spec =
   match Param.Spec.domain spec with
   | Param.Spec.Continuous { lo; hi } -> (lo, hi)
-  | Param.Spec.Categorical _ | Param.Spec.Ordinal _ ->
+  | Param.Spec.Categorical _ | Param.Spec.Ordinal _ | Param.Spec.Permutation _ ->
       invalid_arg "Density: expected a continuous spec"
 
 let fit ?(options = default_options) spec values =

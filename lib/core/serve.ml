@@ -129,6 +129,7 @@ let entry_of_verdict idx config (v : Resilience.Evaluator.verdict) =
     | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
     | Resilience.Outcome.Permanent _ -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
     | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+    | Resilience.Outcome.Infeasible _ -> Dataset.Runlog.Failed Dataset.Runlog.Infeasible
   in
   {
     Dataset.Runlog.index = idx;
@@ -274,6 +275,7 @@ let verdict_of_wire ~attempts word =
         | "transient" -> Resilience.Outcome.Transient "reported failure"
         | "permanent" -> Resilience.Outcome.Permanent "reported failure"
         | "timeout" -> Resilience.Outcome.Timeout
+        | "infeasible" -> Resilience.Outcome.Infeasible "reported failure"
         | "crash" -> Resilience.Outcome.Permanent "reported failure"
         | k -> failwith (Printf.sprintf "Serve: report: unknown failure kind %S" k))
     | _ ->

@@ -79,7 +79,8 @@ let value_of_field spec field =
         else find (i + 1)
       in
       find 0
-  | Param.Spec.Continuous _ -> assert false (* inference never produces continuous specs *)
+  | Param.Spec.Continuous _ | Param.Spec.Permutation _ ->
+      assert false (* inference only produces categorical/ordinal specs *)
 
 let table_of_csv ~name text =
   let header, rows = parse_rows text in

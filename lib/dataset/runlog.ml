@@ -1,4 +1,4 @@
-type failure_kind = Crash | Transient | Permanent | Timeout
+type failure_kind = Crash | Transient | Permanent | Timeout | Infeasible
 type status = Ok of float | Failed of failure_kind
 type entry = { index : int; config : Param.Config.t; status : status; attempts : int }
 
@@ -14,6 +14,8 @@ type rung = {
   r_best : float;
 }
 
+type obj = { o_index : int; o_values : float array }
+
 type t = {
   name : string;
   seed : int;
@@ -22,6 +24,7 @@ type t = {
   gates : gate array;
   fids : fid array;
   rungs : rung array;
+  objs : obj array;
 }
 
 let gate_actions = [ "attenuate"; "restore"; "drop"; "fallback" ]
@@ -62,7 +65,19 @@ let rung_equal a b =
   && a.r_promoted = b.r_promoted
   && Float.equal a.r_best b.r_best
 
-let create ?(gates = []) ?(fids = []) ?(rungs = []) ~name ~seed ~space entries =
+let validate_obj o =
+  if o.o_index < 0 then invalid_arg "Runlog: obj index must be non-negative";
+  if Array.length o.o_values = 0 then invalid_arg "Runlog: obj needs at least one objective";
+  Array.iter
+    (fun v -> if not (Float.is_finite v) then invalid_arg "Runlog: obj values must be finite")
+    o.o_values
+
+let obj_equal a b =
+  a.o_index = b.o_index
+  && Array.length a.o_values = Array.length b.o_values
+  && Array.for_all2 Float.equal a.o_values b.o_values
+
+let create ?(gates = []) ?(fids = []) ?(rungs = []) ?(objs = []) ~name ~seed ~space entries =
   let entries = Array.of_list entries in
   Array.sort (fun a b -> compare a.index b.index) entries;
   Array.iteri
@@ -88,7 +103,20 @@ let create ?(gates = []) ?(fids = []) ?(rungs = []) ~name ~seed ~space entries =
     fids;
   let rungs = Array.of_list rungs in
   Array.iter validate_rung rungs;
-  { name; seed; space; entries; gates; fids; rungs }
+  (* Objective vectors are keyed by entry index, so index order is the
+     canonical one (unlike the chronological gate/fid streams). *)
+  let objs = Array.of_list objs in
+  Array.sort (fun a b -> compare a.o_index b.o_index) objs;
+  Array.iteri
+    (fun i o ->
+      validate_obj o;
+      if i > 0 then begin
+        if objs.(i - 1).o_index = o.o_index then invalid_arg "Runlog: duplicate obj index";
+        if Array.length objs.(i - 1).o_values <> Array.length o.o_values then
+          invalid_arg "Runlog: obj rows must agree on the objective count"
+      end)
+    objs;
+  { name; seed; space; entries; gates; fids; rungs; objs }
 
 type recorder = { r_name : string; r_seed : int; r_space : Param.Space.t; mutable acc : entry list }
 
@@ -131,12 +159,14 @@ let failure_kind_to_string = function
   | Transient -> "transient"
   | Permanent -> "permanent"
   | Timeout -> "timeout"
+  | Infeasible -> "infeasible"
 
 let failure_kind_of_string = function
   | "failed" -> Some Crash
   | "transient" -> Some Transient
   | "permanent" -> Some Permanent
   | "timeout" -> Some Timeout
+  | "infeasible" -> Some Infeasible
   | _ -> None
 
 (* The spec codec doubles as the wire format of the serve protocol's
@@ -156,6 +186,7 @@ let spec_to_string spec =
   | Param.Spec.Ordinal levels ->
       Printf.sprintf "%s=ord:%s" name
         (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") levels)))
+  | Param.Spec.Permutation n -> Printf.sprintf "%s=perm:%d" name n
   | Param.Spec.Continuous _ -> invalid_arg "Runlog: continuous parameters are not supported"
 
 let spec_header spec = "#spec " ^ spec_to_string spec
@@ -206,6 +237,16 @@ let fid_row ~specs f =
 let rung_row r =
   Printf.sprintf "#rung %d,%d,%d,%d,%h\n" r.r_bracket r.r_rung r.r_evaluated r.r_promoted r.r_best
 
+(* Objective vectors (multi-objective campaigns) are keyed by the
+   entry index they annotate; hex floats keep scalarisation replay
+   bit-exact across a save/resume cycle. *)
+let obj_row o =
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf (Printf.sprintf "#obj %d" o.o_index);
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%h" v)) o.o_values;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 let to_string ?(version = 2) t =
   if version <> 1 && version <> 2 then invalid_arg "Runlog.to_string: unknown format version";
   let specs = Param.Space.specs t.space in
@@ -217,7 +258,8 @@ let to_string ?(version = 2) t =
   if version >= 2 then begin
     Array.iter (fun g -> Buffer.add_string buf (gate_row g)) t.gates;
     Array.iter (fun f -> Buffer.add_string buf (fid_row ~specs f)) t.fids;
-    Array.iter (fun r -> Buffer.add_string buf (rung_row r)) t.rungs
+    Array.iter (fun r -> Buffer.add_string buf (rung_row r)) t.rungs;
+    Array.iter (fun o -> Buffer.add_string buf (obj_row o)) t.objs
   end;
   Buffer.contents buf
 
@@ -246,6 +288,17 @@ let spec_of_string s =
                  | Some f -> f
                  | None -> failwith "Runlog: malformed ordinal level")
                values)
+      | "perm" -> begin
+          match values with
+          | [ v ] -> (
+              match int_of_string_opt (String.trim v) with
+              | Some n -> (
+                  match Param.Spec.permutation name n with
+                  | spec -> spec
+                  | exception Invalid_argument msg -> failwith msg)
+              | None -> failwith "Runlog: malformed permutation size")
+          | _ -> failwith "Runlog: malformed #spec line"
+        end
       | _ -> failwith (Printf.sprintf "Runlog: unknown spec kind %S" kind))
 
 let parse_spec_header line = spec_of_string (String.sub line 6 (String.length line - 6))
@@ -272,6 +325,12 @@ let value_of_string spec s =
         else find (i + 1)
       in
       find 0
+  | Param.Spec.Permutation n -> begin
+      match Param.Spec.permutation_of_string n s with
+      | v -> v
+      | exception Invalid_argument _ ->
+          failwith (Printf.sprintf "Runlog: malformed permutation %S" s)
+    end
   | Param.Spec.Continuous _ -> assert false
 
 let of_string ?(recover = false) text =
@@ -423,6 +482,31 @@ let of_string ?(recover = false) text =
         | exception Invalid_argument msg -> failwith msg)
     | _ -> failwith "Runlog: malformed #rung line"
   in
+  let is_obj_line line = String.length line >= 5 && String.sub line 0 5 = "#obj " in
+  let parse_obj_row line =
+    (* "#obj index,v1,v2,..." — values are hex floats *)
+    match String.split_on_char ',' (String.sub line 5 (String.length line - 5)) with
+    | index :: (_ :: _ as values) ->
+        let index =
+          match int_of_string_opt (String.trim index) with
+          | Some i -> i
+          | None -> failwith "Runlog: malformed obj index"
+        in
+        let values =
+          Array.of_list
+            (List.map
+               (fun s ->
+                 match float_of_string_opt (String.trim s) with
+                 | Some v -> v
+                 | None -> failwith "Runlog: malformed obj value")
+               values)
+        in
+        let o = { o_index = index; o_values = values } in
+        (match validate_obj o with
+        | () -> o
+        | exception Invalid_argument msg -> failwith msg)
+    | _ -> failwith "Runlog: malformed #obj line"
+  in
   match body with
   | [] -> failwith "Runlog: missing column header"
   | _header :: rows ->
@@ -436,19 +520,21 @@ let of_string ?(recover = false) text =
       let gates = ref [] in
       let fids = ref [] in
       let rungs = ref [] in
+      let objs = ref [] in
       List.iteri
         (fun i line ->
           match
             if is_gate_line line then gates := parse_gate_row line :: !gates
             else if is_fid_line line then fids := parse_fid_row line :: !fids
             else if is_rung_line line then rungs := parse_rung_row line :: !rungs
+            else if is_obj_line line then objs := parse_obj_row line :: !objs
             else entries := parse_row line :: !entries
           with
           | () -> ()
           | exception Failure msg -> if not (recover && i = n_rows - 1) then failwith msg)
         rows;
       create ~gates:(List.rev !gates) ~fids:(List.rev !fids) ~rungs:(List.rev !rungs)
-        ~name:!name ~seed:!seed ~space (List.rev !entries)
+        ~objs:(List.rev !objs) ~name:!name ~seed:!seed ~space (List.rev !entries)
 
 let save t path =
   let oc = open_out path in
@@ -510,6 +596,12 @@ let writer_record_rung w r =
   if w.w_closed then invalid_arg "Runlog: record on a closed writer";
   validate_rung r;
   output_string w.w_oc (rung_row r);
+  flush w.w_oc
+
+let writer_record_obj w o =
+  if w.w_closed then invalid_arg "Runlog: record on a closed writer";
+  validate_obj o;
+  output_string w.w_oc (obj_row o);
   flush w.w_oc
 
 let writer_close w =

@@ -32,6 +32,7 @@ type failure_kind =
   | Transient
   | Permanent
   | Timeout
+  | Infeasible  (** hard-constraint violation; consumes budget, never retried *)
 
 type status = Ok of float | Failed of failure_kind
 
@@ -85,6 +86,18 @@ type rung = {
 
 val rung_equal : rung -> rung -> bool
 
+type obj = {
+  o_index : int;  (** index of the entry this vector annotates *)
+  o_values : float array;  (** raw objective vector, persisted bit-exactly *)
+}
+(** One persisted multi-objective measurement ([#obj] line). A
+    multi-objective campaign records the scalarised value as the
+    entry's objective and the raw vector here, keyed by entry index,
+    so a resumed campaign can rebuild the Pareto front and verify the
+    recorded scalarisations bit-exactly. *)
+
+val obj_equal : obj -> obj -> bool
+
 type t = {
   name : string;
   seed : int;
@@ -93,12 +106,14 @@ type t = {
   gates : gate array;  (** gate decisions in emission (chronological) order *)
   fids : fid array;  (** low-fidelity observations in completion order *)
   rungs : rung array;  (** rung closures in decision order *)
+  objs : obj array;  (** objective vectors sorted by entry index *)
 }
 
 val create :
   ?gates:gate list ->
   ?fids:fid list ->
   ?rungs:rung list ->
+  ?objs:obj list ->
   name:string ->
   seed:int ->
   space:Param.Space.t ->
@@ -108,7 +123,10 @@ val create :
     valid for the space, and attempts >= 1 ([Invalid_argument]
     otherwise). [gates], [fids] and [rungs] (default none) keep their
     given chronological order and are validated (known action, finite
-    values, counters in range, fid configs valid for the space). *)
+    values, counters in range, fid configs valid for the space).
+    [objs] are sorted by entry index and validated (distinct
+    non-negative indices, non-empty finite vectors of uniform
+    arity). *)
 
 type recorder
 
@@ -140,7 +158,7 @@ val count_kind : t -> failure_kind -> int
 
 val failure_kind_to_string : failure_kind -> string
 (** The status-column word: ["failed"], ["transient"], ["permanent"],
-    or ["timeout"]. *)
+    ["timeout"], or ["infeasible"]. *)
 
 (** {2 Wire codec}
 
@@ -170,15 +188,15 @@ val to_string : ?version:int -> t -> string
     Version 1 is lossy: every failure kind collapses to [failed],
     attempt counts are dropped, and gate/fid/rung lines are omitted.
     Gate decisions render as [#gate refit,source,action,trust,below],
-    low-fidelity observations as [#fid bracket,rung,value,v1,v2,...]
-    and rung closures as [#rung bracket,rung,evaluated,promoted,best]
-    lines after the evaluation rows (floats in hex form for bit-exact
-    round-trips). Continuous parameters are not supported (the
+    low-fidelity observations as [#fid bracket,rung,value,v1,v2,...],
+    rung closures as [#rung bracket,rung,evaluated,promoted,best] and
+    objective vectors as [#obj index,v1,v2,...] lines after the
+    evaluation rows (floats in hex form for bit-exact round-trips). Continuous parameters are not supported (the
     reproduction's spaces are finite); raises [Invalid_argument] on a
     continuous spec or an unknown version. *)
 
 val of_string : ?recover:bool -> string -> t
-(** Parse v1 or v2 text. [#gate], [#fid] and [#rung] lines may
+(** Parse v1 or v2 text. [#gate], [#fid], [#rung] and [#obj] lines may
     interleave with evaluation rows anywhere after the column header;
     each stream keeps its own order. Raises [Failure] on malformed
     input. With [~recover:true] (default false) a malformed {e final}
@@ -227,10 +245,15 @@ val writer_record_rung : writer -> rung -> unit
 (** Append one [#rung] closure line and flush. Raises
     [Invalid_argument] on a closed writer or an invalid rung. *)
 
+val writer_record_obj : writer -> obj -> unit
+(** Append one [#obj] objective-vector line and flush. Raises
+    [Invalid_argument] on a closed writer or an invalid vector. *)
+
 val writer_close : writer -> unit
 (** Close the underlying channel and rewrite the file in canonical
-    form — entries sorted by index, then [#gate], [#fid] and [#rung]
-    lines (each stream in chronological order), via an atomic
+    form — entries sorted by index, then [#gate], [#fid], [#rung] and
+    [#obj] lines (decision streams chronological, objective vectors
+    sorted by entry index), via an atomic
     temp-file rename — so a completed log is byte-identical whether
     the campaign ran straight through or was interrupted and resumed
     any number of times. Idempotent. *)

@@ -65,12 +65,27 @@ let good_test t threshold =
   in
   (pred, count_within t threshold)
 
+(* A NaN objective would poison the quantile/threshold comparisons
+   into a silently empty (or full) good set, so reject it up front.
+   The guard conditions are written NaN-proof: a NaN [l] or [gamma]
+   fails every comparison, so the valid range is asserted positively
+   rather than its complement rejected. *)
+let reject_nan_objectives ~what t =
+  Array.iteri
+    (fun i y ->
+      if Float.is_nan y then
+        invalid_arg (Printf.sprintf "Table.%s: NaN objective at row %d" what i))
+    t.objectives
+
 let good_set_percentile t l =
-  if l <= 0. || l > 1. then invalid_arg "Table.good_set_percentile: l outside (0, 1]";
+  if not (l > 0. && l <= 1.) then invalid_arg "Table.good_set_percentile: l outside (0, 1]";
+  reject_nan_objectives ~what:"good_set_percentile" t;
   good_test t (Stats.Quantile.quantile t.objectives l)
 
 let good_set_tolerance t gamma =
-  if gamma < 0. then invalid_arg "Table.good_set_tolerance: negative tolerance";
+  if not (Float.is_finite gamma && gamma >= 0.) then
+    invalid_arg "Table.good_set_tolerance: tolerance must be finite and non-negative";
+  reject_nan_objectives ~what:"good_set_tolerance" t;
   good_test t ((1. +. gamma) *. best_value t)
 
 let to_csv t =
@@ -114,6 +129,12 @@ let value_of_string spec s =
             else find (i + 1)
           in
           find 0
+    end
+  | Param.Spec.Permutation n -> begin
+      match Param.Spec.permutation_of_string n s with
+      | v -> v
+      | exception Invalid_argument _ ->
+          failwith (Printf.sprintf "Table.of_csv: bad permutation %S for %s" s (Param.Spec.name spec))
     end
   | Param.Spec.Continuous _ -> begin
       match float_of_string_opt s with

@@ -46,11 +46,16 @@ val count_within : t -> float -> int
 
 val good_set_percentile : t -> float -> (Param.Config.t -> bool) * int
 (** [good_set_percentile t l] classifies rows in the best [l] fraction
-    (paper eq. 11); returns the membership test and the good count. *)
+    (paper eq. 11); returns the membership test and the good count.
+    Raises [Invalid_argument] when [l] is outside (0, 1] (NaN
+    included) or any objective row is NaN — either would silently
+    skew the set empty or full. *)
 
 val good_set_tolerance : t -> float -> (Param.Config.t -> bool) * int
 (** [good_set_tolerance t gamma] classifies rows with objective within
-    [(1 + gamma) * best] (paper eq. 12). *)
+    [(1 + gamma) * best] (paper eq. 12). Raises [Invalid_argument]
+    when [gamma] is not finite and non-negative, or any objective row
+    is NaN. *)
 
 val to_csv : t -> string
 (** Header row of parameter names plus "objective", then one line per

@@ -35,6 +35,22 @@ let build space =
           for c = 0 to counts.(i) - 1 do
             if c <> digits.(i) then nbrs := base + (c * strides.(i)) :: !nbrs
           done
+      | Param.Spec.Permutation _ ->
+          (* The Cayley graph under adjacent transpositions: each
+             neighbor swaps one adjacent pair of the arrangement —
+             the permutation analogue of an ordinal's +-1 steps. *)
+          (match Param.Spec.value_of_index spec digits.(i) with
+          | Param.Value.Permutation p ->
+              for s = 0 to Array.length p - 2 do
+                let q = Array.copy p in
+                let tmp = q.(s) in
+                q.(s) <- q.(s + 1);
+                q.(s + 1) <- tmp;
+                nbrs :=
+                  base + (Param.Value.to_index (Param.Value.Permutation q) * strides.(i))
+                  :: !nbrs
+              done
+          | _ -> assert false)
       | Param.Spec.Continuous _ -> assert false
     done;
     adjacency.(rank) <- Array.of_list !nbrs

@@ -68,7 +68,7 @@ let default_o3_config =
     | Param.Spec.Categorical labels ->
         let rec find i = if labels.(i) = label then Param.Value.Categorical i else find (i + 1) in
         find 0
-    | Param.Spec.Ordinal _ | Param.Spec.Continuous _ -> assert false
+    | Param.Spec.Ordinal _ | Param.Spec.Continuous _ | Param.Spec.Permutation _ -> assert false
   in
   [|
     v "level" "O3"; v "malloc" "system"; v "force" "off"; v "builtin" "off";

@@ -4,7 +4,24 @@ let default = { static_watts = 40.; dynamic_watts_per_core = 9.0; nominal_ghz = 
 let caps_watts = Array.init 11 (fun i -> 50. +. (10. *. float_of_int i))
 let min_frequency_fraction = 0.2
 
+(* Nonsense physics — zero cores, a non-positive cap, or a busy
+   fraction outside [0, 1] — would silently divide by zero or run the
+   frequency model backwards; the energy objective is load-bearing
+   for multi-objective tuning, so reject it loudly. The comparisons
+   are written NaN-proof (a NaN argument fails the positive
+   assertion, not the rejected complement). *)
+let check_cores_cap name ~active_cores ~cap_watts =
+  if active_cores < 1 then
+    invalid_arg (Printf.sprintf "Power.%s: active_cores must be at least 1" name);
+  if not (Float.is_finite cap_watts && cap_watts > 0.) then
+    invalid_arg (Printf.sprintf "Power.%s: cap_watts must be finite and positive" name)
+
+let check_compute_fraction name compute_fraction =
+  if not (compute_fraction >= 0. && compute_fraction <= 1.) then
+    invalid_arg (Printf.sprintf "Power.%s: compute_fraction outside [0, 1]" name)
+
 let frequency_under_cap t ~active_cores ~cap_watts =
+  check_cores_cap "frequency_under_cap" ~active_cores ~cap_watts;
   let dynamic_budget = cap_watts -. t.static_watts in
   let full_dynamic = t.dynamic_watts_per_core *. float_of_int active_cores in
   if dynamic_budget >= full_dynamic then t.nominal_ghz
@@ -16,6 +33,7 @@ let frequency_under_cap t ~active_cores ~cap_watts =
   end
 
 let slowdown t ~active_cores ~cap_watts ~compute_fraction =
+  check_compute_fraction "slowdown" compute_fraction;
   let f = frequency_under_cap t ~active_cores ~cap_watts in
   let ratio = t.nominal_ghz /. f in
   (compute_fraction *. ratio) +. (1. -. compute_fraction)
@@ -27,5 +45,7 @@ let power_draw t ~active_cores ~cap_watts =
   Stdlib.min cap_watts (t.static_watts +. dynamic)
 
 let energy t ~active_cores ~cap_watts ~compute_fraction ~base_time =
+  if not (Float.is_finite base_time && base_time >= 0.) then
+    invalid_arg "Power.energy: base_time must be finite and non-negative";
   let time = base_time *. slowdown t ~active_cores ~cap_watts ~compute_fraction in
   time *. power_draw t ~active_cores ~cap_watts

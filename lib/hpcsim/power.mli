@@ -24,15 +24,23 @@ val caps_watts : float array
 
 val frequency_under_cap : t -> active_cores:int -> cap_watts:float -> float
 (** Effective core frequency (GHz) after throttling to respect the
-    cap. Never exceeds nominal, never drops below 20% of nominal. *)
+    cap. Never exceeds nominal, never drops below 20% of nominal.
+    Raises [Invalid_argument] unless [active_cores >= 1] and
+    [cap_watts] is finite and positive (all entry points validate;
+    the energy objective is load-bearing for multi-objective
+    tuning). *)
 
 val slowdown : t -> active_cores:int -> cap_watts:float -> compute_fraction:float -> float
 (** Multiplicative execution-time factor [>= 1]. Only the
-    [compute_fraction] of the runtime scales with frequency. *)
+    [compute_fraction] of the runtime scales with frequency. Raises
+    [Invalid_argument] when [compute_fraction] is outside [0, 1]
+    (NaN included), plus the {!frequency_under_cap} checks. *)
 
 val power_draw : t -> active_cores:int -> cap_watts:float -> float
-(** Average package power (W) while running under the cap. *)
+(** Average package power (W) while running under the cap. Validates
+    like {!frequency_under_cap}. *)
 
 val energy : t -> active_cores:int -> cap_watts:float -> compute_fraction:float -> base_time:float -> float
 (** Total energy (J) for a task of duration [base_time] at nominal
-    frequency: throttled time x power under cap. *)
+    frequency: throttled time x power under cap. Validates like
+    {!slowdown}, and requires a finite non-negative [base_time]. *)

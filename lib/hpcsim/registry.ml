@@ -87,6 +87,8 @@ let all =
     entry "lulesh" "LULESH compiler flags (4800 configs; paper 4800)" Lulesh.table
       ~fidelity:lulesh_fidelity;
     entry "openatom" "OpenAtom over-decomposition (8640 configs; paper 8928)" Openatom.table;
+    entry "tensor" "Tensor-contraction schedule with loop-order permutation (1152 configs)"
+      Tensor.table;
     entry "kripke_src" "Kripke transfer source: capped exec time, 16 nodes" Kripke.transfer_source_table;
     entry "kripke_trgt" "Kripke transfer target: capped exec time, 64 nodes" Kripke.transfer_target_table;
     entry "hypre_src" "HYPRE transfer source: extended space, 16 nodes" Hypre.transfer_source_table;

@@ -1,0 +1,33 @@
+(** TACO/RISE-style dense tensor-contraction kernel schedule
+    (CATBench's surface family): loop {e order} as a true permutation
+    parameter plus tiling, unrolling, vector ISA, and threads, over a
+    [C[i,j] += A[i,k]*B[k,j]] contraction. 1152 configurations, of
+    which 25% violate the register-footprint constraint.
+
+    The surface exists to exercise the {!Param.Spec.Permutation}
+    domain and hard constraints end to end: constrained campaigns
+    evaluate {!outcome} (infeasible schedules report
+    {!Resilience.Outcome.Infeasible}), while the raw {!table} stays
+    total by charging infeasible schedules a register-spill
+    penalty. *)
+
+val space : Param.Space.t
+(** [Loop] (permutation of the [i;j;k] nest, outermost first),
+    [Tile] (16..128), [Unroll] (1..8), [Vector] (none/sse/avx2),
+    [Threads] (1..8). *)
+
+val feasible : Param.Config.t -> bool
+(** Whether the unrolled+vectorized inner loop fits the model's 8
+    vector registers ([unroll × lanes <= 8]). *)
+
+val exec_time : Param.Config.t -> float
+(** Analytic execution time in seconds, deterministic-noise
+    perturbed; total over the space (infeasible schedules pay a
+    spill penalty rather than failing). *)
+
+val outcome : Param.Config.t -> Resilience.Outcome.t
+(** [Value (exec_time c)] when {!feasible}, [Infeasible] with a
+    diagnostic otherwise — the objective a constrained campaign
+    plugs straight into suggest/report. *)
+
+val table : unit -> Dataset.Table.t

@@ -9,11 +9,16 @@ type good_set = { test : Param.Config.t -> bool; count : int }
 
 val percentile_good_set : Dataset.Table.t -> float -> good_set
 (** [percentile_good_set table l]: rows in the best [l] fraction
-    (eq. 11; the paper's selection experiments). *)
+    (eq. 11; the paper's selection experiments). Raises
+    [Invalid_argument] when [l] is outside (0, 1] (NaN included) or
+    the table holds NaN objective rows — silently empty or full good
+    sets would skew bench recall. *)
 
 val tolerance_good_set : Dataset.Table.t -> float -> good_set
 (** [tolerance_good_set table gamma]: rows within [(1+gamma) * best]
-    (eq. 12; the transfer experiments). *)
+    (eq. 12; the transfer experiments). Raises [Invalid_argument]
+    when [gamma] is not finite and non-negative, or on NaN objective
+    rows. *)
 
 val recall : good_set -> (Param.Config.t * float) array -> float
 (** Fraction of good configurations present in the history; repeated

@@ -117,9 +117,24 @@ let distance t a b =
       let d =
         match (Spec.domain spec, a.(i), b.(i)) with
         | Spec.Categorical _, Value.Categorical x, Value.Categorical y -> if x = y then 0. else 1.
+        | Spec.Permutation _, Value.Permutation x, Value.Permutation y ->
+            (* Normalized Kendall tau: the fraction of element pairs
+               ordered differently by the two arrangements — 0 for
+               equal permutations, 1 for reversals. *)
+            let n = Array.length x in
+            let posa = Array.make n 0 and posb = Array.make n 0 in
+            Array.iteri (fun pos e -> posa.(e) <- pos) x;
+            Array.iteri (fun pos e -> posb.(e) <- pos) y;
+            let discordant = ref 0 in
+            for e1 = 0 to n - 1 do
+              for e2 = e1 + 1 to n - 1 do
+                if posa.(e1) < posa.(e2) <> (posb.(e1) < posb.(e2)) then incr discordant
+              done
+            done;
+            float_of_int !discordant /. float_of_int (n * (n - 1) / 2)
         | Spec.Ordinal _, _, _ | Spec.Continuous _, _, _ ->
             Float.abs (Spec.numeric_encoding spec a.(i) -. Spec.numeric_encoding spec b.(i))
-        | Spec.Categorical _, _, _ -> assert false
+        | (Spec.Categorical _ | Spec.Permutation _), _, _ -> assert false
       in
       acc := !acc +. d
     done;
@@ -136,8 +151,13 @@ let encode t config =
     (fun i spec ->
       (match (Spec.domain spec, config.(i)) with
       | Spec.Categorical _, Value.Categorical c -> out.(!pos + c) <- 1.
+      | Spec.Permutation n, Value.Permutation p ->
+          (* Normalized arrangement vector: slot j holds the element
+             placed at position j, scaled to [0, 1] — a smooth
+             embedding for the numeric baselines (GP/PerfNet/GBT). *)
+          Array.iteri (fun j e -> out.(!pos + j) <- float_of_int e /. float_of_int (n - 1)) p
       | Spec.Ordinal _, _ | Spec.Continuous _, _ -> out.(!pos) <- Spec.numeric_encoding spec config.(i)
-      | Spec.Categorical _, _ -> assert false);
+      | (Spec.Categorical _ | Spec.Permutation _), _ -> assert false);
       pos := !pos + Spec.one_hot_width spec)
     t.specs;
   out

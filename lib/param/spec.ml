@@ -2,8 +2,22 @@ type domain =
   | Categorical of string array
   | Ordinal of float array
   | Continuous of { lo : float; hi : float }
+  | Permutation of int
 
 type t = { name : string; domain : domain }
+
+(* Permutation sizes are capped so that n! stays within the uint16
+   code range of Surrogate.Pool's packed encodings (8! = 40320 <=
+   65536); larger loop nests should be factored into independent
+   permutation parameters anyway. *)
+let max_permutation_size = 8
+
+let factorial n =
+  let acc = ref 1 in
+  for i = 2 to n do
+    acc := !acc * i
+  done;
+  !acc
 
 let make ~name domain =
   (match domain with
@@ -13,34 +27,77 @@ let make ~name domain =
       for i = 1 to Array.length levels - 1 do
         if levels.(i) <= levels.(i - 1) then invalid_arg "Spec.make: levels must be strictly increasing"
       done
-  | Continuous { lo; hi } -> if not (lo < hi) then invalid_arg "Spec.make: empty range");
+  | Continuous { lo; hi } -> if not (lo < hi) then invalid_arg "Spec.make: empty range"
+  | Permutation n ->
+      if n < 2 || n > max_permutation_size then
+        invalid_arg
+          (Printf.sprintf "Spec.make: permutation size must lie in [2, %d]" max_permutation_size));
   { name; domain }
 
 let categorical name labels = make ~name (Categorical (Array.of_list labels))
 let ordinal_ints name levels = make ~name (Ordinal (Array.of_list (List.map float_of_int levels)))
 let ordinal_floats name levels = make ~name (Ordinal (Array.of_list levels))
 let continuous name ~lo ~hi = make ~name (Continuous { lo; hi })
+let permutation name n = make ~name (Permutation n)
 let name t = t.name
 let domain t = t.domain
 
 let is_discrete t =
-  match t.domain with Categorical _ | Ordinal _ -> true | Continuous _ -> false
+  match t.domain with
+  | Categorical _ | Ordinal _ | Permutation _ -> true
+  | Continuous _ -> false
 
 let n_choices t =
   match t.domain with
   | Categorical labels -> Some (Array.length labels)
   | Ordinal levels -> Some (Array.length levels)
+  | Permutation n -> Some (factorial n)
   | Continuous _ -> None
+
+let is_permutation_of n p =
+  Array.length p = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      x >= 0 && x < n && not seen.(x)
+      &&
+      (seen.(x) <- true;
+       true))
+    p
 
 let validate t v =
   match (t.domain, v) with
   | Categorical labels, Value.Categorical i -> i >= 0 && i < Array.length labels
   | Ordinal levels, Value.Ordinal i -> i >= 0 && i < Array.length levels
   | Continuous { lo; hi }, Value.Continuous f -> f >= lo && f <= hi
-  | Categorical _, (Value.Ordinal _ | Value.Continuous _)
-  | Ordinal _, (Value.Categorical _ | Value.Continuous _)
-  | Continuous _, (Value.Categorical _ | Value.Ordinal _) ->
+  | Permutation n, Value.Permutation p -> is_permutation_of n p
+  | Categorical _, (Value.Ordinal _ | Value.Continuous _ | Value.Permutation _)
+  | Ordinal _, (Value.Categorical _ | Value.Continuous _ | Value.Permutation _)
+  | Continuous _, (Value.Categorical _ | Value.Ordinal _ | Value.Permutation _)
+  | Permutation _, (Value.Categorical _ | Value.Ordinal _ | Value.Continuous _) ->
       false
+
+(* Rendered as position-order digits joined by '>' ("2>0>1" = element
+   2 first), a loop-order notation that survives the CSV run-log
+   format (no commas). *)
+let permutation_to_string p =
+  String.concat ">" (Array.to_list (Array.map string_of_int p))
+
+let permutation_of_string n s =
+  let parts = String.split_on_char '>' s in
+  let p =
+    Array.of_list
+      (List.map
+         (fun part ->
+           match int_of_string_opt (String.trim part) with
+           | Some x -> x
+           | None -> invalid_arg (Printf.sprintf "Spec: malformed permutation %S" s))
+         parts)
+  in
+  if not (is_permutation_of n p) then
+    invalid_arg (Printf.sprintf "Spec: %S is not a permutation of 0..%d" s (n - 1));
+  Value.Permutation p
 
 let value_to_string t v =
   match (t.domain, v) with
@@ -49,7 +106,38 @@ let value_to_string t v =
       let l = levels.(i) in
       if Float.is_integer l then string_of_int (int_of_float l) else Printf.sprintf "%g" l
   | Continuous _, Value.Continuous f -> Printf.sprintf "%g" f
-  | (Categorical _ | Ordinal _ | Continuous _), _ -> invalid_arg "Spec.value_to_string: value does not match spec"
+  | Permutation n, Value.Permutation p when is_permutation_of n p -> permutation_to_string p
+  | (Categorical _ | Ordinal _ | Continuous _ | Permutation _), _ ->
+      invalid_arg "Spec.value_to_string: value does not match spec"
+
+(* Inverse of Value.to_index's Lehmer rank: peel factorial digits and
+   pick the digit-th smallest still-unused element. *)
+let permutation_of_rank n rank =
+  let p = Array.make n 0 in
+  let used = Array.make n false in
+  let rest = ref rank in
+  for i = 0 to n - 1 do
+    let f = factorial (n - 1 - i) in
+    let digit = !rest / f in
+    rest := !rest mod f;
+    let k = ref (-1) in
+    let remaining = ref digit in
+    (* the digit-th unused element in increasing order *)
+    (try
+       for x = 0 to n - 1 do
+         if not used.(x) then begin
+           if !remaining = 0 then begin
+             k := x;
+             raise Exit
+           end;
+           decr remaining
+         end
+       done
+     with Exit -> ());
+    used.(!k) <- true;
+    p.(i) <- !k
+  done;
+  p
 
 let value_of_index t i =
   match t.domain with
@@ -59,6 +147,9 @@ let value_of_index t i =
   | Ordinal levels ->
       if i < 0 || i >= Array.length levels then invalid_arg "Spec.value_of_index: index out of range";
       Value.Ordinal i
+  | Permutation n ->
+      if i < 0 || i >= factorial n then invalid_arg "Spec.value_of_index: index out of range";
+      Value.Permutation (permutation_of_rank n i)
   | Continuous _ -> invalid_arg "Spec.value_of_index: continuous spec"
 
 let level t i =
@@ -66,7 +157,7 @@ let level t i =
   | Ordinal levels ->
       if i < 0 || i >= Array.length levels then invalid_arg "Spec.level: index out of range";
       levels.(i)
-  | Categorical _ | Continuous _ -> invalid_arg "Spec.level: not an ordinal spec"
+  | Categorical _ | Continuous _ | Permutation _ -> invalid_arg "Spec.level: not an ordinal spec"
 
 let numeric_encoding t v =
   match (t.domain, v) with
@@ -77,12 +168,17 @@ let numeric_encoding t v =
       let n = Array.length levels in
       if n = 1 then 0. else float_of_int i /. float_of_int (n - 1)
   | Continuous { lo; hi }, Value.Continuous f -> (f -. lo) /. (hi -. lo)
-  | (Categorical _ | Ordinal _ | Continuous _), _ ->
+  | Permutation n, Value.Permutation p when is_permutation_of n p ->
+      float_of_int (Value.to_index v) /. float_of_int (factorial n - 1)
+  | (Categorical _ | Ordinal _ | Continuous _ | Permutation _), _ ->
       invalid_arg "Spec.numeric_encoding: value does not match spec"
 
 let one_hot_width t =
   match t.domain with
   | Categorical labels -> Array.length labels
+  (* A permutation encodes as its normalized position vector — one
+     slot per element, like a categorical's one-hot block. *)
+  | Permutation n -> n
   | Ordinal _ | Continuous _ -> 1
 
 let random_value t rng =
@@ -90,6 +186,7 @@ let random_value t rng =
   | Categorical labels -> Value.Categorical (Prng.Rng.int rng (Array.length labels))
   | Ordinal levels -> Value.Ordinal (Prng.Rng.int rng (Array.length levels))
   | Continuous { lo; hi } -> Value.Continuous (Prng.Rng.float_range rng lo hi)
+  | Permutation n -> Value.Permutation (permutation_of_rank n (Prng.Rng.int rng (factorial n)))
 
 let pp fmt t =
   match t.domain with
@@ -98,3 +195,4 @@ let pp fmt t =
       Format.fprintf fmt "%s : ord{%s}" t.name
         (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%g") levels)))
   | Continuous { lo; hi } -> Format.fprintf fmt "%s : [%g, %g]" t.name lo hi
+  | Permutation n -> Format.fprintf fmt "%s : perm(%d)" t.name n

@@ -11,12 +11,17 @@ type domain =
   | Categorical of string array  (** unordered labels; at least one *)
   | Ordinal of float array  (** ordered numeric levels; at least one, strictly increasing *)
   | Continuous of { lo : float; hi : float }  (** requires [lo < hi] *)
+  | Permutation of int
+      (** all arrangements of [0..n-1] (e.g. a loop-nest order);
+          requires [2 <= n <= 8] so that [n!] fits the pool encoders'
+          uint16 code range *)
 
 type t
 
 val make : name:string -> domain -> t
 (** Validates the domain; raises [Invalid_argument] on empty label or
-    level tables, non-increasing levels, or an empty range. *)
+    level tables, non-increasing levels, an empty range, or a
+    permutation size outside [2, 8]. *)
 
 val categorical : string -> string list -> t
 (** [categorical name labels] convenience constructor. *)
@@ -25,12 +30,16 @@ val ordinal_ints : string -> int list -> t
 val ordinal_floats : string -> float list -> t
 val continuous : string -> lo:float -> hi:float -> t
 
+val permutation : string -> int -> t
+(** [permutation name n] — every ordering of [n] elements. *)
+
 val name : t -> string
 val domain : t -> domain
 val is_discrete : t -> bool
 
 val n_choices : t -> int option
-(** Number of discrete choices, [None] for continuous. *)
+(** Number of discrete choices ([n!] for a permutation of size [n]),
+    [None] for continuous. *)
 
 val validate : t -> Value.t -> bool
 (** Whether the value is well-formed for this spec (right constructor,
@@ -41,8 +50,16 @@ val value_to_string : t -> Value.t -> string
     the numeric level of an ordinal one. *)
 
 val value_of_index : t -> int -> Value.t
-(** Discrete value from a choice index. Raises [Invalid_argument] for
-    continuous specs or out-of-range indices. *)
+(** Discrete value from a choice index; for permutation specs this is
+    the Lehmer-rank decode, the inverse of {!Value.to_index}. Raises
+    [Invalid_argument] for continuous specs or out-of-range
+    indices. *)
+
+val permutation_of_string : int -> string -> Value.t
+(** Parse the ['>']-joined rendering of {!value_to_string} (e.g.
+    ["2>0>1"]) back into a [Value.Permutation]. Raises
+    [Invalid_argument] if the string is not a permutation of
+    [0..n-1]. *)
 
 val level : t -> int -> float
 (** Numeric level of an ordinal spec at an index. *)
@@ -55,7 +72,9 @@ val numeric_encoding : t -> Value.t -> float
 
 val one_hot_width : t -> int
 (** Width of this parameter's one-hot/numeric block: [n] for
-    categorical with [n] labels, 1 for ordinal and continuous. *)
+    categorical with [n] labels or a permutation of [n] elements
+    (encoded as its normalized position vector), 1 for ordinal and
+    continuous. *)
 
 val random_value : t -> Prng.Rng.t -> Value.t
 (** Uniform draw from the domain. *)

@@ -7,7 +7,7 @@ let classify policy (outcome : Outcome.t) =
       | Some budget when v > budget -> Outcome.Timeout
       | Some _ | None -> outcome
     end
-  | Outcome.Transient _ | Outcome.Permanent _ | Outcome.Timeout -> outcome
+  | Outcome.Transient _ | Outcome.Permanent _ | Outcome.Timeout | Outcome.Infeasible _ -> outcome
 
 let evaluate ?probe ~policy ~objective x =
   Policy.validate policy;
@@ -18,7 +18,10 @@ let evaluate ?probe ~policy ~objective x =
     let outcome = classify policy raw in
     (match probe with Some f -> f ~attempt ~backoff:cost outcome | None -> ());
     match outcome with
-    | Outcome.Value _ | Outcome.Permanent _ -> { outcome; attempts = attempt; retry_cost = cost }
+    (* Infeasibility is a property of the configuration, not of the
+       run — like a permanent failure, retrying cannot change it. *)
+    | Outcome.Value _ | Outcome.Permanent _ | Outcome.Infeasible _ ->
+        { outcome; attempts = attempt; retry_cost = cost }
     | Outcome.Transient _ | Outcome.Timeout ->
         if attempt >= policy.Policy.max_attempts then
           { outcome; attempts = attempt; retry_cost = cost }

@@ -1,14 +1,26 @@
-type t = Value of float | Transient of string | Permanent of string | Timeout
+type t =
+  | Value of float
+  | Transient of string
+  | Permanent of string
+  | Timeout
+  | Infeasible of string
 
-let is_success = function Value _ -> true | Transient _ | Permanent _ | Timeout -> false
+let is_success = function
+  | Value _ -> true
+  | Transient _ | Permanent _ | Timeout | Infeasible _ -> false
+
 let is_failure o = not (is_success o)
-let value = function Value v -> Some v | Transient _ | Permanent _ | Timeout -> None
+
+let value = function
+  | Value v -> Some v
+  | Transient _ | Permanent _ | Timeout | Infeasible _ -> None
 
 let kind = function
   | Value _ -> "ok"
   | Transient _ -> "transient"
   | Permanent _ -> "permanent"
   | Timeout -> "timeout"
+  | Infeasible _ -> "infeasible"
 
 let describe = function
   | Value v -> Printf.sprintf "ok(%g)" v
@@ -17,5 +29,7 @@ let describe = function
   | Permanent "" -> "permanent"
   | Permanent m -> "permanent: " ^ m
   | Timeout -> "timeout"
+  | Infeasible "" -> "infeasible"
+  | Infeasible m -> "infeasible: " ^ m
 
 let of_option = function Some v -> Value v | None -> Permanent "evaluation returned no value"

@@ -13,6 +13,11 @@ type t =
   | Transient of string  (** retryable failure with a diagnostic *)
   | Permanent of string  (** deterministic failure; retrying is futile *)
   | Timeout  (** the evaluation exceeded its cost budget *)
+  | Infeasible of string
+      (** the configuration violates a hard constraint (invalid
+          parameter combination, resource limit): it consumes budget
+          and feeds the bad density exactly like a failure, is never
+          retried, and never enters the good density [pg] *)
 
 val is_success : t -> bool
 val is_failure : t -> bool
@@ -22,7 +27,8 @@ val value : t -> float option
 
 val kind : t -> string
 (** Stable one-word tag: ["ok"], ["transient"], ["permanent"],
-    ["timeout"] — the strings the run-log v2 format uses. *)
+    ["timeout"], ["infeasible"] — the strings the run-log v2 format
+    uses. *)
 
 val describe : t -> string
 (** Human-readable rendering including the diagnostic message. *)

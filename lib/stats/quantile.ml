@@ -15,7 +15,11 @@ let quantile_sorted xs q =
     (* Hyndman–Fan type 7: h = (n-1) q, interpolate between floor and
        ceil order statistics. *)
     let h = float_of_int (n - 1) *. q in
-    let lo = int_of_float (Float.floor h) in
+    (* [h] lies in [0, n-1] for q in [0, 1] (rounding can land the
+       product exactly on n-1 but never past it), so [lo] is already
+       in range; the clamp makes the invariant local instead of a
+       proof about float rounding. *)
+    let lo = Stdlib.min (n - 1) (Stdlib.max 0 (int_of_float (Float.floor h))) in
     let hi = Stdlib.min (lo + 1) (n - 1) in
     let frac = h -. float_of_int lo in
     xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))

@@ -34,6 +34,7 @@ let status_of_outcome = function
   | Resilience.Outcome.Transient _ -> Dataset.Runlog.Failed Dataset.Runlog.Transient
   | Resilience.Outcome.Permanent _ -> Dataset.Runlog.Failed Dataset.Runlog.Permanent
   | Resilience.Outcome.Timeout -> Dataset.Runlog.Failed Dataset.Runlog.Timeout
+  | Resilience.Outcome.Infeasible _ -> Dataset.Runlog.Failed Dataset.Runlog.Infeasible
 
 (* Bit-for-bit comparison of two tuner results, failure lists and
    retry accounting included. *)
@@ -64,6 +65,7 @@ let spec_to_string spec =
         (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%g") levels)))
   | Param.Spec.Continuous { lo; hi } ->
       Printf.sprintf "%s:cont[%g,%g]" (Param.Spec.name spec) lo hi
+  | Param.Spec.Permutation n -> Printf.sprintf "%s:perm[%d]" (Param.Spec.name spec) n
 
 let space_to_string space =
   Printf.sprintf "space{%s}"

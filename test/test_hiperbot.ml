@@ -35,7 +35,8 @@ let test_density_sample_valid () =
     match Hiperbot.Density.sample d rng with
     | Param.Value.Continuous x ->
         if x < 0. || x > 10. then Alcotest.failf "sample clamped outside range: %f" x
-    | Param.Value.Categorical _ | Param.Value.Ordinal _ -> Alcotest.fail "wrong value kind"
+    | Param.Value.Categorical _ | Param.Value.Ordinal _ | Param.Value.Permutation _ ->
+        Alcotest.fail "wrong value kind"
   done
 
 let test_density_merge_prior () =

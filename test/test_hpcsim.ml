@@ -8,7 +8,7 @@ let feq = Alcotest.float 1e-9
 let table name = (Hpcsim.Registry.find name).Hpcsim.Registry.table ()
 
 let test_registry () =
-  check Alcotest.int "nine datasets" 9 (List.length Hpcsim.Registry.all);
+  check Alcotest.int "ten datasets" 10 (List.length Hpcsim.Registry.all);
   check Alcotest.bool "find known" true (Hpcsim.Registry.(find "kripke").name = "kripke");
   Alcotest.check_raises "find unknown" Not_found (fun () -> ignore (Hpcsim.Registry.find "nope"));
   check Alcotest.int "five selection datasets" 5 (List.length Hpcsim.Registry.selection_datasets)
@@ -396,4 +396,101 @@ let suite =
         Alcotest.test_case "registry fidelity ladders" `Quick test_registry_fidelity_ladders;
         Alcotest.test_case "fidelity top level = table" `Quick test_fidelity_top_level_matches_table;
         Alcotest.test_case "lulesh size knob" `Quick test_lulesh_size_knob;
+      ] )
+
+(* ---- Power model input validation (the energy objective is
+   load-bearing for multi-objective tuning) ---- *)
+
+let test_power_validation () =
+  let p = Hpcsim.Power.default in
+  let reject name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  reject "zero cores" (fun () ->
+      Hpcsim.Power.frequency_under_cap p ~active_cores:0 ~cap_watts:100.);
+  reject "negative cores" (fun () ->
+      Hpcsim.Power.power_draw p ~active_cores:(-4) ~cap_watts:100.);
+  reject "zero cap" (fun () -> Hpcsim.Power.frequency_under_cap p ~active_cores:8 ~cap_watts:0.);
+  reject "negative cap" (fun () -> Hpcsim.Power.power_draw p ~active_cores:8 ~cap_watts:(-50.));
+  reject "NaN cap" (fun () ->
+      Hpcsim.Power.frequency_under_cap p ~active_cores:8 ~cap_watts:Float.nan);
+  reject "infinite cap" (fun () ->
+      Hpcsim.Power.power_draw p ~active_cores:8 ~cap_watts:Float.infinity);
+  reject "fraction above 1" (fun () ->
+      ignore (Hpcsim.Power.slowdown p ~active_cores:8 ~cap_watts:100. ~compute_fraction:1.5));
+  reject "negative fraction" (fun () ->
+      ignore
+        (Hpcsim.Power.energy p ~active_cores:8 ~cap_watts:100. ~compute_fraction:(-0.1)
+           ~base_time:10.));
+  reject "NaN fraction" (fun () ->
+      ignore
+        (Hpcsim.Power.slowdown p ~active_cores:8 ~cap_watts:100. ~compute_fraction:Float.nan));
+  reject "negative base time" (fun () ->
+      ignore
+        (Hpcsim.Power.energy p ~active_cores:8 ~cap_watts:100. ~compute_fraction:0.5
+           ~base_time:(-1.)));
+  (* Valid calls still behave. *)
+  let e =
+    Hpcsim.Power.energy p ~active_cores:8 ~cap_watts:100. ~compute_fraction:0.5 ~base_time:10.
+  in
+  check Alcotest.bool "valid energy positive and finite" true (Float.is_finite e && e > 0.)
+
+(* ---- Tensor simulator (permutation parameter + hard constraint) ---- *)
+
+let test_tensor_space () =
+  check Alcotest.int "1152 configurations" 1152 (Dataset.Table.size (table "tensor"));
+  let all = Param.Space.enumerate Hpcsim.Tensor.space in
+  let feas = Array.fold_left (fun n c -> if Hpcsim.Tensor.feasible c then n + 1 else n) 0 all in
+  (* unroll x lanes <= 8 kills 3 of the 12 unroll/ISA combinations. *)
+  check Alcotest.int "25% infeasible" 864 feas
+
+let test_tensor_outcome () =
+  let all = Param.Space.enumerate Hpcsim.Tensor.space in
+  Array.iter
+    (fun c ->
+      match Hpcsim.Tensor.outcome c with
+      | Resilience.Outcome.Value v ->
+          if not (Hpcsim.Tensor.feasible c) then Alcotest.fail "infeasible config got a Value";
+          check Alcotest.bool "value positive and finite" true (Float.is_finite v && v > 0.);
+          check (Alcotest.float 1e-12) "outcome matches exec_time" (Hpcsim.Tensor.exec_time c) v
+      | Resilience.Outcome.Infeasible _ ->
+          if Hpcsim.Tensor.feasible c then Alcotest.fail "feasible config reported Infeasible"
+      | _ -> Alcotest.fail "unexpected outcome kind")
+    all
+
+let test_tensor_structure () =
+  let v name label_or_idx = (name, label_or_idx) in
+  ignore v;
+  let config ~loop ~tile ~unroll ~vec ~threads =
+    [|
+      Param.Value.Permutation loop; Param.Value.Ordinal tile; Param.Value.Ordinal unroll;
+      Param.Value.Categorical vec; Param.Value.Ordinal threads;
+    |]
+  in
+  (* Unit-stride innermost loop (j last) vectorizes better than the
+     strided orders, all else equal. *)
+  let t_ikj = Hpcsim.Tensor.exec_time (config ~loop:[| 0; 2; 1 |] ~tile:2 ~unroll:1 ~vec:2 ~threads:3) in
+  let t_jki = Hpcsim.Tensor.exec_time (config ~loop:[| 1; 2; 0 |] ~tile:2 ~unroll:1 ~vec:2 ~threads:3) in
+  check Alcotest.bool "i,k,j beats j,k,i" true (t_ikj < t_jki);
+  (* Parallelizing the reduction loop scales worst. *)
+  let t_kij = Hpcsim.Tensor.exec_time (config ~loop:[| 2; 0; 1 |] ~tile:2 ~unroll:1 ~vec:0 ~threads:3) in
+  let t_ijk = Hpcsim.Tensor.exec_time (config ~loop:[| 0; 1; 2 |] ~tile:2 ~unroll:1 ~vec:0 ~threads:3) in
+  check Alcotest.bool "k-outermost scales worse than i-outermost" true (t_ijk < t_kij);
+  (* The spill penalty keeps the table total but uncompetitive. *)
+  let spilled = config ~loop:[| 0; 2; 1 |] ~tile:2 ~unroll:3 ~vec:2 ~threads:3 in
+  check Alcotest.bool "spilled config is infeasible" false (Hpcsim.Tensor.feasible spilled);
+  check Alcotest.bool "spill penalty positive and finite" true
+    (Float.is_finite (Hpcsim.Tensor.exec_time spilled) && Hpcsim.Tensor.exec_time spilled > 0.)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "power: input validation" `Quick test_power_validation;
+        Alcotest.test_case "tensor: space and feasibility" `Quick test_tensor_space;
+        Alcotest.test_case "tensor: outcome classification" `Quick test_tensor_outcome;
+        Alcotest.test_case "tensor: structural behaviours" `Quick test_tensor_structure;
       ] )

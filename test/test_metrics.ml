@@ -146,3 +146,50 @@ let suite =
         Alcotest.test_case "recall dedupes history" `Quick test_recall_counts_duplicates_once;
         QCheck_alcotest.to_alcotest prop_recall_prefix_dedupes;
       ] )
+
+(* ---- Good-set input validation (bugfix: NaN and out-of-range
+   thresholds used to pass silently, skewing bench recall) ---- *)
+
+let test_good_set_validation () =
+  let reject name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  reject "l = 0" (fun () -> Metrics.Recall.percentile_good_set table 0.);
+  reject "l above 1" (fun () -> Metrics.Recall.percentile_good_set table 1.5);
+  reject "l negative" (fun () -> Metrics.Recall.percentile_good_set table (-0.1));
+  reject "l NaN" (fun () -> Metrics.Recall.percentile_good_set table Float.nan);
+  reject "l infinite" (fun () -> Metrics.Recall.percentile_good_set table Float.infinity);
+  reject "gamma negative" (fun () -> Metrics.Recall.tolerance_good_set table (-1.));
+  reject "gamma NaN" (fun () -> Metrics.Recall.tolerance_good_set table Float.nan);
+  reject "gamma infinite" (fun () -> Metrics.Recall.tolerance_good_set table Float.infinity);
+  (* In-range thresholds still work after the guards. *)
+  let g = Metrics.Recall.percentile_good_set table 1.0 in
+  check Alcotest.int "l=1 keeps every row" (Dataset.Table.size table) g.Metrics.Recall.count;
+  let g = Metrics.Recall.tolerance_good_set table 0. in
+  check Alcotest.bool "gamma=0 keeps at least the best" true (g.Metrics.Recall.count >= 1)
+
+let test_good_set_rejects_nan_rows () =
+  let space = Param.Space.make [ Param.Spec.ordinal_ints "x" [ 0; 1; 2 ] ] in
+  let rows =
+    [| ([| Param.Value.Ordinal 0 |], 1.); ([| Param.Value.Ordinal 1 |], Float.nan);
+       ([| Param.Value.Ordinal 2 |], 3.) |]
+  in
+  let t = Dataset.Table.of_rows ~name:"nan" ~space rows in
+  let reject name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  reject "percentile over NaN rows" (fun () -> Metrics.Recall.percentile_good_set t 0.5);
+  reject "tolerance over NaN rows" (fun () -> Metrics.Recall.tolerance_good_set t 0.5)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "good-set threshold validation" `Quick test_good_set_validation;
+        Alcotest.test_case "good-set rejects NaN rows" `Quick test_good_set_rejects_nan_rows;
+      ] )

@@ -196,3 +196,114 @@ let suite =
       QCheck_alcotest.to_alcotest prop_rank_roundtrip;
       QCheck_alcotest.to_alcotest prop_distance_bounds;
     ] )
+
+(* ---- Permutation domain ---- *)
+
+let perm_spec = Param.Spec.permutation "Loop" 3
+
+let perm_space =
+  Param.Space.make [ perm_spec; Param.Spec.ordinal_ints "tile" [ 16; 32 ] ]
+
+let test_permutation_spec () =
+  check Alcotest.(option int) "n_choices is n!" (Some 6) (Param.Spec.n_choices perm_spec);
+  check Alcotest.int "one-hot width is n" 3 (Param.Spec.one_hot_width perm_spec);
+  (* Size bounds: the factorial must stay within the uint16 pool codes. *)
+  Alcotest.check_raises "n=1 rejected"
+    (Invalid_argument "Spec.make: permutation size must lie in [2, 8]") (fun () ->
+      ignore (Param.Spec.permutation "p" 1));
+  Alcotest.check_raises "n=9 rejected"
+    (Invalid_argument "Spec.make: permutation size must lie in [2, 8]") (fun () ->
+      ignore (Param.Spec.permutation "p" 9))
+
+let test_permutation_lehmer_roundtrip () =
+  (* Decode every rank of S_4 and re-encode: the Lehmer codec is a
+     bijection, identity maps to 0 and the reversal to n!-1. *)
+  let spec4 = Param.Spec.permutation "p" 4 in
+  let seen = Hashtbl.create 24 in
+  for r = 0 to 23 do
+    let v = Param.Spec.value_of_index spec4 r in
+    check Alcotest.int "rank roundtrip" r (Param.Value.to_index v);
+    (match v with
+    | Param.Value.Permutation p -> Hashtbl.replace seen (Array.to_list p) ()
+    | _ -> Alcotest.fail "expected a permutation value");
+    check Alcotest.bool "decoded value validates" true (Param.Spec.validate spec4 v)
+  done;
+  check Alcotest.int "all 24 permutations distinct" 24 (Hashtbl.length seen);
+  check Alcotest.int "identity rank" 0
+    (Param.Value.to_index (Param.Value.Permutation [| 0; 1; 2; 3 |]));
+  check Alcotest.int "reversal rank" 23
+    (Param.Value.to_index (Param.Value.Permutation [| 3; 2; 1; 0 |]))
+
+let test_permutation_validation () =
+  let ok p = Param.Spec.validate perm_spec (Param.Value.Permutation p) in
+  check Alcotest.bool "valid permutation" true (ok [| 2; 0; 1 |]);
+  check Alcotest.bool "wrong length" false (ok [| 0; 1 |]);
+  check Alcotest.bool "duplicate element" false (ok [| 0; 0; 2 |]);
+  check Alcotest.bool "out-of-range element" false (ok [| 0; 1; 3 |]);
+  check Alcotest.bool "other constructors rejected" false
+    (Param.Spec.validate perm_spec (Param.Value.Categorical 0))
+
+let test_permutation_string_roundtrip () =
+  let v = Param.Value.Permutation [| 2; 0; 1 |] in
+  let s = Param.Spec.value_to_string perm_spec v in
+  check Alcotest.string "rendering" "2>0>1" s;
+  check Alcotest.bool "parse back" true
+    (Param.Value.equal v (Param.Spec.permutation_of_string 3 s));
+  Alcotest.check_raises "malformed string"
+    (Invalid_argument "Spec: \"0>0>1\" is not a permutation of 0..2") (fun () ->
+      ignore (Param.Spec.permutation_of_string 3 "0>0>1"))
+
+let test_permutation_distance () =
+  let d a b =
+    Param.Space.distance perm_space
+      [| Param.Value.Permutation a; Param.Value.Ordinal 0 |]
+      [| Param.Value.Permutation b; Param.Value.Ordinal 0 |]
+  in
+  (* Kendall-tau distance, normalized by the pair count and averaged
+     over the 2 parameters (identical second coordinate adds 0). *)
+  check feq "identical" 0. (d [| 0; 1; 2 |] [| 0; 1; 2 |]);
+  check feq "adjacent swap = 1 discordant pair of 3" (1. /. 3. /. 2.)
+    (d [| 0; 1; 2 |] [| 1; 0; 2 |]);
+  check feq "reversal maximal" (1. /. 2.) (d [| 0; 1; 2 |] [| 2; 1; 0 |])
+
+let test_permutation_enumerate_and_random () =
+  (match Param.Space.cardinality perm_space with
+  | Some n -> check Alcotest.int "cardinality" 12 n
+  | None -> Alcotest.fail "expected finite cardinality");
+  let all = Param.Space.enumerate perm_space in
+  check Alcotest.int "enumerate size" 12 (Array.length all);
+  Array.iter
+    (fun c -> check Alcotest.bool "enumerated config valid" true (Param.Space.validate perm_space c))
+    all;
+  let rng = Prng.Rng.create 7 in
+  for _ = 1 to 50 do
+    let c = Param.Space.random_config perm_space rng in
+    check Alcotest.bool "random config valid" true (Param.Space.validate perm_space c)
+  done
+
+let prop_permutation_rank_bijection =
+  QCheck2.Test.make ~name:"param: permutation rank roundtrip over sizes 2-8" ~count:100
+    ~print:(fun (n, r) -> Printf.sprintf "n=%d rank=%d" n r)
+    QCheck2.Gen.(
+      let* n = 2 -- 8 in
+      let fact = Array.fold_left ( * ) 1 (Array.init n (fun i -> i + 1)) in
+      let+ r = 0 -- (fact - 1) in
+      (n, r))
+    (fun (n, r) ->
+      let spec = Param.Spec.permutation "p" n in
+      let v = Param.Spec.value_of_index spec r in
+      Param.Spec.validate spec v && Param.Value.to_index v = r)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "permutation spec" `Quick test_permutation_spec;
+        Alcotest.test_case "permutation lehmer roundtrip" `Quick test_permutation_lehmer_roundtrip;
+        Alcotest.test_case "permutation validation" `Quick test_permutation_validation;
+        Alcotest.test_case "permutation string roundtrip" `Quick test_permutation_string_roundtrip;
+        Alcotest.test_case "permutation distance" `Quick test_permutation_distance;
+        Alcotest.test_case "permutation enumerate/random" `Quick test_permutation_enumerate_and_random;
+        QCheck_alcotest.to_alcotest prop_permutation_rank_bijection;
+      ] )

@@ -585,3 +585,116 @@ let suite =
         Alcotest.test_case "torn rung line recovers" `Quick test_fid_truncation_recover;
         Alcotest.test_case "writer records and resumes fids/rungs" `Quick test_writer_fid_rung;
       ] )
+
+(* ---- Objective-vector stream (#obj) and the Infeasible kind ---- *)
+
+let sample_objs =
+  [
+    { Dataset.Runlog.o_index = 0; o_values = [| 5.5; 120.25 |] };
+    { Dataset.Runlog.o_index = 2; o_values = [| 3.25; 0x1.91p7 |] };
+  ]
+
+let objs_equal a b = Array.length a = Array.length b && Array.for_all2 Dataset.Runlog.obj_equal a b
+
+let test_obj_roundtrip () =
+  let log =
+    Dataset.Runlog.create ~name:"moo" ~seed:7 ~space ~objs:sample_objs
+      [
+        { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 5.5; attempts = 1 };
+        { index = 1; config = config 0 1; status = Dataset.Runlog.Failed Dataset.Runlog.Infeasible; attempts = 1 };
+        { index = 2; config = config 1 2; status = Dataset.Runlog.Ok 3.25; attempts = 1 };
+      ]
+  in
+  let round = Dataset.Runlog.of_string (Dataset.Runlog.to_string log) in
+  check Alcotest.bool "entries roundtrip" true (logs_equal log round);
+  check Alcotest.bool "objs roundtrip" true
+    (objs_equal log.Dataset.Runlog.objs round.Dataset.Runlog.objs);
+  check Alcotest.int "infeasible kind counted" 1
+    (Dataset.Runlog.count_kind round Dataset.Runlog.Infeasible);
+  (* Vectors are hex floats: the round trip is bit-exact. *)
+  check Alcotest.bool "bit-exact vector" true
+    (Float.equal round.Dataset.Runlog.objs.(1).Dataset.Runlog.o_values.(1) 0x1.91p7)
+
+let test_obj_validation () =
+  let mk objs = Dataset.Runlog.create ~name:"x" ~seed:0 ~space ~objs [] in
+  let reject name objs =
+    match mk objs with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  reject "negative index" [ { Dataset.Runlog.o_index = -1; o_values = [| 1. |] } ];
+  reject "empty vector" [ { Dataset.Runlog.o_index = 0; o_values = [||] } ];
+  reject "NaN value" [ { Dataset.Runlog.o_index = 0; o_values = [| Float.nan |] } ];
+  reject "duplicate index"
+    [
+      { Dataset.Runlog.o_index = 0; o_values = [| 1. |] };
+      { Dataset.Runlog.o_index = 0; o_values = [| 2. |] };
+    ];
+  reject "inconsistent arity"
+    [
+      { Dataset.Runlog.o_index = 0; o_values = [| 1.; 2. |] };
+      { Dataset.Runlog.o_index = 1; o_values = [| 1. |] };
+    ];
+  (* Out-of-order rows are sorted by index, not rejected. *)
+  let log =
+    mk
+      [
+        { Dataset.Runlog.o_index = 3; o_values = [| 1. |] };
+        { Dataset.Runlog.o_index = 1; o_values = [| 2. |] };
+      ]
+  in
+  check Alcotest.int "sorted by index" 1 log.Dataset.Runlog.objs.(0).Dataset.Runlog.o_index
+
+let test_writer_objs () =
+  let path = Filename.temp_file "runlog" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = Dataset.Runlog.writer_create ~path ~name:"moo" ~seed:9 ~space in
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 2.5; attempts = 1 };
+      Dataset.Runlog.writer_record_obj w { Dataset.Runlog.o_index = 0; o_values = [| 2.5; 40. |] };
+      Dataset.Runlog.writer_record w
+        { Dataset.Runlog.index = 1; config = config 1 1;
+          status = Dataset.Runlog.Failed Dataset.Runlog.Infeasible; attempts = 1 };
+      Dataset.Runlog.writer_close w;
+      let log = Dataset.Runlog.load path in
+      check Alcotest.int "one obj row" 1 (Array.length log.Dataset.Runlog.objs);
+      check Alcotest.bool "vector persisted" true
+        (Dataset.Runlog.obj_equal log.Dataset.Runlog.objs.(0)
+           { Dataset.Runlog.o_index = 0; o_values = [| 2.5; 40. |] });
+      check Alcotest.int "infeasible persisted" 1
+        (Dataset.Runlog.count_kind log Dataset.Runlog.Infeasible);
+      (* Canonical close is idempotent across a save/load cycle. *)
+      let again = Dataset.Runlog.to_string log in
+      check Alcotest.string "canonical form stable" again
+        (Dataset.Runlog.to_string (Dataset.Runlog.of_string again)))
+
+let test_obj_truncation_recover () =
+  let log =
+    Dataset.Runlog.create ~name:"moo" ~seed:7 ~space ~objs:sample_objs
+      [
+        { Dataset.Runlog.index = 0; config = config 0 0; status = Dataset.Runlog.Ok 5.5; attempts = 1 };
+        { index = 2; config = config 1 2; status = Dataset.Runlog.Ok 3.25; attempts = 1 };
+      ]
+  in
+  let text = Dataset.Runlog.to_string log in
+  (* Tear the final #obj line mid-write. *)
+  let torn = String.sub text 0 (String.length text - 8) in
+  (match Dataset.Runlog.of_string torn with
+  | _ -> Alcotest.fail "torn obj line must not parse strictly"
+  | exception Failure _ -> ());
+  let recovered = Dataset.Runlog.of_string ~recover:true torn in
+  check Alcotest.int "recovery drops only the torn obj row" 1
+    (Array.length recovered.Dataset.Runlog.objs)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "obj lines roundtrip" `Quick test_obj_roundtrip;
+        Alcotest.test_case "obj validation" `Quick test_obj_validation;
+        Alcotest.test_case "writer records objs" `Quick test_writer_objs;
+        Alcotest.test_case "torn obj line recovers" `Quick test_obj_truncation_recover;
+      ] )

@@ -479,3 +479,55 @@ let suite =
         Alcotest.test_case "bootstrap mean empty" `Quick test_bootstrap_mean_empty;
         QCheck_alcotest.to_alcotest prop_running_merge_matches_sequential;
       ] )
+
+(* ---- Quantile boundary behaviour (interpolation index math) ---- *)
+
+let test_quantile_boundaries () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check feq "q=0 is the minimum" 1. (Stats.Quantile.quantile xs 0.);
+  check feq "q=1 is the maximum" 5. (Stats.Quantile.quantile xs 1.);
+  check feq "q=1 on two elements" 2. (Stats.Quantile.quantile [| 1.; 2. |] 1.);
+  (* Single-element arrays short-circuit for every q. *)
+  check feq "singleton q=0" 7. (Stats.Quantile.quantile [| 7. |] 0.);
+  check feq "singleton q=1" 7. (Stats.Quantile.quantile [| 7. |] 1.);
+  check feq "singleton q=0.5" 7. (Stats.Quantile.quantile [| 7. |] 0.5);
+  (* q a hair under 1: the interpolation index must stay in bounds
+     even when (n-1)*q rounds up to exactly n-1. *)
+  let q = 1. -. epsilon_float in
+  let v = Stats.Quantile.quantile xs q in
+  check Alcotest.bool "near-1 quantile within data range" true (v >= 4. && v <= 5.);
+  let big = Array.init 1_000_001 float_of_int in
+  let v = Stats.Quantile.quantile_sorted big q in
+  check Alcotest.bool "large-n near-1 quantile in bounds" true (v >= 999_999. && v <= 1_000_000.)
+
+let test_quantile_rejects_out_of_range () =
+  let xs = [| 1.; 2. |] in
+  Alcotest.check_raises "q above 1" (Invalid_argument "Quantile.quantile_sorted: q outside [0, 1]")
+    (fun () -> ignore (Stats.Quantile.quantile_sorted xs 1.5));
+  Alcotest.check_raises "q below 0" (Invalid_argument "Quantile.quantile_sorted: q outside [0, 1]")
+    (fun () -> ignore (Stats.Quantile.quantile_sorted xs (-0.1)))
+
+let prop_quantile_within_range =
+  QCheck2.Test.make ~name:"stats: quantile always lies within [min, max]" ~count:200
+    ~print:(fun (xs, q) -> Printf.sprintf "n=%d q=%.17g" (List.length xs) q)
+    QCheck2.Gen.(
+      let* xs = list_size (1 -- 40) (float_range (-100.) 100.) in
+      let+ q = float_range 0. 1. in
+      (xs, q))
+    (fun (xs, q) ->
+      QCheck2.assume (xs <> []);
+      let arr = Array.of_list xs in
+      let v = Stats.Quantile.quantile arr q in
+      let lo = Array.fold_left Float.min Float.infinity arr in
+      let hi = Array.fold_left Float.max Float.neg_infinity arr in
+      v >= lo && v <= hi)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "quantile boundaries" `Quick test_quantile_boundaries;
+        Alcotest.test_case "quantile rejects out-of-range q" `Quick test_quantile_rejects_out_of_range;
+        QCheck_alcotest.to_alcotest prop_quantile_within_range;
+      ] )
